@@ -1,0 +1,228 @@
+// Benchmarks regenerating every figure of the paper's evaluation, plus
+// ablations of the design knobs DESIGN.md calls out and micro-benchmarks
+// of the hot paths. Reported custom metrics carry the figures' headline
+// numbers so `go test -bench=.` doubles as a reproduction run:
+//
+//	BenchmarkFig2aBackup       switch_delay_s (smart) vs baseline minutes
+//	BenchmarkFig2bStreaming    p90 block delay per variant
+//	BenchmarkFig2cRefresh/...  median completion seconds per variant
+//	BenchmarkFig3.../...       mean CAPA→JOIN delay and userspace penalty
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/sim"
+)
+
+func BenchmarkFig2aBackup(b *testing.B) {
+	var delay float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2a()
+		cfg.Seed = int64(i + 1)
+		delay = experiments.Fig2a(cfg).Scalars["switch_delay_s"]
+	}
+	b.ReportMetric(delay, "switch_delay_s")
+}
+
+func BenchmarkFig2aKernelBaseline(b *testing.B) {
+	var first float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2a()
+		cfg.Seed = int64(i + 1)
+		cfg.Baseline = true
+		cfg.LossRatio = 1.0
+		first = experiments.Fig2a(cfg).Scalars["backup_first_data_s"]
+	}
+	b.ReportMetric(first, "backup_first_data_s")
+}
+
+func BenchmarkFig2bStreaming(b *testing.B) {
+	var smartP90, fullP90 float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2b()
+		cfg.Seed = int64(i + 1)
+		cfg.Blocks = 60
+		r := experiments.Fig2b(cfg)
+		smartP90 = r.Scalars["smart_p90_s"]
+		fullP90 = r.Scalars["fullmesh_same_loss_p90_s"]
+	}
+	b.ReportMetric(smartP90, "smart_p90_s")
+	b.ReportMetric(fullP90, "fullmesh_p90_s")
+}
+
+// Ablation (§4.3): where in the block the progress probe sits.
+func BenchmarkFig2bProbePointAblation(b *testing.B) {
+	for _, checkMs := range []int{250, 500, 750} {
+		b.Run(time.Duration(checkMs*int(time.Millisecond)).String(), func(b *testing.B) {
+			var p90 float64
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultFig2b()
+				cfg.Seed = int64(i + 1)
+				cfg.Blocks = 40
+				cfg.LossLevels = nil // smart curve only
+				cfg.ProbeAt = time.Duration(checkMs) * time.Millisecond
+				r := experiments.Fig2b(cfg)
+				p90 = r.Scalars["smart_p90_s"]
+			}
+			b.ReportMetric(p90, "smart_p90_s")
+		})
+	}
+}
+
+func BenchmarkFig2cNdiffports(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2c()
+		cfg.Seed = int64(i*100 + 1)
+		cfg.Trials = 3
+		cfg.FileBytes = 25 << 20 // completion scales linearly with size
+		median = experiments.Fig2c(cfg).Scalars["ndiffports_median_s"]
+	}
+	b.ReportMetric(median, "median_s_25MB")
+}
+
+func BenchmarkFig2cRefresh(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2c()
+		cfg.Seed = int64(i*100 + 1)
+		cfg.Trials = 3
+		cfg.FileBytes = 25 << 20
+		median = experiments.Fig2c(cfg).Scalars["refresh_median_s"]
+	}
+	b.ReportMetric(median, "median_s_25MB")
+}
+
+func BenchmarkFig3KernelPM(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig3()
+		cfg.Seed = int64(i + 1)
+		cfg.Requests = 100
+		mean = experiments.Fig3(cfg).Scalars["kernel_mean_ms"]
+	}
+	b.ReportMetric(mean*1000, "capa_join_us")
+}
+
+func BenchmarkFig3UserspacePM(b *testing.B) {
+	var mean, delta float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig3()
+		cfg.Seed = int64(i + 1)
+		cfg.Requests = 100
+		r := experiments.Fig3(cfg)
+		mean = r.Scalars["user_mean_ms"]
+		delta = r.Scalars["delta_us"]
+	}
+	b.ReportMetric(mean*1000, "capa_join_us")
+	b.ReportMetric(delta, "penalty_us")
+}
+
+// Ablation (§4.2): the backup controller's RTO threshold.
+func BenchmarkFig2aThresholdAblation(b *testing.B) {
+	for _, th := range []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second} {
+		b.Run(th.String(), func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultFig2a()
+				cfg.Seed = int64(i + 1)
+				cfg.Threshold = th
+				delay = experiments.Fig2a(cfg).Scalars["switch_delay_s"]
+			}
+			b.ReportMetric(delay, "switch_delay_s")
+		})
+	}
+}
+
+// Ablation (Fig. 3): the Netlink latency model under CPU stress.
+func BenchmarkFig3StressedAblation(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig3()
+		cfg.Seed = int64(i + 1)
+		cfg.Requests = 100
+		cfg.Stressed = true
+		delta = experiments.Fig3(cfg).Scalars["delta_us"]
+	}
+	b.ReportMetric(delta, "penalty_us")
+}
+
+func BenchmarkLongLived(b *testing.B) {
+	var delivered, reest float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLongLived()
+		cfg.Seed = int64(i + 1)
+		r := experiments.LongLived(cfg)
+		delivered = r.Scalars["messages_delivered"]
+		reest = r.Scalars["reestablishments"]
+	}
+	b.ReportMetric(delivered, "delivered")
+	b.ReportMetric(reest, "reestablishments")
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkNetlinkEventMarshal(b *testing.B) {
+	ev := &nlmsg.Event{
+		Kind: nlmsg.EvTimeout, Token: 0xdead, RTO: 3200 * time.Millisecond,
+		Backoffs: 4, HasTuple: true,
+		Tuple: seg.FourTuple{SrcPort: 1, DstPort: 2},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ev.Marshal(uint32(i), 1)
+	}
+}
+
+func BenchmarkNetlinkEventParse(b *testing.B) {
+	ev := &nlmsg.Event{Kind: nlmsg.EvSubClosed, Token: 0xdead, Errno: 110}
+	wire := ev.Marshal(1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, _, err := nlmsg.Unmarshal(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nlmsg.ParseEvent(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentMarshal(b *testing.B) {
+	s := &seg.Segment{
+		Tuple:      seg.FourTuple{SrcPort: 1, DstPort: 2},
+		Flags:      seg.ACK | seg.PSH,
+		PayloadLen: 1380,
+		Options: []seg.Option{&seg.DSS{
+			HasDataAck: true, DataAck: 1 << 40,
+			HasMap: true, DataSeq: 1 << 41, MapLen: 1380,
+		}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	s := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, "tick", tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(time.Microsecond, "tick", tick)
+	s.Run()
+}

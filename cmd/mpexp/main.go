@@ -1,0 +1,119 @@
+// Command mpexp runs the paper's experiments and prints the rows/series of
+// each figure.
+//
+// Usage:
+//
+//	mpexp fig2a [-baseline] [-loss R] [-seed N]
+//	mpexp fig2b [-blocks N] [-seed N]
+//	mpexp fig2c [-trials N] [-mb N] [-seed N]
+//	mpexp fig3  [-requests N] [-stressed] [-seed N]
+//	mpexp longlived [-plain] [-seed N]
+//	mpexp all   (default parameters everywhere)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	start := time.Now()
+	switch cmd {
+	case "fig2a":
+		fs := flag.NewFlagSet("fig2a", flag.ExitOnError)
+		baseline := fs.Bool("baseline", false, "run the in-kernel pre-established-backup baseline")
+		loss := fs.Float64("loss", -1, "primary-path loss ratio (default 0.30 smart, 1.0 baseline)")
+		seed := fs.Int64("seed", 1, "simulation seed")
+		fs.Parse(args)
+		cfg := experiments.DefaultFig2a()
+		cfg.Seed = *seed
+		cfg.Baseline = *baseline
+		if *baseline {
+			cfg.LossRatio = 1.0
+		}
+		if *loss >= 0 {
+			cfg.LossRatio = *loss
+		}
+		fmt.Print(experiments.Fig2a(cfg).Report)
+
+	case "fig2b":
+		fs := flag.NewFlagSet("fig2b", flag.ExitOnError)
+		blocks := fs.Int("blocks", 120, "blocks per curve")
+		seed := fs.Int64("seed", 1, "simulation seed")
+		fs.Parse(args)
+		cfg := experiments.DefaultFig2b()
+		cfg.Blocks = *blocks
+		cfg.Seed = *seed
+		fmt.Print(experiments.Fig2b(cfg).Report)
+
+	case "fig2c":
+		fs := flag.NewFlagSet("fig2c", flag.ExitOnError)
+		trials := fs.Int("trials", 20, "trials per variant")
+		mb := fs.Int("mb", 100, "file size in MB")
+		seed := fs.Int64("seed", 1, "simulation seed")
+		fs.Parse(args)
+		cfg := experiments.DefaultFig2c()
+		cfg.Trials = *trials
+		cfg.FileBytes = *mb << 20
+		cfg.Seed = *seed
+		fmt.Print(experiments.Fig2c(cfg).Report)
+
+	case "fig3":
+		fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+		requests := fs.Int("requests", 1000, "consecutive GETs")
+		stressed := fs.Bool("stressed", false, "model the CPU-stressed client")
+		seed := fs.Int64("seed", 1, "simulation seed")
+		fs.Parse(args)
+		cfg := experiments.DefaultFig3()
+		cfg.Requests = *requests
+		cfg.Stressed = *stressed
+		cfg.Seed = *seed
+		fmt.Print(experiments.Fig3(cfg).Report)
+
+	case "longlived":
+		fs := flag.NewFlagSet("longlived", flag.ExitOnError)
+		plain := fs.Bool("plain", false, "run without the controller (baseline)")
+		seed := fs.Int64("seed", 1, "simulation seed")
+		fs.Parse(args)
+		cfg := experiments.DefaultLongLived()
+		cfg.Smart = !*plain
+		cfg.Seed = *seed
+		fmt.Print(experiments.LongLived(cfg).Report)
+
+	case "all":
+		fmt.Print(experiments.Fig2a(experiments.DefaultFig2a()).Report)
+		base := experiments.DefaultFig2a()
+		base.Baseline = true
+		base.LossRatio = 1.0
+		fmt.Print(experiments.Fig2a(base).Report)
+		fmt.Print(experiments.Fig2b(experiments.DefaultFig2b()).Report)
+		fmt.Print(experiments.Fig2c(experiments.DefaultFig2c()).Report)
+		fmt.Print(experiments.Fig3(experiments.DefaultFig3()).Report)
+		stressed := experiments.DefaultFig3()
+		stressed.Stressed = true
+		fmt.Print(experiments.Fig3(stressed).Report)
+		fmt.Print(experiments.LongLived(experiments.DefaultLongLived()).Report)
+		plain := experiments.DefaultLongLived()
+		plain.Smart = false
+		fmt.Print(experiments.LongLived(plain).Report)
+
+	default:
+		usage()
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|all> [flags]
+Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
+APPlications" (CoNEXT'15). Run with a subcommand and -h for its flags.`)
+	os.Exit(2)
+}

@@ -1,0 +1,103 @@
+// Command smappctl is a subflow controller running as a separate OS
+// process, the way the paper intends: it attaches to smappd's Unix socket,
+// registers for events through the PM library, and applies the §4.2
+// smart-backup policy over real Netlink-format messages.
+//
+// Usage:
+//
+//	smappctl -sock /tmp/smapp.sock
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/nlmsg"
+	"repro/internal/topo"
+)
+
+// realClock adapts the wall clock to core.Clock. Timer callbacks are
+// serialised with the socket reader through mu, so controller code remains
+// single-threaded as it is in the simulator.
+type realClock struct {
+	start time.Time
+	mu    *sync.Mutex
+}
+
+func (c realClock) Now() time.Duration { return time.Since(c.start) }
+func (c realClock) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+	return func() { t.Stop() }
+}
+
+func main() {
+	sock := flag.String("sock", "/tmp/smapp.sock", "smappd's unix socket")
+	flag.Parse()
+
+	conn, err := net.Dial("unix", *sock)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	log.Printf("smappctl: attached to %s", *sock)
+
+	var mu sync.Mutex
+	tr := &core.Transport{
+		ToUser:   &dispatchPipe{},          // filled below by the library
+		ToKernel: core.NewSocketPipe(conn), // commands out over the socket
+	}
+	lib := core.NewLibrary(tr, realClock{start: time.Now(), mu: &mu}, uint32(1))
+
+	// The §4.2 smart-backup controller, unchanged from the simulation —
+	// same code, different transport and clock.
+	ctl := controller.NewBackup(topo.ClientAddr2)
+	ctl.Attach(lib)
+	log.Printf("smappctl: %s controller registered (threshold %v)", ctl.Name(), ctl.Threshold)
+
+	// Event pump: socket → library, serialised with timer callbacks.
+	err = core.ReadMessages(conn, func(b []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		logEvent(b)
+		lib.OnMessage(b)
+	})
+	log.Printf("smappctl: connection closed (%v); events=%d commands=%d",
+		err, lib.Stats.EventsReceived, lib.Stats.CommandsSent)
+}
+
+// dispatchPipe is the controller-side ToUser endpoint: the library installs
+// its receiver here, and the socket pump calls lib.OnMessage directly, so
+// Send is never used on this half.
+type dispatchPipe struct{ recv func([]byte) }
+
+func (p *dispatchPipe) Send(b []byte)               {}
+func (p *dispatchPipe) SetReceiver(fn func([]byte)) { p.recv = fn }
+
+func logEvent(b []byte) {
+	m, _, err := nlmsg.Unmarshal(b)
+	if err != nil {
+		return
+	}
+	if m.Cmd >= nlmsg.ReplyAck {
+		return // command replies are the library's business
+	}
+	if ev, err := nlmsg.ParseEvent(m); err == nil {
+		switch ev.Kind {
+		case nlmsg.EvTimeout:
+			log.Printf("event %-14s token=%08x rto=%v backoffs=%d", ev.Kind, ev.Token, ev.RTO, ev.Backoffs)
+		case nlmsg.EvSubClosed:
+			log.Printf("event %-14s token=%08x tuple=%v errno=%d", ev.Kind, ev.Token, ev.Tuple, ev.Errno)
+		default:
+			log.Printf("event %-14s token=%08x", ev.Kind, ev.Token)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command smappd demonstrates the paper's architecture across a real
+// process boundary: it runs the simulated Multipath TCP "kernel" (a
+// two-path topology with a bulk transfer, paced against the wall clock)
+// and exposes the Netlink path manager on a Unix socket. A subflow
+// controller — cmd/smappctl — connects from another process and manages
+// the subflows with exactly the messages internal/nlmsg defines.
+//
+// Usage:
+//
+//	smappd -sock /tmp/smapp.sock -run 15s
+//
+// then, in another terminal:
+//
+//	smappctl -sock /tmp/smapp.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// chanPipe is the command-ingress half of the transport: the socket reader
+// goroutine deposits messages, the simulation loop drains them, so all
+// protocol work stays on the single simulation thread.
+type chanPipe struct {
+	ch   chan []byte
+	recv func([]byte)
+}
+
+func (p *chanPipe) Send(b []byte)               { p.ch <- b }
+func (p *chanPipe) SetReceiver(fn func([]byte)) { p.recv = fn }
+
+func main() {
+	sock := flag.String("sock", "/tmp/smapp.sock", "unix socket to expose the Netlink PM on")
+	runFor := flag.Duration("run", 15*time.Second, "how long to run the scenario")
+	flag.Parse()
+
+	os.Remove(*sock)
+	l, err := net.Listen("unix", *sock)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	log.Printf("smappd: waiting for a subflow controller on %s", *sock)
+	conn, err := l.Accept()
+	if err != nil {
+		log.Fatalf("accept: %v", err)
+	}
+	log.Printf("smappd: controller attached; starting the emulated world")
+
+	// The world: two 10 Mbps paths; a bulk transfer starts at t=1s; the
+	// first path degrades badly at t=4s. Whether anything survives is the
+	// controller's problem — exactly the paper's division of labour.
+	world := sim.New(time.Now().UnixNano())
+	p := netem.LinkConfig{RateBps: 10e6, Delay: 10 * time.Millisecond}
+	n := topo.NewTwoPath(world, p, p)
+
+	inject := &chanPipe{ch: make(chan []byte, 128)}
+	tr := &core.Transport{
+		ToUser:   core.NewSocketPipe(conn),
+		ToKernel: inject,
+	}
+	pm := core.NewNetlinkPM(world, tr)
+	cep := mptcp.NewEndpoint(n.Client, mptcp.Config{}, pm)
+	sep := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
+	sink := app.NewSink(world, 1<<40, nil)
+	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
+
+	world.Schedule(sim.Second, "start-transfer", func() {
+		src := app.NewSource(world, 512<<20, false)
+		if _, err := cep.Connect(n.ClientAddrs[0], n.ServerAddr, 80, src.Callbacks()); err != nil {
+			log.Fatalf("connect: %v", err)
+		}
+		log.Printf("smappd: transfer started on %s", n.ClientAddrs[0])
+	})
+	world.Schedule(4*sim.Second, "degrade", func() {
+		n.Path[0].AB.SetLoss(0.5)
+		log.Printf("smappd: path0 degraded to 50%% loss — over to the controller")
+	})
+
+	// Socket reader: commands go through the channel into the sim thread.
+	go func() {
+		err := core.ReadMessages(conn, func(b []byte) { inject.ch <- b })
+		log.Printf("smappd: controller disconnected (%v)", err)
+		close(inject.ch)
+	}()
+
+	// Real-time pacing loop: drain pending commands, advance virtual time
+	// one step, sleep the same step of wall time.
+	const step = 5 * time.Millisecond
+	deadline := sim.Time(*runFor)
+	for world.Now() < deadline {
+	drain:
+		for {
+			select {
+			case b, ok := <-inject.ch:
+				if !ok {
+					log.Printf("smappd: shutting down")
+					return
+				}
+				if inject.recv != nil {
+					inject.recv(b)
+				}
+			default:
+				break drain
+			}
+		}
+		world.RunFor(step)
+		time.Sleep(step)
+	}
+	fmt.Printf("smappd: done; receiver got %.2f MB in %v of virtual time\n",
+		float64(sink.Received)/1e6, *runFor)
+}

@@ -1,0 +1,31 @@
+// Package controller implements the paper's sample subflow controllers
+// (§4) — userspace policies written against the PM library (core.Library),
+// never touching Netlink bytes or kernel state directly:
+//
+//   - FullMesh (§4.1): a userspace reimplementation of the kernel
+//     full-mesh path manager, extended with error-aware re-establishment of
+//     failed subflows for long-lived connections behind NATs/firewalls
+//     (≈800 LoC of C in the paper);
+//   - Backup (§4.2): break-before-make backup handling — the backup
+//     subflow is created only when the primary's retransmission timer
+//     exceeds a threshold;
+//   - Stream (§4.3): block-streaming support — probes transfer progress
+//     mid-block via snd_una and opens/kills subflows to keep block
+//     latency bounded;
+//   - Refresh (§4.4): ECMP exploitation — opens n subflows on random
+//     source ports and periodically replaces the one with the lowest
+//     pacing_rate (230 LoC of C in the paper);
+//   - NDiffPorts (§4.5): a userspace clone of the kernel ndiffports
+//     manager, used to measure the Netlink crossing cost of Fig. 3.
+package controller
+
+import (
+	"repro/internal/core"
+)
+
+// Controller is a subflow-management policy. Attach registers its event
+// callbacks (and hence its kernel-side subscription) on the library.
+type Controller interface {
+	Name() string
+	Attach(lib *core.Library)
+}

@@ -1,0 +1,255 @@
+package controller
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+)
+
+// FullMesh is the §4.1 controller: it reimplements the kernel full-mesh
+// path manager in userspace and adds what the kernel one lacks — smart
+// re-establishment of failed subflows. When a subflow dies it inspects the
+// error condition and retries after an error-specific delay: quickly after
+// a RST (a middlebox dropped state we can immediately rebuild), more
+// patiently after a timeout, and slower still when the network was
+// unreachable. This keeps long-lived connections (ssh, chat, push
+// notifications) alive through aggressive NAT/firewall idle timeouts
+// without blind periodic keepalives.
+type FullMesh struct {
+	// RetryAfterRST is the re-establishment delay after ECONNRESET.
+	RetryAfterRST time.Duration
+	// RetryAfterTimeout is the delay after ETIMEDOUT.
+	RetryAfterTimeout time.Duration
+	// RetryAfterUnreach is the delay after ENETUNREACH / ICMP errors.
+	RetryAfterUnreach time.Duration
+	// LocalAddrs seeds the set of local interface addresses (kept current
+	// afterwards via new_local_addr / del_local_addr events).
+	LocalAddrs []netip.Addr
+
+	lib   *core.Library
+	local map[netip.Addr]bool
+	conns map[uint32]*meshConn
+	Stats FullMeshStats
+}
+
+// FullMeshStats counts controller activity.
+type FullMeshStats struct {
+	SubflowsCreated   uint64
+	Reestablishments  uint64
+	RetriesByErrno    map[uint32]uint64
+	SubflowsDismissed uint64 // removed because their interface went away
+}
+
+type meshConn struct {
+	token   uint32
+	remotes map[netip.AddrPort]bool
+	// live subflows by (local addr, remote addrport); the source port is
+	// deliberately not part of the key — re-established subflows use
+	// fresh ports.
+	live    map[meshKey]seg.FourTuple
+	pending map[meshKey]func() // scheduled retries, cancellable
+	closed  bool
+}
+
+type meshKey struct {
+	local  netip.Addr
+	remote netip.AddrPort
+}
+
+// NewFullMesh builds the controller with the paper's retry behaviour.
+func NewFullMesh(localAddrs []netip.Addr) *FullMesh {
+	return &FullMesh{
+		RetryAfterRST:     time.Second,
+		RetryAfterTimeout: 3 * time.Second,
+		RetryAfterUnreach: 5 * time.Second,
+		LocalAddrs:        localAddrs,
+		local:             make(map[netip.Addr]bool),
+		conns:             make(map[uint32]*meshConn),
+		Stats:             FullMeshStats{RetriesByErrno: make(map[uint32]uint64)},
+	}
+}
+
+// Name implements Controller.
+func (f *FullMesh) Name() string { return "user-fullmesh" }
+
+// Attach implements Controller: it listens to every event of §3.
+func (f *FullMesh) Attach(lib *core.Library) {
+	f.lib = lib
+	for _, a := range f.LocalAddrs {
+		f.local[a] = true
+	}
+	lib.Register(core.Callbacks{
+		Created:        f.onCreated,
+		Established:    f.onEstablished,
+		Closed:         f.onClosed,
+		SubEstablished: f.onSubEstablished,
+		SubClosed:      f.onSubClosed,
+		AddAddr:        f.onAddAddr,
+		RemAddr:        f.onRemAddr,
+		LocalAddrUp:    f.onLocalUp,
+		LocalAddrDown:  f.onLocalDown,
+	}, nil)
+}
+
+func (f *FullMesh) onCreated(ev *nlmsg.Event) {
+	remote := netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort)
+	mc := &meshConn{
+		token:   ev.Token,
+		remotes: map[netip.AddrPort]bool{remote: true},
+		live:    make(map[meshKey]seg.FourTuple),
+		pending: make(map[meshKey]func()),
+	}
+	// The created event carries the initial subflow's 4-tuple; mark it
+	// live so the mesh does not duplicate it.
+	mc.live[meshKey{ev.Tuple.SrcIP, remote}] = ev.Tuple
+	f.conns[ev.Token] = mc
+}
+
+func (f *FullMesh) onEstablished(ev *nlmsg.Event) { f.mesh(f.conns[ev.Token]) }
+
+func (f *FullMesh) onClosed(ev *nlmsg.Event) {
+	if mc := f.conns[ev.Token]; mc != nil {
+		mc.closed = true
+		for _, cancel := range mc.pending {
+			cancel()
+		}
+	}
+	delete(f.conns, ev.Token)
+}
+
+func (f *FullMesh) onSubEstablished(ev *nlmsg.Event) {
+	mc := f.conns[ev.Token]
+	if mc == nil {
+		return
+	}
+	key := meshKey{ev.Tuple.SrcIP, netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort)}
+	mc.live[key] = ev.Tuple
+}
+
+// onSubClosed is the heart of §4.1: analyse the error condition and
+// schedule a re-establishment with an error-specific timeout.
+func (f *FullMesh) onSubClosed(ev *nlmsg.Event) {
+	mc := f.conns[ev.Token]
+	if mc == nil || mc.closed {
+		return
+	}
+	key := meshKey{ev.Tuple.SrcIP, netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort)}
+	delete(mc.live, key)
+	if !f.local[key.local] {
+		return // interface is gone; LocalAddrUp will rebuild later
+	}
+	var delay time.Duration
+	switch ev.Errno {
+	case uint32(104): // ECONNRESET — middlebox dropped state; rebuild fast
+		delay = f.RetryAfterRST
+	case uint32(110): // ETIMEDOUT
+		delay = f.RetryAfterTimeout
+	case uint32(101), uint32(111): // ENETUNREACH / ECONNREFUSED
+		delay = f.RetryAfterUnreach
+	default:
+		delay = f.RetryAfterTimeout
+	}
+	f.Stats.RetriesByErrno[ev.Errno]++
+	f.scheduleRetry(mc, key, delay)
+}
+
+func (f *FullMesh) scheduleRetry(mc *meshConn, key meshKey, delay time.Duration) {
+	if _, dup := mc.pending[key]; dup {
+		return
+	}
+	mc.pending[key] = f.lib.After(delay, func() {
+		delete(mc.pending, key)
+		if mc.closed || !f.local[key.local] {
+			return
+		}
+		if _, alive := mc.live[key]; alive {
+			return
+		}
+		f.Stats.Reestablishments++
+		f.create(mc, key)
+	})
+}
+
+func (f *FullMesh) create(mc *meshConn, key meshKey) {
+	ft := seg.FourTuple{SrcIP: key.local, DstIP: key.remote.Addr(), SrcPort: 0, DstPort: key.remote.Port()}
+	f.Stats.SubflowsCreated++
+	f.lib.CreateSubflow(mc.token, ft, false, func(errno uint32) {
+		if errno != 0 && !mc.closed {
+			// Creation failed (e.g. interface flapped again): back off.
+			f.scheduleRetry(mc, key, f.RetryAfterUnreach)
+		}
+	})
+}
+
+func (f *FullMesh) onAddAddr(ev *nlmsg.Event) {
+	mc := f.conns[ev.Token]
+	if mc == nil {
+		return
+	}
+	port := ev.Port
+	if port == 0 {
+		// Join on the connection's original port when none was announced.
+		for r := range mc.remotes {
+			port = r.Port()
+			break
+		}
+	}
+	mc.remotes[netip.AddrPortFrom(ev.Addr, port)] = true
+	f.mesh(mc)
+}
+
+func (f *FullMesh) onRemAddr(ev *nlmsg.Event) {
+	// Address IDs arrive without the address; a production controller
+	// would keep an ID→addr map. We conservatively leave existing
+	// subflows alone (the peer will RST them if truly gone).
+}
+
+func (f *FullMesh) onLocalUp(ev *nlmsg.Event) {
+	f.local[ev.Addr] = true
+	for _, mc := range f.conns {
+		f.mesh(mc)
+	}
+}
+
+func (f *FullMesh) onLocalDown(ev *nlmsg.Event) {
+	delete(f.local, ev.Addr)
+	for _, mc := range f.conns {
+		for key, ft := range mc.live {
+			if key.local != ev.Addr {
+				continue
+			}
+			delete(mc.live, key)
+			f.Stats.SubflowsDismissed++
+			f.lib.RemoveSubflow(mc.token, ft, nil)
+		}
+		// Cancel any retry scheduled for the lost interface.
+		for key, cancel := range mc.pending {
+			if key.local == ev.Addr {
+				cancel()
+				delete(mc.pending, key)
+			}
+		}
+	}
+}
+
+// mesh creates any missing local×remote subflow.
+func (f *FullMesh) mesh(mc *meshConn) {
+	if mc == nil || mc.closed {
+		return
+	}
+	for laddr := range f.local {
+		for remote := range mc.remotes {
+			key := meshKey{laddr, remote}
+			if _, alive := mc.live[key]; alive {
+				continue
+			}
+			if _, pending := mc.pending[key]; pending {
+				continue
+			}
+			f.create(mc, key)
+		}
+	}
+}

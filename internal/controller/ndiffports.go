@@ -1,0 +1,75 @@
+package controller
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+)
+
+// NDiffPorts is the §4.5 controller: a userspace clone of the kernel
+// ndiffports path manager. It creates N-1 extra subflows over the initial
+// address pair as soon as the connection is established. The paper uses it
+// to measure the cost of moving the control plane to userspace: the delay
+// between the SYN carrying MP_CAPABLE and the SYN carrying MP_JOIN grows
+// by ≈23 µs on average compared to the in-kernel manager (Fig. 3).
+type NDiffPorts struct {
+	// N is the total subflow count per connection.
+	N int
+
+	lib   *core.Library
+	conns map[uint32]*ndpState
+	Stats NDiffPortsStats
+}
+
+// NDiffPortsStats counts controller activity.
+type NDiffPortsStats struct {
+	SubflowsRequested uint64
+}
+
+type ndpState struct {
+	local  netip.Addr
+	remote netip.AddrPort
+}
+
+// NewNDiffPorts builds the controller.
+func NewNDiffPorts(n int) *NDiffPorts {
+	return &NDiffPorts{N: n, conns: make(map[uint32]*ndpState)}
+}
+
+// Name implements Controller.
+func (p *NDiffPorts) Name() string { return "user-ndiffports" }
+
+// Attach implements Controller. It needs only two events.
+func (p *NDiffPorts) Attach(lib *core.Library) {
+	p.lib = lib
+	lib.Register(core.Callbacks{
+		Created:     p.onCreated,
+		Established: p.onEstablished,
+		Closed:      p.onClosed,
+	}, nil)
+}
+
+func (p *NDiffPorts) onCreated(ev *nlmsg.Event) {
+	p.conns[ev.Token] = &ndpState{
+		local:  ev.Tuple.SrcIP,
+		remote: netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort),
+	}
+}
+
+func (p *NDiffPorts) onEstablished(ev *nlmsg.Event) {
+	st := p.conns[ev.Token]
+	if st == nil {
+		return
+	}
+	for i := 1; i < p.N; i++ {
+		p.Stats.SubflowsRequested++
+		p.lib.CreateSubflow(ev.Token, seg.FourTuple{
+			SrcIP: st.local, SrcPort: 0,
+			DstIP: st.remote.Addr(), DstPort: st.remote.Port(),
+		}, false, nil)
+	}
+}
+
+func (p *NDiffPorts) onClosed(ev *nlmsg.Event) { delete(p.conns, ev.Token) }

@@ -1,0 +1,166 @@
+package controller
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/tcp"
+)
+
+// Refresh is the §4.4 controller: smarter exploitation of flow-based load
+// balancing. When the connection starts it opens N subflows with random
+// source ports so ECMP spreads them over the available paths. Every
+// Interval it queries the pacing_rate of each subflow, removes the one
+// with the lowest rate and immediately creates a replacement on a fresh
+// random port. Two subflows hashed onto the same path share its capacity
+// and therefore show roughly half the pacing_rate of a subflow alone on a
+// path — so the refresh loop drains collisions and converges to covering
+// all paths ("a very simple heuristic", 230 LoC of C in the paper).
+type Refresh struct {
+	// N is the number of concurrent subflows (5 in Fig. 2c).
+	N int
+	// Interval is the refresh period (2.5 s in the paper).
+	Interval time.Duration
+	// MinLifetime protects just-created subflows from being judged before
+	// their pacing_rate means anything (one refresh interval).
+	MinLifetime time.Duration
+
+	lib   *core.Library
+	conns map[uint32]*refreshState
+	Stats RefreshStats
+}
+
+// RefreshStats counts controller activity.
+type RefreshStats struct {
+	Refreshes uint64 // subflow replacements performed
+	Polls     uint64
+}
+
+type refreshState struct {
+	remote   netip.AddrPort
+	initial  seg.FourTuple
+	born     map[seg.FourTuple]time.Duration // creation time per live subflow
+	stopTick func()
+	closed   bool
+}
+
+// NewRefresh builds the controller with the paper's parameters.
+func NewRefresh(n int) *Refresh {
+	return &Refresh{
+		N:           n,
+		Interval:    2500 * time.Millisecond,
+		MinLifetime: 2500 * time.Millisecond,
+		conns:       make(map[uint32]*refreshState),
+	}
+}
+
+// Name implements Controller.
+func (r *Refresh) Name() string { return "refresh" }
+
+// Attach implements Controller.
+func (r *Refresh) Attach(lib *core.Library) {
+	r.lib = lib
+	lib.Register(core.Callbacks{
+		Created:        r.onCreated,
+		Established:    r.onEstablished,
+		Closed:         r.onClosed,
+		SubEstablished: r.onSubEstablished,
+		SubClosed:      r.onSubClosed,
+	}, nil)
+}
+
+func (r *Refresh) onCreated(ev *nlmsg.Event) {
+	r.conns[ev.Token] = &refreshState{
+		remote:  netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort),
+		initial: ev.Tuple,
+		born:    make(map[seg.FourTuple]time.Duration),
+	}
+}
+
+func (r *Refresh) onEstablished(ev *nlmsg.Event) {
+	st := r.conns[ev.Token]
+	if st == nil {
+		return
+	}
+	for i := 1; i < r.N; i++ {
+		r.create(ev.Token, st)
+	}
+	r.tick(ev.Token, st)
+}
+
+func (r *Refresh) onClosed(ev *nlmsg.Event) {
+	if st := r.conns[ev.Token]; st != nil {
+		st.closed = true
+		if st.stopTick != nil {
+			st.stopTick()
+		}
+	}
+	delete(r.conns, ev.Token)
+}
+
+func (r *Refresh) onSubEstablished(ev *nlmsg.Event) {
+	if st := r.conns[ev.Token]; st != nil {
+		st.born[ev.Tuple] = r.lib.Clock().Now()
+	}
+}
+
+func (r *Refresh) onSubClosed(ev *nlmsg.Event) {
+	if st := r.conns[ev.Token]; st != nil {
+		delete(st.born, ev.Tuple)
+	}
+}
+
+func (r *Refresh) create(token uint32, st *refreshState) {
+	// Source port 0 → the kernel draws a fresh random ephemeral port,
+	// which is what re-rolls the ECMP dice.
+	r.lib.CreateSubflow(token, seg.FourTuple{
+		SrcIP: st.initial.SrcIP, SrcPort: 0,
+		DstIP: st.remote.Addr(), DstPort: st.remote.Port(),
+	}, false, nil)
+}
+
+func (r *Refresh) tick(token uint32, st *refreshState) {
+	st.stopTick = r.lib.After(r.Interval, func() {
+		if st.closed {
+			return
+		}
+		r.poll(token, st)
+		r.tick(token, st)
+	})
+}
+
+// poll compares pacing_rates and replaces the slowest subflow.
+func (r *Refresh) poll(token uint32, st *refreshState) {
+	r.Stats.Polls++
+	r.lib.GetInfo(token, func(info *nlmsg.ConnInfo) {
+		if info == nil || st.closed {
+			return
+		}
+		now := r.lib.Clock().Now()
+		var worst *nlmsg.SubflowInfo
+		established := 0
+		for i := range info.Subflows {
+			sf := &info.Subflows[i]
+			if sf.State != uint32(tcp.StateEstablished) {
+				continue
+			}
+			established++
+			if born, ok := st.born[sf.Tuple]; ok && now-born < r.MinLifetime {
+				continue // too young to judge
+			}
+			if worst == nil || sf.PacingRate < worst.PacingRate {
+				worst = sf
+			}
+		}
+		// Keep the fleet at N: replace the slowest mature subflow.
+		if worst == nil || established < 2 {
+			return
+		}
+		r.Stats.Refreshes++
+		r.lib.RemoveSubflow(token, worst.Tuple, nil)
+		r.create(token, st)
+	})
+}

@@ -1,0 +1,199 @@
+package controller
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+)
+
+// Stream is the §4.3 controller: it supports an application that writes
+// one fixed-size block per period and expects each block delivered within
+// the period.
+//
+// Policy (verbatim from the paper): 500 ms after each block start it
+// extracts snd_una from the kernel and measures transfer progress; if
+// fewer than half the block's bytes have been acknowledged it considers
+// the current subflow underperforming and opens a subflow on the other
+// interface. Independently, any subflow whose RTO exceeds RTOLimit is
+// closed immediately — this is what removes the long-tail blocking the
+// default stack suffers (Fig. 2b).
+type Stream struct {
+	// Period is the block cadence (1 s in the paper).
+	Period time.Duration
+	// BlockSize is the bytes per block (64 KB in the paper).
+	BlockSize uint64
+	// CheckAfter is the intra-block probe point (500 ms in the paper).
+	CheckAfter time.Duration
+	// MinProgress is the snd_una progress required at the probe point
+	// (32 KB in the paper).
+	MinProgress uint64
+	// RTOLimit closes any subflow whose backed-off RTO exceeds it (1 s).
+	RTOLimit time.Duration
+	// SecondAddr is the local address of the other interface.
+	SecondAddr netip.Addr
+
+	lib   *core.Library
+	conns map[uint32]*streamState
+	Stats StreamStats
+}
+
+// StreamStats counts controller activity.
+type StreamStats struct {
+	Probes         uint64
+	SecondOpened   uint64
+	SubflowsKilled uint64
+}
+
+type streamState struct {
+	remote    netip.AddrPort
+	startAt   time.Duration // establishment time on the controller clock
+	opened    bool          // second subflow requested
+	nSubflows int
+	stopProbe func()
+	closed    bool
+}
+
+// NewStream builds the controller with the paper's parameters for a 64 KB
+// block per second.
+func NewStream(secondAddr netip.Addr) *Stream {
+	return &Stream{
+		Period:      time.Second,
+		BlockSize:   64 << 10,
+		CheckAfter:  500 * time.Millisecond,
+		MinProgress: 32 << 10,
+		RTOLimit:    time.Second,
+		SecondAddr:  secondAddr,
+		conns:       make(map[uint32]*streamState),
+	}
+}
+
+// Name implements Controller.
+func (s *Stream) Name() string { return "smart-stream" }
+
+// Attach implements Controller.
+func (s *Stream) Attach(lib *core.Library) {
+	s.lib = lib
+	lib.Register(core.Callbacks{
+		Created:        s.onCreated,
+		Established:    s.onEstablished,
+		Closed:         s.onClosed,
+		SubEstablished: s.onSubEstablished,
+		SubClosed:      s.onSubClosed,
+		Timeout:        s.onTimeout,
+	}, nil)
+}
+
+func (s *Stream) onCreated(ev *nlmsg.Event) {
+	s.conns[ev.Token] = &streamState{
+		remote: netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort),
+	}
+}
+
+func (s *Stream) onEstablished(ev *nlmsg.Event) {
+	st := s.conns[ev.Token]
+	if st == nil {
+		return
+	}
+	st.startAt = s.lib.Clock().Now()
+	s.scheduleProbe(ev.Token, st, 0)
+}
+
+func (s *Stream) onClosed(ev *nlmsg.Event) {
+	if st := s.conns[ev.Token]; st != nil {
+		st.closed = true
+		if st.stopProbe != nil {
+			st.stopProbe()
+		}
+	}
+	delete(s.conns, ev.Token)
+}
+
+func (s *Stream) onSubEstablished(ev *nlmsg.Event) {
+	if st := s.conns[ev.Token]; st != nil {
+		st.nSubflows++
+	}
+}
+
+func (s *Stream) onSubClosed(ev *nlmsg.Event) {
+	if st := s.conns[ev.Token]; st != nil {
+		st.nSubflows--
+	}
+}
+
+// scheduleProbe arms the probe for block k at startAt + k*Period +
+// CheckAfter.
+func (s *Stream) scheduleProbe(token uint32, st *streamState, block uint64) {
+	due := st.startAt + time.Duration(block)*s.Period + s.CheckAfter
+	delay := due - s.lib.Clock().Now()
+	if delay < 0 {
+		delay = 0
+	}
+	st.stopProbe = s.lib.After(delay, func() { s.probe(token, st, block) })
+}
+
+// probe implements the mid-block check: expected base is block*BlockSize
+// because the application writes one block per period.
+func (s *Stream) probe(token uint32, st *streamState, block uint64) {
+	if st.closed {
+		return
+	}
+	s.Stats.Probes++
+	s.lib.GetInfo(token, func(info *nlmsg.ConnInfo) {
+		if info == nil || st.closed {
+			return
+		}
+		base := block * s.BlockSize
+		// The app writes one block per period; progress can only be
+		// expected for bytes it actually wrote. If the stream paused or
+		// ended there is nothing to monitor this period.
+		var written uint64
+		if info.AppNxt > base {
+			written = info.AppNxt - base
+		}
+		required := s.MinProgress
+		if written < required {
+			required = written
+		}
+		var progress uint64
+		if info.SndUna > base {
+			progress = info.SndUna - base
+		}
+		if written > 0 && progress < required && !st.opened {
+			st.opened = true
+			s.Stats.SecondOpened++
+			s.lib.CreateSubflow(token, seg.FourTuple{
+				SrcIP: s.SecondAddr, SrcPort: 0,
+				DstIP: st.remote.Addr(), DstPort: st.remote.Port(),
+			}, false, nil)
+		}
+		s.scheduleProbe(token, st, block+1)
+	})
+}
+
+// onTimeout closes any subflow whose RTO grew past the limit, provided the
+// connection keeps at least one other subflow (or we have already asked
+// for one).
+func (s *Stream) onTimeout(ev *nlmsg.Event) {
+	st := s.conns[ev.Token]
+	if st == nil || st.closed || ev.RTO <= s.RTOLimit {
+		return
+	}
+	if st.nSubflows <= 1 && !st.opened {
+		// Killing the only subflow would strand the connection; open the
+		// second one instead — the kill will happen on the next timeout.
+		st.opened = true
+		s.Stats.SecondOpened++
+		s.lib.CreateSubflow(ev.Token, seg.FourTuple{
+			SrcIP: s.SecondAddr, SrcPort: 0,
+			DstIP: st.remote.Addr(), DstPort: st.remote.Port(),
+		}, false, nil)
+		return
+	}
+	if st.nSubflows > 1 {
+		s.Stats.SubflowsKilled++
+		s.lib.RemoveSubflow(ev.Token, ev.Tuple, nil)
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// world wires a two-path topology where the CLIENT runs the Netlink PM,
+// with a library attached over a simulated transport.
+type world struct {
+	net    *topo.TwoPath
+	tr     *Transport
+	pm     *NetlinkPM
+	lib    *Library
+	cep    *mptcp.Endpoint
+	sep    *mptcp.Endpoint
+	client *mptcp.Connection
+	server *mptcp.Connection
+	rcv    uint64
+	events []*nlmsg.Event
+}
+
+func newWorld(t *testing.T, seed int64, cbs Callbacks) *world {
+	t.Helper()
+	w := &world{}
+	cfg := netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond}
+	w.net = topo.NewTwoPath(sim.New(seed), cfg, cfg)
+	w.tr = NewSimTransport(w.net.Sim)
+	w.pm = NewNetlinkPM(w.net.Sim, w.tr)
+	w.lib = NewLibrary(w.tr, SimClock{w.net.Sim}, 1)
+	w.lib.Register(cbs, nil)
+	w.cep = mptcp.NewEndpoint(w.net.Client, mptcp.Config{}, w.pm)
+	w.sep = mptcp.NewEndpoint(w.net.Server, mptcp.Config{}, nil)
+	w.sep.Listen(80, func(c *mptcp.Connection) { w.server = c })
+	return w
+}
+
+func (w *world) connect(t *testing.T) {
+	t.Helper()
+	var err error
+	w.client, err = w.cep.Connect(w.net.ClientAddrs[0], w.net.ServerAddr, 80,
+		mptcp.ConnCallbacks{OnData: func(_ *mptcp.Connection, n uint64) { w.rcv = n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// record returns callbacks appending every event to w.events.
+func (w *world) record() Callbacks {
+	rec := func(ev *nlmsg.Event) { w.events = append(w.events, ev) }
+	return Callbacks{
+		Created: rec, Established: rec, Closed: rec,
+		SubEstablished: rec, SubClosed: rec,
+		AddAddr: rec, RemAddr: rec, Timeout: rec,
+		LocalAddrUp: rec, LocalAddrDown: rec,
+	}
+}
+
+func (w *world) kinds() []nlmsg.Cmd {
+	var out []nlmsg.Cmd
+	for _, e := range w.events {
+		out = append(out, e.Kind)
+	}
+	return out
+}
+
+func TestEventFlow(t *testing.T) {
+	w := &world{}
+	cfg := netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond}
+	w.net = topo.NewTwoPath(sim.New(1), cfg, cfg)
+	w.tr = NewSimTransport(w.net.Sim)
+	w.pm = NewNetlinkPM(w.net.Sim, w.tr)
+	w.lib = NewLibrary(w.tr, SimClock{w.net.Sim}, 1)
+	w.lib.Register(w.record(), nil)
+	w.cep = mptcp.NewEndpoint(w.net.Client, mptcp.Config{}, w.pm)
+	w.sep = mptcp.NewEndpoint(w.net.Server, mptcp.Config{}, nil)
+	w.sep.Listen(80, func(c *mptcp.Connection) { w.server = c })
+	w.net.Sim.RunFor(time.Millisecond) // let the subscription land
+	w.connect(t)
+	w.net.Sim.Run()
+
+	kinds := w.kinds()
+	want := []nlmsg.Cmd{nlmsg.EvCreated, nlmsg.EvEstablished, nlmsg.EvSubEstablished}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	ev := w.events[0]
+	if ev.Token != w.client.Token() || !ev.HasTuple {
+		t.Fatalf("created event = %+v", ev)
+	}
+	// The event timestamp is kernel-side; delivery adds transport latency.
+	if ev.At == 0 {
+		t.Fatal("event missing timestamp")
+	}
+}
+
+func TestSubscriptionMaskFilters(t *testing.T) {
+	// Subscribe only to timeout events: creation events must be masked.
+	w := newWorld(t, 2, Callbacks{Timeout: func(*nlmsg.Event) {}})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	if w.pm.EventsSent != 0 {
+		t.Fatalf("kernel sent %d events despite mask", w.pm.EventsSent)
+	}
+	if w.pm.EventsMasked == 0 {
+		t.Fatal("no events were masked")
+	}
+}
+
+func TestCreateSubflowCommand(t *testing.T) {
+	w := newWorld(t, 3, Callbacks{})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	var errno uint32 = 999
+	ft := seg.FourTuple{SrcIP: w.net.ClientAddrs[1], DstIP: w.net.ServerAddr, SrcPort: 0, DstPort: 80}
+	w.lib.CreateSubflow(w.client.Token(), ft, false, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != 0 {
+		t.Fatalf("create errno = %d", errno)
+	}
+	if len(w.client.Subflows()) != 2 {
+		t.Fatalf("subflows = %d", len(w.client.Subflows()))
+	}
+	// Unknown token → ENOENT.
+	w.lib.CreateSubflow(0xdead, ft, false, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != errnoNOENT {
+		t.Fatalf("bogus-token errno = %d, want ENOENT", errno)
+	}
+	// Down interface → ENETUNREACH (101).
+	w.net.Client.SetIfaceUp(w.net.ClientAddrs[1], false)
+	ft2 := ft
+	ft2.SrcPort = 0
+	w.lib.CreateSubflow(w.client.Token(), ft2, false, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != 101 {
+		t.Fatalf("down-iface errno = %d, want 101", errno)
+	}
+}
+
+func TestRemoveSubflowCommand(t *testing.T) {
+	var closed []*nlmsg.Event
+	w := newWorld(t, 4, Callbacks{SubClosed: func(e *nlmsg.Event) { closed = append(closed, e) }})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	ft := w.client.Subflows()[0].Tuple()
+	var errno uint32 = 999
+	w.lib.RemoveSubflow(w.client.Token(), ft, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != 0 {
+		t.Fatalf("remove errno = %d", errno)
+	}
+	if len(w.client.Subflows()) != 0 {
+		t.Fatal("subflow survived removal")
+	}
+	if len(closed) != 1 || closed[0].Errno != 103 { // ECONNABORTED
+		t.Fatalf("sub_closed events = %+v", closed)
+	}
+	// Removing it again → ENOENT.
+	w.lib.RemoveSubflow(w.client.Token(), ft, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != errnoNOENT {
+		t.Fatalf("double-remove errno = %d", errno)
+	}
+}
+
+func TestGetInfoCommand(t *testing.T) {
+	w := newWorld(t, 5, Callbacks{})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	w.client.Write(100_000)
+	w.net.Sim.Run()
+	var info *nlmsg.ConnInfo
+	w.lib.GetInfo(w.client.Token(), func(i *nlmsg.ConnInfo) { info = i })
+	w.net.Sim.Run()
+	if info == nil {
+		t.Fatal("no info reply")
+	}
+	if info.Token != w.client.Token() || info.SndUna != 100_000 || info.AppNxt != 100_000 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Subflows) != 1 {
+		t.Fatalf("info subflows = %d", len(info.Subflows))
+	}
+	sf := info.Subflows[0]
+	if sf.SRTT <= 0 || sf.Cwnd == 0 || sf.PacingRate == 0 {
+		t.Fatalf("subflow info = %+v", sf)
+	}
+	// Unknown token → nil.
+	called := false
+	w.lib.GetInfo(12345, func(i *nlmsg.ConnInfo) { called = true; info = i })
+	w.net.Sim.Run()
+	if !called || info != nil {
+		t.Fatalf("bogus get-info: called=%v info=%v", called, info)
+	}
+}
+
+func TestSetBackupCommand(t *testing.T) {
+	w := newWorld(t, 6, Callbacks{})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	ft := w.client.Subflows()[0].Tuple()
+	var errno uint32 = 999
+	w.lib.SetBackup(w.client.Token(), ft, true, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != 0 {
+		t.Fatalf("set-backup errno = %d", errno)
+	}
+	if !w.client.Subflows()[0].Backup() {
+		t.Fatal("backup flag not set")
+	}
+	if !w.server.Subflows()[0].Backup() {
+		t.Fatal("MP_PRIO not propagated to the peer")
+	}
+}
+
+func TestTimeoutEventsOverNetlink(t *testing.T) {
+	var timeouts []*nlmsg.Event
+	w := newWorld(t, 7, Callbacks{Timeout: func(e *nlmsg.Event) { timeouts = append(timeouts, e) }})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	w.net.Path[0].SetLoss(1.0)
+	w.client.Write(5000)
+	w.net.Sim.RunFor(10 * time.Second)
+	if len(timeouts) < 3 {
+		t.Fatalf("timeout events = %d", len(timeouts))
+	}
+	for i := 1; i < len(timeouts); i++ {
+		if timeouts[i].RTO < timeouts[i-1].RTO {
+			t.Fatalf("RTO not growing: %v", timeouts)
+		}
+		if timeouts[i].Backoffs != timeouts[i-1].Backoffs+1 {
+			t.Fatalf("backoff counts not consecutive")
+		}
+	}
+}
+
+func TestAnnounceAddrCommand(t *testing.T) {
+	w := newWorld(t, 8, Callbacks{})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.connect(t)
+	w.net.Sim.Run()
+	var errno uint32 = 999
+	w.lib.AnnounceAddr(w.client.Token(), w.net.ClientAddrs[1], 0, func(e uint32) { errno = e })
+	w.net.Sim.Run()
+	if errno != 0 {
+		t.Fatalf("announce errno = %d", errno)
+	}
+	if len(w.server.PeerAddrs()) != 1 {
+		t.Fatal("ADD_ADDR not delivered")
+	}
+}
+
+func TestLocalAddrEventsOverNetlink(t *testing.T) {
+	var ups, downs []*nlmsg.Event
+	w := newWorld(t, 9, Callbacks{
+		LocalAddrUp:   func(e *nlmsg.Event) { ups = append(ups, e) },
+		LocalAddrDown: func(e *nlmsg.Event) { downs = append(downs, e) },
+	})
+	w.net.Sim.RunFor(time.Millisecond)
+	w.net.Client.SetIfaceUp(w.net.ClientAddrs[1], false)
+	w.net.Client.SetIfaceUp(w.net.ClientAddrs[1], true)
+	w.net.Sim.Run()
+	if len(downs) != 1 || len(ups) != 1 {
+		t.Fatalf("addr events: up=%d down=%d", len(ups), len(downs))
+	}
+	if downs[0].Addr != w.net.ClientAddrs[1] {
+		t.Fatalf("down addr = %v", downs[0].Addr)
+	}
+}
+
+func TestNetlinkLatencyIsMicroseconds(t *testing.T) {
+	// The simulated transport should cost ~10µs one way: measure the gap
+	// between kernel-side event timestamp and controller delivery time.
+	s := sim.New(10)
+	tr := NewSimTransport(s)
+	var sent, recv []sim.Time
+	tr.ToUser.SetReceiver(func(b []byte) { recv = append(recv, s.Now()) })
+	for i := 0; i < 1000; i++ {
+		s.After(time.Duration(i)*time.Millisecond, "emit", func() {
+			sent = append(sent, s.Now())
+			tr.ToUser.Send([]byte{0})
+		})
+	}
+	s.Run()
+	var total time.Duration
+	for i := range sent {
+		total += time.Duration(recv[i] - sent[i])
+	}
+	mean := total / time.Duration(len(sent))
+	if mean < 8*time.Microsecond || mean > 16*time.Microsecond {
+		t.Fatalf("mean one-way latency = %v, want ≈11.5µs", mean)
+	}
+}
+
+func TestSimPipeFIFO(t *testing.T) {
+	s := sim.New(11)
+	p := NewSimPipe(s, LatencyModel(s.Rand(), time.Microsecond, 50*time.Microsecond))
+	var got []byte
+	p.SetReceiver(func(b []byte) { got = append(got, b[0]) })
+	for i := 0; i < 50; i++ {
+		p.Send([]byte{byte(i)})
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("pipe reordered messages: %v", got)
+		}
+	}
+	if p.Delivered != 50 {
+		t.Fatalf("delivered = %d", p.Delivered)
+	}
+}
+
+func TestSocketPipeFraming(t *testing.T) {
+	// Messages written through a SocketPipe and read back with
+	// ReadMessages survive framing over a byte stream.
+	var buf bytes.Buffer
+	p := NewSocketPipe(&buf)
+	var msgs [][]byte
+	for i := 0; i < 10; i++ {
+		ev := &nlmsg.Event{Kind: nlmsg.EvTimeout, Token: uint32(i), RTO: time.Duration(i) * time.Second}
+		b := ev.Marshal(uint32(i), 1)
+		msgs = append(msgs, b)
+		p.Send(b)
+	}
+	count := 0
+	err := ReadMessages(&buf, func(b []byte) {
+		if !bytes.Equal(b, msgs[count]) {
+			t.Fatalf("message %d corrupted", count)
+		}
+		count++
+	})
+	if err != io.EOF && err != io.ErrUnexpectedEOF {
+		t.Fatalf("ReadMessages err = %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("read %d messages", count)
+	}
+}
+
+func TestLibraryIgnoresGarbage(t *testing.T) {
+	s := sim.New(12)
+	tr := NewSimTransport(s)
+	lib := NewLibrary(tr, SimClock{s}, 1)
+	lib.OnMessage([]byte{1, 2, 3})
+	if lib.Stats.ParseErrors != 1 {
+		t.Fatal("garbage not counted")
+	}
+	// Orphaned reply (no pending seq).
+	lib.OnMessage(nlmsg.MarshalAck(0, 999, 1))
+	if lib.Stats.RepliesOrphaned != 1 {
+		t.Fatal("orphan reply not counted")
+	}
+}
+
+func TestLibraryTimer(t *testing.T) {
+	s := sim.New(13)
+	tr := NewSimTransport(s)
+	lib := NewLibrary(tr, SimClock{s}, 1)
+	fired := 0
+	lib.After(100*time.Millisecond, func() { fired++ })
+	cancel := lib.After(200*time.Millisecond, func() { fired++ })
+	cancel()
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (one cancelled)", fired)
+	}
+	if lib.Clock().Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v", lib.Clock().Now())
+	}
+}

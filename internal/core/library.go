@@ -1,0 +1,251 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/sim"
+)
+
+// Clock abstracts time for subflow controllers so the same controller code
+// runs on the virtual clock (experiments) and the wall clock (cmd/smappd).
+type Clock interface {
+	// Now reports time since an arbitrary epoch.
+	Now() time.Duration
+	// After schedules fn once after d; the returned function cancels it.
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// SimClock adapts the discrete-event simulator to Clock.
+type SimClock struct{ S *sim.Simulator }
+
+// Now implements Clock.
+func (c SimClock) Now() time.Duration { return time.Duration(c.S.Now()) }
+
+// After implements Clock.
+func (c SimClock) After(d time.Duration, fn func()) func() {
+	ev := c.S.After(d, "controller.timer", fn)
+	return func() { c.S.Cancel(ev) }
+}
+
+// Callbacks holds the event handlers a subflow controller registers. Only
+// non-nil handlers cause a kernel-side subscription, so a controller pays
+// the Netlink crossing only for events it cares about.
+type Callbacks struct {
+	Created        func(ev *nlmsg.Event)
+	Established    func(ev *nlmsg.Event)
+	Closed         func(ev *nlmsg.Event)
+	SubEstablished func(ev *nlmsg.Event)
+	SubClosed      func(ev *nlmsg.Event)
+	AddAddr        func(ev *nlmsg.Event)
+	RemAddr        func(ev *nlmsg.Event)
+	Timeout        func(ev *nlmsg.Event)
+	LocalAddrUp    func(ev *nlmsg.Event)
+	LocalAddrDown  func(ev *nlmsg.Event)
+}
+
+// mask derives the subscription mask from the registered handlers.
+func (cb *Callbacks) mask() nlmsg.EventMask {
+	var m nlmsg.EventMask
+	set := func(c nlmsg.Cmd, fn func(*nlmsg.Event)) {
+		if fn != nil {
+			m |= nlmsg.MaskOf(c)
+		}
+	}
+	set(nlmsg.EvCreated, cb.Created)
+	set(nlmsg.EvEstablished, cb.Established)
+	set(nlmsg.EvClosed, cb.Closed)
+	set(nlmsg.EvSubEstablished, cb.SubEstablished)
+	set(nlmsg.EvSubClosed, cb.SubClosed)
+	set(nlmsg.EvAddAddr, cb.AddAddr)
+	set(nlmsg.EvRemAddr, cb.RemAddr)
+	set(nlmsg.EvTimeout, cb.Timeout)
+	set(nlmsg.EvLocalAddrUp, cb.LocalAddrUp)
+	set(nlmsg.EvLocalAddrDown, cb.LocalAddrDown)
+	return m
+}
+
+// LibStats counts library activity.
+type LibStats struct {
+	EventsReceived  uint64
+	CommandsSent    uint64
+	RepliesMatched  uint64
+	RepliesOrphaned uint64
+	ParseErrors     uint64
+}
+
+// Library is the userspace PM library: it owns the controller side of the
+// transport, decodes events into callbacks, and provides the command API.
+// Subflow controllers are written purely against this type — they never
+// touch Netlink bytes, mirroring the paper's libpathmanager.
+type Library struct {
+	clock    Clock
+	toKernel Pipe
+	cbs      Callbacks
+	pid      uint32
+	nextSeq  uint32
+	pending  map[uint32]func(*nlmsg.Message)
+
+	Stats LibStats
+}
+
+// NewLibrary attaches a library to the controller end of a transport.
+func NewLibrary(tr *Transport, clock Clock, pid uint32) *Library {
+	l := &Library{
+		clock:    clock,
+		toKernel: tr.ToKernel,
+		pid:      pid,
+		pending:  make(map[uint32]func(*nlmsg.Message)),
+	}
+	tr.ToUser.SetReceiver(l.OnMessage)
+	return l
+}
+
+// Clock exposes the controller clock (for probe timers).
+func (l *Library) Clock() Clock { return l.clock }
+
+// Register installs the controller's callbacks and subscribes to exactly
+// the events it handles. done (optional) runs when the kernel acknowledges
+// the subscription.
+func (l *Library) Register(cbs Callbacks, done func(errno uint32)) {
+	l.cbs = cbs
+	cmd := &nlmsg.Command{Kind: nlmsg.CmdSubscribe, Pid: l.pid, Mask: cbs.mask()}
+	l.sendCmd(cmd, func(m *nlmsg.Message) {
+		if done == nil {
+			return
+		}
+		errno, err := nlmsg.ParseAck(m)
+		if err != nil {
+			errno = errnoEINVAL
+		}
+		done(errno)
+	})
+}
+
+// CreateSubflow asks the kernel to open a subflow for the connection
+// identified by token, from an arbitrary 4-tuple (SrcPort 0 lets the
+// kernel pick an ephemeral port). done (optional) receives the errno.
+func (l *Library) CreateSubflow(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32)) {
+	l.sendAcked(&nlmsg.Command{Kind: nlmsg.CmdCreateSubflow, Pid: l.pid, Token: token, Tuple: ft, Backup: backup}, done)
+}
+
+// RemoveSubflow asks the kernel to remove (RST) an established subflow.
+func (l *Library) RemoveSubflow(token uint32, ft seg.FourTuple, done func(errno uint32)) {
+	l.sendAcked(&nlmsg.Command{Kind: nlmsg.CmdRemoveSubflow, Pid: l.pid, Token: token, Tuple: ft}, done)
+}
+
+// SetBackup changes a subflow's backup priority (MP_PRIO).
+func (l *Library) SetBackup(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32)) {
+	l.sendAcked(&nlmsg.Command{Kind: nlmsg.CmdSetBackup, Pid: l.pid, Token: token, Tuple: ft, Backup: backup}, done)
+}
+
+// AnnounceAddr advertises a local address on the connection (ADD_ADDR).
+func (l *Library) AnnounceAddr(token uint32, addr netip.Addr, port uint16, done func(errno uint32)) {
+	l.sendAcked(&nlmsg.Command{Kind: nlmsg.CmdAnnounceAddr, Pid: l.pid, Token: token,
+		Addr: addr, Port: port}, done)
+}
+
+// GetInfo retrieves the TCP_INFO-like snapshot of a connection and its
+// subflows. done receives nil if the connection is gone.
+func (l *Library) GetInfo(token uint32, done func(info *nlmsg.ConnInfo)) {
+	l.sendCmd(&nlmsg.Command{Kind: nlmsg.CmdGetInfo, Pid: l.pid, Token: token}, func(m *nlmsg.Message) {
+		if m.Cmd != nlmsg.ReplyInfo {
+			done(nil)
+			return
+		}
+		info, err := nlmsg.ParseInfo(m)
+		if err != nil {
+			l.Stats.ParseErrors++
+			done(nil)
+			return
+		}
+		done(info)
+	})
+}
+
+// After schedules controller work on the controller clock.
+func (l *Library) After(d time.Duration, fn func()) (cancel func()) {
+	return l.clock.After(d, fn)
+}
+
+func (l *Library) sendAcked(cmd *nlmsg.Command, done func(uint32)) {
+	l.sendCmd(cmd, func(m *nlmsg.Message) {
+		if done == nil {
+			return
+		}
+		errno, err := nlmsg.ParseAck(m)
+		if err != nil {
+			errno = errnoEINVAL
+		}
+		done(errno)
+	})
+}
+
+func (l *Library) sendCmd(cmd *nlmsg.Command, reply func(*nlmsg.Message)) {
+	l.nextSeq++
+	cmd.Seq = l.nextSeq
+	if reply != nil {
+		l.pending[cmd.Seq] = reply
+	}
+	l.Stats.CommandsSent++
+	l.toKernel.Send(cmd.Marshal())
+}
+
+// OnMessage is the transport receiver: it decodes one message and
+// dispatches it. Exposed so socket-based owners can pump it directly.
+func (l *Library) OnMessage(b []byte) {
+	m, _, err := nlmsg.Unmarshal(b)
+	if err != nil {
+		l.Stats.ParseErrors++
+		return
+	}
+	switch m.Cmd {
+	case nlmsg.ReplyAck, nlmsg.ReplyInfo:
+		if fn, ok := l.pending[m.Seq]; ok {
+			delete(l.pending, m.Seq)
+			l.Stats.RepliesMatched++
+			fn(m)
+		} else {
+			l.Stats.RepliesOrphaned++
+		}
+		return
+	}
+	ev, err := nlmsg.ParseEvent(m)
+	if err != nil {
+		l.Stats.ParseErrors++
+		return
+	}
+	l.Stats.EventsReceived++
+	l.dispatch(ev)
+}
+
+func (l *Library) dispatch(ev *nlmsg.Event) {
+	var fn func(*nlmsg.Event)
+	switch ev.Kind {
+	case nlmsg.EvCreated:
+		fn = l.cbs.Created
+	case nlmsg.EvEstablished:
+		fn = l.cbs.Established
+	case nlmsg.EvClosed:
+		fn = l.cbs.Closed
+	case nlmsg.EvSubEstablished:
+		fn = l.cbs.SubEstablished
+	case nlmsg.EvSubClosed:
+		fn = l.cbs.SubClosed
+	case nlmsg.EvAddAddr:
+		fn = l.cbs.AddAddr
+	case nlmsg.EvRemAddr:
+		fn = l.cbs.RemAddr
+	case nlmsg.EvTimeout:
+		fn = l.cbs.Timeout
+	case nlmsg.EvLocalAddrUp:
+		fn = l.cbs.LocalAddrUp
+	case nlmsg.EvLocalAddrDown:
+		fn = l.cbs.LocalAddrDown
+	}
+	if fn != nil {
+		fn(ev)
+	}
+}

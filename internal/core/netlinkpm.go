@@ -1,0 +1,246 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// NetlinkPM is the kernel-side Netlink path manager: it implements the
+// in-kernel path-manager interface (mptcp.PathManager) and forwards every
+// hook as a Netlink event to the userspace subflow controller, subject to
+// the controller's subscription mask. Inbound command messages are decoded
+// and executed against the owning connections.
+//
+// As in the paper, the kernel keeps no policy: all decisions live in the
+// controller. The kernel part only needs the token→connection table it
+// already maintains for MP_JOIN processing.
+type NetlinkPM struct {
+	mptcp.NopPM
+	sim   *sim.Simulator
+	tr    *Transport
+	conns map[uint32]*mptcp.Connection
+	mask  nlmsg.EventMask
+	pid   uint32
+
+	// Stats counters.
+	EventsSent   uint64
+	EventsMasked uint64
+	CommandsRun  uint64
+}
+
+// NewNetlinkPM creates the kernel part and attaches it to the transport's
+// command pipe. Pass the returned value as the PathManager when building
+// the mptcp.Endpoint.
+//
+// Until the first CmdSubscribe arrives the mask is MaskAll: a controller
+// that registers concurrently with early connections must not miss their
+// created/estab events (the subscribe command and the first events race
+// through the two pipe directions; FIFO per direction keeps everything
+// ordered once delivered).
+func NewNetlinkPM(s *sim.Simulator, tr *Transport) *NetlinkPM {
+	pm := &NetlinkPM{sim: s, tr: tr, conns: make(map[uint32]*mptcp.Connection), mask: nlmsg.MaskAll}
+	tr.ToKernel.SetReceiver(pm.handleCommand)
+	return pm
+}
+
+// Name implements mptcp.PathManager.
+func (pm *NetlinkPM) Name() string { return "netlink" }
+
+// send encodes and emits an event if the controller subscribed to it.
+func (pm *NetlinkPM) send(e *nlmsg.Event) {
+	if !pm.mask.Has(e.Kind) {
+		pm.EventsMasked++
+		return
+	}
+	e.At = time.Duration(pm.sim.Now())
+	pm.EventsSent++
+	pm.tr.ToUser.Send(e.Marshal(0, pm.pid))
+}
+
+// ConnCreated implements mptcp.PathManager.
+func (pm *NetlinkPM) ConnCreated(c *mptcp.Connection) {
+	pm.conns[c.Token()] = c
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvCreated, Token: c.Token(), Tuple: c.InitialTuple(), HasTuple: true})
+}
+
+// ConnEstablished implements mptcp.PathManager.
+func (pm *NetlinkPM) ConnEstablished(c *mptcp.Connection) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvEstablished, Token: c.Token(), Tuple: c.InitialTuple(), HasTuple: true})
+}
+
+// ConnClosed implements mptcp.PathManager.
+func (pm *NetlinkPM) ConnClosed(c *mptcp.Connection) {
+	delete(pm.conns, c.Token())
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvClosed, Token: c.Token()})
+}
+
+// SubflowEstablished implements mptcp.PathManager.
+func (pm *NetlinkPM) SubflowEstablished(c *mptcp.Connection, sf *tcp.Subflow) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvSubEstablished, Token: c.Token(), Tuple: sf.Tuple(), HasTuple: true})
+}
+
+// SubflowClosed implements mptcp.PathManager.
+func (pm *NetlinkPM) SubflowClosed(c *mptcp.Connection, sf *tcp.Subflow, reason tcp.Errno) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvSubClosed, Token: c.Token(), Tuple: sf.Tuple(), HasTuple: true,
+		Errno: uint32(reason)})
+}
+
+// AddrAnnounced implements mptcp.PathManager.
+func (pm *NetlinkPM) AddrAnnounced(c *mptcp.Connection, id uint8, addr netip.Addr, port uint16) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvAddAddr, Token: c.Token(), AddrID: id, Addr: addr, Port: port})
+}
+
+// AddrRemoved implements mptcp.PathManager.
+func (pm *NetlinkPM) AddrRemoved(c *mptcp.Connection, id uint8) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvRemAddr, Token: c.Token(), AddrID: id})
+}
+
+// Timeout implements mptcp.PathManager.
+func (pm *NetlinkPM) Timeout(c *mptcp.Connection, sf *tcp.Subflow, rto time.Duration, backoffs int) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: c.Token(), Tuple: sf.Tuple(), HasTuple: true,
+		RTO: rto, Backoffs: uint32(backoffs)})
+}
+
+// LocalAddrUp implements mptcp.PathManager.
+func (pm *NetlinkPM) LocalAddrUp(addr netip.Addr) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvLocalAddrUp, Addr: addr})
+}
+
+// LocalAddrDown implements mptcp.PathManager.
+func (pm *NetlinkPM) LocalAddrDown(addr netip.Addr) {
+	pm.send(&nlmsg.Event{Kind: nlmsg.EvLocalAddrDown, Addr: addr})
+}
+
+// --- Command execution ---
+
+// Errno values for command acks (beyond tcp's).
+const (
+	errnoOK     = 0
+	errnoNOENT  = 2  // no such connection/subflow
+	errnoEINVAL = 22 // malformed command
+)
+
+func (pm *NetlinkPM) handleCommand(b []byte) {
+	m, _, err := nlmsg.Unmarshal(b)
+	if err != nil {
+		return // a real kernel would NACK; a short message has no seq to ack
+	}
+	cmd, err := nlmsg.ParseCommand(m)
+	if err != nil {
+		pm.ack(m.Seq, m.Pid, errnoEINVAL)
+		return
+	}
+	pm.CommandsRun++
+	switch cmd.Kind {
+	case nlmsg.CmdSubscribe:
+		pm.mask = cmd.Mask
+		pm.pid = cmd.Pid
+		pm.ack(cmd.Seq, cmd.Pid, errnoOK)
+
+	case nlmsg.CmdCreateSubflow:
+		c, ok := pm.conns[cmd.Token]
+		if !ok {
+			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
+			return
+		}
+		_, err := c.OpenSubflow(cmd.Tuple.SrcIP, cmd.Tuple.SrcPort, cmd.Tuple.DstIP, cmd.Tuple.DstPort, cmd.Backup)
+		pm.ack(cmd.Seq, cmd.Pid, errnoOf(err))
+
+	case nlmsg.CmdRemoveSubflow:
+		c, sf := pm.findSubflow(cmd.Token, cmd.Tuple)
+		if sf == nil {
+			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
+			return
+		}
+		c.CloseSubflow(sf, true)
+		pm.ack(cmd.Seq, cmd.Pid, errnoOK)
+
+	case nlmsg.CmdSetBackup:
+		c, sf := pm.findSubflow(cmd.Token, cmd.Tuple)
+		if sf == nil {
+			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
+			return
+		}
+		c.SetBackup(sf, cmd.Backup)
+		pm.ack(cmd.Seq, cmd.Pid, errnoOK)
+
+	case nlmsg.CmdGetInfo:
+		c, ok := pm.conns[cmd.Token]
+		if !ok {
+			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
+			return
+		}
+		pm.tr.ToUser.Send(nlmsg.MarshalInfo(connInfo(c), cmd.Seq, cmd.Pid))
+
+	case nlmsg.CmdAnnounceAddr:
+		c, ok := pm.conns[cmd.Token]
+		if !ok {
+			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
+			return
+		}
+		c.AnnounceAddr(cmd.Addr, cmd.Port)
+		pm.ack(cmd.Seq, cmd.Pid, errnoOK)
+
+	default:
+		pm.ack(cmd.Seq, cmd.Pid, errnoEINVAL)
+	}
+}
+
+func (pm *NetlinkPM) ack(seq, pid uint32, errno uint32) {
+	pm.tr.ToUser.Send(nlmsg.MarshalAck(errno, seq, pid))
+}
+
+func (pm *NetlinkPM) findSubflow(token uint32, ft seg.FourTuple) (*mptcp.Connection, *tcp.Subflow) {
+	c, ok := pm.conns[token]
+	if !ok {
+		return nil, nil
+	}
+	for _, sf := range c.Subflows() {
+		if sf.Tuple() == ft {
+			return c, sf
+		}
+	}
+	return c, nil
+}
+
+func errnoOf(err error) uint32 {
+	switch e := err.(type) {
+	case nil:
+		return errnoOK
+	case tcp.Errno:
+		return uint32(e)
+	default:
+		return errnoEINVAL
+	}
+}
+
+// connInfo converts an mptcp snapshot to the wire schema.
+func connInfo(c *mptcp.Connection) *nlmsg.ConnInfo {
+	in := c.Info()
+	out := &nlmsg.ConnInfo{
+		Token:    in.Token,
+		SndUna:   in.SndUna,
+		AppNxt:   in.AppNxt,
+		RcvBytes: in.RcvBytes,
+	}
+	for _, sf := range in.Subflows {
+		out.Subflows = append(out.Subflows, nlmsg.SubflowInfo{
+			Tuple:      sf.Tuple,
+			State:      uint32(sf.State),
+			Backup:     sf.Backup,
+			Cwnd:       uint32(sf.Cwnd),
+			SRTT:       sf.SRTT,
+			RTO:        sf.RTO,
+			Backoffs:   uint32(sf.Backoffs),
+			PacingRate: uint64(sf.PacingRate),
+			Flight:     uint32(sf.Flight),
+		})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's contribution (§3): the separation of
+// the Multipath TCP control plane from its data plane.
+//
+// Three pieces cooperate, exactly as in the paper's Figure 1:
+//
+//   - NetlinkPM, the kernel-side path manager (~1100 LoC of C in the
+//     paper): it plugs into the in-kernel path-manager interface
+//     (mptcp.PathManager) and re-exposes it as Netlink event messages,
+//     while accepting command messages that create/remove subflows, change
+//     backup priorities and retrieve TCP_INFO-like state;
+//   - Library, the userspace PM library (~1900 LoC of C in the paper):
+//     it hides all Netlink handling behind callbacks and command methods,
+//     and is what subflow controllers (internal/controller) link against;
+//   - Transport, the message channel between them. The SimTransport adds a
+//     calibrated per-message latency (the cost of crossing the
+//     kernel/userspace boundary, measured in Fig. 3 as ≈23 µs per
+//     event+command round trip); the SocketTransport carries the very same
+//     bytes over a real OS pipe or socket for cmd/smappd.
+package core
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Pipe is one direction of the Netlink channel: ordered, reliable,
+// message-oriented.
+type Pipe interface {
+	// Send enqueues one marshalled Netlink message toward the other side.
+	Send(b []byte)
+	// SetReceiver installs the handler invoked for each delivered message.
+	SetReceiver(fn func(b []byte))
+}
+
+// Transport bundles the two directions of the kernel↔controller channel.
+type Transport struct {
+	ToUser   Pipe // kernel → controller (events, replies)
+	ToKernel Pipe // controller → kernel (commands)
+}
+
+// SimPipe delivers messages on the virtual clock after a modelled latency,
+// preserving order (later sends never overtake earlier ones).
+type SimPipe struct {
+	sim       *sim.Simulator
+	latency   func() time.Duration
+	recv      func([]byte)
+	lastDue   sim.Time
+	Delivered uint64
+}
+
+// NewSimPipe creates a pipe whose per-message delay is drawn from latency.
+func NewSimPipe(s *sim.Simulator, latency func() time.Duration) *SimPipe {
+	return &SimPipe{sim: s, latency: latency}
+}
+
+// Send implements Pipe.
+func (p *SimPipe) Send(b []byte) {
+	due := p.sim.Now().Add(p.latency())
+	if due < p.lastDue {
+		due = p.lastDue // FIFO even with jittery latency draws
+	}
+	p.lastDue = due
+	p.sim.Schedule(due, "netlink.deliver", func() {
+		p.Delivered++
+		if p.recv != nil {
+			p.recv(b)
+		}
+	})
+}
+
+// SetReceiver implements Pipe.
+func (p *SimPipe) SetReceiver(fn func([]byte)) { p.recv = fn }
+
+// LatencyModel builds a per-message latency generator: a fixed base cost
+// plus exponentially distributed jitter, drawn from the simulation RNG.
+// The defaults below are calibrated so one event+command round trip costs
+// ≈23 µs on average (the Fig. 3 result) on an unloaded host.
+func LatencyModel(rng *rand.Rand, base, jitterMean time.Duration) func() time.Duration {
+	return func() time.Duration {
+		j := time.Duration(rng.ExpFloat64() * float64(jitterMean))
+		return base + j
+	}
+}
+
+// Default Netlink crossing costs (one way).
+const (
+	// DefaultNetlinkBase is the fixed cost of one kernel↔user crossing.
+	DefaultNetlinkBase = 8 * time.Microsecond
+	// DefaultNetlinkJitter is the mean of the exponential jitter
+	// (scheduler wakeup variance).
+	DefaultNetlinkJitter = 3500 * time.Nanosecond
+	// StressedNetlinkBase / StressedNetlinkJitter model the paper's
+	// CPU-stressed client, where the measured penalty stays below 37 µs.
+	StressedNetlinkBase   = 12 * time.Microsecond
+	StressedNetlinkJitter = 6 * time.Microsecond
+)
+
+// NewSimTransport builds the standard simulated transport with the default
+// (unloaded-host) latency model.
+func NewSimTransport(s *sim.Simulator) *Transport {
+	lat := LatencyModel(s.Rand(), DefaultNetlinkBase, DefaultNetlinkJitter)
+	return &Transport{
+		ToUser:   NewSimPipe(s, lat),
+		ToKernel: NewSimPipe(s, lat),
+	}
+}
+
+// NewStressedSimTransport models the CPU-stressed host of §4.5.
+func NewStressedSimTransport(s *sim.Simulator) *Transport {
+	lat := LatencyModel(s.Rand(), StressedNetlinkBase, StressedNetlinkJitter)
+	return &Transport{
+		ToUser:   NewSimPipe(s, lat),
+		ToKernel: NewSimPipe(s, lat),
+	}
+}
+
+// SocketPipe carries the same Netlink bytes over a real byte stream (an OS
+// pipe, a Unix socket, a TCP connection). Messages are self-delimiting:
+// the nlmsghdr length field frames them. Used by cmd/smappd to run the
+// subflow controller across a genuine process boundary.
+type SocketPipe struct {
+	w  io.Writer
+	mu sync.Mutex
+}
+
+// NewSocketPipe wraps a writer for sending.
+func NewSocketPipe(w io.Writer) *SocketPipe { return &SocketPipe{w: w} }
+
+// Send implements Pipe (synchronous write; callers serialise).
+func (p *SocketPipe) Send(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.w.Write(b)
+}
+
+// SetReceiver is a no-op on SocketPipe: reading is pull-based via
+// ReadMessages, because the owner decides which goroutine pumps.
+func (p *SocketPipe) SetReceiver(fn func([]byte)) {}
+
+// ReadMessages reads framed Netlink messages from r and hands each to fn
+// until read error or EOF. It returns the terminating error (io.EOF on
+// clean close).
+func ReadMessages(r io.Reader, fn func([]byte)) error {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return err
+		}
+		total := binary.LittleEndian.Uint32(hdr[:])
+		if total < 20 || total > 1<<20 {
+			return io.ErrUnexpectedEOF
+		}
+		buf := make([]byte, total)
+		copy(buf, hdr[:])
+		if _, err := io.ReadFull(r, buf[4:]); err != nil {
+			return err
+		}
+		fn(buf)
+	}
+}

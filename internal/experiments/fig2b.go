@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/pm"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Fig2bConfig parameterises the §4.3 smart-streaming experiment.
+type Fig2bConfig struct {
+	Seed       int64
+	LossLevels []float64     // loss ratios for the full-mesh baseline curves
+	SmartLoss  float64       // loss ratio for the Smart Stream curve (paper: invariant in 10-40%)
+	Blocks     int           // blocks per run
+	Period     time.Duration // 1 s
+	BlockSize  int           // 64 KB
+	LossAt     time.Duration // loss starts after this settle time
+	ProbeAt    time.Duration // controller's intra-block probe point (default 500 ms)
+}
+
+// DefaultFig2b returns the paper's parameters: 2×5 Mbps / 10 ms paths,
+// 64 KB per second, losses 10–40 %.
+func DefaultFig2b() Fig2bConfig {
+	return Fig2bConfig{
+		Seed:       1,
+		LossLevels: []float64{0.10, 0.20, 0.30, 0.40},
+		SmartLoss:  0.30,
+		Blocks:     120,
+		Period:     time.Second,
+		BlockSize:  64 << 10,
+		LossAt:     time.Second,
+	}
+}
+
+// Fig2b runs the streaming experiment and produces the paper's CDF of
+// block completion times: one curve per loss level under the default
+// full-mesh path manager, plus the Smart Stream controller curve.
+func Fig2b(cfg Fig2bConfig) *Result {
+	res := newResult("fig2b")
+	res.Report = header("Fig. 2b — smarter streaming (§4.3)",
+		fmt.Sprintf("2 x 5 Mbps, 10 ms paths; %d B block every %v; %d blocks per curve",
+			cfg.BlockSize, cfg.Period, cfg.Blocks))
+
+	for _, loss := range cfg.LossLevels {
+		name := fmt.Sprintf("fullmesh %.0f%% loss", loss*100)
+		delays := fig2bRun(cfg, loss, false)
+		res.Samples[name] = delays
+	}
+	smart := fig2bRun(cfg, cfg.SmartLoss, true)
+	res.Samples["smart stream"] = smart
+
+	res.section("CDF of block completion time (seconds)")
+	names := make([]string, 0, len(res.Samples))
+	for n := range res.Samples {
+		names = append(names, n)
+	}
+	res.renderCDFs(names...)
+
+	res.section("summary")
+	res.printf("%-22s %8s %8s %8s %8s\n", "curve", "median", "p90", "p99", "max")
+	for _, n := range names {
+		s := res.Samples[n]
+		res.printf("%-22s %7.2fs %7.2fs %7.2fs %7.2fs\n",
+			n, s.Median(), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+	}
+	res.Scalars["smart_p90_s"] = smart.Quantile(0.9)
+	if worst, ok := res.Samples[fmt.Sprintf("fullmesh %.0f%% loss", cfg.SmartLoss*100)]; ok {
+		res.Scalars["fullmesh_same_loss_p90_s"] = worst.Quantile(0.9)
+	}
+	return res
+}
+
+// fig2bRun runs one streaming session and returns the block delays in
+// seconds.
+func fig2bRun(cfg Fig2bConfig, loss float64, smart bool) *sample {
+	p := netem.LinkConfig{RateBps: 5e6, Delay: 10 * time.Millisecond}
+	net := topo.NewTwoPath(sim.New(cfg.Seed), p, p)
+
+	var cpm mptcp.PathManager
+	if smart {
+		tr := core.NewSimTransport(net.Sim)
+		npm := core.NewNetlinkPM(net.Sim, tr)
+		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
+		ctl := controller.NewStream(net.ClientAddrs[1])
+		ctl.Period = cfg.Period
+		ctl.BlockSize = uint64(cfg.BlockSize)
+		ctl.MinProgress = uint64(cfg.BlockSize) / 2
+		if cfg.ProbeAt > 0 {
+			ctl.CheckAfter = cfg.ProbeAt
+		}
+		ctl.Attach(lib)
+		cpm = npm
+	} else {
+		cpm = pm.NewFullMesh()
+	}
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	bsink := app.NewBlockSink(net.Sim, cfg.BlockSize)
+	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(bsink.Callbacks()) })
+	net.Sim.RunFor(time.Millisecond)
+
+	streamer := app.NewBlockStreamer(net.Sim, cfg.Period, cfg.BlockSize, cfg.Blocks)
+	if _, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, streamer.Callbacks()); err != nil {
+		panic(err)
+	}
+	// Loss applies to the data direction (client→server), like a netem
+	// qdisc on the client's egress interface in the paper's Mininet setup.
+	net.Sim.Schedule(sim.Time(cfg.LossAt), "degrade", func() {
+		net.Path[0].AB.SetLoss(loss)
+	})
+	// Observe long enough for stragglers (RTO tails can reach minutes on
+	// the unmanaged stack).
+	horizon := time.Duration(cfg.Blocks)*cfg.Period + 3*time.Minute
+	net.Sim.RunUntil(sim.Time(horizon))
+
+	delays := &sample{}
+	for k, at := range bsink.CompletedAt {
+		sent := streamer.StartedAt.Add(time.Duration(k) * cfg.Period)
+		delays.Add(time.Duration(at - sent).Seconds())
+	}
+	// Blocks never delivered within the horizon count as the horizon —
+	// they are the long tail the paper describes.
+	for k := len(bsink.CompletedAt); k < cfg.Blocks; k++ {
+		sent := streamer.StartedAt.Add(time.Duration(k) * cfg.Period)
+		delays.Add((sim.Time(horizon) - sent).Seconds())
+	}
+	return delays
+}

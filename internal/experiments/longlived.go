@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// LongLivedConfig parameterises the §4.1 long-lived-connection experiment.
+type LongLivedConfig struct {
+	Seed        int64
+	NATTimeout  time.Duration // middlebox idle timeout (deployed boxes: a few hundred seconds)
+	Policy      netem.ExpiryPolicy
+	MsgInterval time.Duration // application message cadence (sparser than the NAT timeout)
+	Messages    int
+	MsgSize     int
+	FlapAt      time.Duration // one interface outage, 0 disables
+	FlapFor     time.Duration
+	Smart       bool // run the userspace full-mesh controller
+}
+
+// DefaultLongLived returns a scenario with a 180 s NAT timeout and a chat
+// message every 10 minutes — the keepalive battle of §4.1.
+func DefaultLongLived() LongLivedConfig {
+	return LongLivedConfig{
+		Seed:        1,
+		NATTimeout:  180 * time.Second,
+		Policy:      netem.ExpiryRST,
+		MsgInterval: 10 * time.Minute,
+		Messages:    12,
+		MsgSize:     2000,
+		FlapAt:      25 * time.Minute,
+		FlapFor:     2 * time.Minute,
+		Smart:       true,
+	}
+}
+
+// LongLived runs the §4.1 scenario: a chat-style connection through a NAT
+// that expires idle state, with occasional interface outages. With the
+// smart full-mesh controller, failed subflows are re-established with
+// error-specific backoff and every message is eventually delivered; the
+// plain stack loses its only subflow at the first expiry and stalls.
+func LongLived(cfg LongLivedConfig) *Result {
+	res := newResult("longlived")
+	mode := "userspace full-mesh controller"
+	if !cfg.Smart {
+		mode = "plain stack (no path manager)"
+	}
+	res.Report = header("§4.1 — smarter long-lived connections",
+		fmt.Sprintf("NAT idle timeout %v (%s on expiry); message every %v; %s",
+			cfg.NATTimeout, policyName(cfg.Policy), cfg.MsgInterval, mode))
+
+	p := netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond}
+	net := topo.NewNATPath(sim.New(cfg.Seed), p, p, cfg.NATTimeout, cfg.Policy)
+
+	var ctl *controller.FullMesh
+	var cpm mptcp.PathManager
+	if cfg.Smart {
+		tr := core.NewSimTransport(net.Sim)
+		npm := core.NewNetlinkPM(net.Sim, tr)
+		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
+		ctl = controller.NewFullMesh(net.ClientAddrs[:])
+		ctl.Attach(lib)
+		cpm = npm
+	}
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+
+	// Receiver records the arrival time of each message boundary.
+	var arrivals []sim.Time
+	msgBytes := uint64(cfg.MsgSize)
+	sep.Listen(80, func(c *mptcp.Connection) {
+		c.SetCallbacks(mptcp.ConnCallbacks{
+			OnData: func(_ *mptcp.Connection, total uint64) {
+				for uint64(len(arrivals)+1)*msgBytes <= total {
+					arrivals = append(arrivals, net.Sim.Now())
+				}
+			},
+		})
+	})
+	net.Sim.RunFor(time.Millisecond)
+
+	var sendTimes []sim.Time
+	conn, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, mptcp.ConnCallbacks{})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < cfg.Messages; i++ {
+		at := sim.Time(cfg.MsgInterval) * sim.Time(i+1)
+		net.Sim.Schedule(at, "chat.msg", func() {
+			sendTimes = append(sendTimes, net.Sim.Now())
+			conn.Write(cfg.MsgSize)
+		})
+	}
+	if cfg.FlapAt > 0 {
+		net.Sim.Schedule(sim.Time(cfg.FlapAt), "if.down", func() {
+			net.Client.SetIfaceUp(net.ClientAddrs[0], false)
+		})
+		net.Sim.Schedule(sim.Time(cfg.FlapAt+cfg.FlapFor), "if.up", func() {
+			net.Client.SetIfaceUp(net.ClientAddrs[0], true)
+		})
+	}
+	horizon := sim.Time(cfg.MsgInterval)*sim.Time(cfg.Messages+1) + 5*sim.Minute
+	net.Sim.RunUntil(horizon)
+
+	delivered := len(arrivals)
+	lat := res.sample("message delivery latency (s)")
+	for i, at := range arrivals {
+		if i < len(sendTimes) {
+			lat.Add(time.Duration(at - sendTimes[i]).Seconds())
+		}
+	}
+	res.Scalars["messages_sent"] = float64(len(sendTimes))
+	res.Scalars["messages_delivered"] = float64(delivered)
+	if ctl != nil {
+		res.Scalars["reestablishments"] = float64(ctl.Stats.Reestablishments)
+		res.Scalars["dismissed"] = float64(ctl.Stats.SubflowsDismissed)
+	}
+	res.Scalars["nat_expiries"] = float64(net.NAT.Stats.Expired)
+	res.Scalars["live_subflows_at_end"] = float64(len(conn.Subflows()))
+
+	res.section("results")
+	res.printf("messages delivered: %d / %d\n", delivered, len(sendTimes))
+	if lat.N() > 0 {
+		res.printf("delivery latency: %s\n", lat.Summary("s"))
+	}
+	res.printf("NAT state expiries hit: %d; RSTs injected: %d\n",
+		net.NAT.Stats.Expired, net.NAT.Stats.RSTInjected)
+	if ctl != nil {
+		res.printf("controller re-establishments: %d (by errno: %v); dismissed on if-down: %d\n",
+			ctl.Stats.Reestablishments, ctl.Stats.RetriesByErrno, ctl.Stats.SubflowsDismissed)
+	}
+	res.printf("live subflows at end: %d\n", len(conn.Subflows()))
+	return res
+}
+
+func policyName(p netem.ExpiryPolicy) string {
+	if p == netem.ExpiryRST {
+		return "RST"
+	}
+	return "drop"
+}

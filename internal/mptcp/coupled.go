@@ -1,0 +1,161 @@
+package mptcp
+
+import (
+	"time"
+
+	"repro/internal/tcp"
+)
+
+// coupledGroup implements RFC 6356 LIA (Linked Increases Algorithm) coupled
+// congestion control across the subflows of one connection. Slow start and
+// loss responses stay per-subflow Reno; only the congestion-avoidance
+// increase is coupled through the alpha factor, which caps the aggregate
+// aggressiveness at that of a single TCP flow on the best path.
+type coupledGroup struct {
+	mss     int
+	iw      int
+	members []*liaCong
+}
+
+func newCoupledGroup(mss, initialWindowSegs int) *coupledGroup {
+	if initialWindowSegs <= 0 {
+		initialWindowSegs = 10
+	}
+	return &coupledGroup{mss: mss, iw: initialWindowSegs}
+}
+
+// newCong is installed as tcp.Config.NewCong for the connection's subflows.
+func (g *coupledGroup) newCong(mss, iw int) tcp.Cong {
+	lc := &liaCong{
+		group:    g,
+		mss:      mss,
+		cwnd:     mss * iw,
+		ssthresh: 1 << 30,
+	}
+	g.members = append(g.members, lc)
+	return lc
+}
+
+// bind attaches the subflow whose RTT the newest member should read.
+// (Congestion controllers are constructed inside tcp.NewSubflow, before the
+// subflow pointer exists, so the backref is wired here.)
+func (g *coupledGroup) bind(sf *tcp.Subflow) {
+	for _, m := range g.members {
+		if m.srtt == nil {
+			m.srtt = sf.SRTT
+			m.sf = sf
+			return
+		}
+	}
+}
+
+// unbind drops a dead subflow's controller from the group.
+func (g *coupledGroup) unbind(sf *tcp.Subflow) {
+	for i, m := range g.members {
+		if m.sf == sf {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// alpha computes the LIA aggressiveness factor:
+//
+//	alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2
+//
+// using only members with an RTT estimate.
+func (g *coupledGroup) alpha() (alpha float64, totalCwnd int) {
+	var maxTerm, sumTerm float64
+	for _, m := range g.members {
+		totalCwnd += m.cwnd
+		if m.srtt == nil {
+			continue
+		}
+		rtt := m.srtt().Seconds()
+		if rtt <= 0 {
+			rtt = 0.001
+		}
+		t := float64(m.cwnd) / (rtt * rtt)
+		if t > maxTerm {
+			maxTerm = t
+		}
+		sumTerm += float64(m.cwnd) / rtt
+	}
+	if sumTerm == 0 {
+		return 1, totalCwnd
+	}
+	return float64(totalCwnd) * maxTerm / (sumTerm * sumTerm), totalCwnd
+}
+
+// liaCong is one subflow's view of the coupled controller.
+type liaCong struct {
+	group    *coupledGroup
+	sf       *tcp.Subflow
+	srtt     func() time.Duration
+	mss      int
+	cwnd     int
+	ssthresh int
+	frac     float64 // fractional cwnd growth accumulator
+}
+
+// Cwnd implements tcp.Cong.
+func (l *liaCong) Cwnd() int { return l.cwnd }
+
+// SSThresh implements tcp.Cong.
+func (l *liaCong) SSThresh() int { return l.ssthresh }
+
+// InSlowStart implements tcp.Cong.
+func (l *liaCong) InSlowStart() bool { return l.cwnd < l.ssthresh }
+
+// OnAck implements tcp.Cong.
+func (l *liaCong) OnAck(acked, flight int) {
+	if acked <= 0 {
+		return
+	}
+	if l.InSlowStart() {
+		l.cwnd += acked
+		if l.cwnd > l.ssthresh {
+			l.cwnd = l.ssthresh
+		}
+		return
+	}
+	alpha, totalCwnd := l.group.alpha()
+	if totalCwnd <= 0 {
+		totalCwnd = l.cwnd
+	}
+	// RFC 6356: increase per ack is
+	// min(alpha * acked * mss / cwnd_total, acked * mss / cwnd_i).
+	coupledInc := alpha * float64(acked) * float64(l.mss) / float64(totalCwnd)
+	renoInc := float64(acked) * float64(l.mss) / float64(l.cwnd)
+	inc := coupledInc
+	if renoInc < inc {
+		inc = renoInc
+	}
+	l.frac += inc
+	if l.frac >= 1 {
+		whole := int(l.frac)
+		l.cwnd += whole
+		l.frac -= float64(whole)
+	}
+}
+
+// OnDupAckLoss implements tcp.Cong.
+func (l *liaCong) OnDupAckLoss(flight int) {
+	l.ssthresh = maxInt(flight/2, 2*l.mss)
+	l.cwnd = l.ssthresh
+	l.frac = 0
+}
+
+// OnRTO implements tcp.Cong.
+func (l *liaCong) OnRTO(flight int) {
+	l.ssthresh = maxInt(flight/2, 2*l.mss)
+	l.cwnd = l.mss
+	l.frac = 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package mptcp
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/netem"
+	"repro/internal/seg"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Config tunes an endpoint's Multipath TCP stack.
+type Config struct {
+	// TCP configures every subflow (MSS, initial window, RTO limits, ...).
+	TCP tcp.Config
+	// NewScheduler builds the per-connection packet scheduler; the default
+	// is the kernel's lowest-RTT scheduler.
+	NewScheduler func() Scheduler
+	// Coupled enables LIA coupled congestion control (RFC 6356) across the
+	// subflows of each connection instead of independent Reno.
+	Coupled bool
+}
+
+// Endpoint is the per-host Multipath TCP stack: it owns connections,
+// demultiplexes inbound segments to subflows (including MP_JOIN token
+// lookup), allocates ephemeral ports, and drives the attached PathManager.
+type Endpoint struct {
+	sim  *sim.Simulator
+	host *netem.Host
+	cfg  Config
+	pm   PathManager
+
+	listeners map[uint16]func(*Connection)
+	tuples    map[seg.FourTuple]*tcp.Subflow
+	tokens    map[uint32]*Connection
+	conns     map[*Connection]struct{}
+	addrIDs   map[netip.Addr]uint8
+	usedPorts map[uint16]int
+
+	// Stats counters.
+	RSTSent     uint64
+	JoinNoToken uint64
+}
+
+// NewEndpoint attaches a Multipath TCP stack to a host. pm may be nil, in
+// which case the do-nothing path manager is used.
+func NewEndpoint(host *netem.Host, cfg Config, pm PathManager) *Endpoint {
+	if pm == nil {
+		pm = NopPM{}
+	}
+	if cfg.NewScheduler == nil {
+		cfg.NewScheduler = func() Scheduler { return LowestRTT{} }
+	}
+	ep := &Endpoint{
+		sim:       host.Sim(),
+		host:      host,
+		cfg:       cfg,
+		pm:        pm,
+		listeners: make(map[uint16]func(*Connection)),
+		tuples:    make(map[seg.FourTuple]*tcp.Subflow),
+		tokens:    make(map[uint32]*Connection),
+		conns:     make(map[*Connection]struct{}),
+		addrIDs:   make(map[netip.Addr]uint8),
+		usedPorts: make(map[uint16]int),
+	}
+	host.SetHandler(ep.input)
+	host.WatchAddrs(func(addr netip.Addr, up bool) {
+		if up {
+			ep.pm.LocalAddrUp(addr)
+		} else {
+			ep.pm.LocalAddrDown(addr)
+		}
+	})
+	return ep
+}
+
+// Sim exposes the simulator driving this endpoint.
+func (ep *Endpoint) Sim() *sim.Simulator { return ep.sim }
+
+// Host exposes the underlying netem host.
+func (ep *Endpoint) Host() *netem.Host { return ep.host }
+
+// PathManager reports the attached path manager.
+func (ep *Endpoint) PathManager() PathManager { return ep.pm }
+
+// Conns lists the endpoint's live connections (order unspecified).
+func (ep *Endpoint) Conns() []*Connection {
+	out := make([]*Connection, 0, len(ep.conns))
+	for c := range ep.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Listen accepts MP_CAPABLE connections on a local port; accept runs when a
+// connection's handshake completes.
+func (ep *Endpoint) Listen(port uint16, accept func(*Connection)) {
+	ep.listeners[port] = accept
+}
+
+// Connect opens a Multipath TCP connection: the initial subflow goes from
+// laddr (which must be a local interface address) to raddr:rport. cb may be
+// the zero value.
+func (ep *Endpoint) Connect(laddr, raddr netip.Addr, rport uint16, cb ConnCallbacks) (*Connection, error) {
+	iface := ep.host.Iface(laddr)
+	if iface == nil || !iface.Up() {
+		return nil, tcp.ENETUNREACH
+	}
+	tuple := seg.FourTuple{SrcIP: laddr, DstIP: raddr, SrcPort: ep.allocPort(), DstPort: rport}
+	c := ep.newConn(true, tuple, cb)
+	sf := c.newSubflow(tuple, &sfMeta{isInitial: true, localAddrID: ep.addrID(laddr)})
+	ep.pm.ConnCreated(c)
+	sf.Connect()
+	return c, nil
+}
+
+// newConn builds a Connection with a fresh, collision-free key.
+func (ep *Endpoint) newConn(isClient bool, initial seg.FourTuple, cb ConnCallbacks) *Connection {
+	var key uint64
+	var token uint32
+	for {
+		key = seg.NewKey(ep.sim.Rand())
+		token = seg.Token(key)
+		if _, dup := ep.tokens[token]; !dup && key != 0 {
+			break
+		}
+	}
+	c := &Connection{
+		ep:           ep,
+		isClient:     isClient,
+		sched:        ep.cfg.NewScheduler(),
+		cb:           cb,
+		mss:          ep.cfg.TCP.MSS,
+		localKey:     key,
+		token:        token,
+		localIDSN:    seg.IDSN(key),
+		initialTuple: initial,
+		meta:         make(map[*tcp.Subflow]*sfMeta),
+		remoteAddrs:  make(map[uint8]netip.AddrPort),
+	}
+	if c.mss == 0 {
+		c.mss = 1380 // mirror tcp.Config default
+	}
+	if ep.cfg.Coupled {
+		c.coupled = newCoupledGroup(c.mss, ep.cfg.TCP.InitialWindow)
+	}
+	ep.tokens[token] = c
+	ep.conns[c] = struct{}{}
+	return c
+}
+
+// removeConn forgets a fully closed connection.
+func (ep *Endpoint) removeConn(c *Connection) {
+	delete(ep.tokens, c.token)
+	delete(ep.conns, c)
+}
+
+// input demultiplexes an inbound packet.
+func (ep *Endpoint) input(pkt *netem.Packet) {
+	sg := pkt.Seg
+	key := sg.Tuple.Reverse() // local-perspective tuple
+	if sf, ok := ep.tuples[key]; ok {
+		sf.HandleSegment(sg)
+		return
+	}
+	if sg.Is(seg.SYN) && !sg.Is(seg.ACK) {
+		if j := sg.MPJoin(); j != nil {
+			// Joins are acceptable as soon as both keys are known (the
+			// Linux server registers the token at SYN_RCVD time), so a
+			// join racing ahead of the initial third ACK still succeeds.
+			c, ok := ep.tokens[j.Token]
+			if !ok || c.remoteKey == 0 {
+				ep.JoinNoToken++
+				ep.sendRST(sg)
+				return
+			}
+			c.acceptJoin(key, sg)
+			return
+		}
+		if sg.MPCapable() != nil {
+			if accept, ok := ep.listeners[sg.Tuple.DstPort]; ok {
+				c := ep.newConn(false, key, ConnCallbacks{})
+				c.onAccept = accept
+				sf := c.newSubflow(key, &sfMeta{isInitial: true, localAddrID: ep.addrID(key.SrcIP)})
+				ep.pm.ConnCreated(c)
+				sf.HandleSegment(sg)
+				return
+			}
+		}
+		ep.sendRST(sg)
+		return
+	}
+	if !sg.Is(seg.RST) {
+		ep.sendRST(sg)
+	}
+}
+
+// sendRST answers a segment that matches no socket, like a kernel would.
+func (ep *Endpoint) sendRST(cause *seg.Segment) {
+	ep.RSTSent++
+	rst := &seg.Segment{
+		Tuple: cause.Tuple.Reverse(),
+		Seq:   cause.Ack,
+		Ack:   cause.SeqEnd(),
+		Flags: seg.RST | seg.ACK,
+	}
+	ep.host.Send(netem.NewPacket(rst))
+}
+
+// output transmits a subflow's segment through the host's routing.
+func (ep *Endpoint) output(s *seg.Segment) {
+	ep.host.Send(netem.NewPacket(s.Clone()))
+}
+
+// addrID returns the stable local address ID used in MPTCP options.
+func (ep *Endpoint) addrID(addr netip.Addr) uint8 {
+	if id, ok := ep.addrIDs[addr]; ok {
+		return id
+	}
+	id := uint8(len(ep.addrIDs) + 1)
+	if id == 0 {
+		panic("mptcp: address ID space exhausted")
+	}
+	ep.addrIDs[addr] = id
+	return id
+}
+
+// allocPort draws a random unused ephemeral port. Randomness matters: §4.4
+// relies on random source ports hashing subflows onto different ECMP paths.
+func (ep *Endpoint) allocPort() uint16 {
+	for tries := 0; tries < 10000; tries++ {
+		p := uint16(32768 + ep.sim.Rand().Intn(28232))
+		if ep.usedPorts[p] == 0 {
+			ep.usedPorts[p]++
+			return p
+		}
+	}
+	panic("mptcp: ephemeral ports exhausted")
+}
+
+// String describes the endpoint.
+func (ep *Endpoint) String() string {
+	return fmt.Sprintf("mptcp endpoint on %s (%d conns)", ep.host.Name(), len(ep.conns))
+}

@@ -1,0 +1,135 @@
+// Package mptcp implements the Multipath TCP connection layer on top of
+// internal/tcp subflows: data-level sequencing via DSS mappings, receiver
+// reassembly across subflows, packet scheduling (lowest-RTT by default, as
+// in the Linux kernel), reinjection of timed-out data onto other subflows,
+// backup-flag semantics (MP_PRIO), address advertisement (ADD_ADDR /
+// REMOVE_ADDR), and the in-kernel path-manager interface of the paper's
+// Figure 1 that internal/pm (full-mesh, ndiffports) and internal/core (the
+// Netlink path manager — the paper's contribution) plug into.
+package mptcp
+
+// ivalSet64 is a set of disjoint, sorted half-open intervals over a
+// 64-bit relative sequence space (no wraparound: data streams here are far
+// below 2^63 bytes). It backs both the receiver's reassembly state and the
+// sender's reinjection queue.
+type ivalSet64 struct {
+	ivs []ival64
+}
+
+type ival64 struct{ lo, hi uint64 } // [lo, hi)
+
+// add unions [lo,hi) into the set and reports whether any byte was new.
+func (s *ivalSet64) add(lo, hi uint64) bool {
+	if lo >= hi {
+		return false
+	}
+	merged := ival64{lo, hi}
+	isNew := true
+	out := s.ivs[:0]
+	var rest []ival64
+	for _, iv := range s.ivs {
+		switch {
+		case iv.hi < merged.lo: // strictly before (not even adjacent)
+			out = append(out, iv)
+		case merged.hi < iv.lo: // strictly after
+			rest = append(rest, iv)
+		default: // overlap or adjacency: absorb
+			if iv.lo <= merged.lo && merged.hi <= iv.hi {
+				isNew = false
+			}
+			if iv.lo < merged.lo {
+				merged.lo = iv.lo
+			}
+			if iv.hi > merged.hi {
+				merged.hi = iv.hi
+			}
+		}
+	}
+	out = append(out, merged)
+	out = append(out, rest...)
+	s.ivs = out
+	return isNew
+}
+
+// remove deletes [lo,hi) from the set.
+func (s *ivalSet64) remove(lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	var out []ival64
+	for _, iv := range s.ivs {
+		if iv.hi <= lo || hi <= iv.lo {
+			out = append(out, iv)
+			continue
+		}
+		if iv.lo < lo {
+			out = append(out, ival64{iv.lo, lo})
+		}
+		if hi < iv.hi {
+			out = append(out, ival64{hi, iv.hi})
+		}
+	}
+	s.ivs = out
+}
+
+// first returns the lowest interval, if any.
+func (s *ivalSet64) first() (ival64, bool) {
+	if len(s.ivs) == 0 {
+		return ival64{}, false
+	}
+	return s.ivs[0], true
+}
+
+// contains reports whether the full range [lo,hi) is in the set.
+func (s *ivalSet64) contains(lo, hi uint64) bool {
+	for _, iv := range s.ivs {
+		if iv.lo <= lo && hi <= iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// empty reports whether the set has no intervals.
+func (s *ivalSet64) empty() bool { return len(s.ivs) == 0 }
+
+// bytes sums the total length covered.
+func (s *ivalSet64) bytes() uint64 {
+	var n uint64
+	for _, iv := range s.ivs {
+		n += iv.hi - iv.lo
+	}
+	return n
+}
+
+// reassembly tracks the receiver's in-order frontier plus out-of-order
+// islands in relative data-sequence space.
+type reassembly struct {
+	nxt uint64 // next expected relative data sequence number
+	ooo ivalSet64
+}
+
+// receive folds [lo,hi) in; it reports whether the in-order frontier moved.
+func (r *reassembly) receive(lo, hi uint64) bool {
+	before := r.nxt
+	if hi <= r.nxt {
+		return false
+	}
+	if lo <= r.nxt {
+		r.nxt = hi
+	} else {
+		r.ooo.add(lo, hi)
+	}
+	// Drain out-of-order islands that became contiguous.
+	for {
+		iv, ok := r.ooo.first()
+		if !ok || iv.lo > r.nxt {
+			break
+		}
+		if iv.hi > r.nxt {
+			r.nxt = iv.hi
+		}
+		r.ooo.remove(iv.lo, iv.hi)
+	}
+	return r.nxt != before
+}

@@ -1,0 +1,153 @@
+package mptcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIvalSetAddMerge(t *testing.T) {
+	var s ivalSet64
+	if !s.add(10, 20) {
+		t.Fatal("fresh add not new")
+	}
+	if s.add(10, 20) {
+		t.Fatal("duplicate add reported new")
+	}
+	if s.add(12, 18) {
+		t.Fatal("covered add reported new")
+	}
+	s.add(30, 40)
+	if len(s.ivs) != 2 {
+		t.Fatalf("ivs = %v", s.ivs)
+	}
+	s.add(20, 30) // bridges the two (adjacency merges)
+	if len(s.ivs) != 1 || s.ivs[0] != (ival64{10, 40}) {
+		t.Fatalf("merge failed: %v", s.ivs)
+	}
+	if s.bytes() != 30 {
+		t.Fatalf("bytes = %d", s.bytes())
+	}
+}
+
+func TestIvalSetRemove(t *testing.T) {
+	var s ivalSet64
+	s.add(0, 100)
+	s.remove(40, 60) // split
+	if len(s.ivs) != 2 || !s.contains(0, 40) || !s.contains(60, 100) {
+		t.Fatalf("split failed: %v", s.ivs)
+	}
+	if s.contains(30, 70) {
+		t.Fatal("contains over a hole")
+	}
+	s.remove(0, 40)
+	s.remove(60, 100)
+	if !s.empty() {
+		t.Fatalf("not empty: %v", s.ivs)
+	}
+	s.remove(0, 10) // removing from empty is a no-op
+}
+
+func TestIvalSetFirstOrdering(t *testing.T) {
+	var s ivalSet64
+	s.add(500, 600)
+	s.add(100, 200)
+	s.add(300, 400)
+	iv, ok := s.first()
+	if !ok || iv.lo != 100 {
+		t.Fatalf("first = %v, %v", iv, ok)
+	}
+}
+
+func TestIvalSetZeroLength(t *testing.T) {
+	var s ivalSet64
+	if s.add(5, 5) {
+		t.Fatal("empty range added")
+	}
+	if !s.empty() {
+		t.Fatal("set not empty")
+	}
+}
+
+func TestReassemblyInOrder(t *testing.T) {
+	var r reassembly
+	if !r.receive(0, 100) || r.nxt != 100 {
+		t.Fatalf("nxt = %d", r.nxt)
+	}
+	if r.receive(0, 100) {
+		t.Fatal("duplicate advanced")
+	}
+	if !r.receive(50, 150) || r.nxt != 150 {
+		t.Fatalf("partial overlap: nxt = %d", r.nxt)
+	}
+}
+
+func TestReassemblyGapFill(t *testing.T) {
+	var r reassembly
+	if r.receive(100, 200) {
+		t.Fatal("gap data advanced the frontier")
+	}
+	r.receive(300, 400)
+	if !r.receive(0, 100) || r.nxt != 200 {
+		t.Fatalf("nxt = %d, want 200", r.nxt)
+	}
+	if !r.receive(200, 300) || r.nxt != 400 {
+		t.Fatalf("nxt = %d, want 400", r.nxt)
+	}
+	if !r.ooo.empty() {
+		t.Fatalf("ooo residue: %v", r.ooo.ivs)
+	}
+}
+
+// Property: any permutation of chunks (with arbitrary duplication) ends
+// with the frontier at the stream end.
+func TestQuickReassembly(t *testing.T) {
+	f := func(seed int64, nChunks uint8, dups uint8) bool {
+		n := int(nChunks%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var r reassembly
+		order := rng.Perm(n)
+		// Duplicate a few random chunks.
+		for d := 0; d < int(dups%5); d++ {
+			order = append(order, rng.Intn(n))
+		}
+		for _, i := range order {
+			r.receive(uint64(i*137), uint64((i+1)*137))
+		}
+		return r.nxt == uint64(n*137) && r.ooo.empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an ivalSet64 built by random adds/removes stays sorted and
+// disjoint.
+func TestQuickIvalSetInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var s ivalSet64
+		for i, op := range ops {
+			lo := uint64(op % 500)
+			hi := lo + uint64(op%97) + 1
+			if i%3 == 0 {
+				s.remove(lo, hi)
+			} else {
+				s.add(lo, hi)
+			}
+			for j := 1; j < len(s.ivs); j++ {
+				if s.ivs[j-1].hi >= s.ivs[j].lo {
+					return false // overlapping or unsorted or adjacent-unmerged
+				}
+			}
+			for _, iv := range s.ivs {
+				if iv.lo >= iv.hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package mptcp
+
+import (
+	"time"
+
+	"repro/internal/tcp"
+)
+
+// Scheduler decides which established subflow carries the next chunk of
+// data. The kernel's default — and the one all the paper's experiments run
+// — prefers the lowest-RTT subflow whose congestion window is open; backup
+// subflows are used only when no regular subflow is usable (RFC 6824
+// backup semantics).
+type Scheduler interface {
+	// Name identifies the scheduler in experiment output.
+	Name() string
+	// Pick returns the subflow to send on, or nil if none can take data
+	// now. want is the chunk size the connection would like to place.
+	Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow
+}
+
+// LowestRTT is the default Linux MPTCP scheduler: among subflows with an
+// open congestion window, pick the one with the smallest smoothed RTT.
+// Non-backup subflows always win over backup subflows.
+type LowestRTT struct{}
+
+// Name implements Scheduler.
+func (LowestRTT) Name() string { return "lowest-rtt" }
+
+// Pick implements Scheduler.
+func (LowestRTT) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
+	pick := func(backup bool) *tcp.Subflow {
+		var best *tcp.Subflow
+		var bestRTT time.Duration
+		for _, sf := range subflows {
+			// The window must fit the whole chunk: allowing sub-MSS
+			// crumbs fragments the stream into tiny segments (half the
+			// link then carries headers), which no real stack does.
+			if sf.Backup() != backup || !sf.Established() || sf.AvailableCwnd() < want {
+				continue
+			}
+			rtt := sf.SRTT()
+			if best == nil || rtt < bestRTT {
+				best, bestRTT = sf, rtt
+			}
+		}
+		return best
+	}
+	if sf := pick(false); sf != nil {
+		return sf
+	}
+	// Backup subflows carry data only when no regular subflow can. That
+	// includes the case where regular subflows exist but are all dead —
+	// but NOT the case where they are merely cwnd-limited and alive:
+	// if any regular subflow is established we wait for it.
+	for _, sf := range subflows {
+		if !sf.Backup() && sf.Established() {
+			return nil
+		}
+	}
+	return pick(true)
+}
+
+// RoundRobin cycles through subflows with open windows, ignoring RTT. It
+// exists as the classic comparison scheduler (Paasch et al., CSWS'14).
+type RoundRobin struct {
+	last int
+}
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
+	n := len(subflows)
+	if n == 0 {
+		return nil
+	}
+	pick := func(backup bool) *tcp.Subflow {
+		for i := 1; i <= n; i++ {
+			sf := subflows[(r.last+i)%n]
+			if sf.Backup() != backup || !sf.Established() || sf.AvailableCwnd() < want {
+				continue
+			}
+			r.last = (r.last + i) % n
+			return sf
+		}
+		return nil
+	}
+	if sf := pick(false); sf != nil {
+		return sf
+	}
+	for _, sf := range subflows {
+		if !sf.Backup() && sf.Established() {
+			return nil
+		}
+	}
+	return pick(true)
+}

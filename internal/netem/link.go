@@ -1,0 +1,161 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LinkStats counts traffic through one unidirectional link.
+type LinkStats struct {
+	Sent      uint64 // packets delivered to the far end
+	Bytes     uint64 // bytes delivered
+	LostRand  uint64 // packets dropped by the random-loss model
+	DropQueue uint64 // packets dropped because the queue was full
+	DropDown  uint64 // packets dropped because the link was down
+}
+
+// Link is a unidirectional link with a serialisation rate, propagation
+// delay, Bernoulli random loss, and a drop-tail queue bounded in packets.
+// A duplex link is simply a pair. Loss and up/down state can change while
+// the simulation runs (the experiments in §4.2/§4.3 raise the loss ratio
+// mid-transfer).
+type Link struct {
+	sim   *sim.Simulator
+	name  string
+	dst   Node
+	rate  float64 // bits per second; 0 means infinite
+	delay time.Duration
+	loss  float64 // probability in [0,1]
+	qcap  int     // max queued packets awaiting serialisation
+	up    bool
+
+	busyUntil sim.Time // when the transmitter frees up
+	queued    int      // packets scheduled but not yet serialised
+
+	Stats LinkStats
+}
+
+// LinkConfig bundles the constructor parameters for a Link.
+type LinkConfig struct {
+	RateBps  float64       // serialisation rate in bits/s (0 = infinite)
+	Delay    time.Duration // one-way propagation delay
+	Loss     float64       // Bernoulli loss probability
+	QueueCap int           // drop-tail queue capacity in packets (0 = default 100)
+}
+
+// DefaultQueueCap is the drop-tail queue depth used when LinkConfig leaves
+// QueueCap zero. 100 packets matches Mininet's default TXQueueLen.
+const DefaultQueueCap = 100
+
+// NewLink creates a link delivering to dst.
+func NewLink(s *sim.Simulator, name string, dst Node, cfg LinkConfig) *Link {
+	qcap := cfg.QueueCap
+	if qcap == 0 {
+		qcap = DefaultQueueCap
+	}
+	return &Link{
+		sim:   s,
+		name:  name,
+		dst:   dst,
+		rate:  cfg.RateBps,
+		delay: cfg.Delay,
+		loss:  cfg.Loss,
+		qcap:  qcap,
+		up:    true,
+	}
+}
+
+// Name identifies the link in traces.
+func (l *Link) Name() string { return l.name }
+
+// Dst reports the node this link delivers to.
+func (l *Link) Dst() Node { return l.dst }
+
+// Delay reports the configured propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// SetLoss changes the random loss probability, effective immediately.
+func (l *Link) SetLoss(p float64) { l.loss = p }
+
+// Loss reports the current loss probability.
+func (l *Link) Loss() float64 { return l.loss }
+
+// SetUp raises or cuts the link. While down every packet is dropped.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Up reports whether the link is passing traffic.
+func (l *Link) Up() bool { return l.up }
+
+// Send enqueues a packet for transmission. Drops (queue overflow, random
+// loss, link down) are silent, as on a real wire; counters record them.
+func (l *Link) Send(pkt *Packet) {
+	if !l.up {
+		l.Stats.DropDown++
+		return
+	}
+	if l.queued >= l.qcap {
+		l.Stats.DropQueue++
+		return
+	}
+	// The loss draw happens at enqueue time; one draw per packet.
+	lost := l.loss > 0 && l.sim.Rand().Float64() < l.loss
+
+	now := l.sim.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	var ser time.Duration
+	if l.rate > 0 {
+		ser = time.Duration(float64(pkt.Size*8) / l.rate * float64(time.Second))
+	}
+	l.busyUntil = start.Add(ser)
+	l.queued++
+	deliverAt := l.busyUntil.Add(l.delay)
+	l.sim.Schedule(l.busyUntil, "link.serialized:"+l.name, func() {
+		l.queued--
+	})
+	if lost {
+		l.Stats.LostRand++
+		return
+	}
+	size := pkt.Size
+	l.sim.Schedule(deliverAt, "link.deliver:"+l.name, func() {
+		if !l.up { // cut while in flight
+			l.Stats.DropDown++
+			return
+		}
+		l.Stats.Sent++
+		l.Stats.Bytes += uint64(size)
+		l.dst.Input(pkt)
+	})
+}
+
+// Duplex is a bidirectional link: two independent unidirectional halves
+// with (usually) identical configuration.
+type Duplex struct {
+	AB *Link // a → b
+	BA *Link // b → a
+}
+
+// NewDuplex wires two nodes together with symmetric characteristics.
+func NewDuplex(s *sim.Simulator, name string, a, b Node, cfg LinkConfig) *Duplex {
+	return &Duplex{
+		AB: NewLink(s, fmt.Sprintf("%s:%s->%s", name, a.Name(), b.Name()), b, cfg),
+		BA: NewLink(s, fmt.Sprintf("%s:%s->%s", name, b.Name(), a.Name()), a, cfg),
+	}
+}
+
+// SetLoss sets the loss probability on both directions.
+func (d *Duplex) SetLoss(p float64) {
+	d.AB.SetLoss(p)
+	d.BA.SetLoss(p)
+}
+
+// SetUp raises or cuts both directions.
+func (d *Duplex) SetUp(up bool) {
+	d.AB.SetUp(up)
+	d.BA.SetUp(up)
+}

@@ -1,0 +1,83 @@
+// Package netem emulates the network substrate the paper's Mininet
+// experiments run on: rate/delay/loss links with drop-tail queues, ECMP
+// routers hashing the TCP 4-tuple, multi-homed hosts whose interfaces can go
+// up and down at runtime, and a stateful middlebox with idle timeouts (the
+// NAT/firewall of §4.1). Everything runs on a sim.Simulator virtual clock,
+// so topologies are deterministic and seedable.
+package netem
+
+import (
+	"hash/fnv"
+	"net/netip"
+
+	"repro/internal/seg"
+)
+
+// ipOverhead approximates per-packet IP+link framing bytes added on top of
+// the TCP wire image when computing serialisation times.
+const ipOverhead = 40
+
+// Packet is one IP datagram carrying a TCP segment. Segments are cloned at
+// the sending host, so a Packet's segment is never shared between stacks.
+type Packet struct {
+	Src, Dst netip.Addr
+	Seg      *seg.Segment
+	Size     int // total wire bytes incl. IP overhead
+}
+
+// NewPacket wraps a segment, computing the wire size.
+func NewPacket(s *seg.Segment) *Packet {
+	return &Packet{
+		Src:  s.Tuple.SrcIP,
+		Dst:  s.Tuple.DstIP,
+		Seg:  s,
+		Size: s.WireSize() + ipOverhead,
+	}
+}
+
+// Node is anything that can receive packets: hosts, routers, middleboxes.
+type Node interface {
+	// Input delivers a packet to the node at the current virtual time.
+	Input(pkt *Packet)
+	// Name identifies the node in traces.
+	Name() string
+}
+
+// FlowHash hashes a 4-tuple for ECMP path selection. The tuple is
+// canonicalised (both directions of a flow hash identically) so forward and
+// return traffic of a subflow take the same emulated path, matching the
+// symmetric-path Mininet topologies in the paper. The seed lets different
+// routers (or different experiment trials) use independent hash functions.
+func FlowHash(ft seg.FourTuple, seed uint64) uint64 {
+	a := addrPort{ft.SrcIP, ft.SrcPort}
+	b := addrPort{ft.DstIP, ft.DstPort}
+	if b.less(a) {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(seed >> (8 * i))
+	}
+	h.Write(sb[:])
+	writeAddrPort(h, a)
+	writeAddrPort(h, b)
+	return h.Sum64()
+}
+
+type addrPort struct {
+	ip   netip.Addr
+	port uint16
+}
+
+func (x addrPort) less(y addrPort) bool {
+	if c := x.ip.Compare(y.ip); c != 0 {
+		return c < 0
+	}
+	return x.port < y.port
+}
+
+func writeAddrPort(h interface{ Write([]byte) (int, error) }, ap addrPort) {
+	h.Write(ap.ip.AsSlice())
+	h.Write([]byte{byte(ap.port >> 8), byte(ap.port)})
+}

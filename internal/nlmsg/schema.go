@@ -1,0 +1,391 @@
+package nlmsg
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/seg"
+)
+
+// Event is the decoded form of any kernel→user event message. Fields are
+// populated according to Kind (see the Ev* documentation).
+type Event struct {
+	Kind     Cmd
+	At       time.Duration // virtual timestamp of the event
+	Token    uint32
+	Tuple    seg.FourTuple // subflow events: the subflow's 4-tuple
+	HasTuple bool
+	Errno    uint32 // sub_closed reason
+	AddrID   uint8
+	Addr     netip.Addr // add_addr / local addr events
+	Port     uint16
+	RTO      time.Duration // timeout event: backed-off RTO now in force
+	Backoffs uint32
+	Backup   bool
+}
+
+// tupleAttrs encodes a 4-tuple as attributes.
+func tupleAttrs(ft seg.FourTuple) []Attr {
+	return []Attr{
+		Address(AttrLocalAddr, ft.SrcIP),
+		Address(AttrRemoteAddr, ft.DstIP),
+		U16(AttrLocalPort, ft.SrcPort),
+		U16(AttrRemotePort, ft.DstPort),
+	}
+}
+
+func tupleFromAttrs(attrs []Attr) (seg.FourTuple, bool) {
+	var ft seg.FourTuple
+	la, ok1 := Get(attrs, AttrLocalAddr)
+	ra, ok2 := Get(attrs, AttrRemoteAddr)
+	lp, ok3 := Get(attrs, AttrLocalPort)
+	rp, ok4 := Get(attrs, AttrRemotePort)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return ft, false
+	}
+	var err error
+	if ft.SrcIP, err = la.AsAddr(); err != nil {
+		return ft, false
+	}
+	if ft.DstIP, err = ra.AsAddr(); err != nil {
+		return ft, false
+	}
+	sp, err := lp.AsU16()
+	if err != nil {
+		return ft, false
+	}
+	dp, err := rp.AsU16()
+	if err != nil {
+		return ft, false
+	}
+	ft.SrcPort, ft.DstPort = sp, dp
+	return ft, true
+}
+
+// Marshal encodes the event as a Netlink message.
+func (e *Event) Marshal(seq, pid uint32) []byte {
+	m := Message{Cmd: e.Kind, Seq: seq, Pid: pid}
+	m.Attrs = append(m.Attrs, U64(AttrTimestamp, uint64(e.At)))
+	if e.Token != 0 {
+		m.Attrs = append(m.Attrs, U32(AttrToken, e.Token))
+	}
+	if e.HasTuple {
+		m.Attrs = append(m.Attrs, tupleAttrs(e.Tuple)...)
+	}
+	switch e.Kind {
+	case EvSubClosed:
+		m.Attrs = append(m.Attrs, U32(AttrErrno, e.Errno))
+	case EvAddAddr:
+		m.Attrs = append(m.Attrs, U8(AttrAddrID, e.AddrID), Address(AttrAddr, e.Addr), U16(AttrPort, e.Port))
+	case EvRemAddr:
+		m.Attrs = append(m.Attrs, U8(AttrAddrID, e.AddrID))
+	case EvTimeout:
+		m.Attrs = append(m.Attrs, U64(AttrRTO, uint64(e.RTO)), U32(AttrBackoffs, e.Backoffs))
+	case EvLocalAddrUp, EvLocalAddrDown:
+		m.Attrs = append(m.Attrs, Address(AttrAddr, e.Addr))
+	}
+	return m.Marshal()
+}
+
+// ParseEvent decodes an event message.
+func ParseEvent(m *Message) (*Event, error) {
+	e := &Event{Kind: m.Cmd}
+	if a, ok := Get(m.Attrs, AttrTimestamp); ok {
+		v, err := a.AsU64()
+		if err != nil {
+			return nil, err
+		}
+		e.At = time.Duration(v)
+	}
+	if a, ok := Get(m.Attrs, AttrToken); ok {
+		v, err := a.AsU32()
+		if err != nil {
+			return nil, err
+		}
+		e.Token = v
+	}
+	if ft, ok := tupleFromAttrs(m.Attrs); ok {
+		e.Tuple = ft
+		e.HasTuple = true
+	}
+	if a, ok := Get(m.Attrs, AttrErrno); ok {
+		v, err := a.AsU32()
+		if err != nil {
+			return nil, err
+		}
+		e.Errno = v
+	}
+	if a, ok := Get(m.Attrs, AttrAddrID); ok {
+		v, err := a.AsU8()
+		if err != nil {
+			return nil, err
+		}
+		e.AddrID = v
+	}
+	if a, ok := Get(m.Attrs, AttrAddr); ok {
+		v, err := a.AsAddr()
+		if err != nil {
+			return nil, err
+		}
+		e.Addr = v
+	}
+	if a, ok := Get(m.Attrs, AttrPort); ok {
+		v, err := a.AsU16()
+		if err != nil {
+			return nil, err
+		}
+		e.Port = v
+	}
+	if a, ok := Get(m.Attrs, AttrRTO); ok {
+		v, err := a.AsU64()
+		if err != nil {
+			return nil, err
+		}
+		e.RTO = time.Duration(v)
+	}
+	if a, ok := Get(m.Attrs, AttrBackoffs); ok {
+		v, err := a.AsU32()
+		if err != nil {
+			return nil, err
+		}
+		e.Backoffs = v
+	}
+	return e, nil
+}
+
+// Command is the decoded form of any user→kernel command.
+type Command struct {
+	Kind   Cmd
+	Seq    uint32
+	Pid    uint32
+	Token  uint32
+	Tuple  seg.FourTuple // create/remove/set-backup target
+	Backup bool
+	Mask   EventMask
+	Addr   netip.Addr // announce_addr
+	Port   uint16
+}
+
+// Marshal encodes the command.
+func (c *Command) Marshal() []byte {
+	m := Message{Cmd: c.Kind, Seq: c.Seq, Pid: c.Pid}
+	if c.Token != 0 {
+		m.Attrs = append(m.Attrs, U32(AttrToken, c.Token))
+	}
+	switch c.Kind {
+	case CmdSubscribe:
+		m.Attrs = append(m.Attrs, U32(AttrEventMask, uint32(c.Mask)))
+	case CmdCreateSubflow:
+		m.Attrs = append(m.Attrs, tupleAttrs(c.Tuple)...)
+		b := uint8(0)
+		if c.Backup {
+			b = 1
+		}
+		m.Attrs = append(m.Attrs, U8(AttrBackup, b))
+	case CmdRemoveSubflow:
+		m.Attrs = append(m.Attrs, tupleAttrs(c.Tuple)...)
+	case CmdSetBackup:
+		m.Attrs = append(m.Attrs, tupleAttrs(c.Tuple)...)
+		b := uint8(0)
+		if c.Backup {
+			b = 1
+		}
+		m.Attrs = append(m.Attrs, U8(AttrBackup, b))
+	case CmdAnnounceAddr:
+		m.Attrs = append(m.Attrs, Address(AttrAddr, c.Addr), U16(AttrPort, c.Port))
+	}
+	return m.Marshal()
+}
+
+// ParseCommand decodes a command message.
+func ParseCommand(m *Message) (*Command, error) {
+	c := &Command{Kind: m.Cmd, Seq: m.Seq, Pid: m.Pid}
+	if a, ok := Get(m.Attrs, AttrToken); ok {
+		v, err := a.AsU32()
+		if err != nil {
+			return nil, err
+		}
+		c.Token = v
+	}
+	if ft, ok := tupleFromAttrs(m.Attrs); ok {
+		c.Tuple = ft
+	}
+	if a, ok := Get(m.Attrs, AttrBackup); ok {
+		v, err := a.AsU8()
+		if err != nil {
+			return nil, err
+		}
+		c.Backup = v != 0
+	}
+	if a, ok := Get(m.Attrs, AttrEventMask); ok {
+		v, err := a.AsU32()
+		if err != nil {
+			return nil, err
+		}
+		c.Mask = EventMask(v)
+	}
+	if a, ok := Get(m.Attrs, AttrAddr); ok {
+		v, err := a.AsAddr()
+		if err != nil {
+			return nil, err
+		}
+		c.Addr = v
+	}
+	if a, ok := Get(m.Attrs, AttrPort); ok {
+		v, err := a.AsU16()
+		if err != nil {
+			return nil, err
+		}
+		c.Port = v
+	}
+	return c, nil
+}
+
+// SubflowInfo is the per-subflow slice of a ReplyInfo (a TCP_INFO subset).
+type SubflowInfo struct {
+	Tuple      seg.FourTuple
+	State      uint32
+	Backup     bool
+	Cwnd       uint32
+	SRTT       time.Duration
+	RTO        time.Duration
+	Backoffs   uint32
+	PacingRate uint64 // bytes per second
+	Flight     uint32
+}
+
+// ConnInfo is the connection-level slice of a ReplyInfo.
+type ConnInfo struct {
+	Token    uint32
+	SndUna   uint64
+	AppNxt   uint64
+	RcvBytes uint64
+	Subflows []SubflowInfo
+}
+
+// MarshalInfo encodes a get-info reply.
+func MarshalInfo(info *ConnInfo, seq, pid uint32) []byte {
+	m := Message{Cmd: ReplyInfo, Seq: seq, Pid: pid}
+	m.Attrs = append(m.Attrs,
+		U32(AttrToken, info.Token),
+		U64(AttrSndUna, info.SndUna),
+		U64(AttrAppNxt, info.AppNxt),
+		U64(AttrRcvBytes, info.RcvBytes),
+	)
+	for _, sf := range info.Subflows {
+		children := tupleAttrs(sf.Tuple)
+		b := uint8(0)
+		if sf.Backup {
+			b = 1
+		}
+		children = append(children,
+			U32(AttrState, sf.State),
+			U8(AttrBackup, b),
+			U32(AttrCwnd, sf.Cwnd),
+			U64(AttrSRTT, uint64(sf.SRTT)),
+			U64(AttrRTO, uint64(sf.RTO)),
+			U32(AttrBackoffs, sf.Backoffs),
+			U64(AttrPacingRate, sf.PacingRate),
+			U32(AttrFlight, sf.Flight),
+		)
+		m.Attrs = append(m.Attrs, Nested(AttrSubflow, children))
+	}
+	return m.Marshal()
+}
+
+// ParseInfo decodes a get-info reply.
+func ParseInfo(m *Message) (*ConnInfo, error) {
+	if m.Cmd != ReplyInfo {
+		return nil, fmt.Errorf("nlmsg: %v is not an info reply", m.Cmd)
+	}
+	info := &ConnInfo{}
+	for _, a := range m.Attrs {
+		var err error
+		switch a.Type {
+		case AttrToken:
+			info.Token, err = a.AsU32()
+		case AttrSndUna:
+			info.SndUna, err = a.AsU64()
+		case AttrAppNxt:
+			info.AppNxt, err = a.AsU64()
+		case AttrRcvBytes:
+			info.RcvBytes, err = a.AsU64()
+		case AttrSubflow:
+			var children []Attr
+			children, err = a.AsNested()
+			if err != nil {
+				break
+			}
+			var sf SubflowInfo
+			sf, err = parseSubflowInfo(children)
+			if err != nil {
+				break
+			}
+			info.Subflows = append(info.Subflows, sf)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+func parseSubflowInfo(attrs []Attr) (SubflowInfo, error) {
+	var sf SubflowInfo
+	ft, ok := tupleFromAttrs(attrs)
+	if !ok {
+		return sf, fmt.Errorf("nlmsg: subflow info without tuple")
+	}
+	sf.Tuple = ft
+	for _, a := range attrs {
+		var err error
+		switch a.Type {
+		case AttrState:
+			sf.State, err = a.AsU32()
+		case AttrBackup:
+			var v uint8
+			v, err = a.AsU8()
+			sf.Backup = v != 0
+		case AttrCwnd:
+			sf.Cwnd, err = a.AsU32()
+		case AttrSRTT:
+			var v uint64
+			v, err = a.AsU64()
+			sf.SRTT = time.Duration(v)
+		case AttrRTO:
+			var v uint64
+			v, err = a.AsU64()
+			sf.RTO = time.Duration(v)
+		case AttrBackoffs:
+			sf.Backoffs, err = a.AsU32()
+		case AttrPacingRate:
+			sf.PacingRate, err = a.AsU64()
+		case AttrFlight:
+			sf.Flight, err = a.AsU32()
+		}
+		if err != nil {
+			return sf, err
+		}
+	}
+	return sf, nil
+}
+
+// MarshalAck encodes a command acknowledgement carrying an errno (0 = ok).
+func MarshalAck(errno uint32, seq, pid uint32) []byte {
+	m := Message{Cmd: ReplyAck, Seq: seq, Pid: pid,
+		Attrs: []Attr{U32(AttrErrno, errno)}}
+	return m.Marshal()
+}
+
+// ParseAck decodes an acknowledgement, returning its errno.
+func ParseAck(m *Message) (uint32, error) {
+	if m.Cmd != ReplyAck {
+		return 0, fmt.Errorf("nlmsg: %v is not an ack", m.Cmd)
+	}
+	a, ok := Get(m.Attrs, AttrErrno)
+	if !ok {
+		return 0, fmt.Errorf("nlmsg: ack without errno")
+	}
+	return a.AsU32()
+}

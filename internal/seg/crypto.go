@@ -1,0 +1,59 @@
+package seg
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"math/rand"
+)
+
+// Token derives the 32-bit connection token from a key: the most significant
+// 32 bits of SHA-1(key) (RFC 6824 §3.2). A host receiving an MP_JOIN uses
+// the token to look up the Multipath TCP connection the subflow joins.
+func Token(key uint64) uint32 {
+	var kb [8]byte
+	binary.BigEndian.PutUint64(kb[:], key)
+	sum := sha1.Sum(kb[:])
+	return binary.BigEndian.Uint32(sum[0:4])
+}
+
+// IDSN derives the initial data sequence number from a key: the least
+// significant 64 bits of SHA-1(key) (RFC 6824 §3.2).
+func IDSN(key uint64) uint64 {
+	var kb [8]byte
+	binary.BigEndian.PutUint64(kb[:], key)
+	sum := sha1.Sum(kb[:])
+	return binary.BigEndian.Uint64(sum[12:20])
+}
+
+// JoinHMAC computes the MP_JOIN authentication HMAC-SHA1 over the two
+// nonces, keyed by the concatenation of the local and remote keys
+// (RFC 6824 §3.2). senderFirst orders the key material: the initiator of
+// the message puts its own key first.
+func JoinHMAC(localKey, remoteKey uint64, localNonce, remoteNonce uint32) [20]byte {
+	var key [16]byte
+	binary.BigEndian.PutUint64(key[0:], localKey)
+	binary.BigEndian.PutUint64(key[8:], remoteKey)
+	var msg [8]byte
+	binary.BigEndian.PutUint32(msg[0:], localNonce)
+	binary.BigEndian.PutUint32(msg[4:], remoteNonce)
+	mac := hmac.New(sha1.New, key[:])
+	mac.Write(msg[:])
+	var out [20]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// TruncatedJoinHMAC returns the leftmost 64 bits of the join HMAC, the form
+// carried in the MP_JOIN SYN+ACK.
+func TruncatedJoinHMAC(localKey, remoteKey uint64, localNonce, remoteNonce uint32) uint64 {
+	h := JoinHMAC(localKey, remoteKey, localNonce, remoteNonce)
+	return binary.BigEndian.Uint64(h[0:8])
+}
+
+// NewKey draws a random 64-bit MPTCP key from the given source (the
+// simulation's deterministic RNG in practice).
+func NewKey(rng *rand.Rand) uint64 {
+	// Uint64 composed from two Int63 draws so any seeded source works.
+	return uint64(rng.Int63())<<1 ^ uint64(rng.Int63())
+}

@@ -1,0 +1,312 @@
+package seg
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	ipA = netip.MustParseAddr("10.0.0.1")
+	ipB = netip.MustParseAddr("10.0.1.2")
+	ip6 = netip.MustParseAddr("2001:db8::7")
+)
+
+func tuple() FourTuple {
+	return FourTuple{SrcIP: ipA, DstIP: ipB, SrcPort: 43211, DstPort: 80}
+}
+
+func roundTrip(t *testing.T, s *Segment) *Segment {
+	t.Helper()
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if len(b) != s.WireSize() {
+		t.Fatalf("wire size %d != WireSize %d", len(b), s.WireSize())
+	}
+	got, err := Unmarshal(b, s.Tuple.SrcIP, s.Tuple.DstIP)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripPlain(t *testing.T) {
+	s := &Segment{Tuple: tuple(), Seq: 1000, Ack: 2000, Flags: ACK | PSH, Window: 65536, PayloadLen: 1400}
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n in=%v\nout=%v", s, got)
+	}
+}
+
+func TestRoundTripMPCapableSYN(t *testing.T) {
+	s := &Segment{Tuple: tuple(), Seq: 7, Flags: SYN, Window: 29184,
+		Options: []Option{&MPCapable{Version: 0, SenderKey: 0xdeadbeefcafef00d}}}
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
+	}
+}
+
+func TestRoundTripMPCapableThirdACK(t *testing.T) {
+	s := &Segment{Tuple: tuple(), Seq: 8, Ack: 100, Flags: ACK, Window: 512,
+		Options: []Option{&MPCapable{SenderKey: 1, ReceiverKey: 2, HasReceiver: true, ChecksumReq: true}}}
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
+	}
+}
+
+func TestRoundTripMPJoinForms(t *testing.T) {
+	cases := []*MPJoin{
+		{Form: JoinSYN, Token: 0xaabbccdd, Nonce: 42, AddrID: 3, Backup: true},
+		{Form: JoinSYNACK, TruncHMAC: 0x1122334455667788, Nonce: 7, AddrID: 1},
+		{Form: JoinACK, FullHMAC: [20]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}},
+	}
+	flagSets := []Flags{SYN, SYN | ACK, ACK}
+	for i, j := range cases {
+		s := &Segment{Tuple: tuple(), Flags: flagSets[i], Window: 256, Options: []Option{j}}
+		got := roundTrip(t, s)
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("form %d mismatch:\n in=%v\nout=%v", j.Form, s, got)
+		}
+	}
+}
+
+func TestRoundTripDSSVariants(t *testing.T) {
+	cases := []*DSS{
+		{HasDataAck: true, DataAck: 1 << 40},
+		{HasMap: true, DataSeq: 99, SubflowSeq: 5, MapLen: 1400},
+		{HasDataAck: true, DataAck: 12, HasMap: true, DataSeq: 34, SubflowSeq: 56, MapLen: 78},
+		{HasDataAck: true, DataAck: 3, DataFIN: true, HasMap: true, DataSeq: 9, MapLen: 1},
+	}
+	for _, d := range cases {
+		s := &Segment{Tuple: tuple(), Flags: ACK, Window: 1 << 16, PayloadLen: int(d.MapLen), Options: []Option{d}}
+		got := roundTrip(t, s)
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("DSS mismatch:\n in=%v\nout=%v", s, got)
+		}
+	}
+}
+
+func TestRoundTripAddrOptions(t *testing.T) {
+	opts := []Option{
+		&AddAddr{AddrID: 2, Addr: ipB},
+		&AddAddr{AddrID: 3, Addr: ipB, Port: 8080, HasPort: true},
+		&AddAddr{AddrID: 4, Addr: ip6},
+		&RemoveAddr{AddrIDs: []uint8{1, 2, 3}},
+		&MPPrio{Backup: true},
+		&MPPrio{Backup: false, HasAddrID: true, AddrID: 9},
+		&MPFail{DataSeq: 1 << 50},
+		&FastClose{ReceiverKey: 0xfeed},
+	}
+	for _, o := range opts {
+		s := &Segment{Tuple: tuple(), Flags: ACK, Window: 256, Options: []Option{o}}
+		got := roundTrip(t, s)
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("%s mismatch:\n in=%v\nout=%v", o.Subtype(), s, got)
+		}
+	}
+}
+
+func TestMultipleOptions(t *testing.T) {
+	s := &Segment{Tuple: tuple(), Flags: ACK, Window: 2560, PayloadLen: 100,
+		Options: []Option{
+			&DSS{HasDataAck: true, DataAck: 5, HasMap: true, DataSeq: 6, MapLen: 100},
+			&MPPrio{Backup: true},
+		}}
+	got := roundTrip(t, s)
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
+	}
+	if got.DSS() == nil || got.Option(SubMPPrio) == nil {
+		t.Fatal("option accessors failed")
+	}
+	if got.MPCapable() != nil || got.MPJoin() != nil {
+		t.Fatal("absent options reported present")
+	}
+}
+
+func TestOptionsTooLong(t *testing.T) {
+	s := &Segment{Tuple: tuple(),
+		Options: []Option{
+			&DSS{HasDataAck: true, HasMap: true},
+			&MPJoin{Form: JoinACK},
+		}} // 28 + 24 = 52 > 40
+	if _, err := s.Marshal(); err == nil {
+		t.Fatal("expected options-too-long error")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}, ipA, ipB); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Bad data offset.
+	b := make([]byte, 20)
+	b[12] = 1 << 4 // dataOff = 4 < 20
+	if _, err := Unmarshal(b, ipA, ipB); err == nil {
+		t.Fatal("bad data offset accepted")
+	}
+	// Truncated option.
+	s := &Segment{Tuple: tuple(), Flags: SYN, Options: []Option{&MPCapable{SenderKey: 1}}}
+	wire, _ := s.Marshal()
+	wire[21] = 40 // option length beyond buffer
+	if _, err := Unmarshal(wire, ipA, ipB); err == nil {
+		t.Fatal("bad option length accepted")
+	}
+}
+
+func TestSeqEnd(t *testing.T) {
+	cases := []struct {
+		s    Segment
+		want uint32
+	}{
+		{Segment{Seq: 10, PayloadLen: 5}, 15},
+		{Segment{Seq: 10, Flags: SYN}, 11},
+		{Segment{Seq: 10, Flags: FIN, PayloadLen: 3}, 14},
+		{Segment{Seq: 10, Flags: SYN | FIN}, 12},
+	}
+	for _, c := range cases {
+		if got := c.s.SeqEnd(); got != c.want {
+			t.Fatalf("SeqEnd(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFourTupleReverse(t *testing.T) {
+	ft := tuple()
+	r := ft.Reverse()
+	if r.SrcIP != ft.DstIP || r.DstPort != ft.SrcPort {
+		t.Fatalf("Reverse wrong: %v", r)
+	}
+	if r.Reverse() != ft {
+		t.Fatal("double reverse not identity")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if (SYN | ACK).String() != "SYN|ACK" {
+		t.Fatalf("got %q", (SYN | ACK).String())
+	}
+	if Flags(0).String() != "none" {
+		t.Fatalf("got %q", Flags(0).String())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := &Segment{Tuple: tuple(), Flags: ACK,
+		Options: []Option{&RemoveAddr{AddrIDs: []uint8{1, 2}}}}
+	c := s.Clone()
+	c.Options[0].(*RemoveAddr).AddrIDs[0] = 99
+	if s.Options[0].(*RemoveAddr).AddrIDs[0] == 99 {
+		t.Fatal("Clone shares option state")
+	}
+}
+
+func TestTokenAndIDSN(t *testing.T) {
+	// Determinism and distinctness; plus the RFC property that token and
+	// IDSN come from disjoint parts of the same digest.
+	k := uint64(0x0102030405060708)
+	if Token(k) != Token(k) {
+		t.Fatal("Token not deterministic")
+	}
+	if IDSN(k) != IDSN(k) {
+		t.Fatal("IDSN not deterministic")
+	}
+	if Token(k) == Token(k+1) {
+		t.Fatal("distinct keys gave equal tokens (SHA-1 collision?!)")
+	}
+}
+
+func TestJoinHMACAgreement(t *testing.T) {
+	// Host A authenticating to B and B verifying must agree when each uses
+	// (ownKey, peerKey, ownNonce, peerNonce) with the initiator's ordering.
+	keyA, keyB := uint64(111), uint64(222)
+	nonceA, nonceB := uint32(333), uint32(444)
+	// B sends the SYN+ACK HMAC keyed (keyB, keyA) over (nonceB, nonceA).
+	fromB := TruncatedJoinHMAC(keyB, keyA, nonceB, nonceA)
+	verifyAtA := TruncatedJoinHMAC(keyB, keyA, nonceB, nonceA)
+	if fromB != verifyAtA {
+		t.Fatal("HMAC disagreement")
+	}
+	// Ordering matters: swapped keys must not verify.
+	if fromB == TruncatedJoinHMAC(keyA, keyB, nonceB, nonceA) {
+		t.Fatal("HMAC insensitive to key order")
+	}
+	full := JoinHMAC(keyA, keyB, nonceA, nonceB)
+	if full == [20]byte{} {
+		t.Fatal("zero HMAC")
+	}
+}
+
+func TestNewKeyDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		k := NewKey(rng)
+		if seen[k] {
+			t.Fatal("duplicate key in 1000 draws")
+		}
+		seen[k] = true
+	}
+}
+
+// Property: any segment built from generator-driven fields survives a
+// marshal/unmarshal round trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seq, ack uint32, win uint16, pay uint16, flags uint8,
+		key uint64, dack, dseq uint64, ssn uint32, mlen uint16, which uint8) bool {
+		s := &Segment{
+			Tuple:      tuple(),
+			Seq:        seq,
+			Ack:        ack,
+			Flags:      Flags(flags & 0x3f),
+			Window:     uint32(win) << windowShift,
+			PayloadLen: int(pay % 2000),
+		}
+		switch which % 5 {
+		case 0:
+			s.Options = []Option{&MPCapable{SenderKey: key}}
+		case 1:
+			s.Options = []Option{&MPJoin{Form: JoinSYN, Token: uint32(key), Nonce: ssn}}
+		case 2:
+			s.Options = []Option{&DSS{HasDataAck: true, DataAck: dack, HasMap: true, DataSeq: dseq, SubflowSeq: ssn, MapLen: mlen}}
+		case 3:
+			s.Options = []Option{&AddAddr{AddrID: uint8(key), Addr: ipB, Port: uint16(dack), HasPort: true}}
+		case 4:
+			s.Options = []Option{&DSS{HasDataAck: true, DataAck: dack}}
+		}
+		b, err := s.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b, s.Tuple.SrcIP, s.Tuple.DstIP)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(s, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes; it either errors or
+// yields a segment that re-marshals.
+func TestQuickUnmarshalRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		s, err := Unmarshal(b, ipA, ipB)
+		if err != nil {
+			return true
+		}
+		_, err = s.Marshal()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package seg models TCP segments and the Multipath TCP options defined by
+// RFC 6824 (MP_CAPABLE, MP_JOIN, DSS, ADD_ADDR, REMOVE_ADDR, MP_PRIO,
+// MP_FAIL, MP_FASTCLOSE).
+//
+// Segments have two representations, in the style of gopacket's layered
+// decode: an in-memory struct used by the simulator (cheap, no allocation of
+// payload bytes — data is carried as a length plus a data-sequence mapping),
+// and a faithful binary wire form produced by Marshal and consumed by
+// Unmarshal. The wire form is what crosses the socket transport in
+// cmd/smappd and what all round-trip property tests exercise.
+package seg
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Flags is the TCP flag byte (we model the six classical flags).
+type Flags uint8
+
+// TCP header flags.
+const (
+	FIN Flags = 1 << 0
+	SYN Flags = 1 << 1
+	RST Flags = 1 << 2
+	PSH Flags = 1 << 3
+	ACK Flags = 1 << 4
+	URG Flags = 1 << 5
+)
+
+// String renders the flag set like "SYN|ACK".
+func (f Flags) String() string {
+	var parts []string
+	for _, e := range []struct {
+		bit  Flags
+		name string
+	}{{SYN, "SYN"}, {ACK, "ACK"}, {FIN, "FIN"}, {RST, "RST"}, {PSH, "PSH"}, {URG, "URG"}} {
+		if f&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// FourTuple identifies a TCP subflow. It is the unit the paper's subflow
+// controller manipulates: subflows are created from and removed by an
+// arbitrary 4-tuple.
+type FourTuple struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Reverse returns the tuple as seen from the other end.
+func (ft FourTuple) Reverse() FourTuple {
+	return FourTuple{SrcIP: ft.DstIP, DstIP: ft.SrcIP, SrcPort: ft.DstPort, DstPort: ft.SrcPort}
+}
+
+// String renders "src:port->dst:port".
+func (ft FourTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", ft.SrcIP, ft.SrcPort, ft.DstIP, ft.DstPort)
+}
+
+// Segment is one TCP segment, possibly carrying MPTCP options.
+//
+// PayloadLen is the number of application bytes carried; the simulator does
+// not materialise payload bytes (contents are tracked by data-sequence
+// ranges), but Marshal emits PayloadLen zero bytes so wire size is honest.
+type Segment struct {
+	Tuple      FourTuple
+	Seq        uint32 // subflow-level sequence number of first payload byte
+	Ack        uint32 // subflow-level cumulative acknowledgement (valid if ACK set)
+	Flags      Flags
+	Window     uint32 // receive window in bytes (already scaled)
+	PayloadLen int
+	Options    []Option
+}
+
+// SeqEnd reports the subflow sequence number after this segment: Seq plus
+// payload, plus one if SYN or FIN consume sequence space.
+func (s *Segment) SeqEnd() uint32 {
+	end := s.Seq + uint32(s.PayloadLen)
+	if s.Flags&SYN != 0 {
+		end++
+	}
+	if s.Flags&FIN != 0 {
+		end++
+	}
+	return end
+}
+
+// Is reports whether all flags in mask are set.
+func (s *Segment) Is(mask Flags) bool { return s.Flags&mask == mask }
+
+// Option returns the first MPTCP option with the given subtype, or nil.
+func (s *Segment) Option(sub Subtype) Option {
+	for _, o := range s.Options {
+		if o.Subtype() == sub {
+			return o
+		}
+	}
+	return nil
+}
+
+// MPCapable returns the segment's MP_CAPABLE option, if any.
+func (s *Segment) MPCapable() *MPCapable {
+	if o := s.Option(SubMPCapable); o != nil {
+		return o.(*MPCapable)
+	}
+	return nil
+}
+
+// MPJoin returns the segment's MP_JOIN option, if any.
+func (s *Segment) MPJoin() *MPJoin {
+	if o := s.Option(SubMPJoin); o != nil {
+		return o.(*MPJoin)
+	}
+	return nil
+}
+
+// DSS returns the segment's DSS option, if any.
+func (s *Segment) DSS() *DSS {
+	if o := s.Option(SubDSS); o != nil {
+		return o.(*DSS)
+	}
+	return nil
+}
+
+// SACK returns the segment's selective-acknowledgement option, if any.
+func (s *Segment) SACK() *SACK {
+	if o := s.Option(SubSACK); o != nil {
+		return o.(*SACK)
+	}
+	return nil
+}
+
+// WireSize reports the on-the-wire TCP size in bytes: the 20-byte base
+// header, options padded to a multiple of 4, and the payload.
+func (s *Segment) WireSize() int {
+	opt := 0
+	for _, o := range s.Options {
+		opt += o.wireLen()
+	}
+	opt = (opt + 3) &^ 3
+	return headerLen + opt + s.PayloadLen
+}
+
+// Clone returns a deep copy (options are copied too). The simulator never
+// shares segment structs across hosts, mirroring the copy a real network
+// performs.
+func (s *Segment) Clone() *Segment {
+	c := *s
+	if len(s.Options) > 0 {
+		c.Options = make([]Option, len(s.Options))
+		for i, o := range s.Options {
+			c.Options[i] = o.clone()
+		}
+	}
+	return &c
+}
+
+// String renders a compact human-readable summary, used by traces.
+func (s *Segment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] seq=%d ack=%d len=%d", s.Tuple, s.Flags, s.Seq, s.Ack, s.PayloadLen)
+	for _, o := range s.Options {
+		fmt.Fprintf(&b, " %s", o)
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All higher layers of this repository (network emulation, the TCP and
+// Multipath TCP stacks, the subflow controllers) are driven by a single
+// virtual clock owned by a Simulator. Events are callbacks scheduled at
+// absolute virtual times; the simulator repeatedly pops the earliest event
+// and runs it. Runs are fully deterministic for a given seed, which makes
+// every experiment in this repository reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It intentionally mirrors time.Duration semantics so the two
+// interoperate cheaply.
+type Time int64
+
+// Common time unit helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// Duration converts a virtual timestamp into a time.Duration from t=0.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Event is a scheduled callback. Holding the *Event returned by Schedule
+// allows cancellation.
+type Event struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 once removed
+	name string
+}
+
+// When reports the virtual time this event fires at.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+// It is not safe for concurrent use: the entire simulation is single
+// threaded by design, which is what makes it deterministic.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed since construction.
+	Processed uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// The same seed always yields the same run.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the simulation's deterministic random source. All model
+// randomness (loss draws, jitter, port selection) must come from here.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at absolute virtual time when. Scheduling in the past
+// (before Now) panics: it always indicates a model bug.
+func (s *Simulator) Schedule(when Time, name string, fn func()) *Event {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, when, s.now))
+	}
+	e := &Event{when: when, seq: s.nextSeq, fn: fn, name: name}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After runs fn d after the current time.
+func (s *Simulator) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, so callers may cancel unconditionally.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+	e.idx = -1
+	e.fn = nil
+}
+
+// Reschedule cancels e (if pending) and schedules fn at when, returning the
+// new event. It is the common pattern for restarting timers.
+func (s *Simulator) Reschedule(e *Event, when Time, name string, fn func()) *Event {
+	s.Cancel(e)
+	return s.Schedule(when, name, fn)
+}
+
+// Pending reports the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Stop makes Run/RunUntil return after the currently executing event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step executes the earliest event. It reports false when the queue is empty.
+func (s *Simulator) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.when < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = e.when
+	fn := e.fn
+	e.fn = nil
+	s.Processed++
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it is later than the last event executed).
+func (s *Simulator) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 || s.queue[0].when > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, executing everything due in the window.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }

@@ -1,0 +1,74 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to a Simulator, analogous to
+// time.Timer but in virtual time. The zero value is not usable; create
+// timers with NewTimer.
+type Timer struct {
+	sim  *Simulator
+	ev   *Event
+	name string
+	fn   func()
+}
+
+// NewTimer returns a stopped timer that runs fn when it fires.
+func NewTimer(s *Simulator, name string, fn func()) *Timer {
+	return &Timer{sim: s, name: name, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending firing.
+func (t *Timer) Reset(d time.Duration) {
+	t.sim.Cancel(t.ev)
+	t.ev = t.sim.After(d, t.name, t.fn)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time when.
+func (t *Timer) ResetAt(when Time) {
+	t.sim.Cancel(t.ev)
+	t.ev = t.sim.Schedule(when, t.name, t.fn)
+}
+
+// Stop cancels any pending firing.
+func (t *Timer) Stop() {
+	t.sim.Cancel(t.ev)
+	t.ev = nil
+}
+
+// Armed reports whether the timer currently has a pending firing.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline reports when the timer will fire; valid only if Armed.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return -1
+	}
+	return t.ev.When()
+}
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period until
+// stopped, analogous to time.Ticker.
+type Ticker struct {
+	sim    *Simulator
+	period time.Duration
+	ev     *Event
+	name   string
+	fn     func()
+}
+
+// NewTicker starts a ticker whose first tick is one period from now.
+func NewTicker(s *Simulator, period time.Duration, name string, fn func()) *Ticker {
+	t := &Ticker{sim: s, period: period, name: name, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.sim.After(t.period, t.name, func() {
+		t.schedule()
+		t.fn()
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() { t.sim.Cancel(t.ev) }

@@ -1,0 +1,97 @@
+package tcp
+
+// Cong is the congestion-control interface a subflow drives. Implementations
+// own the congestion window; the subflow reports ACK, dup-ACK-loss and RTO
+// events and asks for the current window when deciding whether to transmit.
+//
+// The stock implementation is Reno (what the paper's Mininet experiments
+// run per subflow); internal/mptcp adds the coupled LIA controller that
+// shares state across the subflows of a connection.
+type Cong interface {
+	// Cwnd reports the congestion window in bytes.
+	Cwnd() int
+	// SSThresh reports the slow-start threshold in bytes.
+	SSThresh() int
+	// InSlowStart reports whether the controller is in slow start.
+	InSlowStart() bool
+	// OnAck processes acked bytes of new data; flight is the bytes in
+	// flight before the ACK.
+	OnAck(acked, flight int)
+	// OnDupAckLoss processes a fast-retransmit loss event.
+	OnDupAckLoss(flight int)
+	// OnRTO processes a retransmission timeout.
+	OnRTO(flight int)
+}
+
+// Reno is classic NewReno-style congestion control: slow start doubling,
+// AIMD congestion avoidance, halving on fast retransmit, collapse to one
+// MSS on RTO.
+type Reno struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+	caAccum  int // fractional cwnd growth accumulator for congestion avoidance
+}
+
+// NewReno returns a Reno controller with the given MSS and initial window
+// (in segments; Linux uses 10).
+func NewReno(mss, initialWindowSegs int) *Reno {
+	if initialWindowSegs <= 0 {
+		initialWindowSegs = 10
+	}
+	return &Reno{
+		mss:      mss,
+		cwnd:     mss * initialWindowSegs,
+		ssthresh: 1 << 30, // "infinite" until the first loss
+	}
+}
+
+// Cwnd implements Cong.
+func (r *Reno) Cwnd() int { return r.cwnd }
+
+// SSThresh implements Cong.
+func (r *Reno) SSThresh() int { return r.ssthresh }
+
+// InSlowStart implements Cong.
+func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
+
+// OnAck implements Cong.
+func (r *Reno) OnAck(acked, flight int) {
+	if acked <= 0 {
+		return
+	}
+	if r.InSlowStart() {
+		r.cwnd += acked
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: one MSS per cwnd of acked bytes.
+	r.caAccum += acked * r.mss
+	if grow := r.caAccum / r.cwnd; grow > 0 {
+		r.cwnd += grow
+		r.caAccum -= grow * r.cwnd // approximation; keeps growth ≈ mss/RTT
+	}
+}
+
+// OnDupAckLoss implements Cong: multiplicative decrease.
+func (r *Reno) OnDupAckLoss(flight int) {
+	r.ssthresh = max(flight/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+	r.caAccum = 0
+}
+
+// OnRTO implements Cong: collapse to one segment.
+func (r *Reno) OnRTO(flight int) {
+	r.ssthresh = max(flight/2, 2*r.mss)
+	r.cwnd = r.mss
+	r.caAccum = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

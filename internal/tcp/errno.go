@@ -1,0 +1,37 @@
+package tcp
+
+import "fmt"
+
+// Errno mirrors the standard errno values the paper's sub_closed event
+// carries to describe why a subflow went away (§3: "an error code (based
+// on standard errno) that indicates the reason for the removal").
+type Errno int
+
+// Errno values (numerically equal to Linux's).
+const (
+	Ok           Errno = 0
+	ENETUNREACH  Errno = 101 // network unreachable (no usable local interface)
+	ECONNABORTED Errno = 103 // closed locally by the path manager
+	ECONNRESET   Errno = 104 // RST received from the peer or a middlebox
+	ECONNREFUSED Errno = 111 // SYN answered by RST
+	ETIMEDOUT    Errno = 110 // excessive retransmission timeouts
+)
+
+// Error implements error.
+func (e Errno) Error() string {
+	switch e {
+	case Ok:
+		return "ok"
+	case ENETUNREACH:
+		return "ENETUNREACH"
+	case ECONNABORTED:
+		return "ECONNABORTED"
+	case ECONNRESET:
+		return "ECONNRESET"
+	case ECONNREFUSED:
+		return "ECONNREFUSED"
+	case ETIMEDOUT:
+		return "ETIMEDOUT"
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}

@@ -1,0 +1,37 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/seg"
+	"repro/internal/sim"
+)
+
+// Info is a TCP_INFO-style snapshot of one subflow. The paper's get-info
+// command ("equivalent to the utilisation of the TCP_INFO socket option on
+// Linux") returns exactly this; the smart-stream controller reads snd_una
+// from it and the refresh controller reads PacingRate.
+type Info struct {
+	Tuple  seg.FourTuple
+	State  State
+	Backup bool
+
+	SndUna uint32
+	SndNxt uint32
+	RcvNxt uint32
+
+	Cwnd     int
+	SSThresh int
+
+	SRTT     time.Duration
+	RTTVar   time.Duration
+	RTO      time.Duration // current, including exponential backoff
+	Backoffs int
+
+	PacingRate   float64 // bytes per second
+	Flight       int
+	QueuedUnsent int
+
+	EstablishedAt sim.Time
+	Stats         Stats
+}

@@ -1,0 +1,251 @@
+package tcp
+
+import (
+	"repro/internal/sim"
+)
+
+// Sequence-space arithmetic (RFC 793 modular comparisons).
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// Chunk is one scheduled unit of payload in the subflow's send queue. It
+// carries its Multipath TCP data-sequence mapping so the owning connection
+// can reinject the same data on another subflow when this one times out.
+type Chunk struct {
+	SubSeq  uint32 // subflow sequence number of the first byte
+	Len     int
+	DataSeq uint64 // connection-level data sequence of the first byte
+	DataFIN bool   // the mapping carries the connection-level FIN
+
+	sent    bool
+	lost    bool // marked for retransmission (RTO, dupacks or SACK holes)
+	sacked  bool // selectively acknowledged (delivered, awaiting cumack)
+	rexmits int
+	sentAt  sim.Time
+}
+
+// Rexmits reports how many times the chunk has been retransmitted.
+func (c *Chunk) Rexmits() int { return c.rexmits }
+
+// sendQueue is the subflow's ordered list of chunks between sndUna and the
+// tail of scheduled data. It doubles as the retransmission queue: acked
+// chunks are popped from the front.
+type sendQueue struct {
+	chunks []*Chunk
+}
+
+func (q *sendQueue) push(c *Chunk) { q.chunks = append(q.chunks, c) }
+func (q *sendQueue) empty() bool   { return len(q.chunks) == 0 }
+func (q *sendQueue) len() int      { return len(q.chunks) }
+func (q *sendQueue) all() []*Chunk { return q.chunks }
+func (q *sendQueue) front() *Chunk { return q.chunks[0] }
+
+// ackThrough removes chunks fully covered by the cumulative ack and returns
+// them (for RTT sampling and data-level bookkeeping).
+func (q *sendQueue) ackThrough(ack uint32) []*Chunk {
+	i := 0
+	for i < len(q.chunks) {
+		c := q.chunks[i]
+		if seqLEQ(c.SubSeq+uint32(c.Len), ack) {
+			i++
+		} else {
+			break
+		}
+	}
+	acked := q.chunks[:i]
+	q.chunks = q.chunks[i:]
+	return acked
+}
+
+// nextToSend returns the first chunk needing (re)transmission: lost chunks
+// first (they hold the lowest sequence numbers), then never-sent chunks.
+// SACKed chunks never retransmit.
+func (q *sendQueue) nextToSend() *Chunk {
+	for _, c := range q.chunks {
+		if c.sacked {
+			continue
+		}
+		if !c.sent || c.lost {
+			return c
+		}
+	}
+	return nil
+}
+
+// flight sums the bytes of chunks sent, unacked, not SACKed and not marked
+// lost (the RFC 6675 "pipe" estimate).
+func (q *sendQueue) flight() int {
+	n := 0
+	for _, c := range q.chunks {
+		if c.sent && !c.lost && !c.sacked {
+			n += c.Len
+		}
+	}
+	return n
+}
+
+// markAllLost flags every sent, un-SACKed chunk for retransmission (after
+// an RTO).
+func (q *sendQueue) markAllLost() {
+	for _, c := range q.chunks {
+		if c.sent && !c.sacked {
+			c.lost = true
+		}
+	}
+}
+
+// applySACK marks chunks covered by the blocks as delivered. It returns the
+// highest sequence number newly SACKed and the newly SACKed chunks (for RTT
+// sampling); ok is false if nothing new was covered.
+func (q *sendQueue) applySACK(blocks []sackRange) (high uint32, newly []*Chunk) {
+	for _, c := range q.chunks {
+		if c.sacked || !c.sent {
+			continue
+		}
+		end := c.SubSeq + uint32(c.Len)
+		for _, b := range blocks {
+			if seqLEQ(b.lo, c.SubSeq) && seqLEQ(end, b.hi) {
+				c.sacked = true
+				c.lost = false
+				newly = append(newly, c)
+				if seqLT(high, end) {
+					high = end
+				}
+				break
+			}
+		}
+	}
+	return high, newly
+}
+
+// markSACKHoles implements the RFC 6675 loss inference: a sent, un-SACKed
+// chunk whose end lags the highest SACKed sequence by at least dupThresh
+// segments is deemed lost. A chunk is inferred lost at most once per
+// transmission (rexmits guards re-marking a hole whose retransmission is
+// still in flight — without it every ACK would re-mark every hole and the
+// sender would melt down in spurious retransmissions; losses OF
+// retransmissions are left to the RTO, as in pre-RACK Linux). It reports
+// whether any chunk was newly marked.
+func (q *sendQueue) markSACKHoles(highSacked uint32, threshBytes int) bool {
+	marked := false
+	for _, c := range q.chunks {
+		if !c.sent || c.sacked || c.lost || c.rexmits > 0 {
+			continue
+		}
+		if seqLEQ(c.SubSeq+uint32(c.Len)+uint32(threshBytes), highSacked) {
+			c.lost = true
+			marked = true
+		}
+	}
+	return marked
+}
+
+// sackRange is a half-open SACK interval in subflow sequence space.
+type sackRange struct{ lo, hi uint32 }
+
+// unsentBytes sums bytes never transmitted.
+func (q *sendQueue) unsentBytes() int {
+	n := 0
+	for _, c := range q.chunks {
+		if !c.sent {
+			n += c.Len
+		}
+	}
+	return n
+}
+
+// rcvQueue tracks the receive side of a subflow: the next expected in-order
+// sequence number and the set of out-of-order intervals already received,
+// so cumulative ACKs (and therefore duplicate ACKs) are generated exactly
+// like a real TCP receiver.
+type rcvQueue struct {
+	nxt uint32 // next expected sequence number
+	ooo []ival // disjoint, sorted out-of-order intervals above nxt
+}
+
+type ival struct{ lo, hi uint32 } // [lo, hi)
+
+// receive folds [seq, seq+n) into the receive state and reports whether any
+// byte of it was new.
+func (r *rcvQueue) receive(seq uint32, n int) bool {
+	if n == 0 {
+		return false
+	}
+	end := seq + uint32(n)
+	if seqLEQ(end, r.nxt) {
+		return false // entirely duplicate
+	}
+	isNew := false
+	if seqLEQ(seq, r.nxt) {
+		// Extends the in-order prefix.
+		r.nxt = end
+		isNew = true
+	} else {
+		isNew = r.insertOOO(seq, end)
+	}
+	// Merge any out-of-order intervals now contiguous with nxt.
+	changed := true
+	for changed {
+		changed = false
+		for i, iv := range r.ooo {
+			if seqLEQ(iv.lo, r.nxt) {
+				if seqLT(r.nxt, iv.hi) {
+					r.nxt = iv.hi
+				}
+				r.ooo = append(r.ooo[:i], r.ooo[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return isNew
+}
+
+// sackBlocks returns up to max out-of-order intervals for the receiver's
+// SACK option.
+func (r *rcvQueue) sackBlocks(max int) []ival {
+	if len(r.ooo) <= max {
+		return r.ooo
+	}
+	return r.ooo[:max]
+}
+
+// insertOOO adds [lo,hi) to the out-of-order set, merging overlaps, and
+// reports whether any byte was new.
+func (r *rcvQueue) insertOOO(lo, hi uint32) bool {
+	for _, iv := range r.ooo {
+		if seqLEQ(iv.lo, lo) && seqLEQ(hi, iv.hi) {
+			return false // fully covered already
+		}
+	}
+	merged := ival{lo, hi}
+	out := r.ooo[:0]
+	for _, iv := range r.ooo {
+		if seqLT(merged.hi, iv.lo) || seqLT(iv.hi, merged.lo) {
+			out = append(out, iv) // disjoint
+			continue
+		}
+		if seqLT(iv.lo, merged.lo) {
+			merged.lo = iv.lo
+		}
+		if seqLT(merged.hi, iv.hi) {
+			merged.hi = iv.hi
+		}
+	}
+	// Keep sorted by lo.
+	inserted := false
+	final := make([]ival, 0, len(out)+1)
+	for _, iv := range out {
+		if !inserted && seqLT(merged.lo, iv.lo) {
+			final = append(final, merged)
+			inserted = true
+		}
+		final = append(final, iv)
+	}
+	if !inserted {
+		final = append(final, merged)
+	}
+	r.ooo = final
+	return true
+}

@@ -1,0 +1,964 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/seg"
+	"repro/internal/sim"
+)
+
+// State is the subflow TCP state (a pragmatic subset of RFC 793).
+type State int
+
+// Subflow states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait // we sent FIN, waiting for it to be acked and/or peer FIN
+	StateDead    // terminal; OnClosed has fired
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateSynSent:
+		return "SYN_SENT"
+	case StateSynRcvd:
+		return "SYN_RCVD"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateFinWait:
+		return "FIN_WAIT"
+	case StateDead:
+		return "DEAD"
+	}
+	return "?"
+}
+
+// Stage identifies the handshake message being built or inspected.
+type Stage int
+
+// Handshake stages.
+const (
+	StageSYN Stage = iota
+	StageSYNACK
+	StageACK
+)
+
+// Output transmits a segment onto the network (the MPTCP endpoint wires
+// this to the owning netem host).
+type Output func(*seg.Segment)
+
+// Verdict is the owner's decision about a handshake segment.
+type Verdict int
+
+// Handshake verdicts.
+const (
+	// Accept lets the handshake proceed.
+	Accept Verdict = iota
+	// Reject aborts the subflow with a RST (authentication failure).
+	Reject
+	// Ignore drops the segment without state change; the peer's
+	// retransmissions will retry the handshake step.
+	Ignore
+)
+
+// Owner is the Multipath TCP connection a subflow belongs to. It supplies
+// handshake options (MP_CAPABLE / MP_JOIN material), validates the peer's,
+// consumes inbound segments (DSS processing, ADD_ADDR, ...), supplies the
+// connection-level data ACK for outbound segments, and learns about ACK
+// progress, retransmission timeouts and subflow death — the raw material
+// for the paper's path-manager events.
+type Owner interface {
+	// HandshakeOptions returns the MPTCP options to attach at a stage.
+	HandshakeOptions(sf *Subflow, st Stage) []seg.Option
+	// HandshakeAccept validates the peer's handshake segment.
+	HandshakeAccept(sf *Subflow, s *seg.Segment, st Stage) Verdict
+	// OnEstablished fires once the three-way handshake completes.
+	OnEstablished(sf *Subflow)
+	// OnSegment delivers every inbound segment once established;
+	// hasNewData reports whether the payload contained new subflow bytes.
+	OnSegment(sf *Subflow, s *seg.Segment, hasNewData bool)
+	// CurrentDataAck supplies the connection-level DATA_ACK for outbound
+	// segments; ok=false omits it.
+	CurrentDataAck() (uint64, bool)
+	// OnAckAdvance fires when the cumulative ACK moved (window opened);
+	// acked lists the chunks now fully acknowledged at subflow level.
+	OnAckAdvance(sf *Subflow, acked []*Chunk)
+	// OnTimeout fires on every retransmission timer expiry with the
+	// *backed-off* RTO now in force and the consecutive-backoff count.
+	OnTimeout(sf *Subflow, rto time.Duration, backoffs int)
+	// OnClosed fires exactly once when the subflow dies; reason is Ok for
+	// a graceful close.
+	OnClosed(sf *Subflow, reason Errno)
+}
+
+// Config tunes a subflow. The zero value is usable: defaults mirror Linux.
+type Config struct {
+	MSS           int    // payload bytes per segment (default 1380)
+	InitialWindow int    // initial cwnd in segments (default 10)
+	RcvWnd        uint32 // advertised receive window bytes (default 4 MiB)
+	MaxBackoffs   int    // consecutive RTO backoffs before death (default 15)
+	SynRetries    int    // SYN (or SYN+ACK) retransmissions before death (default 6)
+	NoPacing      bool   // disable sk_pacing_rate-style send pacing (ablation)
+	NewCong       func(mss, initialWindowSegs int) Cong
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1380
+	}
+	if c.InitialWindow == 0 {
+		c.InitialWindow = 10
+	}
+	if c.RcvWnd == 0 {
+		c.RcvWnd = 4 << 20
+	}
+	if c.MaxBackoffs == 0 {
+		c.MaxBackoffs = 15
+	}
+	if c.SynRetries == 0 {
+		c.SynRetries = 6
+	}
+	if c.NewCong == nil {
+		c.NewCong = func(mss, iw int) Cong { return NewReno(mss, iw) }
+	}
+	return c
+}
+
+// Stats counts subflow activity (a subset of what TCP_INFO exposes).
+type Stats struct {
+	SegsSent     uint64
+	SegsRcvd     uint64
+	BytesSent    uint64 // payload bytes, first transmissions only
+	BytesRetrans uint64
+	BytesAcked   uint64
+	Retrans      uint64 // retransmitted segments (RTO-driven)
+	FastRetrans  uint64
+	Timeouts     uint64 // RTO expirations
+}
+
+// Subflow is one TCP subflow of a Multipath TCP connection.
+type Subflow struct {
+	sim    *sim.Simulator
+	cfg    Config
+	out    Output
+	owner  Owner
+	tuple  seg.FourTuple
+	backup bool
+
+	// Address IDs used in MP_JOIN / ADD_ADDR bookkeeping.
+	LocalAddrID  uint8
+	RemoteAddrID uint8
+
+	state State
+
+	iss, irs uint32 // initial send / receive sequence numbers
+	sndUna   uint32
+	sndNxt   uint32
+	rcv      rcvQueue
+	peerWnd  uint32
+
+	sq        sendQueue
+	pushNxt   uint32 // next subflow sequence number to assign to pushed data
+	cc        Cong
+	rtt       *RTTEstimator
+	rtoTimer  *sim.Timer
+	synTimer  *sim.Timer
+	paceTimer *sim.Timer
+	backoffs  int
+	dupAcks   int
+
+	// SACK-based loss recovery (RFC 2018 / RFC 6675).
+	inRecovery    bool
+	recoveryPoint uint32
+	highSacked    uint32
+
+	synRexmits int
+	synSentAt  sim.Time
+	estabAt    sim.Time
+
+	closing  bool // local Close requested
+	finSent  bool
+	finSeq   uint32
+	finAcked bool
+	finRcvd  bool
+	lastSYN  *seg.Segment // retained for handshake retransmission
+	stats    Stats
+}
+
+// NewSubflow creates a subflow bound to tuple. It starts closed; call
+// Connect for the active side or HandleSegment with the peer's SYN for the
+// passive side.
+func NewSubflow(s *sim.Simulator, cfg Config, tuple seg.FourTuple, out Output, owner Owner) *Subflow {
+	cfg = cfg.withDefaults()
+	sf := &Subflow{
+		sim:     s,
+		cfg:     cfg,
+		out:     out,
+		owner:   owner,
+		tuple:   tuple,
+		rtt:     NewRTTEstimator(),
+		cc:      cfg.NewCong(cfg.MSS, cfg.InitialWindow),
+		peerWnd: cfg.RcvWnd,
+	}
+	sf.rtoTimer = sim.NewTimer(s, "tcp.rto:"+tuple.String(), sf.onRTO)
+	sf.synTimer = sim.NewTimer(s, "tcp.syn-rto:"+tuple.String(), sf.onSynTimeout)
+	sf.paceTimer = sim.NewTimer(s, "tcp.pace:"+tuple.String(), sf.sendLoop)
+	return sf
+}
+
+// Accessors.
+
+// Tuple reports the subflow's 4-tuple.
+func (sf *Subflow) Tuple() seg.FourTuple { return sf.tuple }
+
+// State reports the current TCP state.
+func (sf *Subflow) State() State { return sf.state }
+
+// Backup reports the subflow's backup priority flag.
+func (sf *Subflow) Backup() bool { return sf.backup }
+
+// SetBackup sets the local view of the backup flag (MP_PRIO handling and
+// join options are the owner's business).
+func (sf *Subflow) SetBackup(b bool) { sf.backup = b }
+
+// MSS reports the configured segment payload size.
+func (sf *Subflow) MSS() int { return sf.cfg.MSS }
+
+// SndUna reports the lowest unacknowledged subflow sequence number.
+func (sf *Subflow) SndUna() uint32 { return sf.sndUna }
+
+// SynSentAt reports when the SYN was first transmitted (Fig. 3 measures
+// from this instant).
+func (sf *Subflow) SynSentAt() sim.Time { return sf.synSentAt }
+
+// EstablishedAt reports when the handshake completed (zero until then).
+func (sf *Subflow) EstablishedAt() sim.Time { return sf.estabAt }
+
+// Established reports whether data can flow.
+func (sf *Subflow) Established() bool {
+	return sf.state == StateEstablished || sf.state == StateFinWait
+}
+
+// SRTT exposes the smoothed RTT estimate.
+func (sf *Subflow) SRTT() time.Duration { return sf.rtt.SRTT() }
+
+// CurrentRTO reports the retransmission timeout now in force, including
+// exponential backoff — the value the paper's timeout event reports.
+func (sf *Subflow) CurrentRTO() time.Duration {
+	return BackoffRTO(sf.rtt.RTO(), sf.backoffs)
+}
+
+// Backoffs reports the consecutive RTO backoff count.
+func (sf *Subflow) Backoffs() int { return sf.backoffs }
+
+// Flight reports bytes in flight (sent, unacked, not marked lost).
+func (sf *Subflow) Flight() int { return sf.sq.flight() }
+
+// QueuedUnsent reports payload bytes pushed but never transmitted.
+func (sf *Subflow) QueuedUnsent() int { return sf.sq.unsentBytes() }
+
+// AvailableCwnd reports how many further payload bytes the scheduler may
+// push right now without overrunning the congestion or peer window.
+func (sf *Subflow) AvailableCwnd() int {
+	if !sf.Established() || sf.closing {
+		return 0
+	}
+	wnd := sf.cc.Cwnd()
+	if int(sf.peerWnd) < wnd {
+		wnd = int(sf.peerWnd)
+	}
+	used := sf.sq.flight() + sf.sq.unsentBytes()
+	if used >= wnd {
+		return 0
+	}
+	return wnd - used
+}
+
+// UnackedChunks lists the chunks not yet acknowledged at subflow level, in
+// sequence order. The MPTCP connection uses it to reinject data elsewhere.
+func (sf *Subflow) UnackedChunks() []*Chunk { return sf.sq.all() }
+
+// PacingRate estimates the subflow's sending rate in bytes/second the way
+// Linux computes sk_pacing_rate: cwnd/srtt scaled by 2 in slow start and
+// 1.2 in congestion avoidance. Zero before the first RTT sample.
+func (sf *Subflow) PacingRate() float64 {
+	srtt := sf.rtt.SRTT()
+	if srtt <= 0 {
+		return 0
+	}
+	factor := 1.2
+	if sf.cc.InSlowStart() {
+		factor = 2.0
+	}
+	return factor * float64(sf.cc.Cwnd()) / srtt.Seconds()
+}
+
+// Info returns a TCP_INFO-style snapshot (what the paper's get-info command
+// retrieves from the kernel).
+func (sf *Subflow) Info() Info {
+	return Info{
+		Tuple:         sf.tuple,
+		State:         sf.state,
+		Backup:        sf.backup,
+		SndUna:        sf.sndUna,
+		SndNxt:        sf.sndNxt,
+		RcvNxt:        sf.rcv.nxt,
+		Cwnd:          sf.cc.Cwnd(),
+		SSThresh:      sf.cc.SSThresh(),
+		SRTT:          sf.rtt.SRTT(),
+		RTTVar:        sf.rtt.RTTVar(),
+		RTO:           sf.CurrentRTO(),
+		Backoffs:      sf.backoffs,
+		PacingRate:    sf.PacingRate(),
+		Flight:        sf.Flight(),
+		QueuedUnsent:  sf.QueuedUnsent(),
+		EstablishedAt: sf.estabAt,
+		Stats:         sf.stats,
+	}
+}
+
+// --- Active/passive open ---
+
+// Connect starts the active handshake, transmitting a SYN carrying the
+// owner's options (MP_CAPABLE for an initial subflow, MP_JOIN otherwise).
+func (sf *Subflow) Connect() {
+	if sf.state != StateClosed {
+		return
+	}
+	sf.iss = uint32(sf.sim.Rand().Int63())
+	sf.sndUna = sf.iss
+	sf.sndNxt = sf.iss + 1
+	sf.state = StateSynSent
+	sf.synSentAt = sf.sim.Now()
+	syn := &seg.Segment{
+		Tuple:   sf.tuple,
+		Seq:     sf.iss,
+		Flags:   seg.SYN,
+		Window:  sf.cfg.RcvWnd,
+		Options: sf.owner.HandshakeOptions(sf, StageSYN),
+	}
+	sf.lastSYN = syn
+	sf.transmit(syn)
+	sf.armSynTimer()
+}
+
+// handleSYN performs the passive open for an inbound SYN.
+func (sf *Subflow) handleSYN(s *seg.Segment) {
+	switch sf.owner.HandshakeAccept(sf, s, StageSYN) {
+	case Reject:
+		sf.sendRST(s)
+		sf.die(ECONNREFUSED)
+		return
+	case Ignore:
+		return
+	}
+	sf.synSentAt = sf.sim.Now()
+	sf.irs = s.Seq
+	sf.rcv.nxt = s.Seq + 1
+	sf.peerWnd = s.Window
+	sf.iss = uint32(sf.sim.Rand().Int63())
+	sf.sndUna = sf.iss
+	sf.sndNxt = sf.iss + 1
+	sf.state = StateSynRcvd
+	synack := &seg.Segment{
+		Tuple:   sf.tuple,
+		Seq:     sf.iss,
+		Ack:     sf.rcv.nxt,
+		Flags:   seg.SYN | seg.ACK,
+		Window:  sf.cfg.RcvWnd,
+		Options: sf.owner.HandshakeOptions(sf, StageSYNACK),
+	}
+	sf.lastSYN = synack
+	sf.transmit(synack)
+	sf.armSynTimer()
+}
+
+func (sf *Subflow) armSynTimer() {
+	d := InitialRTO
+	for i := 0; i < sf.synRexmits; i++ {
+		d *= 2
+	}
+	sf.synTimer.Reset(d)
+}
+
+func (sf *Subflow) onSynTimeout() {
+	if sf.state != StateSynSent && sf.state != StateSynRcvd {
+		return
+	}
+	sf.synRexmits++
+	if sf.synRexmits > sf.cfg.SynRetries {
+		sf.die(ETIMEDOUT)
+		return
+	}
+	sf.stats.Retrans++
+	sf.transmit(sf.lastSYN)
+	sf.armSynTimer()
+}
+
+// --- Data path ---
+
+// Push queues ln payload bytes covering connection data sequence dataSeq
+// and transmits as the window allows. dataFIN marks the mapping that
+// carries the connection-level FIN. It returns the chunk for bookkeeping.
+func (sf *Subflow) Push(dataSeq uint64, ln int, dataFIN bool) *Chunk {
+	c := &Chunk{SubSeq: sf.pushNxt, Len: ln, DataSeq: dataSeq, DataFIN: dataFIN}
+	sf.pushNxt += uint32(ln)
+	sf.sq.push(c)
+	sf.trySend()
+	return c
+}
+
+// trySend transmits whatever the congestion and peer windows allow,
+// retransmitting lost chunks first. Transmissions are paced at the
+// sk_pacing_rate estimate (unless Config.NoPacing), which is what keeps
+// the stack from dumping window-sized bursts into drop-tail queues — the
+// behaviour of Linux since the pacing work the paper cites [4].
+func (sf *Subflow) trySend() {
+	if !sf.Established() {
+		return
+	}
+	if sf.paceTimer.Armed() {
+		// The pacer owns the transmit loop until its next tick.
+		sf.armRTO()
+		return
+	}
+	sf.sendLoop()
+}
+
+// sendLoop is the (possibly pacer-resumed) transmit loop.
+func (sf *Subflow) sendLoop() {
+	if !sf.Established() {
+		return
+	}
+	for {
+		c := sf.sq.nextToSend()
+		if c == nil {
+			break
+		}
+		wnd := sf.cc.Cwnd()
+		if int(sf.peerWnd) < wnd {
+			wnd = int(sf.peerWnd)
+		}
+		flight := sf.sq.flight()
+		if flight > 0 && flight+c.Len > wnd {
+			break
+		}
+		sf.sendChunk(c)
+		if gap, ok := sf.paceGap(c.Len); ok {
+			sf.paceTimer.Reset(gap)
+			break
+		}
+	}
+	sf.maybeSendFIN()
+	sf.armRTO()
+}
+
+// paceGap computes the inter-segment spacing for the pacer; ok is false
+// when pacing is off or no rate estimate exists yet (initial-window burst).
+func (sf *Subflow) paceGap(segLen int) (time.Duration, bool) {
+	if sf.cfg.NoPacing {
+		return 0, false
+	}
+	rate := sf.PacingRate()
+	if rate <= 0 {
+		return 0, false
+	}
+	gap := time.Duration(float64(segLen) / rate * float64(time.Second))
+	if gap < time.Microsecond {
+		return 0, false
+	}
+	const maxGap = 100 * time.Millisecond // keep collapsed-cwnd senders alive
+	if gap > maxGap {
+		gap = maxGap
+	}
+	return gap, true
+}
+
+func (sf *Subflow) sendChunk(c *Chunk) {
+	retrans := c.sent
+	if retrans {
+		c.rexmits++
+		c.lost = false
+		sf.stats.Retrans++
+		sf.stats.BytesRetrans += uint64(c.Len)
+	} else {
+		c.sent = true
+		if end := c.SubSeq + uint32(c.Len); seqLT(sf.sndNxt, end) {
+			sf.sndNxt = end
+		}
+		sf.stats.BytesSent += uint64(c.Len)
+	}
+	c.sentAt = sf.sim.Now()
+	dss := &seg.DSS{
+		HasMap:     true,
+		DataSeq:    c.DataSeq,
+		SubflowSeq: c.SubSeq - (sf.iss + 1),
+		MapLen:     uint16(c.Len),
+		DataFIN:    c.DataFIN,
+	}
+	if ack, ok := sf.owner.CurrentDataAck(); ok {
+		dss.HasDataAck = true
+		dss.DataAck = ack
+	}
+	s := &seg.Segment{
+		Tuple:      sf.tuple,
+		Seq:        c.SubSeq,
+		Ack:        sf.rcv.nxt,
+		Flags:      seg.ACK | seg.PSH,
+		Window:     sf.cfg.RcvWnd,
+		PayloadLen: c.Len,
+		Options:    []seg.Option{dss},
+	}
+	sf.transmit(s)
+}
+
+func (sf *Subflow) maybeSendFIN() {
+	if !sf.closing || sf.finSent || !sf.sq.empty() || sf.state != StateEstablished && sf.state != StateFinWait {
+		return
+	}
+	sf.finSent = true
+	sf.finSeq = sf.sndNxt
+	sf.sndNxt++
+	sf.state = StateFinWait
+	fin := &seg.Segment{
+		Tuple:  sf.tuple,
+		Seq:    sf.finSeq,
+		Ack:    sf.rcv.nxt,
+		Flags:  seg.FIN | seg.ACK,
+		Window: sf.cfg.RcvWnd,
+	}
+	sf.transmit(fin)
+}
+
+// SendDSSAck emits a pure ACK carrying the current connection-level
+// DATA_ACK (used by the connection to acknowledge data-level progress and
+// to duplicate data ACKs after reinjection).
+func (sf *Subflow) SendDSSAck() {
+	if !sf.Established() {
+		return
+	}
+	sf.sendAck()
+}
+
+func (sf *Subflow) sendAck() {
+	s := &seg.Segment{
+		Tuple:  sf.tuple,
+		Seq:    sf.sndNxt,
+		Ack:    sf.rcv.nxt,
+		Flags:  seg.ACK,
+		Window: sf.cfg.RcvWnd,
+	}
+	if ack, ok := sf.owner.CurrentDataAck(); ok {
+		s.Options = append(s.Options, &seg.DSS{HasDataAck: true, DataAck: ack})
+	}
+	// Report out-of-order data so the sender can repair loss bursts
+	// without collapsing to an RTO (three blocks fit alongside the DSS).
+	if blocks := sf.rcv.sackBlocks(3); len(blocks) > 0 {
+		sk := &seg.SACK{}
+		for _, b := range blocks {
+			sk.Blocks = append(sk.Blocks, seg.SackBlock{Lo: b.lo, Hi: b.hi})
+		}
+		s.Options = append(s.Options, sk)
+	}
+	sf.transmit(s)
+}
+
+// SendOptions emits a pure ACK carrying arbitrary MPTCP options (ADD_ADDR,
+// MP_PRIO, REMOVE_ADDR announcements ride on these).
+func (sf *Subflow) SendOptions(opts ...seg.Option) {
+	if !sf.Established() {
+		return
+	}
+	s := &seg.Segment{
+		Tuple:   sf.tuple,
+		Seq:     sf.sndNxt,
+		Ack:     sf.rcv.nxt,
+		Flags:   seg.ACK,
+		Window:  sf.cfg.RcvWnd,
+		Options: opts,
+	}
+	sf.transmit(s)
+}
+
+func (sf *Subflow) transmit(s *seg.Segment) {
+	sf.stats.SegsSent++
+	sf.out(s)
+}
+
+// --- Close paths ---
+
+// Close requests a graceful close: queued data drains, then a FIN.
+func (sf *Subflow) Close() {
+	if sf.state == StateDead || sf.closing {
+		return
+	}
+	sf.closing = true
+	sf.trySend()
+}
+
+// Abort sends a RST to the peer and kills the subflow immediately with the
+// given reason (ECONNABORTED for path-manager-initiated removal).
+func (sf *Subflow) Abort(reason Errno) {
+	if sf.state == StateDead {
+		return
+	}
+	if sf.state == StateEstablished || sf.state == StateFinWait || sf.state == StateSynRcvd {
+		rst := &seg.Segment{
+			Tuple: sf.tuple,
+			Seq:   sf.sndNxt,
+			Ack:   sf.rcv.nxt,
+			Flags: seg.RST | seg.ACK,
+		}
+		sf.transmit(rst)
+	}
+	sf.die(reason)
+}
+
+func (sf *Subflow) sendRST(cause *seg.Segment) {
+	rst := &seg.Segment{
+		Tuple: cause.Tuple.Reverse(),
+		Seq:   cause.Ack,
+		Ack:   cause.SeqEnd(),
+		Flags: seg.RST | seg.ACK,
+	}
+	sf.transmit(rst)
+}
+
+func (sf *Subflow) die(reason Errno) {
+	if sf.state == StateDead {
+		return
+	}
+	sf.state = StateDead
+	sf.rtoTimer.Stop()
+	sf.synTimer.Stop()
+	sf.paceTimer.Stop()
+	sf.owner.OnClosed(sf, reason)
+}
+
+// --- Inbound ---
+
+// HandleSegment processes one inbound segment (the endpoint demultiplexes
+// by 4-tuple and calls this).
+func (sf *Subflow) HandleSegment(s *seg.Segment) {
+	sf.stats.SegsRcvd++
+	switch sf.state {
+	case StateClosed:
+		if s.Is(seg.SYN) && !s.Is(seg.ACK) {
+			sf.handleSYN(s)
+		}
+	case StateSynSent:
+		sf.handleSynSent(s)
+	case StateSynRcvd:
+		sf.handleSynRcvd(s)
+	case StateEstablished, StateFinWait:
+		sf.handleEstablished(s)
+	case StateDead:
+		// Late segments to a dead subflow get a RST so the peer cleans up.
+		if !s.Is(seg.RST) {
+			sf.sendRST(s)
+		}
+	}
+}
+
+func (sf *Subflow) handleSynSent(s *seg.Segment) {
+	if s.Is(seg.RST) {
+		sf.die(ECONNREFUSED)
+		return
+	}
+	if !s.Is(seg.SYN|seg.ACK) || s.Ack != sf.sndNxt {
+		return
+	}
+	switch sf.owner.HandshakeAccept(sf, s, StageSYNACK) {
+	case Reject:
+		sf.sendRST(s)
+		sf.die(ECONNREFUSED)
+		return
+	case Ignore:
+		return
+	}
+	sf.irs = s.Seq
+	sf.rcv.nxt = s.Seq + 1
+	sf.sndUna = s.Ack
+	sf.peerWnd = s.Window
+	if sf.synRexmits == 0 {
+		// The SYN↔SYN+ACK exchange is a clean RTT sample (Karn holds).
+		sf.rtt.Sample(time.Duration(sf.sim.Now() - sf.synSentAt))
+	}
+	// Third handshake ACK, carrying stage-ACK options (both keys for
+	// MP_CAPABLE, the full HMAC for MP_JOIN). It must be transmitted
+	// before OnEstablished runs: a path manager may react by opening a
+	// join, and that SYN must not overtake this ACK on the wire.
+	ack := &seg.Segment{
+		Tuple:   sf.tuple,
+		Seq:     sf.sndNxt,
+		Ack:     sf.rcv.nxt,
+		Flags:   seg.ACK,
+		Window:  sf.cfg.RcvWnd,
+		Options: sf.owner.HandshakeOptions(sf, StageACK),
+	}
+	sf.transmit(ack)
+	sf.becomeEstablished()
+}
+
+func (sf *Subflow) handleSynRcvd(s *seg.Segment) {
+	if s.Is(seg.RST) {
+		sf.die(ECONNRESET)
+		return
+	}
+	if s.Is(seg.SYN) && !s.Is(seg.ACK) {
+		// Duplicate SYN: retransmit our SYN+ACK.
+		sf.stats.Retrans++
+		sf.transmit(sf.lastSYN)
+		return
+	}
+	if !s.Is(seg.ACK) || s.Ack != sf.sndNxt {
+		return
+	}
+	switch sf.owner.HandshakeAccept(sf, s, StageACK) {
+	case Reject:
+		sf.sendRST(s)
+		sf.die(ECONNREFUSED)
+		return
+	case Ignore:
+		return
+	}
+	sf.sndUna = s.Ack
+	sf.peerWnd = s.Window
+	if sf.synRexmits == 0 {
+		sf.rtt.Sample(time.Duration(sf.sim.Now() - sf.synSentAt))
+	}
+	sf.becomeEstablished()
+	if s.PayloadLen > 0 || len(s.Options) > 0 {
+		sf.handleEstablished(s)
+	}
+}
+
+func (sf *Subflow) becomeEstablished() {
+	sf.state = StateEstablished
+	sf.estabAt = sf.sim.Now()
+	sf.synRexmits = 0
+	sf.synTimer.Stop()
+	sf.pushNxt = sf.sndNxt
+	sf.owner.OnEstablished(sf)
+	sf.trySend()
+}
+
+func (sf *Subflow) handleEstablished(s *seg.Segment) {
+	if s.Is(seg.RST) {
+		sf.die(ECONNRESET)
+		return
+	}
+	if s.Is(seg.SYN | seg.ACK) {
+		// Duplicate SYN+ACK: our third handshake ACK was lost. Re-send it
+		// (with its stage-ACK options) so the passive side can establish.
+		ack := &seg.Segment{
+			Tuple:   sf.tuple,
+			Seq:     sf.sndNxt,
+			Ack:     sf.rcv.nxt,
+			Flags:   seg.ACK,
+			Window:  sf.cfg.RcvWnd,
+			Options: sf.owner.HandshakeOptions(sf, StageACK),
+		}
+		sf.stats.Retrans++
+		sf.transmit(ack)
+		return
+	}
+	if s.Is(seg.ACK) {
+		sf.processAck(s)
+		if sf.state == StateDead {
+			return
+		}
+	}
+	hasNew := false
+	if s.PayloadLen > 0 {
+		hasNew = sf.rcv.receive(s.Seq, s.PayloadLen)
+	}
+	if s.Is(seg.FIN) {
+		finSeq := s.Seq + uint32(s.PayloadLen)
+		if finSeq == sf.rcv.nxt {
+			sf.rcv.nxt++
+			sf.finRcvd = true
+		}
+	}
+	sf.owner.OnSegment(sf, s, hasNew)
+	if sf.state == StateDead {
+		return
+	}
+	if s.PayloadLen > 0 || s.Is(seg.FIN) {
+		sf.sendAck()
+	}
+	sf.checkCloseComplete()
+}
+
+func (sf *Subflow) processAck(s *seg.Segment) {
+	sf.peerWnd = s.Window
+	sf.processSACK(s)
+	switch {
+	case seqLT(sf.sndUna, s.Ack) && seqLEQ(s.Ack, sf.sndNxt):
+		flightBefore := sf.sq.flight()
+		acked := sf.sq.ackThrough(s.Ack)
+		payloadAcked := 0
+		for _, c := range acked {
+			payloadAcked += c.Len
+			// Chunks SACKed earlier were timed at SACK arrival; timing
+			// them again here would fold in queue-wait, not path RTT.
+			if c.rexmits == 0 && !c.sacked {
+				sf.rtt.Sample(time.Duration(sf.sim.Now() - c.sentAt))
+			}
+		}
+		sf.stats.BytesAcked += uint64(payloadAcked)
+		sf.sndUna = s.Ack
+		sf.dupAcks = 0
+		sf.backoffs = 0 // forward progress resets the exponential backoff
+		if sf.inRecovery && seqLEQ(sf.recoveryPoint, s.Ack) {
+			sf.inRecovery = false
+		}
+		if sf.finSent && seqLT(sf.finSeq, s.Ack) {
+			sf.finAcked = true
+		}
+		sf.cc.OnAck(payloadAcked, flightBefore)
+		sf.restartRTO()
+		sf.trySend()
+		sf.owner.OnAckAdvance(sf, acked)
+		sf.checkCloseComplete()
+	case s.Ack == sf.sndUna && sf.sq.flight() > 0 && s.PayloadLen == 0 && !s.Is(seg.SYN) && !s.Is(seg.FIN):
+		sf.dupAcks++
+		if sf.dupAcks == 3 && !sf.inRecovery {
+			sf.fastRetransmit()
+		}
+	}
+}
+
+// processSACK folds the segment's SACK blocks into the send queue, infers
+// holes (RFC 6675: a chunk trailing the highest SACKed byte by three
+// segments is lost), and enters loss recovery at most once per window.
+func (sf *Subflow) processSACK(s *seg.Segment) {
+	sk := s.SACK()
+	if sk == nil || len(sk.Blocks) == 0 {
+		return
+	}
+	blocks := make([]sackRange, 0, len(sk.Blocks))
+	for _, b := range sk.Blocks {
+		blocks = append(blocks, sackRange{lo: b.Lo, hi: b.Hi})
+	}
+	high, newly := sf.sq.applySACK(blocks)
+	if len(newly) == 0 {
+		return
+	}
+	for _, c := range newly {
+		if c.rexmits == 0 {
+			// A fresh SACK is a clean delivery timestamp: sample RTT now,
+			// not when the cumulative ACK finally sweeps past.
+			sf.rtt.Sample(time.Duration(sf.sim.Now() - c.sentAt))
+		}
+	}
+	if seqLT(sf.highSacked, high) {
+		sf.highSacked = high
+	}
+	if sf.sq.markSACKHoles(sf.highSacked, 2*sf.cfg.MSS) && !sf.inRecovery {
+		sf.inRecovery = true
+		sf.recoveryPoint = sf.sndNxt
+		sf.stats.FastRetrans++
+		// ssthresh halves the window outstanding at loss detection, NOT
+		// the post-SACK pipe (which the loss episode already shrank).
+		sf.cc.OnDupAckLoss(sf.outstanding())
+	}
+	// SACKed bytes left the pipe: retransmit holes / send new data.
+	sf.trySend()
+}
+
+// outstanding estimates the bytes between the cumulative ACK and the send
+// frontier — the RFC 5681 FlightSize used for ssthresh computation.
+func (sf *Subflow) outstanding() int {
+	return int(sf.sndNxt - sf.sndUna)
+}
+
+func (sf *Subflow) fastRetransmit() {
+	if sf.sq.empty() {
+		return
+	}
+	sf.stats.FastRetrans++
+	sf.inRecovery = true
+	sf.recoveryPoint = sf.sndNxt
+	sf.cc.OnDupAckLoss(sf.outstanding())
+	front := sf.sq.front()
+	if front.sent && !front.sacked {
+		// The lost segment is retransmitted immediately, outside the
+		// usual window check (it replaces bytes already counted).
+		front.lost = true
+		sf.sendChunk(front)
+	}
+	sf.armRTO()
+}
+
+func (sf *Subflow) checkCloseComplete() {
+	if sf.state == StateFinWait && sf.finAcked && sf.finRcvd {
+		sf.die(Ok)
+	}
+}
+
+// --- RTO ---
+
+// armRTO starts the retransmission timer if data is outstanding and it is
+// not already running (RFC 6298 rule 5.1: starting is not restarting — a
+// sender transmitting continuously must still let the timer expire for the
+// stuck head-of-line byte).
+func (sf *Subflow) armRTO() {
+	if !sf.hasOutstanding() {
+		sf.rtoTimer.Stop()
+		return
+	}
+	if !sf.rtoTimer.Armed() {
+		sf.rtoTimer.Reset(sf.CurrentRTO())
+	}
+}
+
+// restartRTO re-arms the timer from now (on cumulative-ACK progress, RFC
+// 6298 rule 5.3).
+func (sf *Subflow) restartRTO() {
+	if !sf.hasOutstanding() {
+		sf.rtoTimer.Stop()
+		return
+	}
+	sf.rtoTimer.Reset(sf.CurrentRTO())
+}
+
+func (sf *Subflow) hasOutstanding() bool {
+	return sf.sq.flight() > 0 || len(sf.sq.all()) > 0 || (sf.finSent && !sf.finAcked)
+}
+
+func (sf *Subflow) onRTO() {
+	if !sf.Established() {
+		return
+	}
+	sf.stats.Timeouts++
+	sf.backoffs++
+	sf.sq.markAllLost()
+	sf.cc.OnRTO(sf.outstanding())
+	sf.dupAcks = 0
+	sf.inRecovery = false // the RTO supersedes any SACK recovery episode
+	rto := sf.CurrentRTO()
+	sf.owner.OnTimeout(sf, rto, sf.backoffs)
+	if sf.state == StateDead {
+		return // the owner (path manager) may have removed us
+	}
+	if sf.backoffs > sf.cfg.MaxBackoffs {
+		sf.die(ETIMEDOUT)
+		return
+	}
+	// Go-back-N: retransmit from snd_una; FIN-only case retransmits FIN.
+	if sf.sq.nextToSend() == nil && sf.finSent && !sf.finAcked {
+		fin := &seg.Segment{Tuple: sf.tuple, Seq: sf.finSeq, Ack: sf.rcv.nxt, Flags: seg.FIN | seg.ACK, Window: sf.cfg.RcvWnd}
+		sf.stats.Retrans++
+		sf.transmit(fin)
+		sf.restartRTO()
+		return
+	}
+	sf.trySend()
+}
