@@ -1,0 +1,31 @@
+# CI runs exactly these targets (.github/workflows/ci.yml), so local runs
+# and the gate can never drift apart.
+
+GO ?= go
+
+.PHONY: build test race bench fmt
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The multi-seed runner is concurrent; always gate it under the race
+# detector.
+race:
+	$(GO) test -race ./...
+
+# One seed per figure benchmark: a smoke reproduction whose output CI
+# uploads as an artifact.
+# Redirect-then-cat instead of tee: a pipe would report tee's exit
+# status and let a failing benchmark slip past CI.
+bench:
+	@$(GO) test -bench=. -benchtime=1x -run '^$$' . > bench.txt; \
+	status=$$?; cat bench.txt; exit $$status
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

@@ -1,12 +1,16 @@
 // Benchmarks regenerating every figure of the paper's evaluation, plus
-// ablations of the design knobs DESIGN.md calls out and micro-benchmarks
-// of the hot paths. Reported custom metrics carry the figures' headline
-// numbers so `go test -bench=.` doubles as a reproduction run:
+// ablations of the design knobs the experiments expose and
+// micro-benchmarks of the hot paths. Each figure benchmark fans its b.N
+// iterations out as independent seeds on the internal/runner worker pool,
+// so the reported custom metrics are aggregates over the seed
+// distribution (see README.md) and `go test -bench=.` doubles as a
+// multi-seed reproduction run:
 //
-//	BenchmarkFig2aBackup       switch_delay_s (smart) vs baseline minutes
-//	BenchmarkFig2bStreaming    p90 block delay per variant
-//	BenchmarkFig2cRefresh/...  median completion seconds per variant
+//	BenchmarkFig2aBackup       mean/p90 switch_delay_s vs baseline minutes
+//	BenchmarkFig2bStreaming    mean p90 block delay per variant
+//	BenchmarkFig2cRefresh/...  mean median completion seconds per variant
 //	BenchmarkFig3.../...       mean CAPA→JOIN delay and userspace penalty
+//	BenchmarkSchedSweep        mean p90 block delay per scheduler
 package main
 
 import (
@@ -15,154 +19,179 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/nlmsg"
+	"repro/internal/runner"
 	"repro/internal/seg"
 	"repro/internal/sim"
 )
 
-func BenchmarkFig2aBackup(b *testing.B) {
-	var delay float64
-	for i := 0; i < b.N; i++ {
-		cfg := experiments.DefaultFig2a()
-		cfg.Seed = int64(i + 1)
-		delay = experiments.Fig2a(cfg).Scalars["switch_delay_s"]
+// sweep fans b.N seeds of job across the worker pool and returns the
+// aggregated scalar distributions. A failed seed fails the benchmark.
+func sweep(b *testing.B, name string, job runner.Job) *runner.Multi {
+	b.Helper()
+	m := runner.Run(name, runner.Config{Seeds: b.N, BaseSeed: 1}, job)
+	for _, sr := range m.Failed() {
+		b.Fatalf("seed %d: %v", sr.Seed, sr.Err)
 	}
-	b.ReportMetric(delay, "switch_delay_s")
+	return m
+}
+
+// report emits the across-seed mean of one aggregated scalar as a custom
+// benchmark metric (adding p90 when the seed count supports a tail).
+func report(b *testing.B, m *runner.Multi, scalar, metric string, scale float64) {
+	b.Helper()
+	s, ok := m.ScalarSummary()[scalar]
+	if !ok {
+		b.Fatalf("scalar %q missing from %s", scalar, m.Name)
+	}
+	b.ReportMetric(s.Mean()*scale, metric)
+	if s.N() >= 8 {
+		b.ReportMetric(s.Quantile(0.9)*scale, metric+"_p90")
+	}
+}
+
+func BenchmarkFig2aBackup(b *testing.B) {
+	m := sweep(b, "fig2a", func(seed int64) *experiments.Result {
+		cfg := experiments.DefaultFig2a()
+		cfg.Seed = seed
+		return experiments.Fig2a(cfg)
+	})
+	report(b, m, "switch_delay_s", "switch_delay_s", 1)
 }
 
 func BenchmarkFig2aKernelBaseline(b *testing.B) {
-	var first float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig2a-baseline", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig2a()
-		cfg.Seed = int64(i + 1)
+		cfg.Seed = seed
 		cfg.Baseline = true
 		cfg.LossRatio = 1.0
-		first = experiments.Fig2a(cfg).Scalars["backup_first_data_s"]
-	}
-	b.ReportMetric(first, "backup_first_data_s")
+		return experiments.Fig2a(cfg)
+	})
+	report(b, m, "backup_first_data_s", "backup_first_data_s", 1)
 }
 
 func BenchmarkFig2bStreaming(b *testing.B) {
-	var smartP90, fullP90 float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig2b", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig2b()
-		cfg.Seed = int64(i + 1)
+		cfg.Seed = seed
 		cfg.Blocks = 60
-		r := experiments.Fig2b(cfg)
-		smartP90 = r.Scalars["smart_p90_s"]
-		fullP90 = r.Scalars["fullmesh_same_loss_p90_s"]
-	}
-	b.ReportMetric(smartP90, "smart_p90_s")
-	b.ReportMetric(fullP90, "fullmesh_p90_s")
+		return experiments.Fig2b(cfg)
+	})
+	report(b, m, "smart_p90_s", "smart_p90_s", 1)
+	report(b, m, "fullmesh_same_loss_p90_s", "fullmesh_p90_s", 1)
 }
 
 // Ablation (§4.3): where in the block the progress probe sits.
 func BenchmarkFig2bProbePointAblation(b *testing.B) {
 	for _, checkMs := range []int{250, 500, 750} {
 		b.Run(time.Duration(checkMs*int(time.Millisecond)).String(), func(b *testing.B) {
-			var p90 float64
-			for i := 0; i < b.N; i++ {
+			m := sweep(b, "fig2b-probe", func(seed int64) *experiments.Result {
 				cfg := experiments.DefaultFig2b()
-				cfg.Seed = int64(i + 1)
+				cfg.Seed = seed
 				cfg.Blocks = 40
 				cfg.LossLevels = nil // smart curve only
 				cfg.ProbeAt = time.Duration(checkMs) * time.Millisecond
-				r := experiments.Fig2b(cfg)
-				p90 = r.Scalars["smart_p90_s"]
-			}
-			b.ReportMetric(p90, "smart_p90_s")
+				return experiments.Fig2b(cfg)
+			})
+			report(b, m, "smart_p90_s", "smart_p90_s", 1)
 		})
 	}
 }
 
 func BenchmarkFig2cNdiffports(b *testing.B) {
-	var median float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig2c-ndiffports", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig2c()
-		cfg.Seed = int64(i*100 + 1)
+		// Consecutive seeds are safe: Fig2c spaces its per-trial seeds by
+		// 1000, so benchmark seeds only collide 1000 apart.
+		cfg.Seed = seed
 		cfg.Trials = 3
 		cfg.FileBytes = 25 << 20 // completion scales linearly with size
-		median = experiments.Fig2c(cfg).Scalars["ndiffports_median_s"]
-	}
-	b.ReportMetric(median, "median_s_25MB")
+		return experiments.Fig2c(cfg)
+	})
+	report(b, m, "ndiffports_median_s", "median_s_25MB", 1)
 }
 
 func BenchmarkFig2cRefresh(b *testing.B) {
-	var median float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig2c-refresh", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig2c()
-		cfg.Seed = int64(i*100 + 1)
+		cfg.Seed = seed
 		cfg.Trials = 3
 		cfg.FileBytes = 25 << 20
-		median = experiments.Fig2c(cfg).Scalars["refresh_median_s"]
-	}
-	b.ReportMetric(median, "median_s_25MB")
+		return experiments.Fig2c(cfg)
+	})
+	report(b, m, "refresh_median_s", "median_s_25MB", 1)
 }
 
 func BenchmarkFig3KernelPM(b *testing.B) {
-	var mean float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig3-kernel", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig3()
-		cfg.Seed = int64(i + 1)
+		cfg.Seed = seed
 		cfg.Requests = 100
-		mean = experiments.Fig3(cfg).Scalars["kernel_mean_ms"]
-	}
-	b.ReportMetric(mean*1000, "capa_join_us")
+		return experiments.Fig3(cfg)
+	})
+	report(b, m, "kernel_mean_ms", "capa_join_us", 1000)
 }
 
 func BenchmarkFig3UserspacePM(b *testing.B) {
-	var mean, delta float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig3-userspace", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig3()
-		cfg.Seed = int64(i + 1)
+		cfg.Seed = seed
 		cfg.Requests = 100
-		r := experiments.Fig3(cfg)
-		mean = r.Scalars["user_mean_ms"]
-		delta = r.Scalars["delta_us"]
-	}
-	b.ReportMetric(mean*1000, "capa_join_us")
-	b.ReportMetric(delta, "penalty_us")
+		return experiments.Fig3(cfg)
+	})
+	report(b, m, "user_mean_ms", "capa_join_us", 1000)
+	report(b, m, "delta_us", "penalty_us", 1)
 }
 
 // Ablation (§4.2): the backup controller's RTO threshold.
 func BenchmarkFig2aThresholdAblation(b *testing.B) {
 	for _, th := range []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second} {
 		b.Run(th.String(), func(b *testing.B) {
-			var delay float64
-			for i := 0; i < b.N; i++ {
+			m := sweep(b, "fig2a-threshold", func(seed int64) *experiments.Result {
 				cfg := experiments.DefaultFig2a()
-				cfg.Seed = int64(i + 1)
+				cfg.Seed = seed
 				cfg.Threshold = th
-				delay = experiments.Fig2a(cfg).Scalars["switch_delay_s"]
-			}
-			b.ReportMetric(delay, "switch_delay_s")
+				return experiments.Fig2a(cfg)
+			})
+			report(b, m, "switch_delay_s", "switch_delay_s", 1)
 		})
 	}
 }
 
 // Ablation (Fig. 3): the Netlink latency model under CPU stress.
 func BenchmarkFig3StressedAblation(b *testing.B) {
-	var delta float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "fig3-stressed", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultFig3()
-		cfg.Seed = int64(i + 1)
+		cfg.Seed = seed
 		cfg.Requests = 100
 		cfg.Stressed = true
-		delta = experiments.Fig3(cfg).Scalars["delta_us"]
-	}
-	b.ReportMetric(delta, "penalty_us")
+		return experiments.Fig3(cfg)
+	})
+	report(b, m, "delta_us", "penalty_us", 1)
 }
 
 func BenchmarkLongLived(b *testing.B) {
-	var delivered, reest float64
-	for i := 0; i < b.N; i++ {
+	m := sweep(b, "longlived", func(seed int64) *experiments.Result {
 		cfg := experiments.DefaultLongLived()
-		cfg.Seed = int64(i + 1)
-		r := experiments.LongLived(cfg)
-		delivered = r.Scalars["messages_delivered"]
-		reest = r.Scalars["reestablishments"]
-	}
-	b.ReportMetric(delivered, "delivered")
-	b.ReportMetric(reest, "reestablishments")
+		cfg.Seed = seed
+		return experiments.LongLived(cfg)
+	})
+	report(b, m, "messages_delivered", "delivered", 1)
+	report(b, m, "reestablishments", "reestablishments", 1)
+}
+
+// BenchmarkSchedSweep compares every registered scheduler on the §4.3
+// streaming workload (the CSWS'14-style policy sweep).
+func BenchmarkSchedSweep(b *testing.B) {
+	m := sweep(b, "schedsweep", func(seed int64) *experiments.Result {
+		cfg := experiments.DefaultSchedSweep()
+		cfg.Seed = seed
+		cfg.Blocks = 40
+		return experiments.SchedSweep(cfg)
+	})
+	report(b, m, "lowest-rtt_p90_s", "lowest_rtt_p90_s", 1)
+	report(b, m, "redundant_p90_s", "redundant_p90_s", 1)
+	report(b, m, "weighted-rtt_p90_s", "weighted_rtt_p90_s", 1)
+	report(b, m, "round-robin_p90_s", "round_robin_p90_s", 1)
 }
 
 // --- Micro-benchmarks of the hot paths ---

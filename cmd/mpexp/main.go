@@ -1,24 +1,80 @@
 // Command mpexp runs the paper's experiments and prints the rows/series of
-// each figure.
+// each figure. Every subcommand can fan one experiment out over many seeds
+// (-seeds) on a bounded worker pool (-parallel), turning each figure's
+// point estimate into a distribution, and can swap the packet scheduler
+// (-sched) for any registered policy.
 //
 // Usage:
 //
-//	mpexp fig2a [-baseline] [-loss R] [-seed N]
-//	mpexp fig2b [-blocks N] [-seed N]
-//	mpexp fig2c [-trials N] [-mb N] [-seed N]
-//	mpexp fig3  [-requests N] [-stressed] [-seed N]
-//	mpexp longlived [-plain] [-seed N]
-//	mpexp all   (default parameters everywhere)
+//	mpexp fig2a      [-baseline] [-loss R] [common flags]
+//	mpexp fig2b      [-blocks N] [common flags]
+//	mpexp fig2c      [-trials N] [-mb N] [common flags]
+//	mpexp fig3       [-requests N] [-stressed] [common flags]
+//	mpexp longlived  [-plain] [common flags]
+//	mpexp schedsweep [-loss R] [-blocks N] [common flags]
+//	mpexp all        (every figure, honouring the common flags)
+//
+// Common flags: -seed N (base seed), -seeds N (independent seeds),
+// -parallel N (worker goroutines, default GOMAXPROCS), -sched NAME.
+// With -seeds 1 the single run's full report prints; with more, per-seed
+// scalars are aggregated into mean/median/p90/min/max and the raw
+// distributions are pooled across seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mptcp"
+	"repro/internal/runner"
 )
+
+// runFlags are the multi-seed flags shared by every subcommand.
+type runFlags struct {
+	seed     *int64
+	seeds    *int
+	parallel *int
+	sched    *string
+}
+
+func addRunFlags(fs *flag.FlagSet) *runFlags {
+	return &runFlags{
+		seed:     fs.Int64("seed", 1, "base simulation seed"),
+		seeds:    fs.Int("seeds", 1, "independent seeds to run (seed, seed+1, ...)"),
+		parallel: fs.Int("parallel", 0, "concurrent seeds (0 = GOMAXPROCS)"),
+		sched: fs.String("sched", "", fmt.Sprintf("packet scheduler: %s (default lowest-rtt)",
+			strings.Join(mptcp.SchedulerNames(), ", "))),
+	}
+}
+
+// execute runs the job once (full report) or across seeds (aggregate) and
+// reports whether every seed succeeded. Callers chaining several
+// experiments (the all subcommand) decide the exit status only after the
+// last one, so one failed seed cannot swallow the remaining figures.
+func (rf *runFlags) execute(name string, job runner.Job) bool {
+	if _, err := mptcp.LookupScheduler(*rf.sched); err != nil {
+		fmt.Fprintln(os.Stderr, "mpexp:", err)
+		os.Exit(2)
+	}
+	if *rf.seeds <= 1 {
+		fmt.Print(job(*rf.seed).Report)
+		return true
+	}
+	m := runner.Run(name, runner.Config{
+		Seeds:    *rf.seeds,
+		BaseSeed: *rf.seed,
+		Parallel: *rf.parallel,
+		OnDone: func(sr runner.SeedResult) {
+			fmt.Fprintf(os.Stderr, "[seed %d done]\n", sr.Seed)
+		},
+	}, job)
+	fmt.Print(m.Report())
+	return len(m.Failed()) == 0
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -26,15 +82,15 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	start := time.Now()
+	ok := true
 	switch cmd {
 	case "fig2a":
 		fs := flag.NewFlagSet("fig2a", flag.ExitOnError)
+		rf := addRunFlags(fs)
 		baseline := fs.Bool("baseline", false, "run the in-kernel pre-established-backup baseline")
 		loss := fs.Float64("loss", -1, "primary-path loss ratio (default 0.30 smart, 1.0 baseline)")
-		seed := fs.Int64("seed", 1, "simulation seed")
 		fs.Parse(args)
 		cfg := experiments.DefaultFig2a()
-		cfg.Seed = *seed
 		cfg.Baseline = *baseline
 		if *baseline {
 			cfg.LossRatio = 1.0
@@ -42,78 +98,148 @@ func main() {
 		if *loss >= 0 {
 			cfg.LossRatio = *loss
 		}
-		fmt.Print(experiments.Fig2a(cfg).Report)
+		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed, c.Sched = seed, *rf.sched
+			return experiments.Fig2a(c)
+		})
 
 	case "fig2b":
 		fs := flag.NewFlagSet("fig2b", flag.ExitOnError)
+		rf := addRunFlags(fs)
 		blocks := fs.Int("blocks", 120, "blocks per curve")
-		seed := fs.Int64("seed", 1, "simulation seed")
 		fs.Parse(args)
 		cfg := experiments.DefaultFig2b()
 		cfg.Blocks = *blocks
-		cfg.Seed = *seed
-		fmt.Print(experiments.Fig2b(cfg).Report)
+		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed, c.Sched = seed, *rf.sched
+			return experiments.Fig2b(c)
+		})
 
 	case "fig2c":
 		fs := flag.NewFlagSet("fig2c", flag.ExitOnError)
+		rf := addRunFlags(fs)
 		trials := fs.Int("trials", 20, "trials per variant")
 		mb := fs.Int("mb", 100, "file size in MB")
-		seed := fs.Int64("seed", 1, "simulation seed")
 		fs.Parse(args)
 		cfg := experiments.DefaultFig2c()
 		cfg.Trials = *trials
 		cfg.FileBytes = *mb << 20
-		cfg.Seed = *seed
-		fmt.Print(experiments.Fig2c(cfg).Report)
+		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed, c.Sched = seed, *rf.sched
+			return experiments.Fig2c(c)
+		})
 
 	case "fig3":
 		fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+		rf := addRunFlags(fs)
 		requests := fs.Int("requests", 1000, "consecutive GETs")
 		stressed := fs.Bool("stressed", false, "model the CPU-stressed client")
-		seed := fs.Int64("seed", 1, "simulation seed")
 		fs.Parse(args)
 		cfg := experiments.DefaultFig3()
 		cfg.Requests = *requests
 		cfg.Stressed = *stressed
-		cfg.Seed = *seed
-		fmt.Print(experiments.Fig3(cfg).Report)
+		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed, c.Sched = seed, *rf.sched
+			return experiments.Fig3(c)
+		})
 
 	case "longlived":
 		fs := flag.NewFlagSet("longlived", flag.ExitOnError)
+		rf := addRunFlags(fs)
 		plain := fs.Bool("plain", false, "run without the controller (baseline)")
-		seed := fs.Int64("seed", 1, "simulation seed")
 		fs.Parse(args)
 		cfg := experiments.DefaultLongLived()
 		cfg.Smart = !*plain
-		cfg.Seed = *seed
-		fmt.Print(experiments.LongLived(cfg).Report)
+		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed, c.Sched = seed, *rf.sched
+			return experiments.LongLived(c)
+		})
+
+	case "schedsweep":
+		fs := flag.NewFlagSet("schedsweep", flag.ExitOnError)
+		rf := addRunFlags(fs)
+		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
+		blocks := fs.Int("blocks", 120, "blocks per scheduler")
+		fs.Parse(args)
+		cfg := experiments.DefaultSchedSweep()
+		cfg.Loss = *loss
+		cfg.Blocks = *blocks
+		if *rf.sched != "" {
+			cfg.Schedulers = []string{*rf.sched} // sweep a single policy
+		}
+		ok = rf.execute("schedsweep", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed = seed
+			return experiments.SchedSweep(c)
+		})
 
 	case "all":
-		fmt.Print(experiments.Fig2a(experiments.DefaultFig2a()).Report)
-		base := experiments.DefaultFig2a()
-		base.Baseline = true
-		base.LossRatio = 1.0
-		fmt.Print(experiments.Fig2a(base).Report)
-		fmt.Print(experiments.Fig2b(experiments.DefaultFig2b()).Report)
-		fmt.Print(experiments.Fig2c(experiments.DefaultFig2c()).Report)
-		fmt.Print(experiments.Fig3(experiments.DefaultFig3()).Report)
-		stressed := experiments.DefaultFig3()
-		stressed.Stressed = true
-		fmt.Print(experiments.Fig3(stressed).Report)
-		fmt.Print(experiments.LongLived(experiments.DefaultLongLived()).Report)
-		plain := experiments.DefaultLongLived()
-		plain.Smart = false
-		fmt.Print(experiments.LongLived(plain).Report)
+		fs := flag.NewFlagSet("all", flag.ExitOnError)
+		rf := addRunFlags(fs)
+		fs.Parse(args)
+		sched := *rf.sched
+		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig2a()
+			c.Seed, c.Sched = seed, sched
+			return experiments.Fig2a(c)
+		}) && ok
+		ok = rf.execute("fig2a-baseline", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig2a()
+			c.Seed, c.Sched = seed, sched
+			c.Baseline, c.LossRatio = true, 1.0
+			return experiments.Fig2a(c)
+		}) && ok
+		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig2b()
+			c.Seed, c.Sched = seed, sched
+			return experiments.Fig2b(c)
+		}) && ok
+		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig2c()
+			c.Seed, c.Sched = seed, sched
+			return experiments.Fig2c(c)
+		}) && ok
+		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig3()
+			c.Seed, c.Sched = seed, sched
+			return experiments.Fig3(c)
+		}) && ok
+		ok = rf.execute("fig3-stressed", func(seed int64) *experiments.Result {
+			c := experiments.DefaultFig3()
+			c.Seed, c.Sched = seed, sched
+			c.Stressed = true
+			return experiments.Fig3(c)
+		}) && ok
+		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
+			c := experiments.DefaultLongLived()
+			c.Seed, c.Sched = seed, sched
+			return experiments.LongLived(c)
+		}) && ok
+		ok = rf.execute("longlived-plain", func(seed int64) *experiments.Result {
+			c := experiments.DefaultLongLived()
+			c.Seed, c.Sched = seed, sched
+			c.Smart = false
+			return experiments.LongLived(c)
+		}) && ok
 
 	default:
 		usage()
 	}
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|all> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
-APPlications" (CoNEXT'15). Run with a subcommand and -h for its flags.`)
+APPlications" (CoNEXT'15). Run with a subcommand and -h for its flags.
+Common flags: -seed N -seeds N -parallel N -sched NAME.`)
 	os.Exit(2)
 }

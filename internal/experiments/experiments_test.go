@@ -4,9 +4,11 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/mptcp"
 )
 
-// These tests assert the SHAPE criteria of DESIGN.md §4 on scaled-down
+// These tests assert the SHAPE of the paper's §4 results on scaled-down
 // configurations: who wins, by roughly what factor, where the crossovers
 // fall — not absolute testbed numbers.
 
@@ -181,6 +183,31 @@ func TestReportsRenderable(t *testing.T) {
 	cfg3.Requests = 10
 	if !strings.Contains(Fig3(cfg3).Report, "userspace penalty") {
 		t.Fatal("fig3 report incomplete")
+	}
+}
+
+func TestSchedSweepCoversAllSchedulers(t *testing.T) {
+	cfg := DefaultSchedSweep()
+	cfg.Blocks = 10
+	r := SchedSweep(cfg)
+	names := mptcp.SchedulerNames()
+	if len(names) < 4 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, name := range names {
+		s, ok := r.Samples[name]
+		if !ok {
+			t.Fatalf("scheduler %q missing from samples", name)
+		}
+		if s.N() != cfg.Blocks {
+			t.Fatalf("scheduler %q: %d blocks sampled, want %d", name, s.N(), cfg.Blocks)
+		}
+		if _, ok := r.Scalars[name+"_p90_s"]; !ok {
+			t.Fatalf("scheduler %q missing p90 scalar", name)
+		}
+		if !strings.Contains(r.Report, name) {
+			t.Fatalf("report missing scheduler %q", name)
+		}
 	}
 }
 

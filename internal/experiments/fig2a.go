@@ -18,6 +18,7 @@ import (
 // Fig2aConfig parameterises the §4.2 smart-backup experiment.
 type Fig2aConfig struct {
 	Seed      int64
+	Sched     string        // registered scheduler name; "" = lowest-rtt
 	LossRatio float64       // loss on the primary path after LossAt (paper: 0.30)
 	LossAt    time.Duration // when the radio degrades (paper: 1 s)
 	Threshold time.Duration // controller's RTO threshold (paper: 1 s)
@@ -67,8 +68,8 @@ func Fig2a(cfg Fig2aConfig) *Result {
 		ctl.Attach(lib)
 		cpm = pm
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	sink := app.NewSink(net.Sim, 1<<40, nil) // unbounded; we observe a window
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
 	net.Sim.RunFor(time.Millisecond)

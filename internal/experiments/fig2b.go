@@ -17,6 +17,7 @@ import (
 // Fig2bConfig parameterises the §4.3 smart-streaming experiment.
 type Fig2bConfig struct {
 	Seed       int64
+	Sched      string        // registered scheduler name; "" = lowest-rtt
 	LossLevels []float64     // loss ratios for the full-mesh baseline curves
 	SmartLoss  float64       // loss ratio for the Smart Stream curve (paper: invariant in 10-40%)
 	Blocks     int           // blocks per run
@@ -101,8 +102,8 @@ func fig2bRun(cfg Fig2bConfig, loss float64, smart bool) *sample {
 	} else {
 		cpm = pm.NewFullMesh()
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	bsink := app.NewBlockSink(net.Sim, cfg.BlockSize)
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(bsink.Callbacks()) })
 	net.Sim.RunFor(time.Millisecond)

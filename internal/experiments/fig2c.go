@@ -17,10 +17,11 @@ import (
 // Fig2cConfig parameterises the §4.4 ECMP experiment.
 type Fig2cConfig struct {
 	Seed      int64
-	Trials    int // independent runs per variant (different hash seeds/ports)
-	FileBytes int // 100 MB in the paper
-	Subflows  int // 5 in the paper
-	Paths     int // 4 in the paper
+	Sched     string // registered scheduler name; "" = lowest-rtt
+	Trials    int    // independent runs per variant (different hash seeds/ports)
+	FileBytes int    // 100 MB in the paper
+	Subflows  int    // 5 in the paper
+	Paths     int    // 4 in the paper
 }
 
 // DefaultFig2c returns the paper's parameters: 100 MB over 5 subflows on a
@@ -97,8 +98,8 @@ func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float
 	} else {
 		cpm = pm.NewNDiffPorts(cfg.Subflows)
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	var done sim.Time = -1
 	sink := app.NewSink(net.Sim, uint64(cfg.FileBytes), nil)
 	sink.OnComplete = func() { done = net.Sim.Now() }

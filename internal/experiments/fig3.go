@@ -18,9 +18,10 @@ import (
 // Fig3Config parameterises the §4.5 path-manager-cost experiment.
 type Fig3Config struct {
 	Seed     int64
-	Requests int  // consecutive HTTP/1.0-style GETs (paper: 1000)
-	RespSize int  // 512 KB in the paper
-	Stressed bool // model the CPU-stressed client of §4.5
+	Sched    string // registered scheduler name; "" = lowest-rtt
+	Requests int    // consecutive HTTP/1.0-style GETs (paper: 1000)
+	RespSize int    // 512 KB in the paper
+	Stressed bool   // model the CPU-stressed client of §4.5
 }
 
 // DefaultFig3 returns the paper's parameters.
@@ -91,8 +92,8 @@ func fig3Run(cfg Fig3Config, userspace bool) *sample {
 	} else {
 		cpm = pm.NewNDiffPorts(2)
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	srv := app.NewReqRespServer(200, cfg.RespSize)
 	sep.Listen(80, srv.Accept)
 	net.Sim.RunFor(time.Millisecond)

@@ -15,6 +15,7 @@ import (
 // LongLivedConfig parameterises the §4.1 long-lived-connection experiment.
 type LongLivedConfig struct {
 	Seed        int64
+	Sched       string        // registered scheduler name; "" = lowest-rtt
 	NATTimeout  time.Duration // middlebox idle timeout (deployed boxes: a few hundred seconds)
 	Policy      netem.ExpiryPolicy
 	MsgInterval time.Duration // application message cadence (sparser than the NAT timeout)
@@ -69,8 +70,8 @@ func LongLived(cfg LongLivedConfig) *Result {
 		ctl.Attach(lib)
 		cpm = npm
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, cpm)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{}, nil)
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 
 	// Receiver records the arrival time of each message boundary.
 	var arrivals []sim.Time

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mptcp"
+)
+
+// SchedSweepConfig parameterises the scheduler-sweep experiment.
+type SchedSweepConfig struct {
+	Seed       int64
+	Schedulers []string      // registered names; empty sweeps every one
+	Loss       float64       // loss ratio on the primary path
+	Blocks     int           // blocks per scheduler run
+	Period     time.Duration // one block per period
+	BlockSize  int
+	LossAt     time.Duration // loss starts after this settle time
+}
+
+// DefaultSchedSweep sweeps every registered scheduler over the §4.3
+// streaming workload at 30 % loss.
+func DefaultSchedSweep() SchedSweepConfig {
+	return SchedSweepConfig{
+		Seed:      1,
+		Loss:      0.30,
+		Blocks:    120,
+		Period:    time.Second,
+		BlockSize: 64 << 10,
+		LossAt:    time.Second,
+	}
+}
+
+// SchedSweep runs the paper's streaming workload (two 5 Mbps / 10 ms
+// paths, one 64 KB block per second, full-mesh path manager) once per
+// scheduler and compares the block-completion-time distributions. This is
+// the sweep the scheduler-comparison literature (Paasch et al., CSWS'14)
+// performs across policies: lowest-rtt is the kernel default, round-robin
+// the classic alternative, redundant the latency-optimal bound, and
+// weighted-rtt the probabilistic middle ground.
+func SchedSweep(cfg SchedSweepConfig) *Result {
+	scheds := cfg.Schedulers
+	if len(scheds) == 0 {
+		scheds = mptcp.SchedulerNames()
+	}
+	for _, name := range scheds {
+		if _, err := mptcp.LookupScheduler(name); err != nil {
+			panic(err)
+		}
+	}
+
+	res := newResult("schedsweep")
+	res.Report = header("Scheduler sweep — §4.3 streaming workload per scheduler",
+		fmt.Sprintf("2 x 5 Mbps, 10 ms paths; %d B block every %v; %d blocks; %.0f%% loss; full-mesh PM",
+			cfg.BlockSize, cfg.Period, cfg.Blocks, cfg.Loss*100))
+
+	streamCfg := Fig2bConfig{
+		Seed:      cfg.Seed,
+		Blocks:    cfg.Blocks,
+		Period:    cfg.Period,
+		BlockSize: cfg.BlockSize,
+		LossAt:    cfg.LossAt,
+	}
+	for _, name := range scheds {
+		streamCfg.Sched = name
+		res.Samples[name] = fig2bRun(streamCfg, cfg.Loss, false)
+	}
+
+	res.section("CDF of block completion time (seconds) per scheduler")
+	res.renderCDFs(scheds...)
+
+	res.section("summary")
+	res.printf("%-14s %8s %8s %8s %8s\n", "scheduler", "median", "p90", "p99", "max")
+	for _, name := range scheds {
+		s := res.Samples[name]
+		res.printf("%-14s %7.2fs %7.2fs %7.2fs %7.2fs\n",
+			name, s.Median(), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+		res.Scalars[name+"_median_s"] = s.Median()
+		res.Scalars[name+"_p90_s"] = s.Quantile(0.9)
+	}
+	return res
+}

@@ -32,6 +32,7 @@ type ConnStats struct {
 	BytesWritten    uint64
 	BytesScheduled  uint64 // first-time scheduling only
 	BytesReinjected uint64 // bytes queued again after a timeout/subflow death
+	BytesDuplicated uint64 // redundant copies placed by a MultiPicker scheduler
 	ChunksPushed    uint64
 	SubflowsOpened  uint64 // locally initiated
 	SubflowsClosed  uint64
@@ -365,22 +366,41 @@ func (c *Connection) removeSubflow(sf *tcp.Subflow) {
 // --- Scheduling ---
 
 // push hands pending data to subflows according to the scheduler:
-// reinjected ranges first, then new data, then the DATA_FIN.
+// reinjected ranges first, then new data, then the DATA_FIN. A scheduler
+// implementing MultiPicker may return several subflows per chunk; the
+// first accounts for the bytes, the others carry redundant copies (the
+// receiver's reassembly discards whichever lands second).
 func (c *Connection) push() {
 	if !c.established || c.closed {
 		return
 	}
+	mp, _ := c.sched.(MultiPicker)
 	for {
 		rel, ln, isFin, fromRe := c.nextRange()
 		if ln == 0 {
 			break
 		}
-		sf := c.sched.Pick(c.subflows, ln)
-		if sf == nil {
+		var targets []*tcp.Subflow
+		if mp != nil {
+			targets = mp.PickAll(c.subflows, ln)
+		} else if sf := c.sched.Pick(c.subflows, ln); sf != nil {
+			targets = append(targets, sf)
+		}
+		if len(targets) == 0 {
 			break
 		}
-		sf.Push(c.relToAbs(rel), ln, isFin)
-		c.stats.ChunksPushed++
+		for i, sf := range targets {
+			sf.Push(c.relToAbs(rel), ln, isFin)
+			c.stats.ChunksPushed++
+			if i > 0 {
+				c.stats.BytesDuplicated += uint64(ln)
+			}
+			if c.TracePush != nil {
+				// Redundant copies are first transmissions, not
+				// reinjections; the flag reports reinjection only.
+				c.TracePush(sf, rel, ln, fromRe)
+			}
+		}
 		if fromRe {
 			c.reinject.remove(rel, rel+uint64(ln))
 			c.stats.BytesReinjected += uint64(ln)
@@ -389,9 +409,6 @@ func (c *Connection) push() {
 		} else {
 			c.schedNxt = rel + uint64(ln)
 			c.stats.BytesScheduled += uint64(ln)
-		}
-		if c.TracePush != nil {
-			c.TracePush(sf, rel, ln, fromRe)
 		}
 	}
 }

@@ -14,9 +14,13 @@ import (
 type Config struct {
 	// TCP configures every subflow (MSS, initial window, RTO limits, ...).
 	TCP tcp.Config
-	// NewScheduler builds the per-connection packet scheduler; the default
-	// is the kernel's lowest-RTT scheduler.
-	NewScheduler func() Scheduler
+	// Scheduler names a registered packet scheduler (see
+	// RegisterScheduler); empty means the kernel default, lowest-rtt.
+	Scheduler string
+	// NewScheduler builds the per-connection packet scheduler directly and
+	// takes precedence over Scheduler when non-nil. rng is the owning
+	// simulation's deterministic source.
+	NewScheduler SchedulerFactory
 	// Coupled enables LIA coupled congestion control (RFC 6356) across the
 	// subflows of each connection instead of independent Reno.
 	Coupled bool
@@ -50,7 +54,11 @@ func NewEndpoint(host *netem.Host, cfg Config, pm PathManager) *Endpoint {
 		pm = NopPM{}
 	}
 	if cfg.NewScheduler == nil {
-		cfg.NewScheduler = func() Scheduler { return LowestRTT{} }
+		f, err := LookupScheduler(cfg.Scheduler)
+		if err != nil {
+			panic(err) // misconfiguration; cmd/mpexp validates names up front
+		}
+		cfg.NewScheduler = f
 	}
 	ep := &Endpoint{
 		sim:       host.Sim(),
@@ -129,7 +137,7 @@ func (ep *Endpoint) newConn(isClient bool, initial seg.FourTuple, cb ConnCallbac
 	c := &Connection{
 		ep:           ep,
 		isClient:     isClient,
-		sched:        ep.cfg.NewScheduler(),
+		sched:        ep.cfg.NewScheduler(ep.sim.Rand()),
 		cb:           cb,
 		mss:          ep.cfg.TCP.MSS,
 		localKey:     key,

@@ -492,7 +492,7 @@ func TestCoupledLIALimitsAggregate(t *testing.T) {
 func TestRoundRobinSpreadsLoad(t *testing.T) {
 	p0 := netem.LinkConfig{RateBps: 100e6, Delay: 5 * time.Millisecond}
 	p1 := netem.LinkConfig{RateBps: 100e6, Delay: 5 * time.Millisecond}
-	cfg := Config{NewScheduler: func() Scheduler { return &RoundRobin{} }}
+	cfg := Config{Scheduler: "round-robin"}
 	r := newRig(t, 17, p0, p1, cfg)
 	r.net.Sim.Run()
 	r.client.OpenSubflow(r.net.ClientAddrs[1], 0, r.net.ServerAddr, 80, false)

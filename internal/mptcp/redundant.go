@@ -1,0 +1,63 @@
+package mptcp
+
+import (
+	"time"
+
+	"repro/internal/tcp"
+)
+
+// Redundant duplicates every chunk on every subflow whose window is open,
+// trading goodput for latency: the receiver keeps whichever copy lands
+// first, so one lossy path no longer stalls the stream behind its
+// (backed-off) RTO. This is the classic scheduler for latency-critical
+// traffic (the §4.3 streaming workload) and the natural upper bound for
+// any reinjection heuristic.
+//
+// RFC 6824 backup semantics still hold: backup subflows receive copies
+// only when no regular subflow is established.
+type Redundant struct{}
+
+// Name implements Scheduler.
+func (Redundant) Name() string { return "redundant" }
+
+// Pick implements Scheduler by returning the primary copy's subflow
+// (lowest RTT among the usable set), so Redundant degrades gracefully if
+// a caller ignores PickAll.
+func (r Redundant) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
+	all := r.PickAll(subflows, want)
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+// PickAll implements MultiPicker: every usable subflow on the allowed
+// priority tier, lowest RTT first (the first entry accounts for the
+// bytes; the rest carry duplicates).
+func (Redundant) PickAll(subflows []*tcp.Subflow, want int) []*tcp.Subflow {
+	collect := func(backup bool) []*tcp.Subflow {
+		var out []*tcp.Subflow
+		for _, sf := range subflows {
+			if usable(sf, backup, want) {
+				out = append(out, sf)
+			}
+		}
+		// Insertion sort by SRTT: n is the subflow count (single digits),
+		// and stability keeps equal-RTT subflows in creation order.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && srttOf(out[j]) < srttOf(out[j-1]); j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	if out := collect(false); len(out) > 0 {
+		return out
+	}
+	if !backupsAllowed(subflows) {
+		return nil
+	}
+	return collect(true)
+}
+
+func srttOf(sf *tcp.Subflow) time.Duration { return sf.SRTT() }

@@ -11,12 +11,43 @@ import (
 // — prefers the lowest-RTT subflow whose congestion window is open; backup
 // subflows are used only when no regular subflow is usable (RFC 6824
 // backup semantics).
+//
+// Schedulers are registered by name (see RegisterScheduler) so experiments
+// can sweep every known policy; the built-ins are "lowest-rtt",
+// "round-robin", "redundant" and "weighted-rtt".
 type Scheduler interface {
 	// Name identifies the scheduler in experiment output.
 	Name() string
 	// Pick returns the subflow to send on, or nil if none can take data
 	// now. want is the chunk size the connection would like to place.
 	Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow
+}
+
+// MultiPicker is an optional Scheduler extension for redundant policies:
+// PickAll returns every subflow that should carry a copy of the chunk.
+// The first subflow is the primary (it accounts for the bytes); the rest
+// receive duplicates. An empty slice means nothing can be sent now.
+type MultiPicker interface {
+	PickAll(subflows []*tcp.Subflow, want int) []*tcp.Subflow
+}
+
+// usable reports whether sf can take a want-byte chunk right now on the
+// given priority tier.
+func usable(sf *tcp.Subflow, backup bool, want int) bool {
+	return sf.Backup() == backup && sf.Established() && sf.AvailableCwnd() >= want
+}
+
+// backupsAllowed implements the RFC 6824 rule every scheduler shares:
+// backup subflows may carry data only when no regular subflow is
+// established. Regular subflows that are merely cwnd-limited but alive
+// block the backups — the connection waits for them instead.
+func backupsAllowed(subflows []*tcp.Subflow) bool {
+	for _, sf := range subflows {
+		if !sf.Backup() && sf.Established() {
+			return false
+		}
+	}
+	return true
 }
 
 // LowestRTT is the default Linux MPTCP scheduler: among subflows with an
@@ -36,7 +67,7 @@ func (LowestRTT) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 			// The window must fit the whole chunk: allowing sub-MSS
 			// crumbs fragments the stream into tiny segments (half the
 			// link then carries headers), which no real stack does.
-			if sf.Backup() != backup || !sf.Established() || sf.AvailableCwnd() < want {
+			if !usable(sf, backup, want) {
 				continue
 			}
 			rtt := sf.SRTT()
@@ -49,14 +80,8 @@ func (LowestRTT) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 	if sf := pick(false); sf != nil {
 		return sf
 	}
-	// Backup subflows carry data only when no regular subflow can. That
-	// includes the case where regular subflows exist but are all dead —
-	// but NOT the case where they are merely cwnd-limited and alive:
-	// if any regular subflow is established we wait for it.
-	for _, sf := range subflows {
-		if !sf.Backup() && sf.Established() {
-			return nil
-		}
+	if !backupsAllowed(subflows) {
+		return nil
 	}
 	return pick(true)
 }
@@ -79,7 +104,7 @@ func (r *RoundRobin) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 	pick := func(backup bool) *tcp.Subflow {
 		for i := 1; i <= n; i++ {
 			sf := subflows[(r.last+i)%n]
-			if sf.Backup() != backup || !sf.Established() || sf.AvailableCwnd() < want {
+			if !usable(sf, backup, want) {
 				continue
 			}
 			r.last = (r.last + i) % n
@@ -90,10 +115,8 @@ func (r *RoundRobin) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 	if sf := pick(false); sf != nil {
 		return sf
 	}
-	for _, sf := range subflows {
-		if !sf.Backup() && sf.Established() {
-			return nil
-		}
+	if !backupsAllowed(subflows) {
+		return nil
 	}
 	return pick(true)
 }

@@ -1,0 +1,74 @@
+package mptcp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SchedulerFactory builds a fresh per-connection scheduler. rng is the
+// owning simulation's deterministic random source; randomized schedulers
+// must draw from it (and only it) so runs stay reproducible per seed.
+type SchedulerFactory func(rng *rand.Rand) Scheduler
+
+var schedRegistry = struct {
+	sync.RWMutex
+	factories map[string]SchedulerFactory
+}{factories: make(map[string]SchedulerFactory)}
+
+// RegisterScheduler makes a scheduler available by name to endpoint
+// configuration, cmd/mpexp -sched, and the schedsweep experiment. It
+// panics on an empty name or a duplicate registration — both are
+// programming errors, caught at init time.
+func RegisterScheduler(name string, f SchedulerFactory) {
+	if name == "" || f == nil {
+		panic("mptcp: RegisterScheduler with empty name or nil factory")
+	}
+	schedRegistry.Lock()
+	defer schedRegistry.Unlock()
+	if _, dup := schedRegistry.factories[name]; dup {
+		panic(fmt.Sprintf("mptcp: scheduler %q registered twice", name))
+	}
+	schedRegistry.factories[name] = f
+}
+
+// LookupScheduler returns the factory registered under name. The empty
+// name resolves to the kernel default, lowest-rtt.
+func LookupScheduler(name string) (SchedulerFactory, error) {
+	if name == "" {
+		name = "lowest-rtt"
+	}
+	schedRegistry.RLock()
+	defer schedRegistry.RUnlock()
+	f, ok := schedRegistry.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("mptcp: unknown scheduler %q (registered: %s)",
+			name, strings.Join(schedulerNamesLocked(), ", "))
+	}
+	return f, nil
+}
+
+// SchedulerNames lists every registered scheduler, sorted.
+func SchedulerNames() []string {
+	schedRegistry.RLock()
+	defer schedRegistry.RUnlock()
+	return schedulerNamesLocked()
+}
+
+func schedulerNamesLocked() []string {
+	names := make([]string, 0, len(schedRegistry.factories))
+	for n := range schedRegistry.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterScheduler("lowest-rtt", func(*rand.Rand) Scheduler { return LowestRTT{} })
+	RegisterScheduler("round-robin", func(*rand.Rand) Scheduler { return &RoundRobin{} })
+	RegisterScheduler("redundant", func(*rand.Rand) Scheduler { return Redundant{} })
+	RegisterScheduler("weighted-rtt", func(rng *rand.Rand) Scheduler { return &WeightedRTT{rng: rng} })
+}

@@ -87,11 +87,11 @@ func TestChaosSubflowChurn(t *testing.T) {
 // not lose to round-robin on asymmetric paths (it is the kernel default
 // for a reason).
 func TestSchedulerComparison(t *testing.T) {
-	run := func(mk func() Scheduler) float64 {
+	run := func(sched string) float64 {
 		r := newRig(t, 55,
 			netem.LinkConfig{RateBps: 20e6, Delay: 5 * time.Millisecond},
 			netem.LinkConfig{RateBps: 20e6, Delay: 60 * time.Millisecond},
-			Config{NewScheduler: mk})
+			Config{Scheduler: sched})
 		r.net.Sim.Run()
 		r.client.OpenSubflow(r.net.ClientAddrs[1], 0, r.net.ServerAddr, 80, false)
 		r.net.Sim.Run()
@@ -102,8 +102,8 @@ func TestSchedulerComparison(t *testing.T) {
 		}
 		return (r.net.Sim.Now() - start).Seconds()
 	}
-	lrtt := run(func() Scheduler { return LowestRTT{} })
-	rr := run(func() Scheduler { return &RoundRobin{} })
+	lrtt := run("lowest-rtt")
+	rr := run("round-robin")
 	if lrtt > 55 || rr > 55 {
 		t.Fatalf("a scheduler failed to complete: lowest-rtt=%.1fs round-robin=%.1fs", lrtt, rr)
 	}
