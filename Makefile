@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt
+.PHONY: build test race bench fmt examples
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,11 @@ fmt:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Build and RUN every example end to end; any non-zero exit fails. The
+# examples are the facade's acceptance surface, so they are executed,
+# not just compiled.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d; \
+	done

@@ -11,6 +11,7 @@
 //	BenchmarkFig2cRefresh/...  mean median completion seconds per variant
 //	BenchmarkFig3.../...       mean CAPA→JOIN delay and userspace penalty
 //	BenchmarkSchedSweep        mean p90 block delay per scheduler
+//	BenchmarkCtlSweep          mean p90 block delay per subflow controller
 package main
 
 import (
@@ -177,6 +178,22 @@ func BenchmarkLongLived(b *testing.B) {
 	})
 	report(b, m, "messages_delivered", "delivered", 1)
 	report(b, m, "reestablishments", "reestablishments", 1)
+}
+
+// BenchmarkCtlSweep compares every registered subflow controller on the
+// §4.3 streaming workload — the controller-space analogue of the
+// scheduler sweep, driven entirely through the smapp registry.
+func BenchmarkCtlSweep(b *testing.B) {
+	m := sweep(b, "ctlsweep", func(seed int64) *experiments.Result {
+		cfg := experiments.DefaultCtlSweep()
+		cfg.Seed = seed
+		cfg.Blocks = 40
+		return experiments.CtlSweep(cfg)
+	})
+	report(b, m, "stream_p90_s", "stream_p90_s", 1)
+	report(b, m, "backup_p90_s", "backup_p90_s", 1)
+	report(b, m, "fullmesh_p90_s", "fullmesh_p90_s", 1)
+	report(b, m, "none_p90_s", "none_p90_s", 1)
 }
 
 // BenchmarkSchedSweep compares every registered scheduler on the §4.3

@@ -12,10 +12,13 @@
 //	mpexp fig3       [-requests N] [-stressed] [common flags]
 //	mpexp longlived  [-plain] [common flags]
 //	mpexp schedsweep [-loss R] [-blocks N] [common flags]
+//	mpexp ctlsweep   [-loss R] [-blocks N] [common flags]
 //	mpexp all        (every figure, honouring the common flags)
 //
 // Common flags: -seed N (base seed), -seeds N (independent seeds),
-// -parallel N (worker goroutines, default GOMAXPROCS), -sched NAME.
+// -parallel N (worker goroutines, default GOMAXPROCS), -sched NAME,
+// -controller NAME (swap the smart mode's subflow controller; ctlsweep
+// restricts its sweep to just that policy).
 // With -seeds 1 the single run's full report prints; with more, per-seed
 // scalars are aggregated into mean/median/p90/min/max and the raw
 // distributions are pooled across seeds.
@@ -31,14 +34,16 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mptcp"
 	"repro/internal/runner"
+	"repro/internal/smapp"
 )
 
 // runFlags are the multi-seed flags shared by every subcommand.
 type runFlags struct {
-	seed     *int64
-	seeds    *int
-	parallel *int
-	sched    *string
+	seed       *int64
+	seeds      *int
+	parallel   *int
+	sched      *string
+	controller *string
 }
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
@@ -48,7 +53,18 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 		parallel: fs.Int("parallel", 0, "concurrent seeds (0 = GOMAXPROCS)"),
 		sched: fs.String("sched", "", fmt.Sprintf("packet scheduler: %s (default lowest-rtt)",
 			strings.Join(mptcp.SchedulerNames(), ", "))),
+		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the figure's paper policy)",
+			strings.Join(smapp.ControllerNames(), ", "))),
 	}
+}
+
+// policy resolves the smart-mode controller for an experiment: the
+// -controller override when given, the figure's paper policy otherwise.
+func (rf *runFlags) policy(paperDefault string) string {
+	if *rf.controller != "" {
+		return *rf.controller
+	}
+	return paperDefault
 }
 
 // execute runs the job once (full report) or across seeds (aggregate) and
@@ -57,6 +73,10 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 // last one, so one failed seed cannot swallow the remaining figures.
 func (rf *runFlags) execute(name string, job runner.Job) bool {
 	if _, err := mptcp.LookupScheduler(*rf.sched); err != nil {
+		fmt.Fprintln(os.Stderr, "mpexp:", err)
+		os.Exit(2)
+	}
+	if _, err := smapp.LookupController(*rf.controller); err != nil {
 		fmt.Fprintln(os.Stderr, "mpexp:", err)
 		os.Exit(2)
 	}
@@ -92,6 +112,7 @@ func main() {
 		fs.Parse(args)
 		cfg := experiments.DefaultFig2a()
 		cfg.Baseline = *baseline
+		cfg.Policy = rf.policy(cfg.Policy)
 		if *baseline {
 			cfg.LossRatio = 1.0
 		}
@@ -111,6 +132,7 @@ func main() {
 		fs.Parse(args)
 		cfg := experiments.DefaultFig2b()
 		cfg.Blocks = *blocks
+		cfg.Policy = rf.policy(cfg.Policy)
 		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
 			c := cfg
 			c.Seed, c.Sched = seed, *rf.sched
@@ -126,6 +148,7 @@ func main() {
 		cfg := experiments.DefaultFig2c()
 		cfg.Trials = *trials
 		cfg.FileBytes = *mb << 20
+		cfg.Policy = rf.policy(cfg.Policy)
 		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
 			c := cfg
 			c.Seed, c.Sched = seed, *rf.sched
@@ -141,6 +164,7 @@ func main() {
 		cfg := experiments.DefaultFig3()
 		cfg.Requests = *requests
 		cfg.Stressed = *stressed
+		cfg.Policy = rf.policy(cfg.Policy)
 		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
 			c := cfg
 			c.Seed, c.Sched = seed, *rf.sched
@@ -150,14 +174,36 @@ func main() {
 	case "longlived":
 		fs := flag.NewFlagSet("longlived", flag.ExitOnError)
 		rf := addRunFlags(fs)
-		plain := fs.Bool("plain", false, "run without the controller (baseline)")
+		plain := fs.Bool("plain", false, "run the nil policy (plain-stack baseline)")
 		fs.Parse(args)
 		cfg := experiments.DefaultLongLived()
-		cfg.Smart = !*plain
+		cfg.Policy = rf.policy(cfg.Policy)
+		if *plain {
+			cfg.Policy = "" // the nil policy: same stack, no controller
+		}
 		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
 			c := cfg
 			c.Seed, c.Sched = seed, *rf.sched
 			return experiments.LongLived(c)
+		})
+
+	case "ctlsweep":
+		fs := flag.NewFlagSet("ctlsweep", flag.ExitOnError)
+		rf := addRunFlags(fs)
+		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
+		blocks := fs.Int("blocks", 120, "blocks per controller")
+		fs.Parse(args)
+		cfg := experiments.DefaultCtlSweep()
+		cfg.Loss = *loss
+		cfg.Blocks = *blocks
+		cfg.Sched = *rf.sched
+		if *rf.controller != "" {
+			cfg.Controllers = []string{*rf.controller} // sweep a single policy
+		}
+		ok = rf.execute("ctlsweep", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed = seed
+			return experiments.CtlSweep(c)
 		})
 
 	case "schedsweep":
@@ -186,6 +232,7 @@ func main() {
 		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig2a()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			return experiments.Fig2a(c)
 		}) && ok
 		ok = rf.execute("fig2a-baseline", func(seed int64) *experiments.Result {
@@ -197,34 +244,47 @@ func main() {
 		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig2b()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			return experiments.Fig2b(c)
 		}) && ok
 		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig2c()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			return experiments.Fig2c(c)
 		}) && ok
 		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig3()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			return experiments.Fig3(c)
 		}) && ok
 		ok = rf.execute("fig3-stressed", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig3()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			c.Stressed = true
 			return experiments.Fig3(c)
 		}) && ok
 		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
 			c := experiments.DefaultLongLived()
 			c.Seed, c.Sched = seed, sched
+			c.Policy = rf.policy(c.Policy)
 			return experiments.LongLived(c)
 		}) && ok
 		ok = rf.execute("longlived-plain", func(seed int64) *experiments.Result {
 			c := experiments.DefaultLongLived()
 			c.Seed, c.Sched = seed, sched
-			c.Smart = false
+			c.Policy = "" // the nil policy: same stack, no controller
 			return experiments.LongLived(c)
+		}) && ok
+		ok = rf.execute("ctlsweep", func(seed int64) *experiments.Result {
+			c := experiments.DefaultCtlSweep()
+			c.Seed, c.Sched = seed, sched
+			if *rf.controller != "" {
+				c.Controllers = []string{*rf.controller}
+			}
+			return experiments.CtlSweep(c)
 		}) && ok
 
 	default:
@@ -237,9 +297,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|ctlsweep|all> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
 APPlications" (CoNEXT'15). Run with a subcommand and -h for its flags.
-Common flags: -seed N -seeds N -parallel N -sched NAME.`)
+Common flags: -seed N -seeds N -parallel N -sched NAME -controller NAME.`)
 	os.Exit(2)
 }

@@ -1,46 +1,34 @@
 // Command smappctl is a subflow controller running as a separate OS
-// process, the way the paper intends: it attaches to smappd's Unix socket,
-// registers for events through the PM library, and applies the §4.2
-// smart-backup policy over real Netlink-format messages.
+// process, the way the paper intends: it attaches to smappd's Unix socket
+// through the smapp controller stack, picks a policy from the same
+// registry the in-process facade uses, and applies it over real
+// Netlink-format messages on the wall clock.
 //
 // Usage:
 //
-//	smappctl -sock /tmp/smapp.sock
+//	smappctl -sock /tmp/smapp.sock -policy backup
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/netip"
+	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/nlmsg"
+	"repro/internal/smapp"
 	"repro/internal/topo"
 )
 
-// realClock adapts the wall clock to core.Clock. Timer callbacks are
-// serialised with the socket reader through mu, so controller code remains
-// single-threaded as it is in the simulator.
-type realClock struct {
-	start time.Time
-	mu    *sync.Mutex
-}
-
-func (c realClock) Now() time.Duration { return time.Since(c.start) }
-func (c realClock) After(d time.Duration, fn func()) func() {
-	t := time.AfterFunc(d, func() {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		fn()
-	})
-	return func() { t.Stop() }
-}
-
 func main() {
 	sock := flag.String("sock", "/tmp/smapp.sock", "smappd's unix socket")
+	policy := flag.String("policy", "backup", "subflow controller policy: "+
+		strings.Join(smapp.ControllerNames(), ", "))
+	threshold := flag.Duration("threshold", time.Second, "RTO threshold (backup/stream policies)")
 	flag.Parse()
 
 	conn, err := net.Dial("unix", *sock)
@@ -55,23 +43,29 @@ func main() {
 		ToUser:   &dispatchPipe{},          // filled below by the library
 		ToKernel: core.NewSocketPipe(conn), // commands out over the socket
 	}
-	lib := core.NewLibrary(tr, realClock{start: time.Now(), mu: &mu}, uint32(1))
+	cs := smapp.NewControllerStack(tr, smapp.NewWallClock(&mu), 1)
 
-	// The §4.2 smart-backup controller, unchanged from the simulation —
-	// same code, different transport and clock.
-	ctl := controller.NewBackup(topo.ClientAddr2)
-	ctl.Attach(lib)
-	log.Printf("smappctl: %s controller registered (threshold %v)", ctl.Name(), ctl.Threshold)
+	// Any registered policy, unchanged from the simulation — same code,
+	// different transport and clock. The smappd world is the canned
+	// two-path topology, so its addresses parameterise the controller.
+	ctl, err := cs.Use(*policy, smapp.ControllerConfig{
+		Addrs:     []netip.Addr{topo.ClientAddr1, topo.ClientAddr2},
+		Threshold: *threshold,
+	})
+	if err != nil {
+		log.Fatalf("smappctl: %v", err)
+	}
+	log.Printf("smappctl: %s controller registered (policy %q)", ctl.Name(), *policy)
 
 	// Event pump: socket → library, serialised with timer callbacks.
 	err = core.ReadMessages(conn, func(b []byte) {
 		mu.Lock()
 		defer mu.Unlock()
 		logEvent(b)
-		lib.OnMessage(b)
+		cs.Lib.OnMessage(b)
 	})
 	log.Printf("smappctl: connection closed (%v); events=%d commands=%d",
-		err, lib.Stats.EventsReceived, lib.Stats.CommandsSent)
+		err, cs.Lib.Stats.EventsReceived, cs.Lib.Stats.CommandsSent)
 }
 
 // dispatchPipe is the controller-side ToUser endpoint: the library installs

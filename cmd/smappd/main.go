@@ -27,6 +27,7 @@ import (
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/topo"
 )
 
@@ -71,15 +72,16 @@ func main() {
 		ToUser:   core.NewSocketPipe(conn),
 		ToKernel: inject,
 	}
-	pm := core.NewNetlinkPM(world, tr)
-	cep := mptcp.NewEndpoint(n.Client, mptcp.Config{}, pm)
+	// The kernel half of the facade: Netlink PM + endpoint. The library —
+	// and every policy decision — lives in the controller process.
+	k := smapp.NewKernel(n.Client, tr, mptcp.Config{})
 	sep := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
 	sink := app.NewSink(world, 1<<40, nil)
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
 
 	world.Schedule(sim.Second, "start-transfer", func() {
 		src := app.NewSource(world, 512<<20, false)
-		if _, err := cep.Connect(n.ClientAddrs[0], n.ServerAddr, 80, src.Callbacks()); err != nil {
+		if _, err := k.Dial(n.ClientAddrs[0], n.ServerAddr, 80, "", smapp.ControllerConfig{}, src.Callbacks()); err != nil {
 			log.Fatalf("connect: %v", err)
 		}
 		log.Printf("smappd: transfer started on %s", n.ClientAddrs[0])

@@ -2,7 +2,8 @@
 // 4-path ECMP fabric; the client opens 5 subflows on random source ports.
 // The refresh controller polls each subflow's pacing_rate every 2.5 s,
 // kills the slowest and re-rolls the ECMP dice, converging onto all four
-// paths — unlike ndiffports, which lives with its initial draw.
+// paths — unlike ndiffports, which lives with its initial draw. Each
+// variant is one Dial: policy "refresh" vs the in-kernel ndiffports.
 package main
 
 import (
@@ -10,16 +11,16 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
 	"repro/internal/sim"
+	"repro/internal/smapp"
+	"repro/internal/tcp"
 	"repro/internal/topo"
 )
 
-func run(hashSeed uint64, refresh bool) (sec float64, pathsUsed int) {
+func run(hashSeed uint64, policy string) (sec float64, pathsUsed int) {
 	world := sim.New(int64(hashSeed) * 17)
 	var paths []netem.LinkConfig
 	for i := 0; i < 4; i++ {
@@ -29,17 +30,11 @@ func run(hashSeed uint64, refresh bool) (sec float64, pathsUsed int) {
 	}
 	n := topo.NewECMP(world, paths, hashSeed)
 
-	var clientPM mptcp.PathManager
-	if refresh {
-		tr := core.NewSimTransport(world)
-		npm := core.NewNetlinkPM(world, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: world}, 1)
-		controller.NewRefresh(5).Attach(lib)
-		clientPM = npm
-	} else {
-		clientPM = pm.NewNDiffPorts(5)
+	scfg := smapp.Config{}
+	if policy == "" {
+		scfg.KernelPM = pm.NewNDiffPorts(5)
 	}
-	cep := mptcp.NewEndpoint(n.Client, mptcp.Config{}, clientPM)
+	client := smapp.New(n.Client, scfg)
 	sep := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
 	var done sim.Time = -1
 	sink := app.NewSink(world, 100<<20, nil)
@@ -47,7 +42,8 @@ func run(hashSeed uint64, refresh bool) (sec float64, pathsUsed int) {
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
 
 	src := app.NewSource(world, 100<<20, false)
-	conn, err := cep.Connect(n.ClientAddr, n.ServerAddr, 80, src.Callbacks())
+	conn, err := client.Dial(n.ClientAddr, n.ServerAddr, 80,
+		policy, smapp.ControllerConfig{Subflows: 5}, src.Callbacks())
 	if err != nil {
 		panic(err)
 	}
@@ -55,9 +51,10 @@ func run(hashSeed uint64, refresh bool) (sec float64, pathsUsed int) {
 		world.RunFor(time.Second)
 	}
 	used := map[int]bool{}
-	for _, sf := range conn.Subflows() {
-		tp := sf.Tuple()
-		used[n.PathIndexOf(tp.SrcPort, tp.DstPort)] = true
+	for _, sfi := range client.Info(conn).Subflows {
+		if sfi.State == tcp.StateEstablished {
+			used[n.PathIndexOf(sfi.Tuple.SrcPort, sfi.Tuple.DstPort)] = true
+		}
 	}
 	return done.Seconds(), len(used)
 }
@@ -66,8 +63,8 @@ func main() {
 	fmt.Println("100 MB over 5 subflows across a 4-path ECMP fabric (8 Mbps, 10/20/30/40 ms)")
 	fmt.Printf("%-6s %-22s %-22s\n", "trial", "ndiffports", "refresh")
 	for seed := uint64(1); seed <= 5; seed++ {
-		tn, pn := run(seed, false)
-		tr, pr := run(seed, true)
+		tn, pn := run(seed, "")
+		tr, pr := run(seed, "refresh")
 		fmt.Printf("%-6d %6.1fs on %d paths %9.1fs on %d paths\n", seed, tn, pn, tr, pr)
 	}
 	fmt.Println("\nreference: all 4 paths ≈ 26s, a single path ≈ 105s (paper: 27.8s / 111.7s)")

@@ -3,6 +3,10 @@
 // access point — loss climbs — and the smart-backup controller moves the
 // connection to cellular the moment the retransmission timer passes its
 // threshold, instead of the ~15 RTO backoffs the kernel alone would need.
+// The download starts under the "fullmesh" policy and is switched to
+// "backup" at runtime — the facade's mid-transfer policy swap — so the
+// cellular subflow built by fullmesh is torn down and the radio goes cold
+// until the backup policy actually needs it.
 package main
 
 import (
@@ -11,10 +15,10 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 )
@@ -25,26 +29,36 @@ func main() {
 	lte := netem.LinkConfig{RateBps: 8e6, Delay: 35 * time.Millisecond}
 	n := topo.NewTwoPath(world, wifi, lte)
 
-	tr := core.NewSimTransport(world)
-	pm := core.NewNetlinkPM(world, tr)
-	lib := core.NewLibrary(tr, core.SimClock{S: world}, 1)
-	ctl := controller.NewBackup(n.ClientAddrs[1]) // cellular is the backup
-	ctl.Threshold = time.Second
-	ctl.Attach(lib)
-
-	phone := mptcp.NewEndpoint(n.Client, mptcp.Config{}, pm)
+	phone := smapp.New(n.Client, smapp.Config{})
 	server := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
 	sink := app.NewSink(world, 20<<20, func() {
 		fmt.Printf("t=%-6v download complete\n", world.Now().Duration().Round(time.Millisecond))
 	})
 	server.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
 
+	// Start under the energy-hungry fullmesh policy (both radios hot) ...
 	src := app.NewSource(world, 20<<20, false)
-	conn, err := phone.Connect(n.ClientAddrs[0], n.ServerAddr, 80, src.Callbacks())
+	conn, err := phone.Dial(n.ClientAddrs[0], n.ServerAddr, 80,
+		"fullmesh", smapp.ControllerConfig{}, src.Callbacks())
 	if err != nil {
 		panic(err)
 	}
 	conn.TracePush = firstUseReporter(world, n)
+
+	// ... and swap to break-before-make backup at t=1.5s: the fullmesh
+	// mesh over cellular is removed and the radio stays cold until needed.
+	world.Schedule(1500*sim.Millisecond, "switch-policy", func() {
+		if err := phone.SwitchPolicy(conn, "backup", smapp.ControllerConfig{Threshold: time.Second}); err != nil {
+			panic(err)
+		}
+		for _, sf := range conn.Subflows() {
+			if sf.Tuple().SrcIP == n.ClientAddrs[1] {
+				conn.CloseSubflow(sf, true) // cool the cellular radio down
+			}
+		}
+		fmt.Printf("t=%-6v policy switched fullmesh -> backup (cellular back to cold standby)\n",
+			world.Now().Duration().Round(time.Millisecond))
+	})
 
 	// Walking away from the AP: WiFi decays in steps.
 	for i, loss := range []float64{0.05, 0.15, 0.30, 0.50} {
@@ -57,8 +71,11 @@ func main() {
 	}
 	world.RunUntil(120 * sim.Second)
 
-	fmt.Printf("\nswitches performed by the controller: %d\n", ctl.Stats.Switches)
-	fmt.Printf("cellular bytes used: only after WiFi failed (radio stayed cold until needed)\n")
+	if ctl, ok := phone.Controller(conn).(*controller.Backup); ok {
+		fmt.Printf("\nswitches performed by the backup controller: %d\n", ctl.Stats.Switches)
+	}
+	fmt.Printf("cellular carried data during the fullmesh phase, went cold at the\n" +
+		"policy switch, and came back only when the backup controller fired\n")
 	if !sink.Done {
 		fmt.Printf("download incomplete: %.1f MB\n", float64(sink.Received)/1e6)
 	}

@@ -1,7 +1,8 @@
-// Quickstart: build a two-path world, attach the Netlink path manager and
-// the userspace full-mesh controller, transfer a file over both paths, and
-// print what happened. This is the smallest end-to-end use of the public
-// pieces: topo → mptcp endpoints → core transport/PM/library → controller.
+// Quickstart: build a two-path world, bring up the paper's smart-socket
+// facade, transfer a file over both paths, and print what happened. The
+// whole client-side control plane — Netlink transport, kernel-side PM,
+// userspace library, and the §4.1 full-mesh policy — is two statements:
+// smapp.New for the stack and Stack.Dial naming the policy.
 package main
 
 import (
@@ -9,11 +10,10 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/topo"
 )
 
@@ -25,41 +25,36 @@ func main() {
 		netem.LinkConfig{RateBps: 10e6, Delay: 30 * time.Millisecond},
 	)
 
-	// The paper's architecture on the client: kernel-side Netlink PM,
-	// userspace library over the simulated Netlink transport, and a
-	// subflow controller — here the full-mesh reimplementation of §4.1.
-	tr := core.NewSimTransport(world)
-	pm := core.NewNetlinkPM(world, tr)
-	lib := core.NewLibrary(tr, core.SimClock{S: world}, 1)
-	ctl := controller.NewFullMesh(n.ClientAddrs[:])
-	ctl.Attach(lib)
-
-	client := mptcp.NewEndpoint(n.Client, mptcp.Config{}, pm)
-	server := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
-
-	// Snapshot the subflow state at completion time.
-	var conn *mptcp.Connection
-	var final mptcp.Info
+	// Server: a plain stack accepting with no policy of its own.
+	server := smapp.New(n.Server, smapp.Config{})
 	sink := app.NewSink(world, 30<<20, func() {
 		fmt.Printf("t=%v  transfer complete\n", world.Now())
-		final = conn.Info()
 	})
-	server.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
+	server.Listen(80, "", smapp.ControllerConfig{}, func(c *mptcp.Connection) {
+		c.SetCallbacks(sink.Callbacks())
+	})
 
-	// Client application: write 30 MB once connected.
+	// Client: stack + dial with the full-mesh policy by name. That's the
+	// entire §3 architecture — transport, Netlink PM, library, controller.
 	src := app.NewSource(world, 30<<20, false)
-	var err error
-	conn, err = client.Connect(n.ClientAddrs[0], n.ServerAddr, 80, src.Callbacks())
+	client := smapp.New(n.Client, smapp.Config{})
+	conn, err := client.Dial(n.ClientAddrs[0], n.ServerAddr, 80,
+		"fullmesh", smapp.ControllerConfig{}, src.Callbacks())
 	if err != nil {
 		panic(err)
 	}
 
 	world.RunUntil(60 * sim.Second)
 
-	fmt.Printf("\nconnection token %08x used %d subflows:\n", final.Token, len(final.Subflows))
-	for i, sfInfo := range final.Subflows {
-		fmt.Printf("  subflow %d %v: sent %.1f MB, srtt %v\n",
-			i, sfInfo.Tuple, float64(sfInfo.Stats.BytesSent)/1e6, sfInfo.SRTT.Round(time.Millisecond))
+	// One merged snapshot: application-side stats, the bound policy, and
+	// the Netlink-side wire view a remote controller would see.
+	info := client.Info(conn)
+	fmt.Printf("\nconnection token %08x under policy %q used %d subflows:\n",
+		info.Token, info.Policy, len(info.Subflows))
+	for i, sfInfo := range info.Subflows {
+		fmt.Printf("  subflow %d %v: sent %.1f MB, srtt %v (wire: cwnd %dB, pacing %.1f Mbps)\n",
+			i, sfInfo.Tuple, float64(sfInfo.Stats.BytesSent)/1e6, sfInfo.SRTT.Round(time.Millisecond),
+			info.Wire[i].Cwnd, float64(info.Wire[i].PacingRate)*8/1e6)
 	}
 	fmt.Printf("received %.1f MB in %.1fs — both paths were used (aggregate > any single path)\n",
 		float64(sink.Received)/1e6, sink.CompletedAt.Seconds())

@@ -2,7 +2,9 @@
 // 64 KB blocks once per second over a lossy path; the smart-stream
 // controller probes transfer progress mid-block via snd_una and opens a
 // second subflow (and kills RTO-inflated ones) to keep block delays
-// bounded. The same run without the controller shows the long tail.
+// bounded. The same run against the in-kernel full-mesh baseline shows
+// the long tail. Both sides of the comparison are one Dial with a
+// different policy argument.
 package main
 
 import (
@@ -10,38 +12,32 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
 
-func run(smart bool) *stats.Sample {
+func run(policy string) *stats.Sample {
 	world := sim.New(99)
 	p := netem.LinkConfig{RateBps: 5e6, Delay: 10 * time.Millisecond}
 	n := topo.NewTwoPath(world, p, p)
 
-	var clientPM mptcp.PathManager
-	if smart {
-		tr := core.NewSimTransport(world)
-		npm := core.NewNetlinkPM(world, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: world}, 1)
-		controller.NewStream(n.ClientAddrs[1]).Attach(lib)
-		clientPM = npm
-	} else {
-		clientPM = pm.NewFullMesh() // the kernel default the paper compares against
+	scfg := smapp.Config{}
+	if policy == "" {
+		scfg.KernelPM = pm.NewFullMesh() // the kernel default the paper compares against
 	}
-	cep := mptcp.NewEndpoint(n.Client, mptcp.Config{}, clientPM)
+	client := smapp.New(n.Client, scfg)
 	sep := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
 	bsink := app.NewBlockSink(world, 64<<10)
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(bsink.Callbacks()) })
 
 	streamer := app.NewBlockStreamer(world, time.Second, 64<<10, 60)
-	if _, err := cep.Connect(n.ClientAddrs[0], n.ServerAddr, 80, streamer.Callbacks()); err != nil {
+	if _, err := client.Dial(n.ClientAddrs[0], n.ServerAddr, 80,
+		policy, smapp.ControllerConfig{}, streamer.Callbacks()); err != nil {
 		panic(err)
 	}
 	world.Schedule(sim.Second, "degrade", func() { n.Path[0].AB.SetLoss(0.30) })
@@ -57,8 +53,8 @@ func run(smart bool) *stats.Sample {
 
 func main() {
 	fmt.Println("streaming 60 blocks of 64 KB at 1 block/s; 30% loss on the initial path from t=1s")
-	smart := run(true)
-	plain := run(false)
+	smart := run("stream")
+	plain := run("")
 	fmt.Printf("\n%-24s %s\n", "smart-stream controller:", smart.Summary("s"))
 	fmt.Printf("%-24s %s\n\n", "default full-mesh:", plain.Summary("s"))
 	fmt.Println(stats.RenderCDFs(60, 12, map[string]*stats.Sample{

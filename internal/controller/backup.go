@@ -29,7 +29,7 @@ type Backup struct {
 	// BackupAddr is the local address of the backup interface.
 	BackupAddr netip.Addr
 
-	lib   *core.Library
+	lib   core.Lib
 	conns map[uint32]*backupState
 	Stats BackupStats
 }
@@ -59,7 +59,7 @@ func (b *Backup) Name() string { return "smart-backup" }
 
 // Attach implements Controller. It subscribes only to what it needs:
 // connection lifecycle, timeout events, and subflow closures.
-func (b *Backup) Attach(lib *core.Library) {
+func (b *Backup) Attach(lib core.Lib) {
 	b.lib = lib
 	lib.Register(core.Callbacks{
 		Created:   b.onCreated,
@@ -67,6 +67,12 @@ func (b *Backup) Attach(lib *core.Library) {
 		Timeout:   b.onTimeout,
 		SubClosed: b.onSubClosed,
 	}, nil)
+}
+
+// Detach implements Controller: the backup policy keeps no timers, so
+// dropping connection state is enough.
+func (b *Backup) Detach() {
+	b.conns = make(map[uint32]*backupState)
 }
 
 func (b *Backup) onCreated(ev *nlmsg.Event) {

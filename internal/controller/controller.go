@@ -24,8 +24,14 @@ import (
 )
 
 // Controller is a subflow-management policy. Attach registers its event
-// callbacks (and hence its kernel-side subscription) on the library.
+// callbacks (and hence its kernel-side subscription) on the library —
+// either the real *core.Library (one policy per host, the paper's split
+// deployment) or a per-connection view handed out by internal/smapp.
+// Detach cancels every pending timer and drops connection state; after
+// Detach the controller takes no further actions, so a live connection
+// can be handed to a replacement policy (smapp.Stack.SwitchPolicy).
 type Controller interface {
 	Name() string
-	Attach(lib *core.Library)
+	Attach(lib core.Lib)
+	Detach()
 }

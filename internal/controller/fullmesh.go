@@ -29,7 +29,7 @@ type FullMesh struct {
 	// afterwards via new_local_addr / del_local_addr events).
 	LocalAddrs []netip.Addr
 
-	lib   *core.Library
+	lib   core.Lib
 	local map[netip.Addr]bool
 	conns map[uint32]*meshConn
 	Stats FullMeshStats
@@ -76,7 +76,7 @@ func NewFullMesh(localAddrs []netip.Addr) *FullMesh {
 func (f *FullMesh) Name() string { return "user-fullmesh" }
 
 // Attach implements Controller: it listens to every event of §3.
-func (f *FullMesh) Attach(lib *core.Library) {
+func (f *FullMesh) Attach(lib core.Lib) {
 	f.lib = lib
 	for _, a := range f.LocalAddrs {
 		f.local[a] = true
@@ -92,6 +92,19 @@ func (f *FullMesh) Attach(lib *core.Library) {
 		LocalAddrUp:    f.onLocalUp,
 		LocalAddrDown:  f.onLocalDown,
 	}, nil)
+}
+
+// Detach implements Controller: cancel every scheduled retry and forget
+// all connections, so the controller never acts again.
+func (f *FullMesh) Detach() {
+	for _, mc := range f.conns {
+		mc.closed = true
+		for _, cancel := range mc.pending {
+			cancel()
+		}
+		mc.pending = make(map[meshKey]func())
+	}
+	f.conns = make(map[uint32]*meshConn)
 }
 
 func (f *FullMesh) onCreated(ev *nlmsg.Event) {

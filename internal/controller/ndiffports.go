@@ -18,7 +18,7 @@ type NDiffPorts struct {
 	// N is the total subflow count per connection.
 	N int
 
-	lib   *core.Library
+	lib   core.Lib
 	conns map[uint32]*ndpState
 	Stats NDiffPortsStats
 }
@@ -42,13 +42,19 @@ func NewNDiffPorts(n int) *NDiffPorts {
 func (p *NDiffPorts) Name() string { return "user-ndiffports" }
 
 // Attach implements Controller. It needs only two events.
-func (p *NDiffPorts) Attach(lib *core.Library) {
+func (p *NDiffPorts) Attach(lib core.Lib) {
 	p.lib = lib
 	lib.Register(core.Callbacks{
 		Created:     p.onCreated,
 		Established: p.onEstablished,
 		Closed:      p.onClosed,
 	}, nil)
+}
+
+// Detach implements Controller: ndiffports acts only on establishment, so
+// dropping connection state is enough.
+func (p *NDiffPorts) Detach() {
+	p.conns = make(map[uint32]*ndpState)
 }
 
 func (p *NDiffPorts) onCreated(ev *nlmsg.Event) {

@@ -28,7 +28,7 @@ type Refresh struct {
 	// their pacing_rate means anything (one refresh interval).
 	MinLifetime time.Duration
 
-	lib   *core.Library
+	lib   core.Lib
 	conns map[uint32]*refreshState
 	Stats RefreshStats
 }
@@ -61,7 +61,7 @@ func NewRefresh(n int) *Refresh {
 func (r *Refresh) Name() string { return "refresh" }
 
 // Attach implements Controller.
-func (r *Refresh) Attach(lib *core.Library) {
+func (r *Refresh) Attach(lib core.Lib) {
 	r.lib = lib
 	lib.Register(core.Callbacks{
 		Created:        r.onCreated,
@@ -70,6 +70,18 @@ func (r *Refresh) Attach(lib *core.Library) {
 		SubEstablished: r.onSubEstablished,
 		SubClosed:      r.onSubClosed,
 	}, nil)
+}
+
+// Detach implements Controller: stop every refresh ticker and forget all
+// connections. In-flight GetInfo replies see closed state and do nothing.
+func (r *Refresh) Detach() {
+	for _, st := range r.conns {
+		st.closed = true
+		if st.stopTick != nil {
+			st.stopTick()
+		}
+	}
+	r.conns = make(map[uint32]*refreshState)
 }
 
 func (r *Refresh) onCreated(ev *nlmsg.Event) {

@@ -35,7 +35,7 @@ type Stream struct {
 	// SecondAddr is the local address of the other interface.
 	SecondAddr netip.Addr
 
-	lib   *core.Library
+	lib   core.Lib
 	conns map[uint32]*streamState
 	Stats StreamStats
 }
@@ -74,7 +74,7 @@ func NewStream(secondAddr netip.Addr) *Stream {
 func (s *Stream) Name() string { return "smart-stream" }
 
 // Attach implements Controller.
-func (s *Stream) Attach(lib *core.Library) {
+func (s *Stream) Attach(lib core.Lib) {
 	s.lib = lib
 	lib.Register(core.Callbacks{
 		Created:        s.onCreated,
@@ -84,6 +84,18 @@ func (s *Stream) Attach(lib *core.Library) {
 		SubClosed:      s.onSubClosed,
 		Timeout:        s.onTimeout,
 	}, nil)
+}
+
+// Detach implements Controller: stop every armed probe and forget all
+// connections. In-flight GetInfo replies see closed state and do nothing.
+func (s *Stream) Detach() {
+	for _, st := range s.conns {
+		st.closed = true
+		if st.stopProbe != nil {
+			st.stopProbe()
+		}
+	}
+	s.conns = make(map[uint32]*streamState)
 }
 
 func (s *Stream) onCreated(ev *nlmsg.Event) {

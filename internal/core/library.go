@@ -67,6 +67,61 @@ func (cb *Callbacks) mask() nlmsg.EventMask {
 	return m
 }
 
+// Dispatch invokes the handler registered for the event's kind, if any.
+// Both the Library itself and per-connection views built on top of it
+// (internal/smapp) route decoded events through this one switch.
+func (cb *Callbacks) Dispatch(ev *nlmsg.Event) {
+	var fn func(*nlmsg.Event)
+	switch ev.Kind {
+	case nlmsg.EvCreated:
+		fn = cb.Created
+	case nlmsg.EvEstablished:
+		fn = cb.Established
+	case nlmsg.EvClosed:
+		fn = cb.Closed
+	case nlmsg.EvSubEstablished:
+		fn = cb.SubEstablished
+	case nlmsg.EvSubClosed:
+		fn = cb.SubClosed
+	case nlmsg.EvAddAddr:
+		fn = cb.AddAddr
+	case nlmsg.EvRemAddr:
+		fn = cb.RemAddr
+	case nlmsg.EvTimeout:
+		fn = cb.Timeout
+	case nlmsg.EvLocalAddrUp:
+		fn = cb.LocalAddrUp
+	case nlmsg.EvLocalAddrDown:
+		fn = cb.LocalAddrDown
+	}
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Lib is the PM-library surface subflow controllers program against.
+// *Library implements it directly (the paper's single-controller mode);
+// internal/smapp implements it with a per-connection view so one library
+// can host an independent policy per connection.
+type Lib interface {
+	// Register installs the controller's event callbacks.
+	Register(cbs Callbacks, done func(errno uint32))
+	// CreateSubflow opens a subflow from an arbitrary 4-tuple.
+	CreateSubflow(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32))
+	// RemoveSubflow removes (RSTs) an established subflow.
+	RemoveSubflow(token uint32, ft seg.FourTuple, done func(errno uint32))
+	// SetBackup changes a subflow's backup priority (MP_PRIO).
+	SetBackup(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32))
+	// AnnounceAddr advertises a local address (ADD_ADDR).
+	AnnounceAddr(token uint32, addr netip.Addr, port uint16, done func(errno uint32))
+	// GetInfo retrieves the TCP_INFO-like snapshot of a connection.
+	GetInfo(token uint32, done func(info *nlmsg.ConnInfo))
+	// After schedules controller work on the controller clock.
+	After(d time.Duration, fn func()) (cancel func())
+	// Clock exposes the controller clock.
+	Clock() Clock
+}
+
 // LibStats counts library activity.
 type LibStats struct {
 	EventsReceived  uint64
@@ -218,34 +273,5 @@ func (l *Library) OnMessage(b []byte) {
 		return
 	}
 	l.Stats.EventsReceived++
-	l.dispatch(ev)
-}
-
-func (l *Library) dispatch(ev *nlmsg.Event) {
-	var fn func(*nlmsg.Event)
-	switch ev.Kind {
-	case nlmsg.EvCreated:
-		fn = l.cbs.Created
-	case nlmsg.EvEstablished:
-		fn = l.cbs.Established
-	case nlmsg.EvClosed:
-		fn = l.cbs.Closed
-	case nlmsg.EvSubEstablished:
-		fn = l.cbs.SubEstablished
-	case nlmsg.EvSubClosed:
-		fn = l.cbs.SubClosed
-	case nlmsg.EvAddAddr:
-		fn = l.cbs.AddAddr
-	case nlmsg.EvRemAddr:
-		fn = l.cbs.RemAddr
-	case nlmsg.EvTimeout:
-		fn = l.cbs.Timeout
-	case nlmsg.EvLocalAddrUp:
-		fn = l.cbs.LocalAddrUp
-	case nlmsg.EvLocalAddrDown:
-		fn = l.cbs.LocalAddrDown
-	}
-	if fn != nil {
-		fn(ev)
-	}
+	l.cbs.Dispatch(ev)
 }

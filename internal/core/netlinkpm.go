@@ -176,7 +176,7 @@ func (pm *NetlinkPM) handleCommand(b []byte) {
 			pm.ack(cmd.Seq, cmd.Pid, errnoNOENT)
 			return
 		}
-		pm.tr.ToUser.Send(nlmsg.MarshalInfo(connInfo(c), cmd.Seq, cmd.Pid))
+		pm.tr.ToUser.Send(nlmsg.MarshalInfo(WireInfo(c), cmd.Seq, cmd.Pid))
 
 	case nlmsg.CmdAnnounceAddr:
 		c, ok := pm.conns[cmd.Token]
@@ -220,8 +220,10 @@ func errnoOf(err error) uint32 {
 	}
 }
 
-// connInfo converts an mptcp snapshot to the wire schema.
-func connInfo(c *mptcp.Connection) *nlmsg.ConnInfo {
+// WireInfo converts an mptcp snapshot to the wire schema — the exact view
+// a controller receives from CmdGetInfo. internal/smapp uses it to merge
+// the application-side and Netlink-side snapshots into one.
+func WireInfo(c *mptcp.Connection) *nlmsg.ConnInfo {
 	in := c.Info()
 	out := &nlmsg.ConnInfo{
 		Token:    in.Token,

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/smapp"
+)
+
+// CtlSweepConfig parameterises the controller-sweep experiment.
+type CtlSweepConfig struct {
+	Seed        int64
+	Sched       string        // packet scheduler for every run
+	Controllers []string      // registered policy names; empty sweeps every one
+	Loss        float64       // loss ratio on the primary path
+	Blocks      int           // blocks per controller run
+	Period      time.Duration // one block per period
+	BlockSize   int
+	LossAt      time.Duration // loss starts after this settle time
+}
+
+// DefaultCtlSweep sweeps every registered controller over the §4.3
+// streaming workload at 30 % loss.
+func DefaultCtlSweep() CtlSweepConfig {
+	return CtlSweepConfig{
+		Seed:      1,
+		Loss:      0.30,
+		Blocks:    120,
+		Period:    time.Second,
+		BlockSize: 64 << 10,
+		LossAt:    time.Second,
+	}
+}
+
+// CtlSweep is the controller-space analogue of SchedSweep: it runs the
+// paper's streaming workload (two 5 Mbps / 10 ms paths, one 64 KB block
+// per second) once per registered subflow controller — every policy
+// selected purely by registry name through the smapp facade — plus the
+// nil-policy plain stack, and compares the block-completion-time
+// distributions. The sweep makes the policy/workload fit visible: stream
+// is built for this workload, backup and fullmesh recover more slowly,
+// and refresh/ndiffports — whose extra subflows all share the lossy
+// primary interface — actively hurt, spreading blocks across many
+// RTO-prone subflows.
+func CtlSweep(cfg CtlSweepConfig) *Result {
+	ctls := cfg.Controllers
+	if len(ctls) == 0 {
+		ctls = smapp.ControllerNames()
+	}
+	for _, name := range ctls {
+		if _, err := smapp.LookupController(name); err != nil {
+			panic(err)
+		}
+	}
+
+	res := newResult("ctlsweep")
+	res.Report = header("Controller sweep — §4.3 streaming workload per subflow controller",
+		fmt.Sprintf("2 x 5 Mbps, 10 ms paths; %d B block every %v; %d blocks; %.0f%% loss",
+			cfg.BlockSize, cfg.Period, cfg.Blocks, cfg.Loss*100))
+
+	streamCfg := Fig2bConfig{
+		Seed:      cfg.Seed,
+		Sched:     cfg.Sched,
+		Blocks:    cfg.Blocks,
+		Period:    cfg.Period,
+		BlockSize: cfg.BlockSize,
+		LossAt:    cfg.LossAt,
+	}
+	curves := append(append([]string(nil), ctls...), "none")
+	for _, name := range curves {
+		policy := name
+		if name == "none" {
+			policy = "" // the nil-policy plain stack as the reference curve
+		}
+		res.Samples[name] = fig2bRun(streamCfg, cfg.Loss, policy)
+	}
+
+	res.section("CDF of block completion time (seconds) per controller")
+	res.renderCDFs(curves...)
+
+	res.section("summary")
+	res.printf("%-12s %8s %8s %8s %8s\n", "controller", "median", "p90", "p99", "max")
+	for _, name := range curves {
+		s := res.Samples[name]
+		res.printf("%-12s %7.2fs %7.2fs %7.2fs %7.2fs\n",
+			name, s.Median(), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+		res.Scalars[name+"_median_s"] = s.Median()
+		res.Scalars[name+"_p90_s"] = s.Quantile(0.9)
+	}
+	return res
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mptcp"
+	"repro/internal/smapp"
 )
 
 // These tests assert the SHAPE of the paper's §4 results on scaled-down
@@ -161,7 +162,7 @@ func TestLongLivedSmartVsPlain(t *testing.T) {
 	if smart.Scalars["live_subflows_at_end"] == 0 {
 		t.Fatal("no live subflows at the end")
 	}
-	cfg.Smart = false
+	cfg.Policy = "" // the nil policy: same stack, no controller
 	plain := LongLived(cfg)
 	if plain.Scalars["messages_delivered"] >= plain.Scalars["messages_sent"] {
 		t.Fatal("plain stack should lose messages once NAT state expires")
@@ -207,6 +208,31 @@ func TestSchedSweepCoversAllSchedulers(t *testing.T) {
 		}
 		if !strings.Contains(r.Report, name) {
 			t.Fatalf("report missing scheduler %q", name)
+		}
+	}
+}
+
+func TestCtlSweepCoversAllControllers(t *testing.T) {
+	cfg := DefaultCtlSweep()
+	cfg.Blocks = 10
+	r := CtlSweep(cfg)
+	names := smapp.ControllerNames()
+	if len(names) < 5 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, name := range append(names, "none") {
+		s, ok := r.Samples[name]
+		if !ok {
+			t.Fatalf("controller %q missing from samples", name)
+		}
+		if s.N() != cfg.Blocks {
+			t.Fatalf("controller %q: %d blocks sampled, want %d", name, s.N(), cfg.Blocks)
+		}
+		if _, ok := r.Scalars[name+"_p90_s"]; !ok {
+			t.Fatalf("controller %q missing p90 scalar", name)
+		}
+		if !strings.Contains(r.Report, name) {
+			t.Fatalf("report missing controller %q", name)
 		}
 	}
 }

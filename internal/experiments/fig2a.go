@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/topo"
@@ -19,6 +19,7 @@ import (
 type Fig2aConfig struct {
 	Seed      int64
 	Sched     string        // registered scheduler name; "" = lowest-rtt
+	Policy    string        // registered controller for the smart mode (paper: backup)
 	LossRatio float64       // loss on the primary path after LossAt (paper: 0.30)
 	LossAt    time.Duration // when the radio degrades (paper: 1 s)
 	Threshold time.Duration // controller's RTO threshold (paper: 1 s)
@@ -30,6 +31,7 @@ type Fig2aConfig struct {
 func DefaultFig2a() Fig2aConfig {
 	return Fig2aConfig{
 		Seed:      1,
+		Policy:    "backup",
 		LossRatio: 0.30,
 		LossAt:    time.Second,
 		Threshold: time.Second,
@@ -46,7 +48,7 @@ func DefaultFig2a() Fig2aConfig {
 // kernel alone decides — which takes ~15 RTO backoffs (minutes).
 func Fig2a(cfg Fig2aConfig) *Result {
 	res := newResult("fig2a")
-	mode := "smart controller (userspace backup)"
+	mode := fmt.Sprintf("smart controller (userspace %q policy)", cfg.Policy)
 	if cfg.Baseline {
 		mode = "in-kernel baseline (pre-established backup flag)"
 	}
@@ -57,25 +59,24 @@ func Fig2a(cfg Fig2aConfig) *Result {
 	p := netem.LinkConfig{RateBps: 5e6, Delay: 15 * time.Millisecond}
 	net := topo.NewTwoPath(sim.New(cfg.Seed), p, p)
 
-	var ctl *controller.Backup
-	var cpm mptcp.PathManager
-	if !cfg.Baseline {
-		tr := core.NewSimTransport(net.Sim)
-		pm := core.NewNetlinkPM(net.Sim, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
-		ctl = controller.NewBackup(net.ClientAddrs[1])
-		ctl.Threshold = cfg.Threshold
-		ctl.Attach(lib)
-		cpm = pm
+	// The smart mode runs the full facade; the baseline re-expresses the
+	// "kernel alone" deployment as the nil policy on a plain stack.
+	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
+	policy := cfg.Policy
+	if cfg.Baseline {
+		scfg.KernelPM = mptcp.NopPM{}
+		policy = ""
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	st := smapp.New(net.Client, scfg)
 	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	sink := app.NewSink(net.Sim, 1<<40, nil) // unbounded; we observe a window
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
 	net.Sim.RunFor(time.Millisecond)
 
 	src := app.NewSource(net.Sim, 64<<20, false)
-	conn, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, src.Callbacks())
+	conn, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, policy,
+		smapp.ControllerConfig{Addrs: net.ClientAddrs[:], Threshold: cfg.Threshold},
+		src.Callbacks())
 	if err != nil {
 		panic(err)
 	}
@@ -133,7 +134,7 @@ func Fig2a(cfg Fig2aConfig) *Result {
 	} else {
 		res.Scalars["backup_first_data_s"] = -1
 	}
-	if ctl != nil {
+	if ctl, ok := st.Controller(conn).(*controller.Backup); ok {
 		res.Scalars["switches"] = float64(ctl.Stats.Switches)
 	}
 	res.Scalars["rcv_bytes"] = float64(sink.Received)

@@ -5,12 +5,11 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/topo"
 )
 
@@ -18,6 +17,7 @@ import (
 type Fig2bConfig struct {
 	Seed       int64
 	Sched      string        // registered scheduler name; "" = lowest-rtt
+	Policy     string        // registered controller for the smart curve (paper: stream)
 	LossLevels []float64     // loss ratios for the full-mesh baseline curves
 	SmartLoss  float64       // loss ratio for the Smart Stream curve (paper: invariant in 10-40%)
 	Blocks     int           // blocks per run
@@ -32,6 +32,7 @@ type Fig2bConfig struct {
 func DefaultFig2b() Fig2bConfig {
 	return Fig2bConfig{
 		Seed:       1,
+		Policy:     "stream",
 		LossLevels: []float64{0.10, 0.20, 0.30, 0.40},
 		SmartLoss:  0.30,
 		Blocks:     120,
@@ -52,10 +53,10 @@ func Fig2b(cfg Fig2bConfig) *Result {
 
 	for _, loss := range cfg.LossLevels {
 		name := fmt.Sprintf("fullmesh %.0f%% loss", loss*100)
-		delays := fig2bRun(cfg, loss, false)
+		delays := fig2bRun(cfg, loss, "")
 		res.Samples[name] = delays
 	}
-	smart := fig2bRun(cfg, cfg.SmartLoss, true)
+	smart := fig2bRun(cfg, cfg.SmartLoss, cfg.Policy)
 	res.Samples["smart stream"] = smart
 
 	res.section("CDF of block completion time (seconds)")
@@ -79,37 +80,32 @@ func Fig2b(cfg Fig2bConfig) *Result {
 	return res
 }
 
-// fig2bRun runs one streaming session and returns the block delays in
-// seconds.
-func fig2bRun(cfg Fig2bConfig, loss float64, smart bool) *sample {
+// fig2bRun runs one streaming session under the named controller policy
+// ("" = the in-kernel full-mesh baseline) and returns the block delays in
+// seconds. The ctlsweep experiment reuses it to sweep the policy space.
+func fig2bRun(cfg Fig2bConfig, loss float64, policy string) *sample {
 	p := netem.LinkConfig{RateBps: 5e6, Delay: 10 * time.Millisecond}
 	net := topo.NewTwoPath(sim.New(cfg.Seed), p, p)
 
-	var cpm mptcp.PathManager
-	if smart {
-		tr := core.NewSimTransport(net.Sim)
-		npm := core.NewNetlinkPM(net.Sim, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
-		ctl := controller.NewStream(net.ClientAddrs[1])
-		ctl.Period = cfg.Period
-		ctl.BlockSize = uint64(cfg.BlockSize)
-		ctl.MinProgress = uint64(cfg.BlockSize) / 2
-		if cfg.ProbeAt > 0 {
-			ctl.CheckAfter = cfg.ProbeAt
-		}
-		ctl.Attach(lib)
-		cpm = npm
-	} else {
-		cpm = pm.NewFullMesh()
+	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
+	if policy == "" {
+		scfg.KernelPM = pm.NewFullMesh()
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	st := smapp.New(net.Client, scfg)
 	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	bsink := app.NewBlockSink(net.Sim, cfg.BlockSize)
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(bsink.Callbacks()) })
 	net.Sim.RunFor(time.Millisecond)
 
 	streamer := app.NewBlockStreamer(net.Sim, cfg.Period, cfg.BlockSize, cfg.Blocks)
-	if _, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, streamer.Callbacks()); err != nil {
+	pcfg := smapp.ControllerConfig{
+		Addrs:     net.ClientAddrs[:],
+		Subflows:  2,
+		Period:    cfg.Period,
+		BlockSize: cfg.BlockSize,
+		Probe:     cfg.ProbeAt,
+	}
+	if _, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, policy, pcfg, streamer.Callbacks()); err != nil {
 		panic(err)
 	}
 	// Loss applies to the data direction (client→server), like a netem

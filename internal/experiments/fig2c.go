@@ -5,12 +5,12 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
 	"repro/internal/sim"
+	"repro/internal/smapp"
+	"repro/internal/tcp"
 	"repro/internal/topo"
 )
 
@@ -18,6 +18,7 @@ import (
 type Fig2cConfig struct {
 	Seed      int64
 	Sched     string // registered scheduler name; "" = lowest-rtt
+	Policy    string // registered controller for the smart variant (paper: refresh)
 	Trials    int    // independent runs per variant (different hash seeds/ports)
 	FileBytes int    // 100 MB in the paper
 	Subflows  int    // 5 in the paper
@@ -27,7 +28,7 @@ type Fig2cConfig struct {
 // DefaultFig2c returns the paper's parameters: 100 MB over 5 subflows on a
 // 4-path 8 Mbps fabric with 10/20/30/40 ms delays.
 func DefaultFig2c() Fig2cConfig {
-	return Fig2cConfig{Seed: 1, Trials: 20, FileBytes: 100 << 20, Subflows: 5, Paths: 4}
+	return Fig2cConfig{Seed: 1, Policy: "refresh", Trials: 20, FileBytes: 100 << 20, Subflows: 5, Paths: 4}
 }
 
 // Fig2c runs the load-balancing experiment: CDF of the 100 MB completion
@@ -87,18 +88,14 @@ func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float
 	}
 	net := topo.NewECMP(sim.New(seed), paths, hashSeed)
 
-	var cpm mptcp.PathManager
+	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
+	policy := ""
 	if refresh {
-		tr := core.NewSimTransport(net.Sim)
-		npm := core.NewNetlinkPM(net.Sim, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
-		ctl := controller.NewRefresh(cfg.Subflows)
-		ctl.Attach(lib)
-		cpm = npm
+		policy = cfg.Policy
 	} else {
-		cpm = pm.NewNDiffPorts(cfg.Subflows)
+		scfg.KernelPM = pm.NewNDiffPorts(cfg.Subflows)
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	st := smapp.New(net.Client, scfg)
 	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	var done sim.Time = -1
 	sink := app.NewSink(net.Sim, uint64(cfg.FileBytes), nil)
@@ -108,7 +105,8 @@ func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float
 	net.Sim.RunFor(time.Millisecond)
 
 	src := app.NewSource(net.Sim, cfg.FileBytes, false)
-	client, err := cep.Connect(net.ClientAddr, net.ServerAddr, 80, src.Callbacks())
+	client, err := st.Dial(net.ClientAddr, net.ServerAddr, 80, policy,
+		smapp.ControllerConfig{Subflows: cfg.Subflows}, src.Callbacks())
 	if err != nil {
 		panic(err)
 	}
@@ -118,10 +116,9 @@ func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float
 		net.Sim.RunFor(time.Second)
 	}
 	used := map[int]bool{}
-	for _, sf := range client.Subflows() {
-		if sf.Established() && sf.Info().Stats.BytesSent > 0 {
-			tp := sf.Tuple()
-			used[net.PathIndexOf(tp.SrcPort, tp.DstPort)] = true
+	for _, sfi := range st.Info(client).Subflows {
+		if sfi.State == tcp.StateEstablished && sfi.Stats.BytesSent > 0 {
+			used[net.PathIndexOf(sfi.Tuple.SrcPort, sfi.Tuple.DstPort)] = true
 		}
 	}
 	if done < 0 {

@@ -5,12 +5,11 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 )
@@ -19,6 +18,7 @@ import (
 type Fig3Config struct {
 	Seed     int64
 	Sched    string // registered scheduler name; "" = lowest-rtt
+	Policy   string // registered controller for the userspace variant (paper: ndiffports)
 	Requests int    // consecutive HTTP/1.0-style GETs (paper: 1000)
 	RespSize int    // 512 KB in the paper
 	Stressed bool   // model the CPU-stressed client of §4.5
@@ -26,7 +26,7 @@ type Fig3Config struct {
 
 // DefaultFig3 returns the paper's parameters.
 func DefaultFig3() Fig3Config {
-	return Fig3Config{Seed: 1, Requests: 1000, RespSize: 512 << 10}
+	return Fig3Config{Seed: 1, Policy: "ndiffports", Requests: 1000, RespSize: 512 << 10}
 }
 
 // Fig3 measures the delay between the SYN carrying MP_CAPABLE and the SYN
@@ -77,22 +77,14 @@ func fig3Run(cfg Fig3Config, userspace bool) *sample {
 	net.Client.SetProcDelay(procDelayModel(net.Sim.Rand(), 40*time.Microsecond, 30*time.Microsecond))
 	net.Server.SetProcDelay(procDelayModel(net.Sim.Rand(), 50*time.Microsecond, 40*time.Microsecond))
 
-	var cpm mptcp.PathManager
+	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}, Stressed: cfg.Stressed}
+	policy := ""
 	if userspace {
-		var tr *core.Transport
-		if cfg.Stressed {
-			tr = core.NewStressedSimTransport(net.Sim)
-		} else {
-			tr = core.NewSimTransport(net.Sim)
-		}
-		npm := core.NewNetlinkPM(net.Sim, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
-		controller.NewNDiffPorts(2).Attach(lib)
-		cpm = npm
+		policy = cfg.Policy
 	} else {
-		cpm = pm.NewNDiffPorts(2)
+		scfg.KernelPM = pm.NewNDiffPorts(2)
 	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	st := smapp.New(net.Client, scfg)
 	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 	srv := app.NewReqRespServer(200, cfg.RespSize)
 	sep.Listen(80, srv.Accept)
@@ -102,7 +94,7 @@ func fig3Run(cfg Fig3Config, userspace bool) *sample {
 	for i := 0; i < cfg.Requests; i++ {
 		var conn *mptcp.Connection
 		respDone := false
-		conn, err := cep.Connect(net.ClientAddr, net.ServerAddr, 80, mptcp.ConnCallbacks{
+		conn, err := st.Dial(net.ClientAddr, net.ServerAddr, 80, policy, smapp.ControllerConfig{Subflows: 2}, mptcp.ConnCallbacks{
 			OnEstablished: func(c *mptcp.Connection) { c.Write(200) },
 			OnData: func(c *mptcp.Connection, total uint64) {
 				if total >= uint64(cfg.RespSize) {

@@ -5,10 +5,10 @@ import (
 	"time"
 
 	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/smapp"
 	"repro/internal/topo"
 )
 
@@ -16,14 +16,14 @@ import (
 type LongLivedConfig struct {
 	Seed        int64
 	Sched       string        // registered scheduler name; "" = lowest-rtt
+	Policy      string        // registered controller; "" = the plain stack (nil policy)
 	NATTimeout  time.Duration // middlebox idle timeout (deployed boxes: a few hundred seconds)
-	Policy      netem.ExpiryPolicy
+	Expiry      netem.ExpiryPolicy
 	MsgInterval time.Duration // application message cadence (sparser than the NAT timeout)
 	Messages    int
 	MsgSize     int
 	FlapAt      time.Duration // one interface outage, 0 disables
 	FlapFor     time.Duration
-	Smart       bool // run the userspace full-mesh controller
 }
 
 // DefaultLongLived returns a scenario with a 180 s NAT timeout and a chat
@@ -31,14 +31,14 @@ type LongLivedConfig struct {
 func DefaultLongLived() LongLivedConfig {
 	return LongLivedConfig{
 		Seed:        1,
+		Policy:      "fullmesh",
 		NATTimeout:  180 * time.Second,
-		Policy:      netem.ExpiryRST,
+		Expiry:      netem.ExpiryRST,
 		MsgInterval: 10 * time.Minute,
 		Messages:    12,
 		MsgSize:     2000,
 		FlapAt:      25 * time.Minute,
 		FlapFor:     2 * time.Minute,
-		Smart:       true,
 	}
 }
 
@@ -49,28 +49,18 @@ func DefaultLongLived() LongLivedConfig {
 // plain stack loses its only subflow at the first expiry and stalls.
 func LongLived(cfg LongLivedConfig) *Result {
 	res := newResult("longlived")
-	mode := "userspace full-mesh controller"
-	if !cfg.Smart {
-		mode = "plain stack (no path manager)"
+	mode := fmt.Sprintf("userspace %q controller", cfg.Policy)
+	if cfg.Policy == "" {
+		mode = "plain stack (nil policy)"
 	}
 	res.Report = header("§4.1 — smarter long-lived connections",
 		fmt.Sprintf("NAT idle timeout %v (%s on expiry); message every %v; %s",
-			cfg.NATTimeout, policyName(cfg.Policy), cfg.MsgInterval, mode))
+			cfg.NATTimeout, expiryName(cfg.Expiry), cfg.MsgInterval, mode))
 
 	p := netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond}
-	net := topo.NewNATPath(sim.New(cfg.Seed), p, p, cfg.NATTimeout, cfg.Policy)
+	net := topo.NewNATPath(sim.New(cfg.Seed), p, p, cfg.NATTimeout, cfg.Expiry)
 
-	var ctl *controller.FullMesh
-	var cpm mptcp.PathManager
-	if cfg.Smart {
-		tr := core.NewSimTransport(net.Sim)
-		npm := core.NewNetlinkPM(net.Sim, tr)
-		lib := core.NewLibrary(tr, core.SimClock{S: net.Sim}, 1)
-		ctl = controller.NewFullMesh(net.ClientAddrs[:])
-		ctl.Attach(lib)
-		cpm = npm
-	}
-	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{Scheduler: cfg.Sched}, cpm)
+	st := smapp.New(net.Client, smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}})
 	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
 
 	// Receiver records the arrival time of each message boundary.
@@ -88,7 +78,8 @@ func LongLived(cfg LongLivedConfig) *Result {
 	net.Sim.RunFor(time.Millisecond)
 
 	var sendTimes []sim.Time
-	conn, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, mptcp.ConnCallbacks{})
+	conn, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, cfg.Policy,
+		smapp.ControllerConfig{Addrs: net.ClientAddrs[:]}, mptcp.ConnCallbacks{})
 	if err != nil {
 		panic(err)
 	}
@@ -119,6 +110,7 @@ func LongLived(cfg LongLivedConfig) *Result {
 	}
 	res.Scalars["messages_sent"] = float64(len(sendTimes))
 	res.Scalars["messages_delivered"] = float64(delivered)
+	ctl, _ := st.Controller(conn).(*controller.FullMesh)
 	if ctl != nil {
 		res.Scalars["reestablishments"] = float64(ctl.Stats.Reestablishments)
 		res.Scalars["dismissed"] = float64(ctl.Stats.SubflowsDismissed)
@@ -141,7 +133,7 @@ func LongLived(cfg LongLivedConfig) *Result {
 	return res
 }
 
-func policyName(p netem.ExpiryPolicy) string {
+func expiryName(p netem.ExpiryPolicy) string {
 	if p == netem.ExpiryRST {
 		return "RST"
 	}

@@ -63,7 +63,7 @@ func SchedSweep(cfg SchedSweepConfig) *Result {
 	}
 	for _, name := range scheds {
 		streamCfg.Sched = name
-		res.Samples[name] = fig2bRun(streamCfg, cfg.Loss, false)
+		res.Samples[name] = fig2bRun(streamCfg, cfg.Loss, "")
 	}
 
 	res.section("CDF of block completion time (seconds) per scheduler")

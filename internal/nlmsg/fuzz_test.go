@@ -1,0 +1,103 @@
+package nlmsg
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzSeeds marshals one exemplar of every message the family speaks —
+// all ten events, all six commands, the ack and the info reply — so the
+// fuzzer starts from each wire shape the facade now hides from callers.
+func fuzzSeeds() [][]byte {
+	addr := netip.MustParseAddr("192.0.2.9")
+	var seeds [][]byte
+	events := []*Event{
+		{Kind: EvCreated, At: time.Second, Token: 1, Tuple: testTuple, HasTuple: true},
+		{Kind: EvEstablished, Token: 2, Tuple: testTuple, HasTuple: true},
+		{Kind: EvClosed, Token: 3},
+		{Kind: EvSubEstablished, Token: 4, Tuple: testTuple, HasTuple: true},
+		{Kind: EvSubClosed, Token: 5, Tuple: testTuple, HasTuple: true, Errno: 110},
+		{Kind: EvAddAddr, Token: 6, AddrID: 2, Addr: addr, Port: 443},
+		{Kind: EvRemAddr, Token: 7, AddrID: 2},
+		{Kind: EvTimeout, Token: 8, Tuple: testTuple, HasTuple: true, RTO: 3200 * time.Millisecond, Backoffs: 4},
+		{Kind: EvLocalAddrUp, Addr: addr},
+		{Kind: EvLocalAddrDown, Addr: addr},
+	}
+	for _, e := range events {
+		seeds = append(seeds, e.Marshal(9, 1))
+	}
+	commands := []*Command{
+		{Kind: CmdSubscribe, Seq: 1, Pid: 5, Mask: MaskOf(EvTimeout, EvSubClosed)},
+		{Kind: CmdCreateSubflow, Seq: 2, Token: 99, Tuple: testTuple, Backup: true},
+		{Kind: CmdRemoveSubflow, Seq: 3, Token: 99, Tuple: testTuple},
+		{Kind: CmdSetBackup, Seq: 4, Token: 99, Tuple: testTuple, Backup: false},
+		{Kind: CmdGetInfo, Seq: 5, Token: 99},
+		{Kind: CmdAnnounceAddr, Seq: 6, Token: 99, Addr: addr, Port: 80},
+	}
+	for _, c := range commands {
+		seeds = append(seeds, c.Marshal())
+	}
+	seeds = append(seeds, MarshalAck(110, 5, 2))
+	seeds = append(seeds, MarshalInfo(&ConnInfo{
+		Token: 0xabc, SndUna: 1 << 40, AppNxt: 1<<40 + 5000, RcvBytes: 12345,
+		Subflows: []SubflowInfo{{
+			Tuple: testTuple, State: 3, Cwnd: 14800,
+			SRTT: 20 * time.Millisecond, RTO: 220 * time.Millisecond,
+			PacingRate: 1_000_000, Flight: 2800,
+		}},
+	}, 77, 3))
+	return seeds
+}
+
+// FuzzNlmsgRoundTrip hammers the wire format the facade hides: Unmarshal
+// must never panic on arbitrary bytes, every accepted message must
+// re-marshal into a message that decodes back identical (idempotent round
+// trip), and the typed parsers must stay panic-free with re-encodable
+// output.
+func FuzzNlmsgRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, n, err := Unmarshal(b)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		if n < nlHdrLen+genlHdrLen || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// Accepted input must survive a marshal/unmarshal cycle exactly:
+		// attribute padding is the only thing allowed to normalise away.
+		b2 := m.Marshal()
+		m2, n2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-marshalled message rejected: %v", err)
+		}
+		if n2 != len(b2) {
+			t.Fatalf("re-marshal consumed %d of %d bytes", n2, len(b2))
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", m, m2)
+		}
+		// Typed views: never panic; whatever they accept must re-encode
+		// into a parseable message.
+		if ev, err := ParseEvent(m); err == nil {
+			if _, _, err := Unmarshal(ev.Marshal(m.Seq, m.Pid)); err != nil {
+				t.Fatalf("re-encoded event rejected: %v", err)
+			}
+		}
+		if c, err := ParseCommand(m); err == nil {
+			if _, _, err := Unmarshal(c.Marshal()); err != nil {
+				t.Fatalf("re-encoded command rejected: %v", err)
+			}
+		}
+		if info, err := ParseInfo(m); err == nil {
+			if _, _, err := Unmarshal(MarshalInfo(info, m.Seq, m.Pid)); err != nil {
+				t.Fatalf("re-encoded info rejected: %v", err)
+			}
+		}
+		_, _ = ParseAck(m)
+	})
+}

@@ -1,0 +1,85 @@
+package smapp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+)
+
+// ControllerStack is the controller-process half of the paper's split
+// deployment: a PM library over a caller-provided transport (typically a
+// Unix socket to the kernel half, see cmd/smappd) plus a policy picked
+// from the same registry the in-process Stack uses. In this mode one
+// controller manages every connection of the remote kernel — the classic
+// libpathmanager arrangement — so policies attach directly to the real
+// library and subscribe with their own event masks.
+type ControllerStack struct {
+	Lib *core.Library
+	ctl controller.Controller
+}
+
+// NewControllerStack attaches a library to the controller end of tr,
+// ticking on the given clock (WallClock for real processes, core.SimClock
+// in tests).
+func NewControllerStack(tr *core.Transport, clock core.Clock, pid uint32) *ControllerStack {
+	if pid == 0 {
+		pid = 1
+	}
+	return &ControllerStack{Lib: core.NewLibrary(tr, clock, pid)}
+}
+
+// Use instantiates the named policy and attaches it to the library,
+// detaching any previously attached one first (its timers would otherwise
+// keep issuing commands under the replacement). The nil policy is
+// rejected: a controller process exists to run one.
+func (cs *ControllerStack) Use(policy string, cfg ControllerConfig) (controller.Controller, error) {
+	factory, err := LookupController(policy)
+	if err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("smapp: a controller stack needs a concrete policy (have: %v)", ControllerNames())
+	}
+	ctl, err := factory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cs.ctl != nil {
+		cs.ctl.Detach()
+	}
+	ctl.Attach(cs.Lib)
+	cs.ctl = ctl
+	return ctl, nil
+}
+
+// Controller reports the attached policy (nil before Use).
+func (cs *ControllerStack) Controller() controller.Controller { return cs.ctl }
+
+// WallClock adapts the wall clock to core.Clock for controller processes.
+// Timer callbacks are serialised with the socket event pump through Mu,
+// so controller code stays single-threaded exactly as on the sim clock.
+type WallClock struct {
+	start time.Time
+	mu    *sync.Mutex
+}
+
+// NewWallClock starts a wall clock whose timer callbacks lock mu.
+func NewWallClock(mu *sync.Mutex) WallClock {
+	return WallClock{start: time.Now(), mu: mu}
+}
+
+// Now implements core.Clock.
+func (c WallClock) Now() time.Duration { return time.Since(c.start) }
+
+// After implements core.Clock.
+func (c WallClock) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+	return func() { t.Stop() }
+}

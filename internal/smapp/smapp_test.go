@@ -1,0 +1,327 @@
+package smapp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/controller"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+)
+
+// rig is a two-path world with a smapp stack on the client and a plain
+// endpoint on the server.
+type rig struct {
+	net *topo.TwoPath
+	st  *Stack
+	sep *mptcp.Endpoint
+}
+
+func newRig(seed int64, link netem.LinkConfig, cfg Config) *rig {
+	r := &rig{net: topo.NewTwoPath(sim.New(seed), link, link)}
+	r.st = New(r.net.Client, cfg)
+	r.sep = mptcp.NewEndpoint(r.net.Server, mptcp.Config{}, nil)
+	r.net.Sim.RunFor(time.Millisecond)
+	return r
+}
+
+func TestDialBindsPolicyPerConnection(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(1, p, Config{})
+	r.sep.Listen(80, nil)
+	conn, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, mptcp.ConnCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.Sim.Run()
+	if got := len(conn.Subflows()); got != 2 {
+		t.Fatalf("fullmesh policy built %d subflows, want 2", got)
+	}
+	if r.st.PolicyName(conn) != "fullmesh" {
+		t.Fatalf("policy = %q", r.st.PolicyName(conn))
+	}
+	if _, ok := r.st.Controller(conn).(*controller.FullMesh); !ok {
+		t.Fatalf("controller = %T", r.st.Controller(conn))
+	}
+	if r.st.Stats.PoliciesAttached != 1 {
+		t.Fatalf("attached = %d", r.st.Stats.PoliciesAttached)
+	}
+}
+
+func TestDialDefaultsAddrsFromHost(t *testing.T) {
+	// No Addrs in the config: the stack must fill in the host's
+	// interfaces, so "fullmesh" still meshes both paths.
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(2, p, Config{})
+	r.sep.Listen(80, nil)
+	conn, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, mptcp.ConnCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.Sim.Run()
+	addrs := map[string]bool{}
+	for _, sf := range conn.Subflows() {
+		addrs[sf.Tuple().SrcIP.String()] = true
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("mesh covers %d local addresses, want 2", len(addrs))
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(3, p, Config{})
+	if _, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"no-such", ControllerConfig{}, mptcp.ConnCallbacks{}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// A bad config must fail the Dial, before any connection exists.
+	if _, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"refresh", ControllerConfig{Subflows: 1}, mptcp.ConnCallbacks{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if got := len(r.st.Endpoint.Conns()); got != 0 {
+		t.Fatalf("failed dials leaked %d connections", got)
+	}
+}
+
+func TestKernelPMStackRejectsPolicies(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(4, p, Config{KernelPM: mptcp.NopPM{}})
+	if _, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, mptcp.ConnCallbacks{}); err == nil {
+		t.Fatal("policy accepted on a stack with no userspace control plane")
+	}
+	r.sep.Listen(80, nil)
+	if _, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"", ControllerConfig{}, mptcp.ConnCallbacks{}); err != nil {
+		t.Fatalf("nil policy must work: %v", err)
+	}
+}
+
+func TestListenBindsPolicyPerAcceptedConnection(t *testing.T) {
+	// The policy runs on the SERVER side here: ndiffports opens extra
+	// subflows back to the client. The created event fires at SYN time,
+	// before the accept callback can bind — the stack must buffer and
+	// replay it.
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond}
+	net := topo.NewTwoPath(sim.New(5), p, p)
+	sst := New(net.Server, Config{})
+	cep := mptcp.NewEndpoint(net.Client, mptcp.Config{}, nil)
+	var server *mptcp.Connection
+	if err := sst.Listen(80, "ndiffports", ControllerConfig{Subflows: 3},
+		func(c *mptcp.Connection) { server = c }); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunFor(time.Millisecond)
+	if _, err := cep.Connect(net.ClientAddrs[0], net.ServerAddr, 80, mptcp.ConnCallbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run()
+	if server == nil {
+		t.Fatal("no connection accepted")
+	}
+	if got := len(server.Subflows()); got != 3 {
+		t.Fatalf("server-side ndiffports built %d subflows, want 3", got)
+	}
+	if sst.PolicyName(server) != "ndiffports" {
+		t.Fatalf("policy = %q", sst.PolicyName(server))
+	}
+	if sst.Stats.EventsBuffered == 0 {
+		t.Fatal("created event should have been buffered until the accept bound the policy")
+	}
+}
+
+func TestListenRejectsBadConfigUpFront(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond}
+	r := newRig(6, p, Config{})
+	if err := r.st.Listen(80, "backup", ControllerConfig{Addrs: r.net.ClientAddrs[:1]}, nil); err == nil {
+		t.Fatal("invalid config accepted by Listen")
+	}
+}
+
+// TestSwitchPolicyMidTransfer is the facade's headline capability: a bulk
+// transfer starts under fullmesh (both interfaces hot), switches to the
+// break-before-make backup policy mid-flight, and must end with the
+// transfer complete over the backup interface, the byte accounting
+// consistent, and the detached fullmesh provably inert.
+func TestSwitchPolicyMidTransfer(t *testing.T) {
+	const total = 10 << 20
+	p := netem.LinkConfig{RateBps: 8e6, Delay: 15 * time.Millisecond}
+	r := newRig(7, p, Config{})
+	sink := app.NewSink(r.net.Sim, total, nil)
+	r.sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
+	src := app.NewSource(r.net.Sim, total, false)
+	conn, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, src.Callbacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: fullmesh builds the two-subflow mesh.
+	r.net.Sim.RunUntil(sim.Second)
+	if got := len(conn.Subflows()); got != 2 {
+		t.Fatalf("mesh = %d subflows before the switch, want 2", got)
+	}
+	oldCtl := r.st.Controller(conn).(*controller.FullMesh)
+
+	// Phase 2: switch to backup at t=1s and cool the second radio down.
+	if err := r.st.SwitchPolicy(conn, "backup", ControllerConfig{Threshold: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if r.st.PolicyName(conn) != "backup" {
+		t.Fatalf("policy = %q after switch", r.st.PolicyName(conn))
+	}
+	if r.st.Stats.PoliciesSwitched != 1 {
+		t.Fatalf("switched = %d", r.st.Stats.PoliciesSwitched)
+	}
+	for _, sf := range conn.Subflows() {
+		if sf.Tuple().SrcIP == r.net.ClientAddrs[1] {
+			conn.CloseSubflow(sf, true)
+		}
+	}
+	// The detached fullmesh must NOT re-establish the killed subflow
+	// (its retry timer was 1 s; give it 3).
+	r.net.Sim.RunUntil(4 * sim.Second)
+	if got := len(conn.Subflows()); got != 1 {
+		t.Fatalf("detached fullmesh still acting: %d subflows", got)
+	}
+	if oldCtl.Stats.Reestablishments != 0 {
+		t.Fatalf("detached fullmesh re-established %d subflows", oldCtl.Stats.Reestablishments)
+	}
+
+	// Phase 3: the primary degrades; the NEW policy must do the
+	// break-before-make switch within seconds.
+	r.net.Path[0].SetLoss(0.9)
+	r.net.Sim.RunUntil(60 * sim.Second)
+
+	bctl := r.st.Controller(conn).(*controller.Backup)
+	if bctl.Stats.Switches != 1 {
+		t.Fatalf("backup switches = %d, want 1", bctl.Stats.Switches)
+	}
+	if !sink.Done {
+		t.Fatalf("transfer incomplete: %d / %d bytes", sink.Received, uint64(total))
+	}
+	for _, sf := range conn.Subflows() {
+		if sf.Tuple().SrcIP != r.net.ClientAddrs[1] {
+			t.Fatalf("surviving subflow on %v, want the backup interface", sf.Tuple().SrcIP)
+		}
+	}
+	// Byte accounting stayed consistent across the policy swap: all
+	// written bytes were delivered and acknowledged, and nothing was
+	// double-counted as fresh data.
+	info := r.st.Info(conn)
+	if info.Stats.BytesWritten != total || sink.Received != total {
+		t.Fatalf("accounting: written=%d received=%d want %d",
+			info.Stats.BytesWritten, sink.Received, uint64(total))
+	}
+	if info.SndUna != total {
+		t.Fatalf("snd_una=%d after completion, want %d", info.SndUna, uint64(total))
+	}
+	if info.Stats.BytesScheduled != total {
+		t.Fatalf("scheduled=%d bytes as fresh data, want exactly %d", info.Stats.BytesScheduled, uint64(total))
+	}
+}
+
+func TestSwitchPolicyToNilDetaches(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(8, p, Config{})
+	r.sep.Listen(80, nil)
+	conn, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, mptcp.ConnCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.Sim.Run()
+	if err := r.st.SwitchPolicy(conn, "", ControllerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.st.PolicyName(conn) != "" || r.st.Controller(conn) != nil {
+		t.Fatal("nil-policy switch left a binding behind")
+	}
+	// Kill a subflow: with no policy bound, nobody rebuilds it.
+	conn.CloseSubflow(conn.Subflows()[1], true)
+	r.net.Sim.RunFor(5 * time.Second)
+	if got := len(conn.Subflows()); got != 1 {
+		t.Fatalf("subflows = %d after nil-policy switch, want 1", got)
+	}
+}
+
+func TestInfoMergesAppAndWireViews(t *testing.T) {
+	p := netem.LinkConfig{RateBps: 50e6, Delay: 10 * time.Millisecond}
+	r := newRig(9, p, Config{})
+	sink := app.NewSink(r.net.Sim, 1<<20, nil)
+	r.sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
+	src := app.NewSource(r.net.Sim, 1<<20, false)
+	conn, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+		"fullmesh", ControllerConfig{}, src.Callbacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.Sim.RunUntil(5 * sim.Second)
+
+	info := r.st.Info(conn)
+	if info.Policy != "fullmesh" {
+		t.Fatalf("policy = %q", info.Policy)
+	}
+	if len(info.Wire) != len(info.Subflows) || len(info.Wire) == 0 {
+		t.Fatalf("wire view has %d subflows, app view %d", len(info.Wire), len(info.Subflows))
+	}
+	for i := range info.Wire {
+		if info.Wire[i].Tuple != info.Subflows[i].Tuple {
+			t.Fatalf("subflow %d: wire tuple %v != app tuple %v", i, info.Wire[i].Tuple, info.Subflows[i].Tuple)
+		}
+		if info.Subflows[i].State == tcp.StateEstablished && info.Wire[i].SRTT <= 0 {
+			t.Fatalf("subflow %d: wire SRTT not populated", i)
+		}
+	}
+	if info.SndUna != info.Stats.BytesWritten || info.SndUna != 1<<20 {
+		t.Fatalf("app-side counters inconsistent: snd_una=%d written=%d", info.SndUna, info.Stats.BytesWritten)
+	}
+}
+
+// TestDeterministicAcrossRuns guards the facade's event fan-out: two
+// identically seeded runs must behave bit-identically even with policies
+// bound on several connections (map-ordered dispatch would diverge).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64) {
+		p := netem.LinkConfig{RateBps: 20e6, Delay: 10 * time.Millisecond}
+		r := newRig(42, p, Config{})
+		sink := app.NewSink(r.net.Sim, 4<<20, nil)
+		r.sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
+		var conns []*mptcp.Connection
+		for i := 0; i < 3; i++ {
+			src := app.NewSource(r.net.Sim, 1<<20, false)
+			c, err := r.st.Dial(r.net.ClientAddrs[0], r.net.ServerAddr, 80,
+				"fullmesh", ControllerConfig{}, src.Callbacks())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, c)
+		}
+		// An interface flap fans local-addr events out to every binding.
+		r.net.Sim.Schedule(sim.Second, "flap", func() {
+			r.net.Client.SetIfaceUp(r.net.ClientAddrs[1], false)
+		})
+		r.net.Sim.Schedule(2*sim.Second, "unflap", func() {
+			r.net.Client.SetIfaceUp(r.net.ClientAddrs[1], true)
+		})
+		r.net.Sim.RunUntil(20 * sim.Second)
+		var pushed uint64
+		for _, c := range conns {
+			pushed += c.Stats().ChunksPushed
+		}
+		return pushed, r.st.Stats.EventsDispatched
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 != p2 || e1 != e2 {
+		t.Fatalf("identical seeds diverged: pushed %d/%d, events %d/%d", p1, p2, e1, e2)
+	}
+}
