@@ -17,11 +17,13 @@ race:
 	$(GO) test -race ./...
 
 # One seed per figure benchmark: a smoke reproduction whose output CI
-# uploads as an artifact.
+# uploads as an artifact. -benchmem publishes allocs/op next to the
+# custom metrics (BenchmarkScale adds segs/sec of wall time), so the
+# artifact tracks both the figures and the zero-allocation data path.
 # Redirect-then-cat instead of tee: a pipe would report tee's exit
 # status and let a failing benchmark slip past CI.
 bench:
-	@$(GO) test -bench=. -benchtime=1x -run '^$$' . > bench.txt; \
+	@$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . > bench.txt; \
 	status=$$?; cat bench.txt; exit $$status
 
 fmt:

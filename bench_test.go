@@ -15,10 +15,12 @@
 package main
 
 import (
+	"net/netip"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/netem"
 	"repro/internal/nlmsg"
 	"repro/internal/runner"
 	"repro/internal/seg"
@@ -211,7 +213,88 @@ func BenchmarkSchedSweep(b *testing.B) {
 	report(b, m, "round-robin_p90_s", "round_robin_p90_s", 1)
 }
 
+// BenchmarkScale stresses the pooled data path: N concurrent connections
+// × M subflows through a shared bottleneck. The custom metrics put
+// simulator throughput (segs/sec of wall time) into the bench artifact;
+// with -benchmem the allocs/op column tracks the zero-allocation goal.
+func BenchmarkScale(b *testing.B) {
+	m := sweep(b, "scale", func(seed int64) *experiments.Result {
+		cfg := experiments.DefaultScale()
+		cfg.Seed = seed
+		cfg.Conns = 8
+		cfg.BytesPerConn = 512 << 10
+		return experiments.Scale(cfg)
+	})
+	b.ReportAllocs()
+	report(b, m, "segs_per_wall_s", "segs_per_wall_s", 1)
+	report(b, m, "events_per_wall_s", "events_per_wall_s", 1)
+	report(b, m, "lowest-rtt/kernel_goodput_mbps", "goodput_mbps", 1)
+}
+
 // --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkLinkDelivery measures the in-memory seg→netem→host delivery
+// path in isolation: pooled segment, pooled packet, pooled events. The
+// allocs/op column must stay ~0 (see internal/netem TestLinkDeliveryAllocFree).
+func BenchmarkLinkDelivery(b *testing.B) {
+	s := sim.New(1)
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	rx := netem.NewHost(s, "rx")
+	rx.SetHandler(func(p *netem.Packet) { p.Release() })
+	tx := netem.NewHost(s, "tx")
+	wire := netem.NewLink(s, "wire", rx, netem.LinkConfig{RateBps: 1e9, Delay: time.Millisecond})
+	tx.AddIface("eth0", src, wire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg := seg.Shared.Get()
+		sg.Tuple = seg.FourTuple{SrcIP: src, DstIP: dst, SrcPort: 1000, DstPort: 80}
+		sg.Flags = seg.ACK | seg.PSH
+		sg.PayloadLen = 1380
+		d := sg.ScratchDSS()
+		d.HasMap, d.DataSeq, d.MapLen = true, uint64(i), 1380
+		tx.Send(netem.NewPacket(sg))
+		s.RunFor(2 * time.Millisecond)
+	}
+}
+
+// BenchmarkSegmentAppendWire is the zero-allocation marshal (reused buffer).
+func BenchmarkSegmentAppendWire(b *testing.B) {
+	s := &seg.Segment{
+		Tuple:      seg.FourTuple{SrcPort: 1, DstPort: 2},
+		Flags:      seg.ACK | seg.PSH,
+		PayloadLen: 1380,
+		Options: []seg.Option{&seg.DSS{
+			HasDataAck: true, DataAck: 1 << 40,
+			HasMap: true, DataSeq: 1 << 41, MapLen: 1380,
+		}},
+	}
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = s.AppendWire(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentClonePooled is the pooled deep copy used for handshake
+// retransmissions (and formerly for every transmitted segment).
+func BenchmarkSegmentClonePooled(b *testing.B) {
+	s := seg.Shared.Get()
+	s.Tuple = seg.FourTuple{SrcPort: 1, DstPort: 2}
+	s.Flags = seg.ACK | seg.PSH
+	s.PayloadLen = 1380
+	d := s.ScratchDSS()
+	d.HasMap, d.DataSeq, d.MapLen = true, 7, 1380
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seg.Shared.Put(seg.Shared.Clone(s))
+	}
+}
 
 func BenchmarkNetlinkEventMarshal(b *testing.B) {
 	ev := &nlmsg.Event{

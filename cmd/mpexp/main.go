@@ -13,12 +13,15 @@
 //	mpexp longlived  [-plain] [common flags]
 //	mpexp schedsweep [-loss R] [-blocks N] [common flags]
 //	mpexp ctlsweep   [-loss R] [-blocks N] [common flags]
+//	mpexp scale      [-conns N] [-subflows M] [-kb N] [common flags]
 //	mpexp all        (every figure, honouring the common flags)
 //
 // Common flags: -seed N (base seed), -seeds N (independent seeds),
 // -parallel N (worker goroutines, default GOMAXPROCS), -sched NAME,
 // -controller NAME (swap the smart mode's subflow controller; ctlsweep
-// restricts its sweep to just that policy).
+// and scale restrict their sweeps to just that policy), and
+// -cpuprofile/-memprofile FILE to capture pprof profiles of any
+// experiment's hot paths.
 // With -seeds 1 the single run's full report prints; with more, per-seed
 // scalars are aggregated into mean/median/p90/min/max and the raw
 // distributions are pooled across seeds.
@@ -28,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +49,8 @@ type runFlags struct {
 	parallel   *int
 	sched      *string
 	controller *string
+	cpuprofile *string
+	memprofile *string
 }
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
@@ -55,6 +62,54 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 			strings.Join(mptcp.SchedulerNames(), ", "))),
 		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the figure's paper policy)",
 			strings.Join(smapp.ControllerNames(), ", "))),
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file (covers the whole run)"),
+		memprofile: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Profiling state: the first execute whose flags ask for a profile starts
+// it; main stops and writes everything on the way out, so `mpexp all`
+// collects one profile spanning every figure.
+var (
+	cpuProfileOut  *os.File
+	memProfilePath string
+)
+
+func startProfiles(cpu, mem string) {
+	if cpu != "" && cpuProfileOut == nil {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpexp:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mpexp:", err)
+			os.Exit(2)
+		}
+		cpuProfileOut = f
+	}
+	if mem != "" && memProfilePath == "" {
+		memProfilePath = mem
+	}
+}
+
+func stopProfiles() {
+	if cpuProfileOut != nil {
+		pprof.StopCPUProfile()
+		cpuProfileOut.Close()
+		cpuProfileOut = nil
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpexp:", err)
+			return
+		}
+		runtime.GC() // materialise the live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mpexp:", err)
+		}
+		f.Close()
 	}
 }
 
@@ -80,6 +135,7 @@ func (rf *runFlags) execute(name string, job runner.Job) bool {
 		fmt.Fprintln(os.Stderr, "mpexp:", err)
 		os.Exit(2)
 	}
+	startProfiles(*rf.cpuprofile, *rf.memprofile)
 	if *rf.seeds <= 1 {
 		fmt.Print(job(*rf.seed).Report)
 		return true
@@ -206,6 +262,32 @@ func main() {
 			return experiments.CtlSweep(c)
 		})
 
+	case "scale":
+		fs := flag.NewFlagSet("scale", flag.ExitOnError)
+		rf := addRunFlags(fs)
+		conns := fs.Int("conns", 16, "concurrent connections (one client host each)")
+		subflows := fs.Int("subflows", 2, "interfaces (→ subflows) per client")
+		kb := fs.Int("kb", 1024, "payload per connection in KB")
+		fs.Parse(args)
+		cfg := experiments.DefaultScale()
+		cfg.Conns = *conns
+		cfg.Subflows = *subflows
+		cfg.BytesPerConn = *kb << 10
+		if *rf.sched != "" {
+			cfg.Schedulers = []string{*rf.sched} // sweep a single scheduler
+		}
+		if *rf.controller != "" {
+			cfg.Controllers = []string{*rf.controller}
+			if *rf.controller == experiments.KernelController {
+				*rf.controller = "" // "kernel" is a scale cell, not a registered policy
+			}
+		}
+		ok = rf.execute("scale", func(seed int64) *experiments.Result {
+			c := cfg
+			c.Seed = seed
+			return experiments.Scale(c)
+		})
+
 	case "schedsweep":
 		fs := flag.NewFlagSet("schedsweep", flag.ExitOnError)
 		rf := addRunFlags(fs)
@@ -229,6 +311,12 @@ func main() {
 		rf := addRunFlags(fs)
 		fs.Parse(args)
 		sched := *rf.sched
+		scaleCtl := *rf.controller
+		if scaleCtl == experiments.KernelController {
+			// "kernel" names a scale sweep cell, not a registered policy:
+			// the figures fall back to their paper-default controllers.
+			*rf.controller = ""
+		}
 		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
 			c := experiments.DefaultFig2a()
 			c.Seed, c.Sched = seed, sched
@@ -286,10 +374,22 @@ func main() {
 			}
 			return experiments.CtlSweep(c)
 		}) && ok
+		ok = rf.execute("scale", func(seed int64) *experiments.Result {
+			c := experiments.DefaultScale()
+			c.Seed = seed
+			if sched != "" {
+				c.Schedulers = []string{sched}
+			}
+			if scaleCtl != "" {
+				c.Controllers = []string{scaleCtl}
+			}
+			return experiments.Scale(c)
+		}) && ok
 
 	default:
 		usage()
 	}
+	stopProfiles()
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
 	if !ok {
 		os.Exit(1)
@@ -297,9 +397,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|ctlsweep|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|ctlsweep|scale|all> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
-APPlications" (CoNEXT'15). Run with a subcommand and -h for its flags.
-Common flags: -seed N -seeds N -parallel N -sched NAME -controller NAME.`)
+APPlications" (CoNEXT'15) plus a scale stress workload. Run with a
+subcommand and -h for its flags. Common flags: -seed N -seeds N
+-parallel N -sched NAME -controller NAME -cpuprofile F -memprofile F.`)
 	os.Exit(2)
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files under testdata/ pin the byte-for-byte report output of
+// the cheap deterministic experiments at seed 1. They were generated from
+// the pre-pool data path; the pooled segment/event lifecycle must not
+// change a single simulated byte. Regenerate (only when an intentional
+// model change occurs) with:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite the determinism golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	p := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: report diverged from the pre-pool golden output\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestFig2aGoldenSeed1(t *testing.T) {
+	cfg := DefaultFig2a()
+	cfg.Seed = 1
+	checkGolden(t, "fig2a_seed1", Fig2a(cfg).Report)
+}
+
+func TestLongLivedGoldenSeed1(t *testing.T) {
+	cfg := DefaultLongLived()
+	cfg.Seed = 1
+	checkGolden(t, "longlived_seed1", LongLived(cfg).Report)
+}
+
+// TestGoldenRunsAreRepeatable guards the golden tests themselves: two
+// fresh runs at the same seed must agree before comparing to disk, so a
+// golden failure always means divergence, never flakiness.
+func TestGoldenRunsAreRepeatable(t *testing.T) {
+	cfg := DefaultFig2a()
+	cfg.Seed = 7
+	a := Fig2a(cfg).Report
+	b := Fig2a(cfg).Report
+	if a != b {
+		t.Fatal("two fig2a runs at the same seed disagree")
+	}
+}

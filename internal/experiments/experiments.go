@@ -13,6 +13,10 @@
 //   - §4.1 (no figure): long-lived connections through a NAT with idle
 //     timeouts, userspace full-mesh controller vs the plain stack.
 //
+// Beyond the paper, the scale experiment stresses the pooled data path:
+// N concurrent connections × M subflows through a shared bottleneck,
+// swept over schedulers and controllers (see scale.go).
+//
 // Every experiment is deterministic given its seed and returns both a
 // human-readable report and the raw samples/series, so the bench harness
 // and cmd/mpexp share one implementation.

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/pm"
+	"repro/internal/sim"
+	"repro/internal/smapp"
+)
+
+// ScaleConfig parameterises the stress workload: N concurrent Multipath
+// TCP connections × M subflows each, streaming simultaneously through one
+// shared bottleneck, swept over packet schedulers and subflow controllers.
+type ScaleConfig struct {
+	Seed         int64
+	Conns        int           // concurrent connections, one client host each
+	Subflows     int           // interfaces per client (→ subflows via full-mesh)
+	BytesPerConn int           // payload each client streams at t≈0
+	Schedulers   []string      // swept packet schedulers; empty = lowest-rtt, round-robin
+	Controllers  []string      // swept policies; empty = [kernel]; "kernel" = in-kernel full-mesh
+	AccessBps    float64       // per-interface access rate
+	Bottleneck   float64       // shared bottleneck rate
+	Delay        time.Duration // one-way access-path delay
+	Horizon      time.Duration // simulation cutoff
+}
+
+// KernelController names the in-kernel full-mesh baseline cell of the
+// controller sweep (no userspace control plane at all).
+const KernelController = "kernel"
+
+// DefaultScale returns a bench-sized stress scenario: 16 clients × 2
+// subflows pushing 1 MB each through a 200 Mbps bottleneck.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{
+		Seed:         1,
+		Conns:        16,
+		Subflows:     2,
+		BytesPerConn: 1 << 20,
+		AccessBps:    50e6,
+		Bottleneck:   200e6,
+		Delay:        10 * time.Millisecond,
+		Horizon:      2 * time.Minute,
+	}
+}
+
+// scaleCell is the outcome of one (scheduler, controller) sweep cell.
+type scaleCell struct {
+	sched, ctl string
+	completed  int
+	medianS    float64
+	p90S       float64
+	goodputMbs float64 // delivered payload bits/s over the busy interval
+	pkts       uint64  // packets delivered end to end (both directions)
+	drops      uint64  // queue drops at the bottleneck
+	events     uint64  // simulator events processed
+	wall       time.Duration
+}
+
+// Scale runs the stress matrix. Simulated results (completions, goodput,
+// drops) are deterministic per seed; the wall-clock throughput scalars
+// (segs_per_wall_s, events_per_wall_s) measure the host executing the
+// simulation and feed the performance trajectory in the bench artifact.
+func Scale(cfg ScaleConfig) *Result {
+	scheds := cfg.Schedulers
+	if len(scheds) == 0 {
+		scheds = []string{"lowest-rtt", "round-robin"}
+	}
+	ctls := cfg.Controllers
+	if len(ctls) == 0 {
+		ctls = []string{KernelController}
+	}
+	for _, name := range scheds {
+		if _, err := mptcp.LookupScheduler(name); err != nil {
+			panic(err)
+		}
+	}
+	for _, name := range ctls {
+		if name == KernelController {
+			continue
+		}
+		if _, err := smapp.LookupController(name); err != nil {
+			panic(err)
+		}
+	}
+
+	res := newResult("scale")
+	res.Report = header("Scale stress — pooled data path under concurrent load",
+		fmt.Sprintf("%d conns x %d subflows, %d KB each; access %.0f Mbps, bottleneck %.0f Mbps, %v delay",
+			cfg.Conns, cfg.Subflows, cfg.BytesPerConn>>10, cfg.AccessBps/1e6, cfg.Bottleneck/1e6, cfg.Delay))
+
+	var cells []scaleCell
+	var totalPkts, totalEvents uint64
+	var totalWall time.Duration
+	for _, sched := range scheds {
+		for _, ctl := range ctls {
+			cell := scaleRun(cfg, sched, ctl)
+			cells = append(cells, cell)
+			totalPkts += cell.pkts
+			totalEvents += cell.events
+			totalWall += cell.wall
+			key := sched + "/" + ctl
+			res.Scalars[key+"_completed"] = float64(cell.completed)
+			res.Scalars[key+"_median_s"] = cell.medianS
+			res.Scalars[key+"_p90_s"] = cell.p90S
+			res.Scalars[key+"_goodput_mbps"] = cell.goodputMbs
+			res.Scalars[key+"_bottleneck_drops"] = float64(cell.drops)
+			s := res.sample(key + " completion (s)")
+			s.Add(cell.medianS)
+		}
+	}
+
+	res.section("sweep matrix")
+	res.printf("%-14s %-10s %5s %9s %9s %9s %9s %7s\n",
+		"scheduler", "controller", "done", "median", "p90", "goodput", "pkts", "drops")
+	for _, c := range cells {
+		res.printf("%-14s %-10s %3d/%-2d %8.2fs %8.2fs %6.1fMb/s %9d %7d\n",
+			c.sched, c.ctl, c.completed, cfg.Conns, c.medianS, c.p90S, c.goodputMbs, c.pkts, c.drops)
+	}
+
+	res.section("host throughput (wall clock)")
+	wallS := totalWall.Seconds()
+	if wallS > 0 {
+		res.Scalars["segs_per_wall_s"] = float64(totalPkts) / wallS
+		res.Scalars["events_per_wall_s"] = float64(totalEvents) / wallS
+		res.printf("delivered %d packets / processed %d events in %v: %.0f segs/s, %.0f events/s\n",
+			totalPkts, totalEvents, totalWall.Round(time.Millisecond),
+			float64(totalPkts)/wallS, float64(totalEvents)/wallS)
+	}
+	return res
+}
+
+// scaleRun executes one sweep cell on a fresh simulation.
+func scaleRun(cfg ScaleConfig, sched, ctl string) scaleCell {
+	start := time.Now()
+	s := sim.New(cfg.Seed)
+
+	server := netem.NewHost(s, "server")
+	agg := netem.NewRouter(s, "agg", uint64(cfg.Seed))
+	serverAddr := netip.AddrFrom4([4]byte{10, 255, 0, 1})
+	trunk := netem.NewDuplex(s, "bottleneck", agg, server, netem.LinkConfig{
+		RateBps: cfg.Bottleneck, Delay: 500 * time.Microsecond,
+	})
+	server.AddIface("eth0", serverAddr, trunk.BA)
+	agg.AddRoute(serverAddr, trunk.AB)
+
+	// One multihomed client host per connection, every interface on its
+	// own access link into the shared aggregation router.
+	type client struct {
+		host  *netem.Host
+		addrs []netip.Addr
+		src   *app.Source
+	}
+	clients := make([]client, cfg.Conns)
+	access := netem.LinkConfig{RateBps: cfg.AccessBps, Delay: cfg.Delay}
+	clientIdx := make(map[netip.Addr]int, cfg.Conns)
+	for i := range clients {
+		h := netem.NewHost(s, fmt.Sprintf("c%d", i))
+		cl := client{host: h}
+		for j := 0; j < cfg.Subflows; j++ {
+			addr := netip.AddrFrom4([4]byte{10, byte(1 + i/200), byte(1 + i%200), byte(1 + j)})
+			d := netem.NewDuplex(s, fmt.Sprintf("acc%d.%d", i, j), h, agg, access)
+			h.AddIface(fmt.Sprintf("if%d", j), addr, d.AB)
+			agg.AddRoute(addr, d.BA)
+			cl.addrs = append(cl.addrs, addr)
+		}
+		clientIdx[cl.addrs[0]] = i
+		cl.src = app.NewSource(s, cfg.BytesPerConn, true)
+		clients[i] = cl
+	}
+
+	// Server stack: plain endpoint; one sink per accepted connection,
+	// matched back to its client by the initial subflow's address.
+	sep := mptcp.NewEndpoint(server, mptcp.Config{Scheduler: sched}, nil)
+	completedAt := make([]sim.Time, cfg.Conns)
+	for i := range completedAt {
+		completedAt[i] = -1
+	}
+	sep.Listen(80, func(c *mptcp.Connection) {
+		idx, ok := clientIdx[c.InitialTuple().DstIP]
+		if !ok {
+			return
+		}
+		sink := app.NewSink(s, uint64(cfg.BytesPerConn), nil)
+		sink.OnComplete = func() { completedAt[idx] = s.Now() }
+		c.SetCallbacks(sink.Callbacks())
+	})
+
+	// Client stacks dial with a tiny stagger (10 µs apart) so the SYN
+	// burst is concurrent but not pathologically phase-locked.
+	dialAt := make([]sim.Time, cfg.Conns)
+	for i := range clients {
+		cl := clients[i]
+		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
+		dialAt[i] = at
+		switch ctl {
+		case KernelController:
+			ep := mptcp.NewEndpoint(cl.host, mptcp.Config{Scheduler: sched}, pm.NewFullMesh())
+			s.Schedule(at, "scale.dial", func() {
+				if _, err := ep.Connect(cl.addrs[0], serverAddr, 80, cl.src.Callbacks()); err != nil {
+					panic(err)
+				}
+			})
+		default:
+			st := smapp.New(cl.host, smapp.Config{MPTCP: mptcp.Config{Scheduler: sched}})
+			pcfg := smapp.ControllerConfig{Addrs: cl.addrs, Subflows: cfg.Subflows}
+			s.Schedule(at, "scale.dial", func() {
+				if _, err := st.Dial(cl.addrs[0], serverAddr, 80, ctl, pcfg, cl.src.Callbacks()); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+
+	s.RunUntil(sim.Time(cfg.Horizon))
+
+	cell := scaleCell{sched: sched, ctl: ctl}
+	delays := &sample{}
+	var lastDone sim.Time
+	var delivered uint64
+	for i, at := range completedAt {
+		if at < 0 {
+			continue
+		}
+		cell.completed++
+		delays.Add(time.Duration(at - dialAt[i]).Seconds())
+		if at > lastDone {
+			lastDone = at
+		}
+		delivered += uint64(cfg.BytesPerConn)
+	}
+	if delays.N() > 0 {
+		cell.medianS = delays.Median()
+		cell.p90S = delays.Quantile(0.9)
+	}
+	if lastDone > 0 {
+		cell.goodputMbs = float64(delivered*8) / lastDone.Seconds() / 1e6
+	}
+	cell.pkts = server.Stats.Delivered
+	for _, cl := range clients {
+		cell.pkts += cl.host.Stats.Delivered
+	}
+	cell.drops = trunk.AB.Stats.DropQueue + trunk.BA.Stats.DropQueue
+	cell.events = s.Processed
+	cell.wall = time.Since(start)
+	return cell
+}

@@ -1,0 +1,37 @@
+// External test package: internal/runner imports experiments, so the
+// multi-seed scale test lives outside the experiments package to avoid an
+// import cycle.
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// TestScaleMultiSeed runs the scale experiment across seeds on the
+// concurrent multi-seed runner — under `make race` (CI) this is the race
+// gate for the pooled segment/chunk/event lifecycle, whose sync.Pools are
+// the only state shared between worker goroutines.
+func TestScaleMultiSeed(t *testing.T) {
+	small := func(seed int64) experiments.ScaleConfig {
+		cfg := experiments.DefaultScale()
+		cfg.Seed = seed
+		cfg.Conns = 4
+		cfg.BytesPerConn = 128 << 10
+		cfg.Schedulers = []string{"lowest-rtt"}
+		return cfg
+	}
+	m := runner.Run("scale", runner.Config{Seeds: 4, BaseSeed: 1, Parallel: 4},
+		func(seed int64) *experiments.Result {
+			return experiments.Scale(small(seed))
+		})
+	if failed := m.Failed(); len(failed) != 0 {
+		t.Fatalf("seed %d failed: %v", failed[0].Seed, failed[0].Err)
+	}
+	sum, ok := m.ScalarSummary()["lowest-rtt/kernel_completed"]
+	if !ok || sum.Mean() != 4 {
+		t.Fatalf("expected every seed to complete 4 connections (summary: %+v)", m.ScalarSummary())
+	}
+}

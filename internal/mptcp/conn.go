@@ -88,6 +88,8 @@ type Connection struct {
 	// Fig. 2a experiment uses it to plot data sequence vs time per subflow.
 	TracePush func(sf *tcp.Subflow, rel uint64, ln int, reinjected bool)
 
+	pickBuf []*tcp.Subflow // reused scheduler-target scratch (push)
+
 	stats ConnStats
 }
 
@@ -113,8 +115,16 @@ func (c *Connection) Endpoint() *Endpoint { return c.ep }
 // after that subflow dies).
 func (c *Connection) InitialTuple() seg.FourTuple { return c.initialTuple }
 
-// Subflows lists the connection's live subflows in creation order.
-func (c *Connection) Subflows() []*tcp.Subflow { return c.subflows }
+// Subflows lists the connection's live subflows in creation order. The
+// returned slice is a defensive copy: callers (controllers, smapp.Info)
+// may keep or reorder it without aliasing the connection's internal state,
+// which mutates as subflows come and go.
+func (c *Connection) Subflows() []*tcp.Subflow {
+	if len(c.subflows) == 0 {
+		return nil
+	}
+	return append([]*tcp.Subflow(nil), c.subflows...)
+}
 
 // SndUna reports connection-level cumulatively acknowledged payload bytes —
 // the snd_una state variable §4.3's smart-stream controller polls.
@@ -380,12 +390,16 @@ func (c *Connection) push() {
 		if ln == 0 {
 			break
 		}
-		var targets []*tcp.Subflow
+		// The scheduler sees the internal slice (it must not retain it);
+		// targets reuse the connection's scratch buffer so the per-chunk
+		// scheduling step does not allocate.
+		targets := c.pickBuf[:0]
 		if mp != nil {
-			targets = mp.PickAll(c.subflows, ln)
+			targets = append(targets, mp.PickAll(c.subflows, ln)...)
 		} else if sf := c.sched.Pick(c.subflows, ln); sf != nil {
 			targets = append(targets, sf)
 		}
+		c.pickBuf = targets[:0]
 		if len(targets) == 0 {
 			break
 		}

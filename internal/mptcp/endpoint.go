@@ -164,9 +164,20 @@ func (ep *Endpoint) removeConn(c *Connection) {
 	delete(ep.conns, c)
 }
 
-// input demultiplexes an inbound packet.
+// input demultiplexes an inbound packet. The endpoint owns the packet: it
+// retires the shell immediately and the segment once handling finishes,
+// closing the pooled segment lifecycle (sender Get → wire → receiver Put).
 func (ep *Endpoint) input(pkt *netem.Packet) {
 	sg := pkt.Seg
+	pkt.Seg = nil
+	pkt.Release()
+	ep.handleSegment(sg)
+	seg.Shared.Put(sg)
+}
+
+// handleSegment routes one inbound segment, which is owned by the caller
+// and must not be retained by anything downstream.
+func (ep *Endpoint) handleSegment(sg *seg.Segment) {
 	key := sg.Tuple.Reverse() // local-perspective tuple
 	if sf, ok := ep.tuples[key]; ok {
 		sf.HandleSegment(sg)
@@ -207,18 +218,20 @@ func (ep *Endpoint) input(pkt *netem.Packet) {
 // sendRST answers a segment that matches no socket, like a kernel would.
 func (ep *Endpoint) sendRST(cause *seg.Segment) {
 	ep.RSTSent++
-	rst := &seg.Segment{
-		Tuple: cause.Tuple.Reverse(),
-		Seq:   cause.Ack,
-		Ack:   cause.SeqEnd(),
-		Flags: seg.RST | seg.ACK,
-	}
+	rst := seg.Shared.Get()
+	rst.Tuple = cause.Tuple.Reverse()
+	rst.Seq = cause.Ack
+	rst.Ack = cause.SeqEnd()
+	rst.Flags = seg.RST | seg.ACK
 	ep.host.Send(netem.NewPacket(rst))
 }
 
-// output transmits a subflow's segment through the host's routing.
+// output transmits a subflow's segment through the host's routing. The
+// subflow has already relinquished ownership (tcp.Output contract), so no
+// defensive clone is needed: the segment travels by pointer end to end
+// and the receiving endpoint retires it.
 func (ep *Endpoint) output(s *seg.Segment) {
-	ep.host.Send(netem.NewPacket(s.Clone()))
+	ep.host.Send(netem.NewPacket(s))
 }
 
 // addrID returns the stable local address ID used in MPTCP options.

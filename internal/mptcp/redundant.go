@@ -15,15 +15,21 @@ import (
 //
 // RFC 6824 backup semantics still hold: backup subflows receive copies
 // only when no regular subflow is established.
-type Redundant struct{}
+//
+// The scheduler is per-connection and keeps a scratch slice so the
+// per-chunk PickAll does not allocate; callers must consume the returned
+// slice before the next PickAll.
+type Redundant struct {
+	buf []*tcp.Subflow
+}
 
 // Name implements Scheduler.
-func (Redundant) Name() string { return "redundant" }
+func (*Redundant) Name() string { return "redundant" }
 
 // Pick implements Scheduler by returning the primary copy's subflow
 // (lowest RTT among the usable set), so Redundant degrades gracefully if
 // a caller ignores PickAll.
-func (r Redundant) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
+func (r *Redundant) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 	all := r.PickAll(subflows, want)
 	if len(all) == 0 {
 		return nil
@@ -34,14 +40,15 @@ func (r Redundant) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 // PickAll implements MultiPicker: every usable subflow on the allowed
 // priority tier, lowest RTT first (the first entry accounts for the
 // bytes; the rest carry duplicates).
-func (Redundant) PickAll(subflows []*tcp.Subflow, want int) []*tcp.Subflow {
+func (r *Redundant) PickAll(subflows []*tcp.Subflow, want int) []*tcp.Subflow {
 	collect := func(backup bool) []*tcp.Subflow {
-		var out []*tcp.Subflow
+		out := r.buf[:0]
 		for _, sf := range subflows {
 			if usable(sf, backup, want) {
 				out = append(out, sf)
 			}
 		}
+		r.buf = out[:0]
 		// Insertion sort by SRTT: n is the subflow count (single digits),
 		// and stability keeps equal-RTT subflows in creation order.
 		for i := 1; i < len(out); i++ {

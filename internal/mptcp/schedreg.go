@@ -69,6 +69,6 @@ func schedulerNamesLocked() []string {
 func init() {
 	RegisterScheduler("lowest-rtt", func(*rand.Rand) Scheduler { return LowestRTT{} })
 	RegisterScheduler("round-robin", func(*rand.Rand) Scheduler { return &RoundRobin{} })
-	RegisterScheduler("redundant", func(*rand.Rand) Scheduler { return Redundant{} })
+	RegisterScheduler("redundant", func(*rand.Rand) Scheduler { return &Redundant{} })
 	RegisterScheduler("weighted-rtt", func(rng *rand.Rand) Scheduler { return &WeightedRTT{rng: rng} })
 }

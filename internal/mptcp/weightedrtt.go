@@ -15,6 +15,7 @@ import (
 // seeded source, so runs remain deterministic per seed.
 type WeightedRTT struct {
 	rng *rand.Rand
+	buf []*tcp.Subflow // per-connection candidate scratch (Pick is hot)
 }
 
 // NewWeightedRTT builds the scheduler around a deterministic source.
@@ -31,7 +32,7 @@ const minWeightRTT = time.Millisecond
 // Pick implements Scheduler.
 func (w *WeightedRTT) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 	pick := func(backup bool) *tcp.Subflow {
-		var candidates []*tcp.Subflow
+		candidates := w.buf[:0]
 		total := 0.0
 		for _, sf := range subflows {
 			if usable(sf, backup, want) {
@@ -39,6 +40,7 @@ func (w *WeightedRTT) Pick(subflows []*tcp.Subflow, want int) *tcp.Subflow {
 				total += w.weight(sf)
 			}
 		}
+		w.buf = candidates[:0]
 		switch len(candidates) {
 		case 0:
 			return nil

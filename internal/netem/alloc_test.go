@@ -1,0 +1,88 @@
+package netem
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/seg"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// TestLinkDeliveryAllocFree pins the tentpole property: once pools are
+// warm, pushing a pooled segment through host→link→host (serialisation +
+// propagation events included) performs no heap allocation. A regression
+// here means a make([]byte)/closure/Event allocation crept back into the
+// per-packet path.
+func TestLinkDeliveryAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts differ under -race instrumentation")
+	}
+	s := sim.New(1)
+	src := netip.MustParseAddr("10.0.0.1")
+	dstAddr := netip.MustParseAddr("10.0.0.2")
+
+	rx := NewHost(s, "rx")
+	delivered := 0
+	rx.SetHandler(func(p *Packet) {
+		delivered++
+		p.Release() // consume: retire segment + shell
+	})
+	tx := NewHost(s, "tx")
+	wire := NewLink(s, "wire", rx, LinkConfig{RateBps: 1e9, Delay: time.Millisecond})
+	tx.AddIface("eth0", src, wire)
+
+	send := func() {
+		sg := seg.Shared.Get()
+		sg.Tuple = seg.FourTuple{SrcIP: src, DstIP: dstAddr, SrcPort: 1000, DstPort: 80}
+		sg.Seq, sg.Ack = 5, 6
+		sg.Flags = seg.ACK | seg.PSH
+		sg.Window = 1 << 20
+		sg.PayloadLen = 1380
+		d := sg.ScratchDSS()
+		d.HasMap, d.DataSeq, d.MapLen = true, 99, 1380
+		tx.Send(NewPacket(sg))
+		s.RunFor(5 * time.Millisecond) // drain serialisation + delivery
+	}
+
+	// Warm the segment/packet/event pools.
+	for i := 0; i < 128; i++ {
+		send()
+	}
+	before := delivered
+	avg := testing.AllocsPerRun(2000, send)
+	if delivered <= before {
+		t.Fatal("packets were not delivered")
+	}
+	if avg > 0.05 {
+		t.Fatalf("in-memory link delivery allocates %.2f allocs/op, want ~0", avg)
+	}
+}
+
+// TestDropsRecyclePackets checks the other half of the ownership contract:
+// packets dropped inside the fabric (link down, queue overflow, random
+// loss, no route) are retired to the pools rather than leaked, so lossy
+// runs stay allocation-free too.
+func TestDropsRecyclePackets(t *testing.T) {
+	s := sim.New(1)
+	src := netip.MustParseAddr("10.0.0.1")
+	rx := NewHost(s, "rx")
+	rx.SetHandler(func(p *Packet) { p.Release() })
+	wire := NewLink(s, "wire", rx, LinkConfig{RateBps: 1e9, Delay: time.Millisecond, Loss: 1.0})
+
+	gets0 := seg.Shared.Stats()
+	for i := 0; i < 50; i++ {
+		sg := seg.Shared.Get()
+		sg.Tuple = seg.FourTuple{SrcIP: src, DstIP: src, SrcPort: 1, DstPort: 2}
+		wire.Send(NewPacket(sg))
+		s.RunFor(5 * time.Millisecond)
+	}
+	st := seg.Shared.Stats()
+	if puts := st.Puts - gets0.Puts; puts < 50 {
+		t.Fatalf("only %d of 50 dropped segments were retired to the pool", puts)
+	}
+	if wire.Stats.LostRand != 50 {
+		t.Fatalf("expected 50 random losses, got %d", wire.Stats.LostRand)
+	}
+}

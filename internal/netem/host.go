@@ -44,12 +44,22 @@ type Host struct {
 	procDelay func() time.Duration
 	watchers  []func(addr netip.Addr, up bool)
 
+	procName string    // preallocated event name for the proc-delay model
+	procFn   func(any) // preallocated event callback carrying the packet
+
 	Stats HostStats
 }
 
 // NewHost creates a host with no interfaces.
 func NewHost(s *sim.Simulator, name string) *Host {
-	return &Host{sim: s, name: name}
+	h := &Host{sim: s, name: name}
+	h.procName = "host.proc:" + name
+	h.procFn = func(a any) {
+		pkt := a.(*Packet)
+		h.Stats.Delivered++
+		h.handler(pkt)
+	}
+	return h
 }
 
 // Name implements Node.
@@ -119,13 +129,14 @@ func (h *Host) WatchAddrs(fn func(addr netip.Addr, up bool)) {
 	h.watchers = append(h.watchers, fn)
 }
 
-// Send routes a packet out the interface owning pkt.Src. Packets with no
-// up interface for their source address are counted and dropped, like a
-// kernel with no route.
+// Send routes a packet out the interface owning pkt.Src, taking ownership
+// of it. Packets with no up interface for their source address are counted
+// and dropped, like a kernel with no route.
 func (h *Host) Send(pkt *Packet) {
 	i := h.Iface(pkt.Src)
 	if i == nil || !i.up || i.link == nil {
 		h.Stats.NoRoute++
+		pkt.Release()
 		return
 	}
 	h.Stats.SentPkts++
@@ -133,18 +144,18 @@ func (h *Host) Send(pkt *Packet) {
 }
 
 // Input implements Node: deliver to the protocol handler, after the
-// processing-delay model if one is installed.
+// processing-delay model if one is installed. Ownership of the packet
+// passes to the handler (which retires it once handled); a host without a
+// handler drops and retires it.
 func (h *Host) Input(pkt *Packet) {
 	if h.handler == nil {
+		pkt.Release()
 		return
 	}
 	if h.procDelay != nil {
 		d := h.procDelay()
 		if d > 0 {
-			h.sim.After(d, "host.proc:"+h.name, func() {
-				h.Stats.Delivered++
-				h.handler(pkt)
-			})
+			h.sim.AfterArg(d, h.procName, h.procFn, pkt)
 			return
 		}
 	}

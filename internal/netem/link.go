@@ -34,6 +34,12 @@ type Link struct {
 	busyUntil sim.Time // when the transmitter frees up
 	queued    int      // packets scheduled but not yet serialised
 
+	// Preallocated event callbacks and names: every packet schedules two
+	// events (serialisation-done, delivery), and reusing one func value and
+	// one name string per link keeps the per-packet path allocation-free.
+	serName, dlvName string
+	serFn, dlvFn     func(any)
+
 	Stats LinkStats
 }
 
@@ -55,7 +61,7 @@ func NewLink(s *sim.Simulator, name string, dst Node, cfg LinkConfig) *Link {
 	if qcap == 0 {
 		qcap = DefaultQueueCap
 	}
-	return &Link{
+	l := &Link{
 		sim:   s,
 		name:  name,
 		dst:   dst,
@@ -65,6 +71,21 @@ func NewLink(s *sim.Simulator, name string, dst Node, cfg LinkConfig) *Link {
 		qcap:  qcap,
 		up:    true,
 	}
+	l.serName = "link.serialized:" + name
+	l.dlvName = "link.deliver:" + name
+	l.serFn = func(any) { l.queued-- }
+	l.dlvFn = func(a any) {
+		pkt := a.(*Packet)
+		if !l.up { // cut while in flight
+			l.Stats.DropDown++
+			pkt.Release()
+			return
+		}
+		l.Stats.Sent++
+		l.Stats.Bytes += uint64(pkt.Size)
+		l.dst.Input(pkt)
+	}
+	return l
 }
 
 // Name identifies the link in traces.
@@ -88,15 +109,18 @@ func (l *Link) SetUp(up bool) { l.up = up }
 // Up reports whether the link is passing traffic.
 func (l *Link) Up() bool { return l.up }
 
-// Send enqueues a packet for transmission. Drops (queue overflow, random
-// loss, link down) are silent, as on a real wire; counters record them.
+// Send enqueues a packet for transmission, taking ownership of it. Drops
+// (queue overflow, random loss, link down) are silent, as on a real wire;
+// counters record them and the packet is retired to the pool.
 func (l *Link) Send(pkt *Packet) {
 	if !l.up {
 		l.Stats.DropDown++
+		pkt.Release()
 		return
 	}
 	if l.queued >= l.qcap {
 		l.Stats.DropQueue++
+		pkt.Release()
 		return
 	}
 	// The loss draw happens at enqueue time; one draw per packet.
@@ -114,23 +138,13 @@ func (l *Link) Send(pkt *Packet) {
 	l.busyUntil = start.Add(ser)
 	l.queued++
 	deliverAt := l.busyUntil.Add(l.delay)
-	l.sim.Schedule(l.busyUntil, "link.serialized:"+l.name, func() {
-		l.queued--
-	})
+	l.sim.ScheduleArg(l.busyUntil, l.serName, l.serFn, nil)
 	if lost {
 		l.Stats.LostRand++
+		pkt.Release()
 		return
 	}
-	size := pkt.Size
-	l.sim.Schedule(deliverAt, "link.deliver:"+l.name, func() {
-		if !l.up { // cut while in flight
-			l.Stats.DropDown++
-			return
-		}
-		l.Stats.Sent++
-		l.Stats.Bytes += uint64(size)
-		l.dst.Input(pkt)
-	})
+	l.sim.ScheduleArg(deliverAt, l.dlvName, l.dlvFn, pkt)
 }
 
 // Duplex is a bidirectional link: two independent unidirectional halves

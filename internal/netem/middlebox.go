@@ -108,6 +108,7 @@ func (m *Middlebox) Input(pkt *Packet) {
 		if m.policy == ExpiryRST {
 			m.injectRST(pkt)
 		}
+		pkt.Release()
 		return
 	}
 	m.forward(pkt)
@@ -116,6 +117,7 @@ func (m *Middlebox) Input(pkt *Packet) {
 func (m *Middlebox) forward(pkt *Packet) {
 	l := m.routes[pkt.Dst]
 	if l == nil {
+		pkt.Release()
 		return
 	}
 	m.Stats.Forwarded++
@@ -123,17 +125,18 @@ func (m *Middlebox) forward(pkt *Packet) {
 }
 
 // injectRST answers the sender of pkt with a RST, as some firewalls do for
-// flows they no longer track.
+// flows they no longer track. pkt is only read; the caller still owns it.
 func (m *Middlebox) injectRST(pkt *Packet) {
-	rst := &seg.Segment{
-		Tuple: pkt.Seg.Tuple.Reverse(),
-		Seq:   pkt.Seg.Ack,
-		Ack:   pkt.Seg.SeqEnd(),
-		Flags: seg.RST | seg.ACK,
-	}
+	rst := seg.Shared.Get()
+	rst.Tuple = pkt.Seg.Tuple.Reverse()
+	rst.Seq = pkt.Seg.Ack
+	rst.Ack = pkt.Seg.SeqEnd()
+	rst.Flags = seg.RST | seg.ACK
 	back := NewPacket(rst)
 	if l := m.routes[back.Dst]; l != nil {
 		m.Stats.RSTInjected++
 		l.Send(back)
+	} else {
+		back.Release()
 	}
 }

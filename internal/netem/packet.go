@@ -9,6 +9,7 @@ package netem
 import (
 	"hash/fnv"
 	"net/netip"
+	"sync"
 
 	"repro/internal/seg"
 )
@@ -17,22 +18,47 @@ import (
 // the TCP wire image when computing serialisation times.
 const ipOverhead = 40
 
-// Packet is one IP datagram carrying a TCP segment. Segments are cloned at
-// the sending host, so a Packet's segment is never shared between stacks.
+// Packet is one IP datagram carrying a TCP segment. The sending stack
+// transfers ownership of both the shell and the segment into the network
+// with Send; whichever node drops or consumes the packet Releases it (see
+// DESIGN.md "Segment ownership"), so the steady-state forwarding path
+// performs no heap allocation.
 type Packet struct {
 	Src, Dst netip.Addr
 	Seg      *seg.Segment
 	Size     int // total wire bytes incl. IP overhead
 }
 
-// NewPacket wraps a segment, computing the wire size.
+// packetPool recycles packet shells across all simulations (sync.Pool is
+// safe under the concurrent multi-seed runner).
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket wraps a segment, computing the wire size. The shell comes
+// from a pool; ownership of s transfers to the packet.
 func NewPacket(s *seg.Segment) *Packet {
-	return &Packet{
-		Src:  s.Tuple.SrcIP,
-		Dst:  s.Tuple.DstIP,
-		Seg:  s,
-		Size: s.WireSize() + ipOverhead,
+	p := packetPool.Get().(*Packet)
+	p.Src = s.Tuple.SrcIP
+	p.Dst = s.Tuple.DstIP
+	p.Seg = s
+	p.Size = s.WireSize() + ipOverhead
+	return p
+}
+
+// Release retires the packet shell — and its segment, if still attached —
+// to their pools. A consumer that keeps the segment (the receiving
+// endpoint) detaches it by nilling p.Seg first. p must not be used after
+// Release.
+func (p *Packet) Release() {
+	if p == nil {
+		return
 	}
+	if p.Seg != nil {
+		seg.Shared.Put(p.Seg)
+		p.Seg = nil
+	}
+	p.Src, p.Dst = netip.Addr{}, netip.Addr{}
+	p.Size = 0
+	packetPool.Put(p)
 }
 
 // Node is anything that can receive packets: hosts, routers, middleboxes.

@@ -63,7 +63,8 @@ func (r *Router) PathFor(dst netip.Addr, pkt *Packet) int {
 	}
 }
 
-// Input implements Node: forward the packet.
+// Input implements Node: forward the packet (ownership passes to the
+// egress link; unroutable packets are retired).
 func (r *Router) Input(pkt *Packet) {
 	links := r.routes[pkt.Dst]
 	if links == nil {
@@ -71,6 +72,7 @@ func (r *Router) Input(pkt *Packet) {
 	}
 	if len(links) == 0 {
 		r.Stats.NoRoute++
+		pkt.Release()
 		return
 	}
 	idx := 0

@@ -15,7 +15,6 @@ import (
 	"net/netip"
 
 	"repro/internal/mptcp"
-	"repro/internal/tcp"
 )
 
 // FullMesh is the kernel full-mesh path manager: as soon as a connection is
@@ -63,7 +62,9 @@ func (f *FullMesh) LocalAddrUp(addr netip.Addr) {
 // interface are removed immediately, like the kernel implementation.
 func (f *FullMesh) LocalAddrDown(addr netip.Addr) {
 	for c := range f.conns {
-		for _, sf := range append([]*tcp.Subflow(nil), c.Subflows()...) {
+		// Subflows returns a defensive copy, so closing while iterating
+		// cannot invalidate the range.
+		for _, sf := range c.Subflows() {
 			if sf.Tuple().SrcIP == addr {
 				c.CloseSubflow(sf, true)
 			}

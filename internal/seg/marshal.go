@@ -32,6 +32,13 @@ func be64put(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
 // for application data). IP addresses are not part of the TCP wire image;
 // the caller provides them out of band on Unmarshal.
 func (s *Segment) Marshal() ([]byte, error) {
+	return s.AppendWire(nil)
+}
+
+// AppendWire appends the segment's TCP wire image to dst and returns the
+// extended slice — the allocation-free marshal for callers that reuse a
+// buffer across segments (append-style, like encoding/binary.Append).
+func (s *Segment) AppendWire(dst []byte) ([]byte, error) {
 	optLen := 0
 	for _, o := range s.Options {
 		optLen += o.wireLen()
@@ -40,7 +47,9 @@ func (s *Segment) Marshal() ([]byte, error) {
 	if headerLen+padded > 60 {
 		return nil, fmt.Errorf("seg: options too long (%d bytes, max 40)", padded)
 	}
-	buf := make([]byte, headerLen+padded+s.PayloadLen)
+	base := len(dst)
+	dst = append(dst, make([]byte, headerLen+padded+s.PayloadLen)...)
+	buf := dst[base:]
 	be16put(buf[0:], s.Tuple.SrcPort)
 	be16put(buf[2:], s.Tuple.DstPort)
 	be32put(buf[4:], s.Seq)
@@ -66,33 +75,46 @@ func (s *Segment) Marshal() ([]byte, error) {
 		buf[off] = optKindNOP
 		off++
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // Unmarshal decodes a TCP wire image produced by Marshal (or any TCP segment
 // restricted to NOP/EOL/MPTCP options). src and dst carry the IP addresses
 // from the enclosing IP header.
 func Unmarshal(b []byte, src, dst netip.Addr) (*Segment, error) {
+	s := &Segment{}
+	if err := UnmarshalInto(s, b, src, dst); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// UnmarshalInto decodes a TCP wire image into s in place. s is Reset
+// first and its inline option storage is reused — the first DSS and first
+// SACK decode without allocating — so a pooled segment can be refilled
+// from the wire with no per-segment heap work. On error s is left in an
+// undefined (but Reset-able) state.
+func UnmarshalInto(s *Segment, b []byte, src, dst netip.Addr) error {
 	if len(b) < headerLen {
-		return nil, errors.New("seg: truncated header")
+		return errors.New("seg: truncated header")
 	}
 	dataOff := int(b[12]>>4) * 4
 	if dataOff < headerLen || dataOff > len(b) {
-		return nil, fmt.Errorf("seg: bad data offset %d", dataOff)
+		return fmt.Errorf("seg: bad data offset %d", dataOff)
 	}
-	s := &Segment{
-		Tuple: FourTuple{
-			SrcIP:   src,
-			DstIP:   dst,
-			SrcPort: binary.BigEndian.Uint16(b[0:]),
-			DstPort: binary.BigEndian.Uint16(b[2:]),
-		},
-		Seq:        binary.BigEndian.Uint32(b[4:]),
-		Ack:        binary.BigEndian.Uint32(b[8:]),
-		Flags:      Flags(b[13]),
-		Window:     uint32(binary.BigEndian.Uint16(b[14:])) << windowShift,
-		PayloadLen: len(b) - dataOff,
+	s.Reset()
+	s.Tuple = FourTuple{
+		SrcIP:   src,
+		DstIP:   dst,
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
 	}
+	s.Seq = binary.BigEndian.Uint32(b[4:])
+	s.Ack = binary.BigEndian.Uint32(b[8:])
+	s.Flags = Flags(b[13])
+	s.Window = uint32(binary.BigEndian.Uint16(b[14:])) << windowShift
+	s.PayloadLen = len(b) - dataOff
+	usedDSS, usedSACK := false, false
 	opts := b[headerLen:dataOff]
 	for len(opts) > 0 {
 		switch opts[0] {
@@ -104,44 +126,96 @@ func Unmarshal(b []byte, src, dst netip.Addr) (*Segment, error) {
 			continue
 		}
 		if len(opts) < 2 {
-			return nil, errors.New("seg: truncated option")
+			return errors.New("seg: truncated option")
 		}
 		n := int(opts[1])
 		if n < 2 || n > len(opts) {
-			return nil, fmt.Errorf("seg: bad option length %d", n)
+			return fmt.Errorf("seg: bad option length %d", n)
 		}
 		switch opts[0] {
 		case optKindMPTCP:
-			o, err := decodeOption(opts[:n])
-			if err != nil {
-				return nil, err
+			if n >= 3 && Subtype(opts[2]>>4) == SubDSS && !usedDSS {
+				usedDSS = true
+				if err := decodeDSSInto(s.ScratchDSS(), opts[:n]); err != nil {
+					return err
+				}
+			} else {
+				o, err := decodeOption(opts[:n])
+				if err != nil {
+					return err
+				}
+				s.Options = append(s.Options, o)
 			}
-			s.Options = append(s.Options, o)
 		case optKindSACK:
-			o, err := decodeSACK(opts[:n])
-			if err != nil {
-				return nil, err
+			if !usedSACK {
+				usedSACK = true
+				if err := decodeSACKInto(s.ScratchSACK(), opts[:n]); err != nil {
+					return err
+				}
+			} else {
+				o := &SACK{}
+				if err := decodeSACKInto(o, opts[:n]); err != nil {
+					return err
+				}
+				s.Options = append(s.Options, o)
 			}
-			s.Options = append(s.Options, o)
 		}
 		opts = opts[n:]
 	}
-	return s, nil
+	return nil
 }
 
-// decodeSACK parses a classic SACK option (kind/len already validated).
-func decodeSACK(b []byte) (Option, error) {
+// decodeSACKInto parses a classic SACK option (kind/len already validated)
+// into o, reusing o's block capacity.
+func decodeSACKInto(o *SACK, b []byte) error {
 	if (len(b)-2)%8 != 0 {
-		return nil, fmt.Errorf("seg: SACK bad length %d", len(b))
+		return fmt.Errorf("seg: SACK bad length %d", len(b))
 	}
-	o := &SACK{}
 	for off := 2; off < len(b); off += 8 {
 		o.Blocks = append(o.Blocks, SackBlock{
 			Lo: binary.BigEndian.Uint32(b[off:]),
 			Hi: binary.BigEndian.Uint32(b[off+4:]),
 		})
 	}
-	return o, nil
+	return nil
+}
+
+// decodeDSSInto parses a DSS option (kind/len already validated) into d.
+func decodeDSSInto(d *DSS, b []byte) error {
+	if len(b) < 4 {
+		return errors.New("seg: DSS too short")
+	}
+	flags := b[3]
+	d.DataFIN = flags&0x10 != 0
+	d.HasDataAck = flags&0x01 != 0
+	d.HasMap = flags&0x04 != 0
+	off := 4
+	if d.HasDataAck {
+		if flags&0x02 == 0 {
+			return errors.New("seg: DSS 4-byte data ack unsupported")
+		}
+		if len(b) < off+8 {
+			return errors.New("seg: DSS truncated data ack")
+		}
+		d.DataAck = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	if d.HasMap {
+		if flags&0x08 == 0 {
+			return errors.New("seg: DSS 4-byte DSN unsupported")
+		}
+		if len(b) < off+16 {
+			return errors.New("seg: DSS truncated mapping")
+		}
+		d.DataSeq = binary.BigEndian.Uint64(b[off:])
+		d.SubflowSeq = binary.BigEndian.Uint32(b[off+8:])
+		d.MapLen = binary.BigEndian.Uint16(b[off+12:])
+		off += 16
+	}
+	if len(b) != off {
+		return fmt.Errorf("seg: DSS bad length %d (want %d)", len(b), off)
+	}
+	return nil
 }
 
 // decodeOption parses one MPTCP option (kind/len already validated).
@@ -191,35 +265,8 @@ func decodeOption(b []byte) (Option, error) {
 
 	case SubDSS:
 		d := &DSS{}
-		flags := b[3]
-		d.DataFIN = flags&0x10 != 0
-		d.HasDataAck = flags&0x01 != 0
-		d.HasMap = flags&0x04 != 0
-		off := 4
-		if d.HasDataAck {
-			if flags&0x02 == 0 {
-				return nil, errors.New("seg: DSS 4-byte data ack unsupported")
-			}
-			if len(b) < off+8 {
-				return nil, errors.New("seg: DSS truncated data ack")
-			}
-			d.DataAck = binary.BigEndian.Uint64(b[off:])
-			off += 8
-		}
-		if d.HasMap {
-			if flags&0x08 == 0 {
-				return nil, errors.New("seg: DSS 4-byte DSN unsupported")
-			}
-			if len(b) < off+16 {
-				return nil, errors.New("seg: DSS truncated mapping")
-			}
-			d.DataSeq = binary.BigEndian.Uint64(b[off:])
-			d.SubflowSeq = binary.BigEndian.Uint32(b[off+8:])
-			d.MapLen = binary.BigEndian.Uint16(b[off+12:])
-			off += 16
-		}
-		if len(b) != off {
-			return nil, fmt.Errorf("seg: DSS bad length %d (want %d)", len(b), off)
+		if err := decodeDSSInto(d, b); err != nil {
+			return nil, err
 		}
 		return d, nil
 

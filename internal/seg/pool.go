@@ -1,0 +1,81 @@
+package seg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles Segments so the simulator's data path runs without heap
+// allocation in steady state. It is safe for concurrent use (the
+// multi-seed runner drives many independent simulations at once), built
+// on sync.Pool's per-P lock-free caches.
+//
+// Ownership rules (see DESIGN.md "Segment ownership"): a segment obtained
+// from Get is exclusively owned by the caller until handed off — to a
+// netem link via a Packet, or back via Put. After the hand-off the
+// previous owner must not touch it. Put fully Resets the segment, so
+// pooling can never leak one run's bytes into another: a pooled run is
+// bit-for-bit identical to an unpooled one.
+type Pool struct {
+	p sync.Pool
+
+	gets atomic.Uint64
+	puts atomic.Uint64
+	news atomic.Uint64
+}
+
+// PoolStats is a snapshot of pool traffic. Gets-News is the number of
+// reuses; a warm steady state has News ≈ 0.
+type PoolStats struct {
+	Gets uint64 // segments handed out
+	Puts uint64 // segments retired
+	News uint64 // segments freshly heap-allocated
+}
+
+// NewPool returns an empty segment pool.
+func NewPool() *Pool {
+	p := &Pool{}
+	p.p.New = func() any {
+		p.news.Add(1)
+		s := &Segment{}
+		s.Reset()
+		return s
+	}
+	return p
+}
+
+// Shared is the process-wide segment pool used by the simulator's data
+// path (tcp, mptcp, netem). Independent simulations may share it freely:
+// segments carry no cross-run state once Reset.
+var Shared = NewPool()
+
+// Get returns a fully reset segment owned by the caller.
+func (p *Pool) Get() *Segment {
+	p.gets.Add(1)
+	return p.p.Get().(*Segment)
+}
+
+// Put retires a segment. The caller must hold exclusive ownership and
+// must not use s afterwards. Put(nil) is a no-op.
+func (p *Pool) Put(s *Segment) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	p.puts.Add(1)
+	p.p.Put(s)
+}
+
+// Clone returns a pooled deep copy of s. Cloning a typical data segment
+// (DSS and/or SACK options) reuses the destination's inline option
+// storage and does not allocate.
+func (p *Pool) Clone(s *Segment) *Segment {
+	c := p.Get()
+	c.CopyFrom(s)
+	return c
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Gets: p.gets.Load(), Puts: p.puts.Load(), News: p.news.Load()}
+}

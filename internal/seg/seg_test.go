@@ -3,7 +3,6 @@ package seg
 import (
 	"math/rand"
 	"net/netip"
-	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -37,7 +36,7 @@ func roundTrip(t *testing.T, s *Segment) *Segment {
 func TestRoundTripPlain(t *testing.T) {
 	s := &Segment{Tuple: tuple(), Seq: 1000, Ack: 2000, Flags: ACK | PSH, Window: 65536, PayloadLen: 1400}
 	got := roundTrip(t, s)
-	if !reflect.DeepEqual(s, got) {
+	if !s.Equal(got) {
 		t.Fatalf("round trip mismatch:\n in=%v\nout=%v", s, got)
 	}
 }
@@ -46,7 +45,7 @@ func TestRoundTripMPCapableSYN(t *testing.T) {
 	s := &Segment{Tuple: tuple(), Seq: 7, Flags: SYN, Window: 29184,
 		Options: []Option{&MPCapable{Version: 0, SenderKey: 0xdeadbeefcafef00d}}}
 	got := roundTrip(t, s)
-	if !reflect.DeepEqual(s, got) {
+	if !s.Equal(got) {
 		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
 	}
 }
@@ -55,7 +54,7 @@ func TestRoundTripMPCapableThirdACK(t *testing.T) {
 	s := &Segment{Tuple: tuple(), Seq: 8, Ack: 100, Flags: ACK, Window: 512,
 		Options: []Option{&MPCapable{SenderKey: 1, ReceiverKey: 2, HasReceiver: true, ChecksumReq: true}}}
 	got := roundTrip(t, s)
-	if !reflect.DeepEqual(s, got) {
+	if !s.Equal(got) {
 		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
 	}
 }
@@ -70,7 +69,7 @@ func TestRoundTripMPJoinForms(t *testing.T) {
 	for i, j := range cases {
 		s := &Segment{Tuple: tuple(), Flags: flagSets[i], Window: 256, Options: []Option{j}}
 		got := roundTrip(t, s)
-		if !reflect.DeepEqual(s, got) {
+		if !s.Equal(got) {
 			t.Fatalf("form %d mismatch:\n in=%v\nout=%v", j.Form, s, got)
 		}
 	}
@@ -86,7 +85,7 @@ func TestRoundTripDSSVariants(t *testing.T) {
 	for _, d := range cases {
 		s := &Segment{Tuple: tuple(), Flags: ACK, Window: 1 << 16, PayloadLen: int(d.MapLen), Options: []Option{d}}
 		got := roundTrip(t, s)
-		if !reflect.DeepEqual(s, got) {
+		if !s.Equal(got) {
 			t.Fatalf("DSS mismatch:\n in=%v\nout=%v", s, got)
 		}
 	}
@@ -106,7 +105,7 @@ func TestRoundTripAddrOptions(t *testing.T) {
 	for _, o := range opts {
 		s := &Segment{Tuple: tuple(), Flags: ACK, Window: 256, Options: []Option{o}}
 		got := roundTrip(t, s)
-		if !reflect.DeepEqual(s, got) {
+		if !s.Equal(got) {
 			t.Fatalf("%s mismatch:\n in=%v\nout=%v", o.Subtype(), s, got)
 		}
 	}
@@ -119,7 +118,7 @@ func TestMultipleOptions(t *testing.T) {
 			&MPPrio{Backup: true},
 		}}
 	got := roundTrip(t, s)
-	if !reflect.DeepEqual(s, got) {
+	if !s.Equal(got) {
 		t.Fatalf("mismatch:\n in=%v\nout=%v", s, got)
 	}
 	if got.DSS() == nil || got.Option(SubMPPrio) == nil {
@@ -288,7 +287,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return reflect.DeepEqual(s, got)
+		return s.Equal(got)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)

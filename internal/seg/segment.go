@@ -71,6 +71,13 @@ func (ft FourTuple) String() string {
 // PayloadLen is the number of application bytes carried; the simulator does
 // not materialise payload bytes (contents are tracked by data-sequence
 // ranges), but Marshal emits PayloadLen zero bytes so wire size is honest.
+//
+// Segments carry inline storage for the options of the hot data path (one
+// DSS, one SACK, up to four option slots), claimed via ScratchDSS /
+// ScratchSACK, so building, cloning and in-place unmarshalling a typical
+// segment performs no heap allocation. A segment whose scratch options are
+// in use must not be copied by value (the internal pointers would alias);
+// use Clone or CopyFrom.
 type Segment struct {
 	Tuple      FourTuple
 	Seq        uint32 // subflow-level sequence number of first payload byte
@@ -79,6 +86,82 @@ type Segment struct {
 	Window     uint32 // receive window in bytes (already scaled)
 	PayloadLen int
 	Options    []Option
+
+	optBack [4]Option // inline backing array for Options
+	dss     DSS       // inline storage claimed by ScratchDSS
+	sack    SACK      // inline storage claimed by ScratchSACK
+}
+
+// Reset returns the segment to its zero state while retaining its inline
+// option capacity, making it safe to reuse via a Pool: no field of a
+// previous life survives.
+func (s *Segment) Reset() {
+	s.Tuple = FourTuple{}
+	s.Seq, s.Ack, s.Window = 0, 0, 0
+	s.Flags = 0
+	s.PayloadLen = 0
+	for i := range s.optBack {
+		s.optBack[i] = nil
+	}
+	s.Options = s.optBack[:0]
+	s.dss = DSS{}
+	s.sack.Blocks = s.sack.Blocks[:0]
+}
+
+// ScratchDSS zeroes the segment's inline DSS option, appends it to
+// Options and returns it for the caller to fill — the allocation-free way
+// to attach the per-segment DSS. Valid once per segment lifetime (until
+// the next Reset).
+func (s *Segment) ScratchDSS() *DSS {
+	s.dss = DSS{}
+	if s.Options == nil {
+		s.Options = s.optBack[:0]
+	}
+	s.Options = append(s.Options, &s.dss)
+	return &s.dss
+}
+
+// ScratchSACK empties and appends the segment's inline SACK option,
+// retaining the block capacity of previous lives. Valid once per segment
+// lifetime (until the next Reset).
+func (s *Segment) ScratchSACK() *SACK {
+	s.sack.Blocks = s.sack.Blocks[:0]
+	if s.Options == nil {
+		s.Options = s.optBack[:0]
+	}
+	s.Options = append(s.Options, &s.sack)
+	return &s.sack
+}
+
+// CopyFrom deep-copies src into s, reusing s's inline option storage: the
+// first DSS and first SACK of src land in s's scratch options, so copying
+// a data segment does not allocate. s is Reset first.
+func (s *Segment) CopyFrom(src *Segment) {
+	s.Reset()
+	s.Tuple = src.Tuple
+	s.Seq, s.Ack = src.Seq, src.Ack
+	s.Flags = src.Flags
+	s.Window = src.Window
+	s.PayloadLen = src.PayloadLen
+	usedDSS, usedSACK := false, false
+	for _, o := range src.Options {
+		switch o := o.(type) {
+		case *DSS:
+			if !usedDSS {
+				usedDSS = true
+				*s.ScratchDSS() = *o
+				continue
+			}
+		case *SACK:
+			if !usedSACK {
+				usedSACK = true
+				sk := s.ScratchSACK()
+				sk.Blocks = append(sk.Blocks, o.Blocks...)
+				continue
+			}
+		}
+		s.Options = append(s.Options, o.clone())
+	}
 }
 
 // SeqEnd reports the subflow sequence number after this segment: Seq plus
@@ -150,18 +233,77 @@ func (s *Segment) WireSize() int {
 	return headerLen + opt + s.PayloadLen
 }
 
-// Clone returns a deep copy (options are copied too). The simulator never
-// shares segment structs across hosts, mirroring the copy a real network
-// performs.
+// Clone returns a deep copy (options are copied too) drawn from the
+// shared segment pool. The simulator never shares segment structs across
+// hosts, mirroring the copy a real network performs; ownership of the
+// clone transfers to the caller.
 func (s *Segment) Clone() *Segment {
-	c := *s
-	if len(s.Options) > 0 {
-		c.Options = make([]Option, len(s.Options))
-		for i, o := range s.Options {
-			c.Options[i] = o.clone()
+	return Shared.Clone(s)
+}
+
+// Equal reports semantic equality: header fields and options compare by
+// value, regardless of whether inline scratch or heap storage backs them.
+func (s *Segment) Equal(o *Segment) bool {
+	if s.Tuple != o.Tuple || s.Seq != o.Seq || s.Ack != o.Ack || s.Flags != o.Flags ||
+		s.Window != o.Window || s.PayloadLen != o.PayloadLen || len(s.Options) != len(o.Options) {
+		return false
+	}
+	for i := range s.Options {
+		if !optionEqual(s.Options[i], o.Options[i]) {
+			return false
 		}
 	}
-	return &c
+	return true
+}
+
+// optionEqual compares two options by value.
+func optionEqual(a, b Option) bool {
+	switch a := a.(type) {
+	case *DSS:
+		b, ok := b.(*DSS)
+		return ok && *a == *b
+	case *SACK:
+		b, ok := b.(*SACK)
+		if !ok || len(a.Blocks) != len(b.Blocks) {
+			return false
+		}
+		for i := range a.Blocks {
+			if a.Blocks[i] != b.Blocks[i] {
+				return false
+			}
+		}
+		return true
+	case *MPCapable:
+		b, ok := b.(*MPCapable)
+		return ok && *a == *b
+	case *MPJoin:
+		b, ok := b.(*MPJoin)
+		return ok && *a == *b
+	case *AddAddr:
+		b, ok := b.(*AddAddr)
+		return ok && *a == *b
+	case *RemoveAddr:
+		b, ok := b.(*RemoveAddr)
+		if !ok || len(a.AddrIDs) != len(b.AddrIDs) {
+			return false
+		}
+		for i := range a.AddrIDs {
+			if a.AddrIDs[i] != b.AddrIDs[i] {
+				return false
+			}
+		}
+		return true
+	case *MPPrio:
+		b, ok := b.(*MPPrio)
+		return ok && *a == *b
+	case *MPFail:
+		b, ok := b.(*MPFail)
+		return ok && *a == *b
+	case *FastClose:
+		b, ok := b.(*FastClose)
+		return ok && *a == *b
+	}
+	return false
 }
 
 // String renders a compact human-readable summary, used by traces.

@@ -43,12 +43,26 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 
 // Event is a scheduled callback. Holding the *Event returned by Schedule
 // allows cancellation.
+//
+// Events come in three flavours, distinguished so the steady-state data
+// path never allocates:
+//   - classic events (Schedule/After): heap-allocated, handle escapes to
+//     the caller, never recycled;
+//   - pooled events (ScheduleArg): drawn from the simulator's free list
+//     and recycled immediately after firing — no handle, no cancellation;
+//   - owned events (Timer/Ticker): embedded in their owner and re-armed
+//     in place for the owner's whole lifetime.
 type Event struct {
 	when Time
 	seq  uint64 // tie-break: FIFO among equal timestamps
 	fn   func()
 	idx  int // heap index, -1 once removed
 	name string
+
+	argFn  func(any) // pooled events: preallocated callback
+	arg    any       // pooled events: per-event state (a pointer, no boxing)
+	pooled bool      // recycle onto the free list after firing
+	owned  bool      // fn survives firing (Timer/Ticker re-arm in place)
 }
 
 // When reports the virtual time this event fires at.
@@ -95,10 +109,15 @@ type Simulator struct {
 	nextSeq uint64
 	rng     *rand.Rand
 	stopped bool
+	free    []*Event // recycled pooled events (ScheduleArg)
 
 	// Processed counts events executed since construction.
 	Processed uint64
 }
+
+// maxFreeEvents bounds the pooled-event free list; beyond this the burst
+// is returned to the garbage collector.
+const maxFreeEvents = 1 << 14
 
 // New returns a simulator whose random source is seeded with seed.
 // The same seed always yields the same run.
@@ -131,6 +150,63 @@ func (s *Simulator) After(d time.Duration, name string, fn func()) *Event {
 		d = 0
 	}
 	return s.Schedule(s.now.Add(d), name, fn)
+}
+
+// ScheduleArg is the allocation-free Schedule variant for the data path:
+// fn must be a preallocated func value and any per-event state rides in
+// arg (pass a pointer so boxing into the interface does not allocate).
+// The backing Event comes from a free list and is recycled right after
+// firing, so no handle is returned and the event cannot be cancelled.
+func (s *Simulator) ScheduleArg(when Time, name string, fn func(any), arg any) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, when, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.when, e.seq, e.name, e.argFn, e.arg = when, s.nextSeq, name, fn, arg
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+}
+
+// AfterArg is ScheduleArg relative to the current time.
+func (s *Simulator) AfterArg(d time.Duration, name string, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.ScheduleArg(s.now.Add(d), name, fn, arg)
+}
+
+// rearmOwned (re)schedules a caller-owned event (sim.Timer / Ticker): if
+// pending it moves in place via heap.Fix, otherwise it is pushed afresh.
+// The event's fn survives firing, so one Event serves its owner's whole
+// lifetime without allocation.
+func (s *Simulator) rearmOwned(e *Event, when Time) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", e.name, when, s.now))
+	}
+	e.when = when
+	e.seq = s.nextSeq
+	s.nextSeq++
+	if e.idx >= 0 {
+		heap.Fix(&s.queue, e.idx)
+		return
+	}
+	heap.Push(&s.queue, e)
+}
+
+// cancelOwned removes a pending owned event without clearing its fn.
+func (s *Simulator) cancelOwned(e *Event) {
+	if e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+	e.idx = -1
 }
 
 // Cancel removes a pending event. Cancelling a fired or already-cancelled
@@ -167,11 +243,26 @@ func (s *Simulator) step() bool {
 		panic("sim: time went backwards")
 	}
 	s.now = e.when
-	fn := e.fn
-	e.fn = nil
 	s.Processed++
-	if fn != nil {
-		fn()
+	switch {
+	case e.argFn != nil:
+		fn, arg := e.argFn, e.arg
+		e.argFn, e.arg = nil, nil
+		fn(arg)
+		if e.pooled && len(s.free) < maxFreeEvents {
+			s.free = append(s.free, e)
+		}
+	case e.owned:
+		// fn is preserved: the owner re-arms this very event.
+		if e.fn != nil {
+			e.fn()
+		}
+	default:
+		fn := e.fn
+		e.fn = nil
+		if fn != nil {
+			fn()
+		}
 	}
 	return true
 }

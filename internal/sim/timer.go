@@ -5,70 +5,76 @@ import "time"
 // Timer is a restartable one-shot timer bound to a Simulator, analogous to
 // time.Timer but in virtual time. The zero value is not usable; create
 // timers with NewTimer.
+//
+// A Timer owns one Event for its whole lifetime and re-arms it in place,
+// so Reset/Stop never allocate — the retransmission and pacing timers of
+// every subflow run on this path.
 type Timer struct {
-	sim  *Simulator
-	ev   *Event
-	name string
-	fn   func()
+	sim *Simulator
+	ev  Event
 }
 
 // NewTimer returns a stopped timer that runs fn when it fires.
 func NewTimer(s *Simulator, name string, fn func()) *Timer {
-	return &Timer{sim: s, name: name, fn: fn}
+	t := &Timer{sim: s}
+	t.ev = Event{idx: -1, name: name, fn: fn, owned: true}
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, replacing any pending firing.
 func (t *Timer) Reset(d time.Duration) {
-	t.sim.Cancel(t.ev)
-	t.ev = t.sim.After(d, t.name, t.fn)
+	if d < 0 {
+		d = 0
+	}
+	t.sim.rearmOwned(&t.ev, t.sim.now.Add(d))
 }
 
 // ResetAt (re)arms the timer to fire at absolute time when.
 func (t *Timer) ResetAt(when Time) {
-	t.sim.Cancel(t.ev)
-	t.ev = t.sim.Schedule(when, t.name, t.fn)
+	t.sim.rearmOwned(&t.ev, when)
 }
 
 // Stop cancels any pending firing.
 func (t *Timer) Stop() {
-	t.sim.Cancel(t.ev)
-	t.ev = nil
+	t.sim.cancelOwned(&t.ev)
 }
 
 // Armed reports whether the timer currently has a pending firing.
-func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+func (t *Timer) Armed() bool { return t.ev.idx >= 0 }
 
 // Deadline reports when the timer will fire; valid only if Armed.
 func (t *Timer) Deadline() Time {
 	if !t.Armed() {
 		return -1
 	}
-	return t.ev.When()
+	return t.ev.when
 }
 
 // Ticker repeatedly invokes a callback at a fixed virtual-time period until
-// stopped, analogous to time.Ticker.
+// stopped, analogous to time.Ticker. Like Timer, it owns and re-arms a
+// single Event, so steady-state ticking does not allocate.
 type Ticker struct {
 	sim    *Simulator
 	period time.Duration
-	ev     *Event
-	name   string
-	fn     func()
+	ev     Event
 }
 
 // NewTicker starts a ticker whose first tick is one period from now.
 func NewTicker(s *Simulator, period time.Duration, name string, fn func()) *Ticker {
-	t := &Ticker{sim: s, period: period, name: name, fn: fn}
-	t.schedule()
+	if period < 0 {
+		period = 0
+	}
+	t := &Ticker{sim: s, period: period}
+	t.ev = Event{idx: -1, name: name, owned: true}
+	t.ev.fn = func() {
+		// Re-arm before running fn, mirroring the pre-pool behaviour where
+		// the next tick was scheduled ahead of the callback.
+		t.sim.rearmOwned(&t.ev, t.sim.now.Add(t.period))
+		fn()
+	}
+	t.sim.rearmOwned(&t.ev, s.now.Add(period))
 	return t
 }
 
-func (t *Ticker) schedule() {
-	t.ev = t.sim.After(t.period, t.name, func() {
-		t.schedule()
-		t.fn()
-	})
-}
-
 // Stop cancels future ticks.
-func (t *Ticker) Stop() { t.sim.Cancel(t.ev) }
+func (t *Ticker) Stop() { t.sim.cancelOwned(&t.ev) }

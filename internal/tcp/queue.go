@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sync"
+
 	"repro/internal/sim"
 )
 
@@ -27,6 +29,28 @@ type Chunk struct {
 
 // Rexmits reports how many times the chunk has been retransmitted.
 func (c *Chunk) Rexmits() int { return c.rexmits }
+
+// chunkPool recycles chunks so the scheduling hot path (one chunk per MSS
+// of payload) does not allocate in steady state. sync.Pool keeps it safe
+// under the concurrent multi-seed runner.
+var chunkPool = sync.Pool{New: func() any { return new(Chunk) }}
+
+// newChunk draws a chunk from the pool, fully reinitialised.
+func newChunk(subSeq uint32, ln int, dataSeq uint64, dataFIN bool) *Chunk {
+	c := chunkPool.Get().(*Chunk)
+	*c = Chunk{SubSeq: subSeq, Len: ln, DataSeq: dataSeq, DataFIN: dataFIN}
+	return c
+}
+
+// putChunks retires chunks whose lifecycle ended: cumulatively acked, or
+// still queued on a subflow that died (after the owner reinjected them).
+// Callers must not touch the chunks afterwards.
+func putChunks(cs []*Chunk) {
+	for _, c := range cs {
+		*c = Chunk{}
+		chunkPool.Put(c)
+	}
+}
 
 // sendQueue is the subflow's ordered list of chunks between sndUna and the
 // tail of scheduled data. It doubles as the retransmission queue: acked

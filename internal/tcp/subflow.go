@@ -50,7 +50,9 @@ const (
 )
 
 // Output transmits a segment onto the network (the MPTCP endpoint wires
-// this to the owning netem host).
+// this to the owning netem host). Ownership of the segment transfers to
+// the callee: the subflow never touches a segment after handing it off,
+// so the network may retire it to the segment pool once consumed.
 type Output func(*seg.Segment)
 
 // Verdict is the owner's decision about a handshake segment.
@@ -82,12 +84,16 @@ type Owner interface {
 	OnEstablished(sf *Subflow)
 	// OnSegment delivers every inbound segment once established;
 	// hasNewData reports whether the payload contained new subflow bytes.
+	// The segment (and its options) is only on loan for the duration of
+	// the call: the delivering endpoint retires it to the pool afterwards,
+	// so implementations must copy anything they keep.
 	OnSegment(sf *Subflow, s *seg.Segment, hasNewData bool)
 	// CurrentDataAck supplies the connection-level DATA_ACK for outbound
 	// segments; ok=false omits it.
 	CurrentDataAck() (uint64, bool)
 	// OnAckAdvance fires when the cumulative ACK moved (window opened);
 	// acked lists the chunks now fully acknowledged at subflow level.
+	// The chunks are recycled when the call returns — read, don't retain.
 	OnAckAdvance(sf *Subflow, acked []*Chunk)
 	// OnTimeout fires on every retransmission timer expiry with the
 	// *backed-off* RTO now in force and the consecutive-backoff count.
@@ -189,6 +195,8 @@ type Subflow struct {
 	finRcvd  bool
 	lastSYN  *seg.Segment // retained for handshake retransmission
 	stats    Stats
+
+	sackScratch []sackRange // reused per-ACK SACK block buffer
 }
 
 // NewSubflow creates a subflow bound to tuple. It starts closed; call
@@ -344,7 +352,7 @@ func (sf *Subflow) Connect() {
 		Options: sf.owner.HandshakeOptions(sf, StageSYN),
 	}
 	sf.lastSYN = syn
-	sf.transmit(syn)
+	sf.transmitCopy(syn)
 	sf.armSynTimer()
 }
 
@@ -375,7 +383,7 @@ func (sf *Subflow) handleSYN(s *seg.Segment) {
 		Options: sf.owner.HandshakeOptions(sf, StageSYNACK),
 	}
 	sf.lastSYN = synack
-	sf.transmit(synack)
+	sf.transmitCopy(synack)
 	sf.armSynTimer()
 }
 
@@ -397,7 +405,7 @@ func (sf *Subflow) onSynTimeout() {
 		return
 	}
 	sf.stats.Retrans++
-	sf.transmit(sf.lastSYN)
+	sf.transmitCopy(sf.lastSYN)
 	sf.armSynTimer()
 }
 
@@ -405,9 +413,11 @@ func (sf *Subflow) onSynTimeout() {
 
 // Push queues ln payload bytes covering connection data sequence dataSeq
 // and transmits as the window allows. dataFIN marks the mapping that
-// carries the connection-level FIN. It returns the chunk for bookkeeping.
+// carries the connection-level FIN. It returns the chunk for bookkeeping;
+// the chunk stays owned by the subflow and is recycled once acked, so
+// callers must not retain it past the next ack/close callback.
 func (sf *Subflow) Push(dataSeq uint64, ln int, dataFIN bool) *Chunk {
-	c := &Chunk{SubSeq: sf.pushNxt, Len: ln, DataSeq: dataSeq, DataFIN: dataFIN}
+	c := newChunk(sf.pushNxt, ln, dataSeq, dataFIN)
 	sf.pushNxt += uint32(ln)
 	sf.sq.push(c)
 	sf.trySend()
@@ -495,25 +505,22 @@ func (sf *Subflow) sendChunk(c *Chunk) {
 		sf.stats.BytesSent += uint64(c.Len)
 	}
 	c.sentAt = sf.sim.Now()
-	dss := &seg.DSS{
-		HasMap:     true,
-		DataSeq:    c.DataSeq,
-		SubflowSeq: c.SubSeq - (sf.iss + 1),
-		MapLen:     uint16(c.Len),
-		DataFIN:    c.DataFIN,
-	}
+	s := seg.Shared.Get()
+	s.Tuple = sf.tuple
+	s.Seq = c.SubSeq
+	s.Ack = sf.rcv.nxt
+	s.Flags = seg.ACK | seg.PSH
+	s.Window = sf.cfg.RcvWnd
+	s.PayloadLen = c.Len
+	dss := s.ScratchDSS()
+	dss.HasMap = true
+	dss.DataSeq = c.DataSeq
+	dss.SubflowSeq = c.SubSeq - (sf.iss + 1)
+	dss.MapLen = uint16(c.Len)
+	dss.DataFIN = c.DataFIN
 	if ack, ok := sf.owner.CurrentDataAck(); ok {
 		dss.HasDataAck = true
 		dss.DataAck = ack
-	}
-	s := &seg.Segment{
-		Tuple:      sf.tuple,
-		Seq:        c.SubSeq,
-		Ack:        sf.rcv.nxt,
-		Flags:      seg.ACK | seg.PSH,
-		Window:     sf.cfg.RcvWnd,
-		PayloadLen: c.Len,
-		Options:    []seg.Option{dss},
 	}
 	sf.transmit(s)
 }
@@ -526,13 +533,12 @@ func (sf *Subflow) maybeSendFIN() {
 	sf.finSeq = sf.sndNxt
 	sf.sndNxt++
 	sf.state = StateFinWait
-	fin := &seg.Segment{
-		Tuple:  sf.tuple,
-		Seq:    sf.finSeq,
-		Ack:    sf.rcv.nxt,
-		Flags:  seg.FIN | seg.ACK,
-		Window: sf.cfg.RcvWnd,
-	}
+	fin := seg.Shared.Get()
+	fin.Tuple = sf.tuple
+	fin.Seq = sf.finSeq
+	fin.Ack = sf.rcv.nxt
+	fin.Flags = seg.FIN | seg.ACK
+	fin.Window = sf.cfg.RcvWnd
 	sf.transmit(fin)
 }
 
@@ -547,48 +553,57 @@ func (sf *Subflow) SendDSSAck() {
 }
 
 func (sf *Subflow) sendAck() {
-	s := &seg.Segment{
-		Tuple:  sf.tuple,
-		Seq:    sf.sndNxt,
-		Ack:    sf.rcv.nxt,
-		Flags:  seg.ACK,
-		Window: sf.cfg.RcvWnd,
-	}
+	s := seg.Shared.Get()
+	s.Tuple = sf.tuple
+	s.Seq = sf.sndNxt
+	s.Ack = sf.rcv.nxt
+	s.Flags = seg.ACK
+	s.Window = sf.cfg.RcvWnd
 	if ack, ok := sf.owner.CurrentDataAck(); ok {
-		s.Options = append(s.Options, &seg.DSS{HasDataAck: true, DataAck: ack})
+		d := s.ScratchDSS()
+		d.HasDataAck = true
+		d.DataAck = ack
 	}
 	// Report out-of-order data so the sender can repair loss bursts
 	// without collapsing to an RTO (three blocks fit alongside the DSS).
 	if blocks := sf.rcv.sackBlocks(3); len(blocks) > 0 {
-		sk := &seg.SACK{}
+		sk := s.ScratchSACK()
 		for _, b := range blocks {
 			sk.Blocks = append(sk.Blocks, seg.SackBlock{Lo: b.lo, Hi: b.hi})
 		}
-		s.Options = append(s.Options, sk)
 	}
 	sf.transmit(s)
 }
 
 // SendOptions emits a pure ACK carrying arbitrary MPTCP options (ADD_ADDR,
-// MP_PRIO, REMOVE_ADDR announcements ride on these).
+// MP_PRIO, REMOVE_ADDR announcements ride on these). Ownership of the
+// options transfers to the network.
 func (sf *Subflow) SendOptions(opts ...seg.Option) {
 	if !sf.Established() {
 		return
 	}
-	s := &seg.Segment{
-		Tuple:   sf.tuple,
-		Seq:     sf.sndNxt,
-		Ack:     sf.rcv.nxt,
-		Flags:   seg.ACK,
-		Window:  sf.cfg.RcvWnd,
-		Options: opts,
-	}
+	s := seg.Shared.Get()
+	s.Tuple = sf.tuple
+	s.Seq = sf.sndNxt
+	s.Ack = sf.rcv.nxt
+	s.Flags = seg.ACK
+	s.Window = sf.cfg.RcvWnd
+	s.Options = append(s.Options, opts...)
 	sf.transmit(s)
 }
 
+// transmit hands s to the network, transferring ownership: the subflow
+// must not touch s afterwards (the receiving endpoint retires it to the
+// segment pool once handled).
 func (sf *Subflow) transmit(s *seg.Segment) {
 	sf.stats.SegsSent++
 	sf.out(s)
+}
+
+// transmitCopy transmits a pooled clone of a segment the subflow retains
+// (the handshake segments kept for retransmission).
+func (sf *Subflow) transmitCopy(s *seg.Segment) {
+	sf.transmit(s.Clone())
 }
 
 // --- Close paths ---
@@ -609,24 +624,22 @@ func (sf *Subflow) Abort(reason Errno) {
 		return
 	}
 	if sf.state == StateEstablished || sf.state == StateFinWait || sf.state == StateSynRcvd {
-		rst := &seg.Segment{
-			Tuple: sf.tuple,
-			Seq:   sf.sndNxt,
-			Ack:   sf.rcv.nxt,
-			Flags: seg.RST | seg.ACK,
-		}
+		rst := seg.Shared.Get()
+		rst.Tuple = sf.tuple
+		rst.Seq = sf.sndNxt
+		rst.Ack = sf.rcv.nxt
+		rst.Flags = seg.RST | seg.ACK
 		sf.transmit(rst)
 	}
 	sf.die(reason)
 }
 
 func (sf *Subflow) sendRST(cause *seg.Segment) {
-	rst := &seg.Segment{
-		Tuple: cause.Tuple.Reverse(),
-		Seq:   cause.Ack,
-		Ack:   cause.SeqEnd(),
-		Flags: seg.RST | seg.ACK,
-	}
+	rst := seg.Shared.Get()
+	rst.Tuple = cause.Tuple.Reverse()
+	rst.Seq = cause.Ack
+	rst.Ack = cause.SeqEnd()
+	rst.Flags = seg.RST | seg.ACK
 	sf.transmit(rst)
 }
 
@@ -639,6 +652,10 @@ func (sf *Subflow) die(reason Errno) {
 	sf.synTimer.Stop()
 	sf.paceTimer.Stop()
 	sf.owner.OnClosed(sf, reason)
+	// The owner has reinjected whatever it wanted (OnClosed reads
+	// UnackedChunks); the remaining queue can be recycled now.
+	putChunks(sf.sq.chunks)
+	sf.sq.chunks = nil
 }
 
 // --- Inbound ---
@@ -694,14 +711,13 @@ func (sf *Subflow) handleSynSent(s *seg.Segment) {
 	// MP_CAPABLE, the full HMAC for MP_JOIN). It must be transmitted
 	// before OnEstablished runs: a path manager may react by opening a
 	// join, and that SYN must not overtake this ACK on the wire.
-	ack := &seg.Segment{
-		Tuple:   sf.tuple,
-		Seq:     sf.sndNxt,
-		Ack:     sf.rcv.nxt,
-		Flags:   seg.ACK,
-		Window:  sf.cfg.RcvWnd,
-		Options: sf.owner.HandshakeOptions(sf, StageACK),
-	}
+	ack := seg.Shared.Get()
+	ack.Tuple = sf.tuple
+	ack.Seq = sf.sndNxt
+	ack.Ack = sf.rcv.nxt
+	ack.Flags = seg.ACK
+	ack.Window = sf.cfg.RcvWnd
+	ack.Options = append(ack.Options, sf.owner.HandshakeOptions(sf, StageACK)...)
 	sf.transmit(ack)
 	sf.becomeEstablished()
 }
@@ -714,7 +730,7 @@ func (sf *Subflow) handleSynRcvd(s *seg.Segment) {
 	if s.Is(seg.SYN) && !s.Is(seg.ACK) {
 		// Duplicate SYN: retransmit our SYN+ACK.
 		sf.stats.Retrans++
-		sf.transmit(sf.lastSYN)
+		sf.transmitCopy(sf.lastSYN)
 		return
 	}
 	if !s.Is(seg.ACK) || s.Ack != sf.sndNxt {
@@ -757,14 +773,13 @@ func (sf *Subflow) handleEstablished(s *seg.Segment) {
 	if s.Is(seg.SYN | seg.ACK) {
 		// Duplicate SYN+ACK: our third handshake ACK was lost. Re-send it
 		// (with its stage-ACK options) so the passive side can establish.
-		ack := &seg.Segment{
-			Tuple:   sf.tuple,
-			Seq:     sf.sndNxt,
-			Ack:     sf.rcv.nxt,
-			Flags:   seg.ACK,
-			Window:  sf.cfg.RcvWnd,
-			Options: sf.owner.HandshakeOptions(sf, StageACK),
-		}
+		ack := seg.Shared.Get()
+		ack.Tuple = sf.tuple
+		ack.Seq = sf.sndNxt
+		ack.Ack = sf.rcv.nxt
+		ack.Flags = seg.ACK
+		ack.Window = sf.cfg.RcvWnd
+		ack.Options = append(ack.Options, sf.owner.HandshakeOptions(sf, StageACK)...)
 		sf.stats.Retrans++
 		sf.transmit(ack)
 		return
@@ -827,6 +842,9 @@ func (sf *Subflow) processAck(s *seg.Segment) {
 		sf.trySend()
 		sf.owner.OnAckAdvance(sf, acked)
 		sf.checkCloseComplete()
+		// The acked chunks' lifecycle ends here: nothing retains them past
+		// the OnAckAdvance callback, so they go back to the pool.
+		putChunks(acked)
 	case s.Ack == sf.sndUna && sf.sq.flight() > 0 && s.PayloadLen == 0 && !s.Is(seg.SYN) && !s.Is(seg.FIN):
 		sf.dupAcks++
 		if sf.dupAcks == 3 && !sf.inRecovery {
@@ -843,10 +861,11 @@ func (sf *Subflow) processSACK(s *seg.Segment) {
 	if sk == nil || len(sk.Blocks) == 0 {
 		return
 	}
-	blocks := make([]sackRange, 0, len(sk.Blocks))
+	blocks := sf.sackScratch[:0]
 	for _, b := range sk.Blocks {
 		blocks = append(blocks, sackRange{lo: b.Lo, hi: b.Hi})
 	}
+	sf.sackScratch = blocks[:0]
 	high, newly := sf.sq.applySACK(blocks)
 	if len(newly) == 0 {
 		return
@@ -954,7 +973,12 @@ func (sf *Subflow) onRTO() {
 	}
 	// Go-back-N: retransmit from snd_una; FIN-only case retransmits FIN.
 	if sf.sq.nextToSend() == nil && sf.finSent && !sf.finAcked {
-		fin := &seg.Segment{Tuple: sf.tuple, Seq: sf.finSeq, Ack: sf.rcv.nxt, Flags: seg.FIN | seg.ACK, Window: sf.cfg.RcvWnd}
+		fin := seg.Shared.Get()
+		fin.Tuple = sf.tuple
+		fin.Seq = sf.finSeq
+		fin.Ack = sf.rcv.nxt
+		fin.Flags = seg.FIN | seg.ACK
+		fin.Window = sf.cfg.RcvWnd
 		sf.stats.Retrans++
 		sf.transmit(fin)
 		sf.restartRTO()

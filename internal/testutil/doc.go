@@ -1,0 +1,5 @@
+// Package testutil holds tiny helpers shared by tests. RaceEnabled lets
+// testing.AllocsPerRun regression tests skip under -race, whose
+// instrumentation changes allocation behaviour (e.g. it defeats the
+// append+make no-copy optimisation).
+package testutil

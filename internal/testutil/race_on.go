@@ -1,0 +1,6 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled is true when the race detector is compiled in.
+const RaceEnabled = true
