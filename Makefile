@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt examples
+.PHONY: build test race bench fmt examples smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,20 @@ fmt:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Run EVERY registered scenario end to end with -smoke (reduced
+# durations/sizes/seeds); any non-zero exit fails. The list is taken from
+# the scenario registry itself, so a newly registered scenario is smoked
+# automatically — no Makefile edit needed.
+smoke:
+	@set -e; \
+	bin=$$(mktemp -u); \
+	$(GO) build -o $$bin ./cmd/mpexp; \
+	trap 'rm -f '$$bin EXIT; \
+	for s in $$($$bin list -names); do \
+		echo "== smoke: mpexp run $$s"; \
+		$$bin run $$s -smoke >/dev/null; \
+	done
 
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,

@@ -1,30 +1,30 @@
-// Command mpexp runs the paper's experiments and prints the rows/series of
-// each figure. Every subcommand can fan one experiment out over many seeds
-// (-seeds) on a bounded worker pool (-parallel), turning each figure's
-// point estimate into a distribution, and can swap the packet scheduler
-// (-sched) for any registered policy.
+// Command mpexp is the scenario-driven CLI over the paper's experiments:
+// every figure is a registered scenario spec (internal/scenario), so one
+// generic `run` subcommand replaces per-figure wiring, `sweep` crosses
+// any scenario over schedulers × controllers × parameter axes, and
+// `list` enumerates what is registered.
 //
 // Usage:
 //
-//	mpexp fig2a      [-baseline] [-loss R] [common flags]
-//	mpexp fig2b      [-blocks N] [common flags]
-//	mpexp fig2c      [-trials N] [-mb N] [common flags]
-//	mpexp fig3       [-requests N] [-stressed] [common flags]
-//	mpexp longlived  [-plain] [common flags]
-//	mpexp schedsweep [-loss R] [-blocks N] [common flags]
-//	mpexp ctlsweep   [-loss R] [-blocks N] [common flags]
-//	mpexp scale      [-conns N] [-subflows M] [-kb N] [common flags]
-//	mpexp all        (every figure, honouring the common flags)
+//	mpexp run <scenario> [-set key=val ...] [-smoke] [common flags]
+//	mpexp sweep <scenario> [-schedulers a,b] [-controllers x,y]
+//	            [-vary key=v1,v2 ...] [-set key=val ...] [common flags]
+//	mpexp list [-names]
+//	mpexp all            (every registered scenario + the paper's
+//	                      baseline variants, honouring the common flags)
 //
-// Common flags: -seed N (base seed), -seeds N (independent seeds),
-// -parallel N (worker goroutines, default GOMAXPROCS), -sched NAME,
-// -controller NAME (swap the smart mode's subflow controller; ctlsweep
-// and scale restrict their sweeps to just that policy), and
-// -cpuprofile/-memprofile FILE to capture pprof profiles of any
-// experiment's hot paths.
-// With -seeds 1 the single run's full report prints; with more, per-seed
-// scalars are aggregated into mean/median/p90/min/max and the raw
-// distributions are pooled across seeds.
+// The figure names also work as subcommands with their familiar flags
+// (`mpexp fig2a -baseline`, `mpexp fig2c -trials 5 -mb 25`, ...); they
+// translate to `run <figure> -set ...`.
+//
+// Every run can fan one scenario out over many seeds (-seeds) on a
+// bounded worker pool (-parallel), turning each figure's point estimate
+// into a distribution, and can swap the packet scheduler (-sched) and
+// the smart mode's subflow controller (-controller) for any registered
+// policy. -cpuprofile/-memprofile FILE capture pprof profiles of any
+// run's hot paths. With -seeds 1 the single run's full report prints;
+// with more, per-seed scalars are aggregated into mean/median/p90/min/
+// max and the raw distributions are pooled across seeds.
 package main
 
 import (
@@ -36,11 +36,22 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	_ "repro/internal/experiments" // registers the paper's scenario specs
 	"repro/internal/mptcp"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/smapp"
+	"repro/internal/stats"
 )
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 // runFlags are the multi-seed flags shared by every subcommand.
 type runFlags struct {
@@ -60,7 +71,7 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 		parallel: fs.Int("parallel", 0, "concurrent seeds (0 = GOMAXPROCS)"),
 		sched: fs.String("sched", "", fmt.Sprintf("packet scheduler: %s (default lowest-rtt)",
 			strings.Join(mptcp.SchedulerNames(), ", "))),
-		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the figure's paper policy)",
+		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the scenario's paper policy)",
 			strings.Join(smapp.ControllerNames(), ", "))),
 		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file (covers the whole run)"),
 		memprofile: fs.String("memprofile", "", "write a heap profile to this file at exit"),
@@ -69,7 +80,7 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 
 // Profiling state: the first execute whose flags ask for a profile starts
 // it; main stops and writes everything on the way out, so `mpexp all`
-// collects one profile spanning every figure.
+// collects one profile spanning every scenario.
 var (
 	cpuProfileOut  *os.File
 	memProfilePath string
@@ -79,12 +90,10 @@ func startProfiles(cpu, mem string) {
 	if cpu != "" && cpuProfileOut == nil {
 		f, err := os.Create(cpu)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mpexp:", err)
-			os.Exit(2)
+			die(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mpexp:", err)
-			os.Exit(2)
+			die(err)
 		}
 		cpuProfileOut = f
 	}
@@ -113,34 +122,65 @@ func stopProfiles() {
 	}
 }
 
-// policy resolves the smart-mode controller for an experiment: the
-// -controller override when given, the figure's paper policy otherwise.
-func (rf *runFlags) policy(paperDefault string) string {
-	if *rf.controller != "" {
-		return *rf.controller
-	}
-	return paperDefault
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mpexp:", err)
+	os.Exit(2)
 }
 
-// execute runs the job once (full report) or across seeds (aggregate) and
-// reports whether every seed succeeded. Callers chaining several
-// experiments (the all subcommand) decide the exit status only after the
-// last one, so one failed seed cannot swallow the remaining figures.
-func (rf *runFlags) execute(name string, job runner.Job) bool {
-	if _, err := mptcp.LookupScheduler(*rf.sched); err != nil {
-		fmt.Fprintln(os.Stderr, "mpexp:", err)
-		os.Exit(2)
+// params merges the common flags and -set pairs into scenario parameters.
+func (rf *runFlags) params(sets []string, smoke bool) *scenario.Params {
+	p, err := scenario.ParseSets(sets)
+	if err != nil {
+		die(err)
 	}
-	if _, err := smapp.LookupController(*rf.controller); err != nil {
-		fmt.Fprintln(os.Stderr, "mpexp:", err)
-		os.Exit(2)
+	if *rf.sched != "" {
+		p.Set("sched", *rf.sched)
+	}
+	if *rf.controller != "" {
+		p.Set("policy", *rf.controller)
+	}
+	if smoke {
+		p.Set("smoke", "true")
+	}
+	return p
+}
+
+// validate rejects unknown -sched/-controller values up front (the
+// "kernel" pseudo-policy is a scale sweep cell, not a registered
+// controller — factories validate it per scenario).
+func (rf *runFlags) validate() {
+	if _, err := mptcp.LookupScheduler(*rf.sched); err != nil {
+		die(err)
+	}
+	if *rf.controller != scenario.KernelPolicy {
+		if _, err := smapp.LookupController(*rf.controller); err != nil {
+			die(err)
+		}
+	}
+}
+
+// runScenario builds the named scenario once to surface parameter errors,
+// then executes it across the configured seeds. It reports whether every
+// seed succeeded; callers chaining several scenarios (the all subcommand)
+// decide the exit status only after the last one, so one failed seed
+// cannot swallow the remaining figures.
+func (rf *runFlags) runScenario(label, name string, p *scenario.Params) bool {
+	rf.validate()
+	if _, err := scenario.Build(name, p.Clone()); err != nil {
+		die(err)
 	}
 	startProfiles(*rf.cpuprofile, *rf.memprofile)
+	job := runner.Job(scenario.Job(name, p))
 	if *rf.seeds <= 1 {
-		fmt.Print(job(*rf.seed).Report)
+		res, err := runOnce(job, *rf.seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpexp: %s: %v\n", label, err)
+			return false
+		}
+		fmt.Print(res.Report)
 		return true
 	}
-	m := runner.Run(name, runner.Config{
+	m := runner.Run(label, runner.Config{
 		Seeds:    *rf.seeds,
 		BaseSeed: *rf.seed,
 		Parallel: *rf.parallel,
@@ -152,6 +192,218 @@ func (rf *runFlags) execute(name string, job runner.Job) bool {
 	return len(m.Failed()) == 0
 }
 
+// runOnce executes a single seed, converting a scenario panic into an
+// error instead of a crash.
+func runOnce(job runner.Job, seed int64) (res *stats.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("seed %d panicked: %v", seed, r)
+		}
+	}()
+	return job(seed), nil
+}
+
+func cmdRun(args []string) bool {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		usage()
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	rf := addRunFlags(fs)
+	var sets stringList
+	fs.Var(&sets, "set", "scenario parameter key=value (repeatable)")
+	smoke := fs.Bool("smoke", false, "reduced sizes/durations (CI smoke)")
+	fs.Parse(args[1:])
+	return rf.runScenario(name, name, rf.params(sets, *smoke))
+}
+
+func cmdSweep(args []string) bool {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		usage()
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	rf := addRunFlags(fs)
+	schedulers := fs.String("schedulers", "", "comma-separated scheduler axis")
+	controllers := fs.String("controllers", "", "comma-separated controller axis")
+	var vary, sets stringList
+	fs.Var(&vary, "vary", "parameter axis key=v1,v2,... (repeatable)")
+	fs.Var(&sets, "set", "fixed scenario parameter key=value (repeatable)")
+	smoke := fs.Bool("smoke", false, "reduced sizes/durations (CI smoke)")
+	fs.Parse(args[1:])
+
+	var axes []scenario.Axis
+	for _, kv := range vary {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			die(fmt.Errorf("malformed -vary %q (want key=v1,v2,...)", kv))
+		}
+		axes = append(axes, scenario.Axis{Key: k, Values: strings.Split(v, ",")})
+	}
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
+	}
+	startProfiles(*rf.cpuprofile, *rf.memprofile)
+	sr, err := scenario.Sweep(scenario.SweepConfig{
+		Scenario:    name,
+		Base:        rf.params(sets, *smoke),
+		Schedulers:  split(*schedulers),
+		Controllers: split(*controllers),
+		Axes:        axes,
+		Seeds:       *rf.seeds,
+		BaseSeed:    *rf.seed,
+		Parallel:    *rf.parallel,
+		OnCell: func(c *scenario.Cell) {
+			fmt.Fprintf(os.Stderr, "[cell %s done]\n", c.Label)
+		},
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(sr.Report())
+	for _, c := range sr.Cells {
+		if len(c.Multi.Failed()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	names := fs.Bool("names", false, "print bare scenario names only (for scripts)")
+	fs.Parse(args)
+	if *names {
+		for _, n := range scenario.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	fmt.Println("scenarios (mpexp run <name>):")
+	for _, in := range scenario.Scenarios() {
+		fmt.Printf("  %-12s %s\n", in.Name, in.Desc)
+	}
+	fmt.Println("\npacket schedulers (-sched):")
+	for _, in := range mptcp.Schedulers() {
+		fmt.Printf("  %-12s %s\n", in.Name, in.Desc)
+	}
+	fmt.Println("\nsubflow controllers (-controller):")
+	for _, in := range smapp.Controllers() {
+		fmt.Printf("  %-12s %s\n", in.Name, in.Desc)
+	}
+	fmt.Printf("  %-12s scale only: in-kernel full-mesh baseline, no userspace control plane\n",
+		scenario.KernelPolicy)
+}
+
+// allVariants are the paper's baseline runs `mpexp all` adds next to each
+// scenario's default configuration.
+var allVariants = map[string][]struct {
+	label string
+	extra map[string]string
+}{
+	"fig2a":     {{"fig2a-baseline", map[string]string{"baseline": "true"}}},
+	"fig3":      {{"fig3-stressed", map[string]string{"stressed": "true"}}},
+	"longlived": {{"longlived-plain", map[string]string{"plain": "true"}}},
+}
+
+func cmdAll(args []string) bool {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	rf := addRunFlags(fs)
+	smoke := fs.Bool("smoke", false, "reduced sizes/durations (CI smoke)")
+	fs.Parse(args)
+	// "kernel" names a scale sweep cell, not a registered policy: the
+	// figures fall back to their paper-default controllers.
+	scaleCtl := *rf.controller
+	if scaleCtl == scenario.KernelPolicy {
+		*rf.controller = ""
+	}
+	ok := true
+	for _, name := range scenario.Names() {
+		p := rf.params(nil, *smoke)
+		if name == "scale" && scaleCtl != "" {
+			p.Set("policy", scaleCtl)
+		}
+		ok = rf.runScenario(name, name, p) && ok
+		for _, v := range allVariants[name] {
+			p := rf.params(nil, *smoke)
+			for k, val := range v.extra {
+				p.Set(k, val)
+			}
+			ok = rf.runScenario(v.label, name, p) && ok
+		}
+	}
+	return ok
+}
+
+// legacy translates the familiar per-figure subcommands into scenario
+// parameters, so `mpexp fig2a -baseline` keeps working on top of the
+// generic runner.
+func legacy(cmd string, args []string) bool {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	rf := addRunFlags(fs)
+	var pairs []string
+	switch cmd {
+	case "fig2a":
+		baseline := fs.Bool("baseline", false, "run the in-kernel pre-established-backup baseline")
+		loss := fs.Float64("loss", -1, "primary-path loss ratio (default 0.30 smart, 1.0 baseline)")
+		fs.Parse(args)
+		if *baseline {
+			pairs = append(pairs, "baseline=true")
+		}
+		if *loss >= 0 {
+			pairs = append(pairs, fmt.Sprintf("loss=%v", *loss))
+		}
+	case "fig2b":
+		blocks := fs.Int("blocks", 120, "blocks per curve")
+		fs.Parse(args)
+		pairs = append(pairs, fmt.Sprintf("blocks=%d", *blocks))
+	case "fig2c":
+		trials := fs.Int("trials", 20, "trials per variant")
+		mb := fs.Int("mb", 100, "file size in MB")
+		fs.Parse(args)
+		pairs = append(pairs, fmt.Sprintf("trials=%d", *trials), fmt.Sprintf("mb=%d", *mb))
+	case "fig3":
+		requests := fs.Int("requests", 1000, "consecutive GETs")
+		stressed := fs.Bool("stressed", false, "model the CPU-stressed client")
+		fs.Parse(args)
+		pairs = append(pairs, fmt.Sprintf("requests=%d", *requests))
+		if *stressed {
+			pairs = append(pairs, "stressed=true")
+		}
+	case "longlived":
+		plain := fs.Bool("plain", false, "run the nil policy (plain-stack baseline)")
+		fs.Parse(args)
+		if *plain {
+			pairs = append(pairs, "plain=true")
+		}
+	case "ctlsweep":
+		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
+		blocks := fs.Int("blocks", 120, "blocks per controller")
+		fs.Parse(args)
+		pairs = append(pairs, fmt.Sprintf("loss=%v", *loss), fmt.Sprintf("blocks=%d", *blocks))
+	case "schedsweep":
+		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
+		blocks := fs.Int("blocks", 120, "blocks per scheduler")
+		fs.Parse(args)
+		pairs = append(pairs, fmt.Sprintf("loss=%v", *loss), fmt.Sprintf("blocks=%d", *blocks))
+	case "scale":
+		conns := fs.Int("conns", 16, "concurrent connections (one client host each)")
+		subflows := fs.Int("subflows", 2, "interfaces (→ subflows) per client")
+		kb := fs.Int("kb", 1024, "payload per connection in KB")
+		fs.Parse(args)
+		pairs = append(pairs,
+			fmt.Sprintf("conns=%d", *conns),
+			fmt.Sprintf("subflows=%d", *subflows),
+			fmt.Sprintf("kb=%d", *kb))
+	default:
+		usage()
+	}
+	return rf.runScenario(cmd, cmd, rf.params(pairs, false))
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -160,234 +412,17 @@ func main() {
 	start := time.Now()
 	ok := true
 	switch cmd {
-	case "fig2a":
-		fs := flag.NewFlagSet("fig2a", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		baseline := fs.Bool("baseline", false, "run the in-kernel pre-established-backup baseline")
-		loss := fs.Float64("loss", -1, "primary-path loss ratio (default 0.30 smart, 1.0 baseline)")
-		fs.Parse(args)
-		cfg := experiments.DefaultFig2a()
-		cfg.Baseline = *baseline
-		cfg.Policy = rf.policy(cfg.Policy)
-		if *baseline {
-			cfg.LossRatio = 1.0
-		}
-		if *loss >= 0 {
-			cfg.LossRatio = *loss
-		}
-		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed, c.Sched = seed, *rf.sched
-			return experiments.Fig2a(c)
-		})
-
-	case "fig2b":
-		fs := flag.NewFlagSet("fig2b", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		blocks := fs.Int("blocks", 120, "blocks per curve")
-		fs.Parse(args)
-		cfg := experiments.DefaultFig2b()
-		cfg.Blocks = *blocks
-		cfg.Policy = rf.policy(cfg.Policy)
-		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed, c.Sched = seed, *rf.sched
-			return experiments.Fig2b(c)
-		})
-
-	case "fig2c":
-		fs := flag.NewFlagSet("fig2c", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		trials := fs.Int("trials", 20, "trials per variant")
-		mb := fs.Int("mb", 100, "file size in MB")
-		fs.Parse(args)
-		cfg := experiments.DefaultFig2c()
-		cfg.Trials = *trials
-		cfg.FileBytes = *mb << 20
-		cfg.Policy = rf.policy(cfg.Policy)
-		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed, c.Sched = seed, *rf.sched
-			return experiments.Fig2c(c)
-		})
-
-	case "fig3":
-		fs := flag.NewFlagSet("fig3", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		requests := fs.Int("requests", 1000, "consecutive GETs")
-		stressed := fs.Bool("stressed", false, "model the CPU-stressed client")
-		fs.Parse(args)
-		cfg := experiments.DefaultFig3()
-		cfg.Requests = *requests
-		cfg.Stressed = *stressed
-		cfg.Policy = rf.policy(cfg.Policy)
-		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed, c.Sched = seed, *rf.sched
-			return experiments.Fig3(c)
-		})
-
-	case "longlived":
-		fs := flag.NewFlagSet("longlived", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		plain := fs.Bool("plain", false, "run the nil policy (plain-stack baseline)")
-		fs.Parse(args)
-		cfg := experiments.DefaultLongLived()
-		cfg.Policy = rf.policy(cfg.Policy)
-		if *plain {
-			cfg.Policy = "" // the nil policy: same stack, no controller
-		}
-		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed, c.Sched = seed, *rf.sched
-			return experiments.LongLived(c)
-		})
-
-	case "ctlsweep":
-		fs := flag.NewFlagSet("ctlsweep", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
-		blocks := fs.Int("blocks", 120, "blocks per controller")
-		fs.Parse(args)
-		cfg := experiments.DefaultCtlSweep()
-		cfg.Loss = *loss
-		cfg.Blocks = *blocks
-		cfg.Sched = *rf.sched
-		if *rf.controller != "" {
-			cfg.Controllers = []string{*rf.controller} // sweep a single policy
-		}
-		ok = rf.execute("ctlsweep", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed = seed
-			return experiments.CtlSweep(c)
-		})
-
-	case "scale":
-		fs := flag.NewFlagSet("scale", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		conns := fs.Int("conns", 16, "concurrent connections (one client host each)")
-		subflows := fs.Int("subflows", 2, "interfaces (→ subflows) per client")
-		kb := fs.Int("kb", 1024, "payload per connection in KB")
-		fs.Parse(args)
-		cfg := experiments.DefaultScale()
-		cfg.Conns = *conns
-		cfg.Subflows = *subflows
-		cfg.BytesPerConn = *kb << 10
-		if *rf.sched != "" {
-			cfg.Schedulers = []string{*rf.sched} // sweep a single scheduler
-		}
-		if *rf.controller != "" {
-			cfg.Controllers = []string{*rf.controller}
-			if *rf.controller == experiments.KernelController {
-				*rf.controller = "" // "kernel" is a scale cell, not a registered policy
-			}
-		}
-		ok = rf.execute("scale", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed = seed
-			return experiments.Scale(c)
-		})
-
-	case "schedsweep":
-		fs := flag.NewFlagSet("schedsweep", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		loss := fs.Float64("loss", 0.30, "primary-path loss ratio")
-		blocks := fs.Int("blocks", 120, "blocks per scheduler")
-		fs.Parse(args)
-		cfg := experiments.DefaultSchedSweep()
-		cfg.Loss = *loss
-		cfg.Blocks = *blocks
-		if *rf.sched != "" {
-			cfg.Schedulers = []string{*rf.sched} // sweep a single policy
-		}
-		ok = rf.execute("schedsweep", func(seed int64) *experiments.Result {
-			c := cfg
-			c.Seed = seed
-			return experiments.SchedSweep(c)
-		})
-
+	case "run":
+		ok = cmdRun(args)
+	case "sweep":
+		ok = cmdSweep(args)
+	case "list":
+		cmdList(args)
+		return
 	case "all":
-		fs := flag.NewFlagSet("all", flag.ExitOnError)
-		rf := addRunFlags(fs)
-		fs.Parse(args)
-		sched := *rf.sched
-		scaleCtl := *rf.controller
-		if scaleCtl == experiments.KernelController {
-			// "kernel" names a scale sweep cell, not a registered policy:
-			// the figures fall back to their paper-default controllers.
-			*rf.controller = ""
-		}
-		ok = rf.execute("fig2a", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig2a()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			return experiments.Fig2a(c)
-		}) && ok
-		ok = rf.execute("fig2a-baseline", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig2a()
-			c.Seed, c.Sched = seed, sched
-			c.Baseline, c.LossRatio = true, 1.0
-			return experiments.Fig2a(c)
-		}) && ok
-		ok = rf.execute("fig2b", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig2b()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			return experiments.Fig2b(c)
-		}) && ok
-		ok = rf.execute("fig2c", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig2c()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			return experiments.Fig2c(c)
-		}) && ok
-		ok = rf.execute("fig3", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig3()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			return experiments.Fig3(c)
-		}) && ok
-		ok = rf.execute("fig3-stressed", func(seed int64) *experiments.Result {
-			c := experiments.DefaultFig3()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			c.Stressed = true
-			return experiments.Fig3(c)
-		}) && ok
-		ok = rf.execute("longlived", func(seed int64) *experiments.Result {
-			c := experiments.DefaultLongLived()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = rf.policy(c.Policy)
-			return experiments.LongLived(c)
-		}) && ok
-		ok = rf.execute("longlived-plain", func(seed int64) *experiments.Result {
-			c := experiments.DefaultLongLived()
-			c.Seed, c.Sched = seed, sched
-			c.Policy = "" // the nil policy: same stack, no controller
-			return experiments.LongLived(c)
-		}) && ok
-		ok = rf.execute("ctlsweep", func(seed int64) *experiments.Result {
-			c := experiments.DefaultCtlSweep()
-			c.Seed, c.Sched = seed, sched
-			if *rf.controller != "" {
-				c.Controllers = []string{*rf.controller}
-			}
-			return experiments.CtlSweep(c)
-		}) && ok
-		ok = rf.execute("scale", func(seed int64) *experiments.Result {
-			c := experiments.DefaultScale()
-			c.Seed = seed
-			if sched != "" {
-				c.Schedulers = []string{sched}
-			}
-			if scaleCtl != "" {
-				c.Controllers = []string{scaleCtl}
-			}
-			return experiments.Scale(c)
-		}) && ok
-
+		ok = cmdAll(args)
 	default:
-		usage()
+		ok = legacy(cmd, args)
 	}
 	stopProfiles()
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
@@ -397,10 +432,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <fig2a|fig2b|fig2c|fig3|longlived|schedsweep|ctlsweep|scale|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <run|sweep|list|all|figure> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
-APPlications" (CoNEXT'15) plus a scale stress workload. Run with a
-subcommand and -h for its flags. Common flags: -seed N -seeds N
--parallel N -sched NAME -controller NAME -cpuprofile F -memprofile F.`)
+APPlications" (CoNEXT'15) plus a scale stress workload, all expressed as
+registered scenario specs.
+
+  mpexp run <scenario> [-set key=val ...] [-smoke]
+  mpexp sweep <scenario> [-schedulers a,b] [-controllers x,y] [-vary k=v1,v2]
+  mpexp list [-names]
+  mpexp all
+  mpexp fig2a|fig2b|fig2c|fig3|longlived|ctlsweep|schedsweep|scale [flags]
+
+Common flags: -seed N -seeds N -parallel N -sched NAME -controller NAME
+-cpuprofile F -memprofile F. Run a subcommand with -h for its flags;
+`+"`mpexp list`"+` shows every registered scenario, scheduler, and controller.`)
 	os.Exit(2)
 }

@@ -8,10 +8,11 @@ import (
 )
 
 // The golden files under testdata/ pin the byte-for-byte report output of
-// the cheap deterministic experiments at seed 1. They were generated from
-// the pre-pool data path; the pooled segment/event lifecycle must not
-// change a single simulated byte. Regenerate (only when an intentional
-// model change occurs) with:
+// the cheap deterministic experiments at seed 1. fig2a and longlived were
+// generated from the pre-pool, pre-scenario code: neither the pooled
+// segment/event lifecycle nor the declarative scenario engine may change
+// a single simulated byte. fig2b and fig2c pin the post-scenario-refactor
+// output. Regenerate (only when an intentional model change occurs) with:
 //
 //	go test ./internal/experiments -run Golden -update
 var update = flag.Bool("update", false, "rewrite the determinism golden files")
@@ -47,6 +48,27 @@ func TestLongLivedGoldenSeed1(t *testing.T) {
 	cfg := DefaultLongLived()
 	cfg.Seed = 1
 	checkGolden(t, "longlived_seed1", LongLived(cfg).Report)
+}
+
+// The fig2b/fig2c goldens pin the post-scenario-refactor output on
+// test-sized configurations (the defaults would take minutes): any later
+// change to the scenario engine's phase ordering, the stream/bulk
+// workloads, or the ECMP topology that shifts a single simulated byte
+// shows up here.
+
+func TestFig2bGoldenSeed1(t *testing.T) {
+	cfg := DefaultFig2b()
+	cfg.Seed = 1
+	cfg.Blocks = 40
+	checkGolden(t, "fig2b_seed1", Fig2b(cfg).Report)
+}
+
+func TestFig2cGoldenSeed1(t *testing.T) {
+	cfg := DefaultFig2c()
+	cfg.Seed = 1
+	cfg.Trials = 3
+	cfg.FileBytes = 25 << 20
+	checkGolden(t, "fig2c_seed1", Fig2c(cfg).Report)
 }
 
 // TestGoldenRunsAreRepeatable guards the golden tests themselves: two

@@ -17,76 +17,27 @@
 // N concurrent connections × M subflows through a shared bottleneck,
 // swept over schedulers and controllers (see scale.go).
 //
+// Every experiment is expressed as a declarative scenario spec (see
+// internal/scenario) registered under its figure name, so cmd/mpexp can
+// run it generically (`mpexp run fig2a -set loss=0.4`) and sweeps can
+// cross it with any scheduler or controller. The FigX(cfg) functions are
+// typed front doors over the same specs: they build the spec from a
+// config struct and execute it, so tests and benchmarks keep a stable
+// Go-level API.
+//
 // Every experiment is deterministic given its seed and returns both a
 // human-readable report and the raw samples/series, so the bench harness
 // and cmd/mpexp share one implementation.
 package experiments
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
-	"time"
-
 	"repro/internal/stats"
 )
 
+// Result is the outcome of one experiment run. It is an alias for the
+// shared stats.Result so the runner, the scenario engine, and the
+// experiments all exchange one type.
+type Result = stats.Result
+
 // sample aliases stats.Sample for brevity inside this package.
 type sample = stats.Sample
-
-// Result is the outcome of one experiment run.
-type Result struct {
-	Name    string
-	Report  string                   // human-readable text (tables, CDFs)
-	Samples map[string]*stats.Sample // raw distributions keyed by curve name
-	Series  []*stats.Series          // time series (Fig. 2a)
-	Scalars map[string]float64       // headline numbers for quick checks
-}
-
-func newResult(name string) *Result {
-	return &Result{
-		Name:    name,
-		Samples: make(map[string]*stats.Sample),
-		Scalars: make(map[string]float64),
-	}
-}
-
-func (r *Result) sample(name string) *stats.Sample {
-	s, ok := r.Samples[name]
-	if !ok {
-		s = &stats.Sample{}
-		r.Samples[name] = s
-	}
-	return s
-}
-
-func (r *Result) printf(format string, args ...any) {
-	r.Report += fmt.Sprintf(format, args...)
-}
-
-func (r *Result) section(title string) {
-	r.printf("\n== %s ==\n", title)
-}
-
-func (r *Result) renderCDFs(names ...string) {
-	sub := make(map[string]*stats.Sample)
-	for _, n := range names {
-		if s, ok := r.Samples[n]; ok {
-			sub[n] = s
-		}
-	}
-	r.Report += stats.RenderCDFs(64, 16, sub)
-}
-
-// procDelayModel models per-packet host processing jitter for the Fig. 3
-// lab hosts: a fixed base cost plus exponential jitter.
-func procDelayModel(rng *rand.Rand, base, jitterMean time.Duration) func() time.Duration {
-	return func() time.Duration {
-		return base + time.Duration(rng.ExpFloat64()*float64(jitterMean))
-	}
-}
-
-func header(name, desc string) string {
-	line := strings.Repeat("=", len(name)+4)
-	return fmt.Sprintf("%s\n  %s\n%s\n%s\n", line, name, line, desc)
-}

@@ -4,15 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/app"
 	"repro/internal/controller"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/smapp"
 	"repro/internal/stats"
-	"repro/internal/tcp"
-	"repro/internal/topo"
 )
 
 // Fig2aConfig parameterises the §4.2 smart-backup experiment.
@@ -39,130 +36,138 @@ func DefaultFig2a() Fig2aConfig {
 	}
 }
 
-// Fig2a runs the smart-backup experiment: a bulk transfer starts on the
-// primary path; at LossAt the primary degrades. With the smart controller
-// the backup subflow is created only when the primary's RTO crosses the
-// threshold; the output series show the data sequence numbers carried per
-// subflow over time (the paper's green/red trace). With Baseline the
-// backup subflow is pre-established with the RFC 6824 backup flag and the
-// kernel alone decides — which takes ~15 RTO backoffs (minutes).
-func Fig2a(cfg Fig2aConfig) *Result {
-	res := newResult("fig2a")
-	mode := fmt.Sprintf("smart controller (userspace %q policy)", cfg.Policy)
-	if cfg.Baseline {
-		mode = "in-kernel baseline (pre-established backup flag)"
-	}
-	res.Report = header("Fig. 2a — smarter backup (§4.2)",
-		fmt.Sprintf("mode: %s\nprimary loss -> %.0f%% at %v; RTO threshold %v",
-			mode, cfg.LossRatio*100, cfg.LossAt, cfg.Threshold))
-
-	p := netem.LinkConfig{RateBps: 5e6, Delay: 15 * time.Millisecond}
-	net := topo.NewTwoPath(sim.New(cfg.Seed), p, p)
-
-	// The smart mode runs the full facade; the baseline re-expresses the
-	// "kernel alone" deployment as the nil policy on a plain stack.
-	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
-	policy := cfg.Policy
-	if cfg.Baseline {
-		scfg.KernelPM = mptcp.NopPM{}
-		policy = ""
-	}
-	st := smapp.New(net.Client, scfg)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
-	sink := app.NewSink(net.Sim, 1<<40, nil) // unbounded; we observe a window
-	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
-	net.Sim.RunFor(time.Millisecond)
-
-	src := app.NewSource(net.Sim, 64<<20, false)
-	conn, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, policy,
-		smapp.ControllerConfig{Addrs: net.ClientAddrs[:], Threshold: cfg.Threshold},
-		src.Callbacks())
-	if err != nil {
-		panic(err)
-	}
-
-	// Trace pushes per subflow (primary vs backup by source address).
-	primary := &stats.Series{Name: "primary"}
-	backup := &stats.Series{Name: "backup"}
-	var firstBackupData sim.Time = -1
-	conn.TracePush = func(sf *tcp.Subflow, rel uint64, ln int, re bool) {
-		t := net.Sim.Now()
-		pt := primary
-		if sf.Tuple().SrcIP == net.ClientAddrs[1] {
-			pt = backup
-			if firstBackupData < 0 {
-				firstBackupData = t
+func init() {
+	scenario.Register("fig2a",
+		"smart backup (§4.2): RTO-triggered switch to the backup path vs the in-kernel baseline",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultFig2a()
+			cfg.Sched = p.Str("sched", cfg.Sched)
+			cfg.Policy = p.Str("policy", cfg.Policy)
+			cfg.Baseline = p.Bool("baseline", false)
+			if cfg.Baseline {
+				cfg.LossRatio = 1.0 // radio blackout, as the kernel baseline is measured
 			}
-		}
-		label := ""
-		if re {
-			label = "reinject"
-		}
-		pt.Append(t.Seconds(), float64(rel+uint64(ln)), label)
-	}
-
-	if cfg.Baseline {
-		// Pre-establish the backup subflow with the backup flag, as the
-		// kernel-only deployment would (let the handshake finish first).
-		net.Sim.RunFor(200 * time.Millisecond)
-		if _, err := conn.OpenSubflow(net.ClientAddrs[1], 0, net.ServerAddr, 80, true); err != nil {
-			panic(err)
-		}
-	}
-
-	// Loss applies to the data direction (client→server), like a netem
-	// qdisc on the degraded radio's egress in the paper's Mininet setup.
-	net.Sim.Schedule(sim.Time(cfg.LossAt), "degrade", func() {
-		net.Path[0].AB.SetLoss(cfg.LossRatio)
-	})
-	deadline := sim.Time(cfg.Duration)
-	if cfg.Baseline {
-		// The kernel baseline needs to ride out up to 15 RTO backoffs.
-		deadline = 30 * sim.Minute
-	}
-	// Stop as soon as the backup carries data (plus a tail for the trace).
-	for net.Sim.Now() < deadline && firstBackupData < 0 {
-		net.Sim.RunFor(100 * time.Millisecond)
-	}
-	net.Sim.RunUntil(min(net.Sim.Now().Add(2*time.Second), deadline))
-
-	res.Series = append(res.Series, primary, backup)
-	res.Scalars["loss_at_s"] = cfg.LossAt.Seconds()
-	if firstBackupData >= 0 {
-		res.Scalars["backup_first_data_s"] = firstBackupData.Seconds()
-		res.Scalars["switch_delay_s"] = firstBackupData.Seconds() - cfg.LossAt.Seconds()
-	} else {
-		res.Scalars["backup_first_data_s"] = -1
-	}
-	if ctl, ok := st.Controller(conn).(*controller.Backup); ok {
-		res.Scalars["switches"] = float64(ctl.Stats.Switches)
-	}
-	res.Scalars["rcv_bytes"] = float64(sink.Received)
-
-	res.section("data sequence progress per subflow")
-	res.printf("%-10s %14s %14s\n", "subflow", "first push (s)", "last seq (B)")
-	for _, ser := range res.Series {
-		if len(ser.T) == 0 {
-			res.printf("%-10s %14s %14s\n", ser.Name, "-", "-")
-			continue
-		}
-		res.printf("%-10s %14.3f %14.0f\n", ser.Name, ser.T[0], ser.Y[len(ser.Y)-1])
-	}
-	res.section("headline")
-	if firstBackupData >= 0 {
-		res.printf("primary degraded at t=%.2fs; backup subflow first carried data at t=%.2fs (%.2fs later)\n",
-			cfg.LossAt.Seconds(), firstBackupData.Seconds(),
-			firstBackupData.Seconds()-cfg.LossAt.Seconds())
-	} else {
-		res.printf("backup never carried data within %v\n", cfg.Duration)
-	}
-	res.printf("receiver got %.2f MB in the observation window\n", float64(sink.Received)/1e6)
-	return res
+			cfg.LossRatio = p.Float("loss", cfg.LossRatio)
+			cfg.LossAt = p.Duration("loss_at", cfg.LossAt)
+			cfg.Threshold = p.Duration("threshold", cfg.Threshold)
+			cfg.Duration = p.Duration("duration", cfg.Duration)
+			if p.Bool("smoke", false) {
+				cfg.Duration = 4 * time.Second
+			}
+			return fig2aSpec(cfg), nil
+		})
 }
 
-func min(a, b sim.Time) sim.Time {
-	if a < b {
-		return a
+// fig2aSpec declares the smart-backup experiment: a bulk transfer over
+// the two-path topology whose primary degrades at LossAt. With the smart
+// controller the backup subflow is created only when the primary's RTO
+// crosses the threshold; the push-trace probe records the data sequence
+// numbers carried per subflow over time (the paper's green/red trace).
+// With Baseline the backup subflow is pre-established with the RFC 6824
+// backup flag on a plain kernel stack, and the kernel alone decides —
+// which takes ~15 RTO backoffs (minutes).
+func fig2aSpec(cfg Fig2aConfig) *scenario.Spec {
+	mode := fmt.Sprintf("smart controller (userspace %q policy)", cfg.Policy)
+	policy := cfg.Policy
+	var kernelPM func() mptcp.PathManager
+	horizon := cfg.Duration
+	if cfg.Baseline {
+		mode = "in-kernel baseline (pre-established backup flag)"
+		policy = ""
+		kernelPM = func() mptcp.PathManager { return mptcp.NopPM{} }
+		// The kernel baseline needs to ride out up to 15 RTO backoffs.
+		horizon = 30 * time.Minute
 	}
-	return b
+
+	p := netem.LinkConfig{RateBps: 5e6, Delay: 15 * time.Millisecond}
+	trace := scenario.NewPushTrace(1)
+	wl := &scenario.Bulk{Bytes: 64 << 20, SinkExpect: 1 << 40} // unbounded; we observe a window
+
+	events := []scenario.Event{scenario.SetLossAt(cfg.LossAt, "path0", cfg.LossRatio)}
+	if cfg.Baseline {
+		// Pre-establish the backup subflow with the backup flag, as the
+		// kernel-only deployment would (after the handshake finished).
+		// As a scheduled event this fires at t=200ms, 1 ms earlier than
+		// the pre-scenario code (which ran 200 ms past the settle): the
+		// baseline variant is not byte-pinned, and its minutes-scale RTO
+		// shape is insensitive to the shift.
+		pre := scenario.Event{At: 200 * time.Millisecond, Name: "fig2a.preestablish",
+			Do: func(rt *scenario.Run) {
+				ep := rt.Net.Client()
+				if _, err := rt.Conn.OpenSubflow(ep.Addrs[1], 0, rt.Net.ServerAddr, 80, true); err != nil {
+					panic(err)
+				}
+			}}
+		events = append([]scenario.Event{pre}, events...)
+	}
+
+	run := &scenario.RunSpec{
+		Label:     "fig2a",
+		Topology:  scenario.TwoPath{P0: p, P1: p},
+		Workload:  wl,
+		Sched:     cfg.Sched,
+		Policy:    policy,
+		PolicyCfg: smapp.ControllerConfig{Threshold: cfg.Threshold},
+		KernelPM:  kernelPM,
+		Settle:    time.Millisecond,
+		Events:    events,
+		Probes: []scenario.Probe{
+			trace.Probe(),
+			{Name: "fig2a.scalars", Collect: func(rt *scenario.Run) {
+				res := rt.Result
+				res.Scalars["loss_at_s"] = cfg.LossAt.Seconds()
+				if trace.FirstBackup >= 0 {
+					res.Scalars["backup_first_data_s"] = trace.FirstBackup.Seconds()
+					res.Scalars["switch_delay_s"] = trace.FirstBackup.Seconds() - cfg.LossAt.Seconds()
+				} else {
+					res.Scalars["backup_first_data_s"] = -1
+				}
+				if ctl, ok := rt.Stack.Controller(rt.Conn).(*controller.Backup); ok {
+					res.Scalars["switches"] = float64(ctl.Stats.Switches)
+				}
+				res.Scalars["rcv_bytes"] = float64(wl.Sink.Received)
+			}},
+		},
+		// Stop as soon as the backup carries data (plus a tail for the
+		// trace).
+		Stop: scenario.Stop{
+			Horizon: horizon,
+			Poll:    100 * time.Millisecond,
+			Until:   func(*scenario.Run) bool { return trace.FirstBackup >= 0 },
+			Tail:    2 * time.Second,
+		},
+	}
+
+	return &scenario.Spec{
+		Name:  "fig2a",
+		Title: "Fig. 2a — smarter backup (§4.2)",
+		Desc: fmt.Sprintf("mode: %s\nprimary loss -> %.0f%% at %v; RTO threshold %v",
+			mode, cfg.LossRatio*100, cfg.LossAt, cfg.Threshold),
+		Runs: []*scenario.RunSpec{run},
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			res.Section("data sequence progress per subflow")
+			res.Printf("%-10s %14s %14s\n", "subflow", "first push (s)", "last seq (B)")
+			for _, ser := range res.Series {
+				if len(ser.T) == 0 {
+					res.Printf("%-10s %14s %14s\n", ser.Name, "-", "-")
+					continue
+				}
+				res.Printf("%-10s %14.3f %14.0f\n", ser.Name, ser.T[0], ser.Y[len(ser.Y)-1])
+			}
+			res.Section("headline")
+			if trace.FirstBackup >= 0 {
+				res.Printf("primary degraded at t=%.2fs; backup subflow first carried data at t=%.2fs (%.2fs later)\n",
+					cfg.LossAt.Seconds(), trace.FirstBackup.Seconds(),
+					trace.FirstBackup.Seconds()-cfg.LossAt.Seconds())
+			} else {
+				res.Printf("backup never carried data within %v\n", cfg.Duration)
+			}
+			res.Printf("receiver got %.2f MB in the observation window\n", float64(wl.Sink.Received)/1e6)
+		},
+	}
+}
+
+// Fig2a runs the smart-backup experiment (see fig2aSpec).
+func Fig2a(cfg Fig2aConfig) *Result {
+	return scenario.Execute(fig2aSpec(cfg), cfg.Seed)
 }

@@ -4,13 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/app"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/smapp"
-	"repro/internal/topo"
+	"repro/internal/stats"
 )
 
 // Fig2bConfig parameterises the §4.3 smart-streaming experiment.
@@ -42,92 +41,108 @@ func DefaultFig2b() Fig2bConfig {
 	}
 }
 
-// Fig2b runs the streaming experiment and produces the paper's CDF of
-// block completion times: one curve per loss level under the default
-// full-mesh path manager, plus the Smart Stream controller curve.
-func Fig2b(cfg Fig2bConfig) *Result {
-	res := newResult("fig2b")
-	res.Report = header("Fig. 2b — smarter streaming (§4.3)",
-		fmt.Sprintf("2 x 5 Mbps, 10 ms paths; %d B block every %v; %d blocks per curve",
-			cfg.BlockSize, cfg.Period, cfg.Blocks))
-
-	for _, loss := range cfg.LossLevels {
-		name := fmt.Sprintf("fullmesh %.0f%% loss", loss*100)
-		delays := fig2bRun(cfg, loss, "")
-		res.Samples[name] = delays
-	}
-	smart := fig2bRun(cfg, cfg.SmartLoss, cfg.Policy)
-	res.Samples["smart stream"] = smart
-
-	res.section("CDF of block completion time (seconds)")
-	names := make([]string, 0, len(res.Samples))
-	for n := range res.Samples {
-		names = append(names, n)
-	}
-	res.renderCDFs(names...)
-
-	res.section("summary")
-	res.printf("%-22s %8s %8s %8s %8s\n", "curve", "median", "p90", "p99", "max")
-	for _, n := range names {
-		s := res.Samples[n]
-		res.printf("%-22s %7.2fs %7.2fs %7.2fs %7.2fs\n",
-			n, s.Median(), s.Quantile(0.9), s.Quantile(0.99), s.Max())
-	}
-	res.Scalars["smart_p90_s"] = smart.Quantile(0.9)
-	if worst, ok := res.Samples[fmt.Sprintf("fullmesh %.0f%% loss", cfg.SmartLoss*100)]; ok {
-		res.Scalars["fullmesh_same_loss_p90_s"] = worst.Quantile(0.9)
-	}
-	return res
+func init() {
+	scenario.Register("fig2b",
+		"smart streaming (§4.3): CDFs of 64 KB block completion times, full-mesh per loss level vs the stream controller",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultFig2b()
+			cfg.Sched = p.Str("sched", cfg.Sched)
+			cfg.Policy = p.Str("policy", cfg.Policy)
+			cfg.LossLevels = p.Floats("loss_levels", cfg.LossLevels)
+			cfg.SmartLoss = p.Float("loss", cfg.SmartLoss)
+			cfg.Blocks = p.Int("blocks", cfg.Blocks)
+			cfg.Period = p.Duration("period", cfg.Period)
+			cfg.BlockSize = p.Int("block_size", cfg.BlockSize)
+			cfg.ProbeAt = p.Duration("probe_at", cfg.ProbeAt)
+			if p.Bool("smoke", false) {
+				cfg.Blocks = 10
+				cfg.LossLevels = []float64{0.30}
+			}
+			return fig2bSpec(cfg), nil
+		})
 }
 
-// fig2bRun runs one streaming session under the named controller policy
-// ("" = the in-kernel full-mesh baseline) and returns the block delays in
-// seconds. The ctlsweep experiment reuses it to sweep the policy space.
-func fig2bRun(cfg Fig2bConfig, loss float64, policy string) *sample {
+// streamRun declares one §4.3 streaming session: the two-path topology,
+// the block-streaming workload, loss on the primary path from LossAt on,
+// and the per-block delays collected under the given curve name. The
+// empty policy runs the in-kernel full-mesh baseline. fig2b, ctlsweep,
+// and schedsweep all sweep the policy space through this one run shape.
+func streamRun(cfg Fig2bConfig, loss float64, policy, curve string) *scenario.RunSpec {
 	p := netem.LinkConfig{RateBps: 5e6, Delay: 10 * time.Millisecond}
-	net := topo.NewTwoPath(sim.New(cfg.Seed), p, p)
-
-	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
+	wl := &scenario.BlockStream{Period: cfg.Period, BlockSize: cfg.BlockSize, Blocks: cfg.Blocks}
+	var kernelPM func() mptcp.PathManager
 	if policy == "" {
-		scfg.KernelPM = pm.NewFullMesh()
+		kernelPM = func() mptcp.PathManager { return pm.NewFullMesh() }
 	}
-	st := smapp.New(net.Client, scfg)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
-	bsink := app.NewBlockSink(net.Sim, cfg.BlockSize)
-	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(bsink.Callbacks()) })
-	net.Sim.RunFor(time.Millisecond)
-
-	streamer := app.NewBlockStreamer(net.Sim, cfg.Period, cfg.BlockSize, cfg.Blocks)
-	pcfg := smapp.ControllerConfig{
-		Addrs:     net.ClientAddrs[:],
-		Subflows:  2,
-		Period:    cfg.Period,
-		BlockSize: cfg.BlockSize,
-		Probe:     cfg.ProbeAt,
-	}
-	if _, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, policy, pcfg, streamer.Callbacks()); err != nil {
-		panic(err)
-	}
-	// Loss applies to the data direction (client→server), like a netem
-	// qdisc on the client's egress interface in the paper's Mininet setup.
-	net.Sim.Schedule(sim.Time(cfg.LossAt), "degrade", func() {
-		net.Path[0].AB.SetLoss(loss)
-	})
 	// Observe long enough for stragglers (RTO tails can reach minutes on
 	// the unmanaged stack).
 	horizon := time.Duration(cfg.Blocks)*cfg.Period + 3*time.Minute
-	net.Sim.RunUntil(sim.Time(horizon))
+	return &scenario.RunSpec{
+		Label:    curve,
+		Topology: scenario.TwoPath{P0: p, P1: p},
+		Workload: wl,
+		Sched:    cfg.Sched,
+		Policy:   policy,
+		PolicyCfg: smapp.ControllerConfig{
+			Subflows:  2,
+			Period:    cfg.Period,
+			BlockSize: cfg.BlockSize,
+			Probe:     cfg.ProbeAt,
+		},
+		KernelPM: kernelPM,
+		Settle:   time.Millisecond,
+		Events:   []scenario.Event{scenario.SetLossAt(cfg.LossAt, "path0", loss)},
+		Stop:     scenario.Stop{Horizon: horizon},
+		Probes: []scenario.Probe{
+			{Name: curve, Collect: func(rt *scenario.Run) {
+				rt.Result.Samples[curve] = wl.Delays(horizon)
+			}},
+		},
+	}
+}
 
-	delays := &sample{}
-	for k, at := range bsink.CompletedAt {
-		sent := streamer.StartedAt.Add(time.Duration(k) * cfg.Period)
-		delays.Add(time.Duration(at - sent).Seconds())
+// fig2bSpec declares the streaming experiment: one curve per loss level
+// under the default full-mesh path manager, plus the Smart Stream
+// controller curve, rendered as the paper's CDF of block completion
+// times.
+func fig2bSpec(cfg Fig2bConfig) *scenario.Spec {
+	var runs []*scenario.RunSpec
+	var names []string
+	for _, loss := range cfg.LossLevels {
+		name := fmt.Sprintf("fullmesh %.0f%% loss", loss*100)
+		names = append(names, name)
+		runs = append(runs, streamRun(cfg, loss, "", name))
 	}
-	// Blocks never delivered within the horizon count as the horizon —
-	// they are the long tail the paper describes.
-	for k := len(bsink.CompletedAt); k < cfg.Blocks; k++ {
-		sent := streamer.StartedAt.Add(time.Duration(k) * cfg.Period)
-		delays.Add((sim.Time(horizon) - sent).Seconds())
+	names = append(names, "smart stream")
+	runs = append(runs, streamRun(cfg, cfg.SmartLoss, cfg.Policy, "smart stream"))
+
+	return &scenario.Spec{
+		Name:  "fig2b",
+		Title: "Fig. 2b — smarter streaming (§4.3)",
+		Desc: fmt.Sprintf("2 x 5 Mbps, 10 ms paths; %d B block every %v; %d blocks per curve",
+			cfg.BlockSize, cfg.Period, cfg.Blocks),
+		Runs: runs,
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			res.Section("CDF of block completion time (seconds)")
+			res.RenderCDFs(names...)
+
+			res.Section("summary")
+			res.Printf("%-22s %8s %8s %8s %8s\n", "curve", "median", "p90", "p99", "max")
+			for _, n := range names {
+				s := res.Samples[n]
+				res.Printf("%-22s %7.2fs %7.2fs %7.2fs %7.2fs\n",
+					n, s.Median(), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+			}
+			smart := res.Samples["smart stream"]
+			res.Scalars["smart_p90_s"] = smart.Quantile(0.9)
+			if worst, ok := res.Samples[fmt.Sprintf("fullmesh %.0f%% loss", cfg.SmartLoss*100)]; ok {
+				res.Scalars["fullmesh_same_loss_p90_s"] = worst.Quantile(0.9)
+			}
+		},
 	}
-	return delays
+}
+
+// Fig2b runs the streaming experiment (see fig2bSpec).
+func Fig2b(cfg Fig2bConfig) *Result {
+	return scenario.Execute(fig2bSpec(cfg), cfg.Seed)
 }

@@ -4,14 +4,13 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/app"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/smapp"
+	"repro/internal/stats"
 	"repro/internal/tcp"
-	"repro/internal/topo"
 )
 
 // Fig2cConfig parameterises the §4.4 ECMP experiment.
@@ -31,54 +30,31 @@ func DefaultFig2c() Fig2cConfig {
 	return Fig2cConfig{Seed: 1, Policy: "refresh", Trials: 20, FileBytes: 100 << 20, Subflows: 5, Paths: 4}
 }
 
-// Fig2c runs the load-balancing experiment: CDF of the 100 MB completion
-// time for the in-kernel ndiffports manager vs the userspace refresh
-// controller. The paper reports ndiffports clustering around 28/37/55 s
-// (5 subflows hashed onto 4/3/2 distinct paths) while refresh converges to
-// all four paths; bounds are 27.8 s (four paths) and 111.7 s (one path).
-func Fig2c(cfg Fig2cConfig) *Result {
-	res := newResult("fig2c")
-	res.Report = header("Fig. 2c — smarter exploitation of flow-based LB (§4.4)",
-		fmt.Sprintf("%d MB file, %d subflows over %d ECMP paths (8 Mbps; 10/20/30/40 ms); %d trials",
-			cfg.FileBytes>>20, cfg.Subflows, cfg.Paths, cfg.Trials))
-
-	ndiff := res.sample("ndiffports")
-	refresh := res.sample("refresh")
-	ndiffPaths := res.sample("ndiffports paths used")
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.Seed + int64(trial)*1000
-		tN, pathsN := fig2cRun(cfg, seed, uint64(seed), false)
-		ndiff.Add(tN)
-		ndiffPaths.Add(float64(pathsN))
-		tR, _ := fig2cRun(cfg, seed, uint64(seed), true)
-		refresh.Add(tR)
-	}
-
-	res.section("CDF of completion time (seconds)")
-	res.renderCDFs("ndiffports", "refresh")
-
-	res.section("summary")
-	res.printf("%-12s %8s %8s %8s %8s\n", "variant", "min", "median", "p90", "max")
-	for _, n := range []string{"ndiffports", "refresh"} {
-		s := res.Samples[n]
-		res.printf("%-12s %7.1fs %7.1fs %7.1fs %7.1fs\n",
-			n, s.Min(), s.Median(), s.Quantile(0.9), s.Max())
-	}
-	res.printf("\ndistinct paths used by ndiffports: mean %.2f (refresh converges to %d)\n",
-		ndiffPaths.Mean(), cfg.Paths)
-	res.printf("reference bounds: best (all %d paths) ≈ %.1fs, worst (1 path) ≈ %.1fs\n",
-		cfg.Paths,
-		float64(cfg.FileBytes*8)/(float64(cfg.Paths)*8e6),
-		float64(cfg.FileBytes*8)/8e6)
-	res.Scalars["ndiffports_median_s"] = ndiff.Median()
-	res.Scalars["refresh_median_s"] = refresh.Median()
-	res.Scalars["refresh_max_s"] = refresh.Max()
-	return res
+func init() {
+	scenario.Register("fig2c",
+		"ECMP load balancing (§4.4): 100 MB completion CDFs, in-kernel ndiffports vs the refresh controller",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultFig2c()
+			cfg.Sched = p.Str("sched", cfg.Sched)
+			cfg.Policy = p.Str("policy", cfg.Policy)
+			cfg.Trials = p.Int("trials", cfg.Trials)
+			cfg.FileBytes = p.Int("mb", cfg.FileBytes>>20) << 20
+			cfg.Subflows = p.Int("subflows", cfg.Subflows)
+			cfg.Paths = p.Int("paths", cfg.Paths)
+			if p.Bool("smoke", false) {
+				cfg.Trials = 2
+				cfg.FileBytes = 10 << 20
+			}
+			return fig2cSpec(cfg), nil
+		})
 }
 
-// fig2cRun transfers the file once and returns (completion seconds,
-// distinct paths used at steady state).
-func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float64, int) {
+// fig2cRun declares one file transfer over the ECMP fabric: the refresh
+// variant runs the userspace controller, the baseline the in-kernel
+// ndiffports path manager. Each trial offsets its seed by 1000 so the
+// fabric hash and source ports draw independent randomness, and both
+// variants of a trial share that seed.
+func fig2cRun(cfg Fig2cConfig, trial int, refresh bool) *scenario.RunSpec {
 	var paths []netem.LinkConfig
 	for i := 0; i < cfg.Paths; i++ {
 		paths = append(paths, netem.LinkConfig{
@@ -86,43 +62,105 @@ func fig2cRun(cfg Fig2cConfig, seed int64, hashSeed uint64, refresh bool) (float
 			Delay:   time.Duration(10*(i+1)) * time.Millisecond,
 		})
 	}
-	net := topo.NewECMP(sim.New(seed), paths, hashSeed)
-
-	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}}
 	policy := ""
+	variant := "ndiffports"
+	var kernelPM func() mptcp.PathManager
 	if refresh {
 		policy = cfg.Policy
+		variant = "refresh"
 	} else {
-		scfg.KernelPM = pm.NewNDiffPorts(cfg.Subflows)
+		kernelPM = func() mptcp.PathManager { return pm.NewNDiffPorts(cfg.Subflows) }
 	}
-	st := smapp.New(net.Client, scfg)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
-	var done sim.Time = -1
-	sink := app.NewSink(net.Sim, uint64(cfg.FileBytes), nil)
-	sink.OnComplete = func() { done = net.Sim.Now() }
-	var client *mptcp.Connection
-	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })
-	net.Sim.RunFor(time.Millisecond)
-
-	src := app.NewSource(net.Sim, cfg.FileBytes, false)
-	client, err := st.Dial(net.ClientAddr, net.ServerAddr, 80, policy,
-		smapp.ControllerConfig{Subflows: cfg.Subflows}, src.Callbacks())
-	if err != nil {
-		panic(err)
-	}
+	wl := &scenario.Bulk{Bytes: cfg.FileBytes}
 	// Worst case is single-path (~105 s for 100 MB); generous horizon.
-	horizon := sim.Time(float64(cfg.FileBytes*8)/8e6*1.5) * sim.Second
-	for net.Sim.Now() < horizon && done < 0 {
-		net.Sim.RunFor(time.Second)
+	horizon := time.Duration(float64(cfg.FileBytes*8)/8e6*1.5) * time.Second
+
+	probes := []scenario.Probe{
+		scenario.SampleInto(variant, func(rt *scenario.Run, s *stats.Sample) {
+			// A transfer the horizon cut off counts as the horizon.
+			done := horizon.Seconds()
+			if wl.Sink.Done {
+				done = wl.Sink.CompletedAt.Seconds()
+			}
+			s.Add(done)
+		}),
 	}
-	used := map[int]bool{}
-	for _, sfi := range st.Info(client).Subflows {
-		if sfi.State == tcp.StateEstablished && sfi.Stats.BytesSent > 0 {
-			used[net.PathIndexOf(sfi.Tuple.SrcPort, sfi.Tuple.DstPort)] = true
-		}
+	if !refresh {
+		probes = append(probes, scenario.SampleInto("ndiffports paths used",
+			func(rt *scenario.Run, s *stats.Sample) {
+				used := map[int]bool{}
+				for _, sfi := range rt.Stack.Info(rt.Conn).Subflows {
+					if sfi.State == tcp.StateEstablished && sfi.Stats.BytesSent > 0 {
+						used[rt.Net.PathIndex(sfi.Tuple.SrcPort, sfi.Tuple.DstPort)] = true
+					}
+				}
+				s.Add(float64(len(used)))
+			}))
 	}
-	if done < 0 {
-		done = horizon
+
+	return &scenario.RunSpec{
+		Label:      fmt.Sprintf("%s trial %d", variant, trial),
+		SeedOffset: int64(trial) * 1000,
+		Topology:   scenario.ECMP{Paths: paths},
+		Workload:   wl,
+		Sched:      cfg.Sched,
+		Policy:     policy,
+		PolicyCfg:  smapp.ControllerConfig{Subflows: cfg.Subflows},
+		KernelPM:   kernelPM,
+		Settle:     time.Millisecond,
+		Probes:     probes,
+		Stop: scenario.Stop{
+			Horizon: horizon,
+			Poll:    time.Second,
+			Until:   wl.Done,
+		},
 	}
-	return done.Seconds(), len(used)
+}
+
+// fig2cSpec declares the load-balancing experiment: per trial, one
+// ndiffports and one refresh transfer (sharing the trial seed), rendered
+// as the paper's CDF of the 100 MB completion time. The paper reports
+// ndiffports clustering around 28/37/55 s (5 subflows hashed onto 4/3/2
+// distinct paths) while refresh converges to all four paths; bounds are
+// 27.8 s (four paths) and 111.7 s (one path).
+func fig2cSpec(cfg Fig2cConfig) *scenario.Spec {
+	var runs []*scenario.RunSpec
+	for trial := 0; trial < cfg.Trials; trial++ {
+		runs = append(runs, fig2cRun(cfg, trial, false), fig2cRun(cfg, trial, true))
+	}
+	return &scenario.Spec{
+		Name:  "fig2c",
+		Title: "Fig. 2c — smarter exploitation of flow-based LB (§4.4)",
+		Desc: fmt.Sprintf("%d MB file, %d subflows over %d ECMP paths (8 Mbps; 10/20/30/40 ms); %d trials",
+			cfg.FileBytes>>20, cfg.Subflows, cfg.Paths, cfg.Trials),
+		Runs: runs,
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			ndiff := res.Sample("ndiffports")
+			refresh := res.Sample("refresh")
+			res.Section("CDF of completion time (seconds)")
+			res.RenderCDFs("ndiffports", "refresh")
+
+			res.Section("summary")
+			res.Printf("%-12s %8s %8s %8s %8s\n", "variant", "min", "median", "p90", "max")
+			for _, n := range []string{"ndiffports", "refresh"} {
+				s := res.Samples[n]
+				res.Printf("%-12s %7.1fs %7.1fs %7.1fs %7.1fs\n",
+					n, s.Min(), s.Median(), s.Quantile(0.9), s.Max())
+			}
+			res.Printf("\ndistinct paths used by ndiffports: mean %.2f (refresh converges to %d)\n",
+				res.Sample("ndiffports paths used").Mean(), cfg.Paths)
+			res.Printf("reference bounds: best (all %d paths) ≈ %.1fs, worst (1 path) ≈ %.1fs\n",
+				cfg.Paths,
+				float64(cfg.FileBytes*8)/(float64(cfg.Paths)*8e6),
+				float64(cfg.FileBytes*8)/8e6)
+			res.Scalars["ndiffports_median_s"] = ndiff.Median()
+			res.Scalars["refresh_median_s"] = refresh.Median()
+			res.Scalars["refresh_max_s"] = refresh.Max()
+		},
+	}
+}
+
+// Fig2c runs the load-balancing experiment (see fig2cSpec).
+func Fig2c(cfg Fig2cConfig) *Result {
+	return scenario.Execute(fig2cSpec(cfg), cfg.Seed)
 }

@@ -4,14 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/app"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/pm"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/smapp"
-	"repro/internal/tcp"
-	"repro/internal/topo"
+	"repro/internal/stats"
 )
 
 // Fig3Config parameterises the §4.5 path-manager-cost experiment.
@@ -29,118 +27,105 @@ func DefaultFig3() Fig3Config {
 	return Fig3Config{Seed: 1, Policy: "ndiffports", Requests: 1000, RespSize: 512 << 10}
 }
 
-// Fig3 measures the delay between the SYN carrying MP_CAPABLE and the SYN
-// carrying MP_JOIN for the in-kernel ndiffports path manager vs the
-// userspace one behind Netlink. The paper reports the userspace manager
-// adding ≈23 µs on average (< 37 µs under CPU stress).
-func Fig3(cfg Fig3Config) *Result {
-	res := newResult("fig3")
+func init() {
+	scenario.Register("fig3",
+		"path-manager cost (§4.5): CDFs of the MP_CAPABLE→MP_JOIN SYN delay, kernel vs userspace manager",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultFig3()
+			cfg.Sched = p.Str("sched", cfg.Sched)
+			cfg.Policy = p.Str("policy", cfg.Policy)
+			cfg.Requests = p.Int("requests", cfg.Requests)
+			cfg.RespSize = p.Int("resp_kb", cfg.RespSize>>10) << 10
+			cfg.Stressed = p.Bool("stressed", cfg.Stressed)
+			if p.Bool("smoke", false) {
+				cfg.Requests = 25
+			}
+			return fig3Spec(cfg), nil
+		})
+}
+
+// fig3Run declares one GET-loop variant on the direct lab link: the
+// userspace variant manages subflows through the Netlink control plane,
+// the kernel variant through the in-kernel ndiffports path manager. The
+// request/response workload drives the simulation itself and samples the
+// delay between the SYN carrying MP_CAPABLE and the SYN carrying MP_JOIN
+// per request.
+func fig3Run(cfg Fig3Config, userspace bool) (*scenario.RunSpec, *scenario.ReqResp) {
+	policy := ""
+	variant := "kernel"
+	var kernelPM func() mptcp.PathManager
+	if userspace {
+		policy = cfg.Policy
+		variant = "userspace"
+	} else {
+		kernelPM = func() mptcp.PathManager { return pm.NewNDiffPorts(2) }
+	}
+	wl := &scenario.ReqResp{Requests: cfg.Requests, ReqSize: 200, RespSize: cfg.RespSize}
+	run := &scenario.RunSpec{
+		Label: variant,
+		Topology: scenario.Direct{
+			Link: netem.LinkConfig{RateBps: 1e9, Delay: 20 * time.Microsecond},
+			// Host processing jitter: the dominant term of the
+			// sub-millisecond delays in the paper's lab measurement.
+			ClientProc: scenario.Proc{Base: 40 * time.Microsecond, Jitter: 30 * time.Microsecond},
+			ServerProc: scenario.Proc{Base: 50 * time.Microsecond, Jitter: 40 * time.Microsecond},
+		},
+		Workload:  wl,
+		Sched:     cfg.Sched,
+		Policy:    policy,
+		PolicyCfg: smapp.ControllerConfig{Subflows: 2},
+		KernelPM:  kernelPM,
+		Stressed:  cfg.Stressed,
+		Settle:    time.Millisecond,
+		Probes: []scenario.Probe{
+			{Name: variant, Collect: func(rt *scenario.Run) {
+				rt.Result.Samples[variant] = wl.Delays
+			}},
+		},
+		// The workload drives the simulation; no Stop condition.
+	}
+	return run, wl
+}
+
+// fig3Spec declares the experiment: the kernel and userspace variants
+// back to back, rendered as the paper's CDF. The paper reports the
+// userspace manager adding ≈23 µs on average (< 37 µs under CPU stress).
+func fig3Spec(cfg Fig3Config) *scenario.Spec {
 	stress := ""
 	if cfg.Stressed {
 		stress = " (CPU-stressed client)"
 	}
-	res.Report = header("Fig. 3 — kernel vs userspace path manager (§4.5)",
-		fmt.Sprintf("1 Gbps direct link; %d consecutive %d KB GETs%s",
-			cfg.Requests, cfg.RespSize>>10, stress))
+	kernelRun, _ := fig3Run(cfg, false)
+	userRun, _ := fig3Run(cfg, true)
+	return &scenario.Spec{
+		Name:  "fig3",
+		Title: "Fig. 3 — kernel vs userspace path manager (§4.5)",
+		Desc: fmt.Sprintf("1 Gbps direct link; %d consecutive %d KB GETs%s",
+			cfg.Requests, cfg.RespSize>>10, stress),
+		Runs: []*scenario.RunSpec{kernelRun, userRun},
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			kernel := res.Samples["kernel"]
+			user := res.Samples["userspace"]
+			res.Section("CDF of delay between MP_CAPABLE SYN and MP_JOIN SYN (ms)")
+			res.RenderCDFs("kernel", "userspace")
 
-	kernel := fig3Run(cfg, false)
-	user := fig3Run(cfg, true)
-	res.Samples["kernel"] = kernel
-	res.Samples["userspace"] = user
-
-	res.section("CDF of delay between MP_CAPABLE SYN and MP_JOIN SYN (ms)")
-	res.renderCDFs("kernel", "userspace")
-
-	res.section("summary")
-	res.printf("%-10s %10s %10s %10s\n", "variant", "mean", "median", "p95")
-	for _, n := range []string{"kernel", "userspace"} {
-		s := res.Samples[n]
-		res.printf("%-10s %9.3fms %9.3fms %9.3fms\n",
-			n, s.Mean(), s.Median(), s.Quantile(0.95))
-	}
-	deltaUS := (user.Mean() - kernel.Mean()) * 1000
-	res.printf("\nuserspace penalty: %.1f µs on average (paper: ≈23 µs, <37 µs stressed)\n", deltaUS)
-	res.Scalars["kernel_mean_ms"] = kernel.Mean()
-	res.Scalars["user_mean_ms"] = user.Mean()
-	res.Scalars["delta_us"] = deltaUS
-	return res
-}
-
-// fig3Run performs the GET loop against one variant and returns the
-// CAPA→JOIN delays in milliseconds.
-func fig3Run(cfg Fig3Config, userspace bool) *sample {
-	net := topo.NewDirect(sim.New(cfg.Seed), netem.LinkConfig{
-		RateBps: 1e9, Delay: 20 * time.Microsecond,
-	})
-	// Host processing jitter: the dominant term of the sub-millisecond
-	// delays in the paper's lab measurement.
-	net.Client.SetProcDelay(procDelayModel(net.Sim.Rand(), 40*time.Microsecond, 30*time.Microsecond))
-	net.Server.SetProcDelay(procDelayModel(net.Sim.Rand(), 50*time.Microsecond, 40*time.Microsecond))
-
-	scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}, Stressed: cfg.Stressed}
-	policy := ""
-	if userspace {
-		policy = cfg.Policy
-	} else {
-		scfg.KernelPM = pm.NewNDiffPorts(2)
-	}
-	st := smapp.New(net.Client, scfg)
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
-	srv := app.NewReqRespServer(200, cfg.RespSize)
-	sep.Listen(80, srv.Accept)
-	net.Sim.RunFor(time.Millisecond)
-
-	delays := &sample{}
-	for i := 0; i < cfg.Requests; i++ {
-		var conn *mptcp.Connection
-		respDone := false
-		conn, err := st.Dial(net.ClientAddr, net.ServerAddr, 80, policy, smapp.ControllerConfig{Subflows: 2}, mptcp.ConnCallbacks{
-			OnEstablished: func(c *mptcp.Connection) { c.Write(200) },
-			OnData: func(c *mptcp.Connection, total uint64) {
-				if total >= uint64(cfg.RespSize) {
-					respDone = true
-				}
-			},
-			OnPeerClose: func(c *mptcp.Connection) { c.Close() },
-		})
-		if err != nil {
-			panic(err)
-		}
-		// Sample the CAPA→JOIN delay as soon as the join subflow exists
-		// (the connection tears down right after the response).
-		sampled := false
-		for i := 0; i < 1000 && !sampled && !conn.Closed(); i++ {
-			net.Sim.RunFor(100 * time.Microsecond)
-			if len(conn.Subflows()) >= 2 {
-				if d, ok := capaJoinDelay(conn); ok {
-					delays.Add(d.Seconds() * 1000) // ms
-					sampled = true
-				}
+			res.Section("summary")
+			res.Printf("%-10s %10s %10s %10s\n", "variant", "mean", "median", "p95")
+			for _, n := range []string{"kernel", "userspace"} {
+				s := res.Samples[n]
+				res.Printf("%-10s %9.3fms %9.3fms %9.3fms\n",
+					n, s.Mean(), s.Median(), s.Quantile(0.95))
 			}
-		}
-		// Run the request to completion (HTTP/1.0: one conn per GET).
-		for !respDone && !conn.Closed() {
-			net.Sim.RunFor(10 * time.Millisecond)
-		}
-		conn.Abort()
-		net.Sim.RunFor(time.Millisecond)
+			deltaUS := (user.Mean() - kernel.Mean()) * 1000
+			res.Printf("\nuserspace penalty: %.1f µs on average (paper: ≈23 µs, <37 µs stressed)\n", deltaUS)
+			res.Scalars["kernel_mean_ms"] = kernel.Mean()
+			res.Scalars["user_mean_ms"] = user.Mean()
+			res.Scalars["delta_us"] = deltaUS
+		},
 	}
-	return delays
 }
 
-// capaJoinDelay extracts the SYN(MP_CAPABLE)→SYN(MP_JOIN) delay from the
-// connection's subflows.
-func capaJoinDelay(c *mptcp.Connection) (time.Duration, bool) {
-	var initial, join *tcp.Subflow
-	for _, sf := range c.Subflows() {
-		if sf.Tuple() == c.InitialTuple() {
-			initial = sf
-		} else if join == nil || sf.SynSentAt() < join.SynSentAt() {
-			join = sf
-		}
-	}
-	if initial == nil || join == nil {
-		return 0, false
-	}
-	return time.Duration(join.SynSentAt() - initial.SynSentAt()), true
+// Fig3 runs the path-manager-cost experiment (see fig3Spec).
+func Fig3(cfg Fig3Config) *Result {
+	return scenario.Execute(fig3Spec(cfg), cfg.Seed)
 }

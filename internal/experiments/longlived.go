@@ -5,11 +5,9 @@ import (
 	"time"
 
 	"repro/internal/controller"
-	"repro/internal/mptcp"
 	"repro/internal/netem"
-	"repro/internal/sim"
-	"repro/internal/smapp"
-	"repro/internal/topo"
+	"repro/internal/scenario"
+	"repro/internal/stats"
 )
 
 // LongLivedConfig parameterises the §4.1 long-lived-connection experiment.
@@ -42,95 +40,106 @@ func DefaultLongLived() LongLivedConfig {
 	}
 }
 
-// LongLived runs the §4.1 scenario: a chat-style connection through a NAT
-// that expires idle state, with occasional interface outages. With the
-// smart full-mesh controller, failed subflows are re-established with
-// error-specific backoff and every message is eventually delivered; the
-// plain stack loses its only subflow at the first expiry and stalls.
-func LongLived(cfg LongLivedConfig) *Result {
-	res := newResult("longlived")
+func init() {
+	scenario.Register("longlived",
+		"long-lived connections (§4.1): chat through a NAT with idle timeouts, smart full-mesh vs plain stack",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultLongLived()
+			cfg.Sched = p.Str("sched", cfg.Sched)
+			cfg.Policy = p.Str("policy", cfg.Policy)
+			if p.Bool("plain", false) {
+				cfg.Policy = "" // the nil policy: same stack, no controller
+			}
+			cfg.NATTimeout = p.Duration("nat_timeout", cfg.NATTimeout)
+			cfg.MsgInterval = p.Duration("interval", cfg.MsgInterval)
+			cfg.Messages = p.Int("messages", cfg.Messages)
+			cfg.MsgSize = p.Int("msg_size", cfg.MsgSize)
+			cfg.FlapAt = p.Duration("flap_at", cfg.FlapAt)
+			cfg.FlapFor = p.Duration("flap_for", cfg.FlapFor)
+			if p.Bool("smoke", false) {
+				cfg.Messages = 4
+				cfg.FlapAt = 15 * time.Minute
+			}
+			return longLivedSpec(cfg), nil
+		})
+}
+
+// longLivedSpec declares the §4.1 scenario: a chat-style connection
+// through a NAT that expires idle state, with an optional interface
+// outage. With the smart full-mesh controller, failed subflows are
+// re-established with error-specific backoff and every message is
+// eventually delivered; the plain stack loses its only subflow at the
+// first expiry and stalls.
+func longLivedSpec(cfg LongLivedConfig) *scenario.Spec {
 	mode := fmt.Sprintf("userspace %q controller", cfg.Policy)
 	if cfg.Policy == "" {
 		mode = "plain stack (nil policy)"
 	}
-	res.Report = header("§4.1 — smarter long-lived connections",
-		fmt.Sprintf("NAT idle timeout %v (%s on expiry); message every %v; %s",
-			cfg.NATTimeout, expiryName(cfg.Expiry), cfg.MsgInterval, mode))
 
 	p := netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond}
-	net := topo.NewNATPath(sim.New(cfg.Seed), p, p, cfg.NATTimeout, cfg.Expiry)
+	wl := &scenario.OnOff{Interval: cfg.MsgInterval, Count: cfg.Messages, Size: cfg.MsgSize}
 
-	st := smapp.New(net.Client, smapp.Config{MPTCP: mptcp.Config{Scheduler: cfg.Sched}})
-	sep := mptcp.NewEndpoint(net.Server, mptcp.Config{Scheduler: cfg.Sched}, nil)
-
-	// Receiver records the arrival time of each message boundary.
-	var arrivals []sim.Time
-	msgBytes := uint64(cfg.MsgSize)
-	sep.Listen(80, func(c *mptcp.Connection) {
-		c.SetCallbacks(mptcp.ConnCallbacks{
-			OnData: func(_ *mptcp.Connection, total uint64) {
-				for uint64(len(arrivals)+1)*msgBytes <= total {
-					arrivals = append(arrivals, net.Sim.Now())
-				}
-			},
-		})
-	})
-	net.Sim.RunFor(time.Millisecond)
-
-	var sendTimes []sim.Time
-	conn, err := st.Dial(net.ClientAddrs[0], net.ServerAddr, 80, cfg.Policy,
-		smapp.ControllerConfig{Addrs: net.ClientAddrs[:]}, mptcp.ConnCallbacks{})
-	if err != nil {
-		panic(err)
-	}
-	for i := 0; i < cfg.Messages; i++ {
-		at := sim.Time(cfg.MsgInterval) * sim.Time(i+1)
-		net.Sim.Schedule(at, "chat.msg", func() {
-			sendTimes = append(sendTimes, net.Sim.Now())
-			conn.Write(cfg.MsgSize)
-		})
-	}
+	var events []scenario.Event
 	if cfg.FlapAt > 0 {
-		net.Sim.Schedule(sim.Time(cfg.FlapAt), "if.down", func() {
-			net.Client.SetIfaceUp(net.ClientAddrs[0], false)
-		})
-		net.Sim.Schedule(sim.Time(cfg.FlapAt+cfg.FlapFor), "if.up", func() {
-			net.Client.SetIfaceUp(net.ClientAddrs[0], true)
-		})
+		events = scenario.FlapIface(cfg.FlapAt, cfg.FlapFor, 0)
 	}
-	horizon := sim.Time(cfg.MsgInterval)*sim.Time(cfg.Messages+1) + 5*sim.Minute
-	net.Sim.RunUntil(horizon)
+	horizon := cfg.MsgInterval*time.Duration(cfg.Messages+1) + 5*time.Minute
 
-	delivered := len(arrivals)
-	lat := res.sample("message delivery latency (s)")
-	for i, at := range arrivals {
-		if i < len(sendTimes) {
-			lat.Add(time.Duration(at - sendTimes[i]).Seconds())
-		}
+	run := &scenario.RunSpec{
+		Label:    "longlived",
+		Topology: scenario.NATPath{P0: p, P1: p, Idle: cfg.NATTimeout, Expiry: cfg.Expiry},
+		Workload: wl,
+		Sched:    cfg.Sched,
+		Policy:   cfg.Policy,
+		Settle:   time.Millisecond,
+		Events:   events,
+		Stop:     scenario.Stop{Horizon: horizon},
 	}
-	res.Scalars["messages_sent"] = float64(len(sendTimes))
-	res.Scalars["messages_delivered"] = float64(delivered)
-	ctl, _ := st.Controller(conn).(*controller.FullMesh)
-	if ctl != nil {
-		res.Scalars["reestablishments"] = float64(ctl.Stats.Reestablishments)
-		res.Scalars["dismissed"] = float64(ctl.Stats.SubflowsDismissed)
-	}
-	res.Scalars["nat_expiries"] = float64(net.NAT.Stats.Expired)
-	res.Scalars["live_subflows_at_end"] = float64(len(conn.Subflows()))
 
-	res.section("results")
-	res.printf("messages delivered: %d / %d\n", delivered, len(sendTimes))
-	if lat.N() > 0 {
-		res.printf("delivery latency: %s\n", lat.Summary("s"))
+	return &scenario.Spec{
+		Name:  "longlived",
+		Title: "§4.1 — smarter long-lived connections",
+		Desc: fmt.Sprintf("NAT idle timeout %v (%s on expiry); message every %v; %s",
+			cfg.NATTimeout, expiryName(cfg.Expiry), cfg.MsgInterval, mode),
+		Runs: []*scenario.RunSpec{run},
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			rt := runs[0]
+			delivered := len(wl.Arrivals)
+			lat := res.Sample("message delivery latency (s)")
+			for i, at := range wl.Arrivals {
+				if i < len(wl.SendTimes) {
+					lat.Add(time.Duration(at - wl.SendTimes[i]).Seconds())
+				}
+			}
+			res.Scalars["messages_sent"] = float64(len(wl.SendTimes))
+			res.Scalars["messages_delivered"] = float64(delivered)
+			ctl, _ := rt.Stack.Controller(rt.Conn).(*controller.FullMesh)
+			if ctl != nil {
+				res.Scalars["reestablishments"] = float64(ctl.Stats.Reestablishments)
+				res.Scalars["dismissed"] = float64(ctl.Stats.SubflowsDismissed)
+			}
+			res.Scalars["nat_expiries"] = float64(rt.Net.NAT.Stats.Expired)
+			res.Scalars["live_subflows_at_end"] = float64(len(rt.Conn.Subflows()))
+
+			res.Section("results")
+			res.Printf("messages delivered: %d / %d\n", delivered, len(wl.SendTimes))
+			if lat.N() > 0 {
+				res.Printf("delivery latency: %s\n", lat.Summary("s"))
+			}
+			res.Printf("NAT state expiries hit: %d; RSTs injected: %d\n",
+				rt.Net.NAT.Stats.Expired, rt.Net.NAT.Stats.RSTInjected)
+			if ctl != nil {
+				res.Printf("controller re-establishments: %d (by errno: %v); dismissed on if-down: %d\n",
+					ctl.Stats.Reestablishments, ctl.Stats.RetriesByErrno, ctl.Stats.SubflowsDismissed)
+			}
+			res.Printf("live subflows at end: %d\n", len(rt.Conn.Subflows()))
+		},
 	}
-	res.printf("NAT state expiries hit: %d; RSTs injected: %d\n",
-		net.NAT.Stats.Expired, net.NAT.Stats.RSTInjected)
-	if ctl != nil {
-		res.printf("controller re-establishments: %d (by errno: %v); dismissed on if-down: %d\n",
-			ctl.Stats.Reestablishments, ctl.Stats.RetriesByErrno, ctl.Stats.SubflowsDismissed)
-	}
-	res.printf("live subflows at end: %d\n", len(conn.Subflows()))
-	return res
+}
+
+// LongLived runs the §4.1 scenario (see longLivedSpec).
+func LongLived(cfg LongLivedConfig) *Result {
+	return scenario.Execute(longLivedSpec(cfg), cfg.Seed)
 }
 
 func expiryName(p netem.ExpiryPolicy) string {

@@ -2,15 +2,14 @@ package experiments
 
 import (
 	"fmt"
-	"net/netip"
 	"time"
 
-	"repro/internal/app"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
-	"repro/internal/pm"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/smapp"
+	"repro/internal/stats"
 )
 
 // ScaleConfig parameterises the stress workload: N concurrent Multipath
@@ -31,7 +30,7 @@ type ScaleConfig struct {
 
 // KernelController names the in-kernel full-mesh baseline cell of the
 // controller sweep (no userspace control plane at all).
-const KernelController = "kernel"
+const KernelController = scenario.KernelPolicy
 
 // DefaultScale returns a bench-sized stress scenario: 16 clients × 2
 // subflows pushing 1 MB each through a 200 Mbps bottleneck.
@@ -48,6 +47,36 @@ func DefaultScale() ScaleConfig {
 	}
 }
 
+func init() {
+	scenario.Register("scale",
+		"scale stress: N conns × M subflows through a shared bottleneck, swept over schedulers × controllers",
+		func(p *scenario.Params) (*scenario.Spec, error) {
+			cfg := DefaultScale()
+			cfg.Conns = p.Int("conns", cfg.Conns)
+			cfg.Subflows = p.Int("subflows", cfg.Subflows)
+			cfg.BytesPerConn = p.Int("kb", cfg.BytesPerConn>>10) << 10
+			if s := p.Str("sched", ""); s != "" {
+				cfg.Schedulers = []string{s} // sweep a single scheduler
+			}
+			cfg.Schedulers = p.Strings("schedulers", cfg.Schedulers)
+			if c := p.Str("policy", ""); c != "" {
+				cfg.Controllers = []string{c}
+			}
+			cfg.Controllers = p.Strings("controllers", cfg.Controllers)
+			if p.Bool("smoke", false) {
+				cfg.Conns = 4
+				cfg.BytesPerConn = 128 << 10
+				cfg.Schedulers = []string{"lowest-rtt"}
+			}
+			wall := p.Bool("wall", true)
+			sp, err := scaleSpec(cfg, wall)
+			if err != nil {
+				return nil, err
+			}
+			return sp, nil
+		})
+}
+
 // scaleCell is the outcome of one (scheduler, controller) sweep cell.
 type scaleCell struct {
 	sched, ctl string
@@ -61,11 +90,14 @@ type scaleCell struct {
 	wall       time.Duration
 }
 
-// Scale runs the stress matrix. Simulated results (completions, goodput,
-// drops) are deterministic per seed; the wall-clock throughput scalars
-// (segs_per_wall_s, events_per_wall_s) measure the host executing the
-// simulation and feed the performance trajectory in the bench artifact.
-func Scale(cfg ScaleConfig) *Result {
+// scaleSpec declares the stress matrix: one fan-out run per (scheduler,
+// controller) cell on a fresh star topology. Simulated results
+// (completions, goodput, drops) are deterministic per seed; the
+// wall-clock throughput scalars (segs_per_wall_s, events_per_wall_s)
+// measure the host executing the simulation and feed the performance
+// trajectory in the bench artifact. wall=false suppresses the wall-clock
+// report section (it would break report determinism checks).
+func scaleSpec(cfg ScaleConfig, wall bool) (*scenario.Spec, error) {
 	scheds := cfg.Schedulers
 	if len(scheds) == 0 {
 		scheds = []string{"lowest-rtt", "round-robin"}
@@ -76,7 +108,7 @@ func Scale(cfg ScaleConfig) *Result {
 	}
 	for _, name := range scheds {
 		if _, err := mptcp.LookupScheduler(name); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	for _, name := range ctls {
@@ -84,150 +116,95 @@ func Scale(cfg ScaleConfig) *Result {
 			continue
 		}
 		if _, err := smapp.LookupController(name); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 
-	res := newResult("scale")
-	res.Report = header("Scale stress — pooled data path under concurrent load",
-		fmt.Sprintf("%d conns x %d subflows, %d KB each; access %.0f Mbps, bottleneck %.0f Mbps, %v delay",
-			cfg.Conns, cfg.Subflows, cfg.BytesPerConn>>10, cfg.AccessBps/1e6, cfg.Bottleneck/1e6, cfg.Delay))
-
-	var cells []scaleCell
-	var totalPkts, totalEvents uint64
-	var totalWall time.Duration
+	star := scenario.Star{
+		Clients: cfg.Conns,
+		Ifaces:  cfg.Subflows,
+		Access:  netem.LinkConfig{RateBps: cfg.AccessBps, Delay: cfg.Delay},
+		Bottleneck: netem.LinkConfig{
+			RateBps: cfg.Bottleneck, Delay: 500 * time.Microsecond,
+		},
+	}
+	var runs []*scenario.RunSpec
 	for _, sched := range scheds {
 		for _, ctl := range ctls {
-			cell := scaleRun(cfg, sched, ctl)
-			cells = append(cells, cell)
-			totalPkts += cell.pkts
-			totalEvents += cell.events
-			totalWall += cell.wall
-			key := sched + "/" + ctl
-			res.Scalars[key+"_completed"] = float64(cell.completed)
-			res.Scalars[key+"_median_s"] = cell.medianS
-			res.Scalars[key+"_p90_s"] = cell.p90S
-			res.Scalars[key+"_goodput_mbps"] = cell.goodputMbs
-			res.Scalars[key+"_bottleneck_drops"] = float64(cell.drops)
-			s := res.sample(key + " completion (s)")
-			s.Add(cell.medianS)
+			runs = append(runs, &scenario.RunSpec{
+				Label:     sched + "/" + ctl,
+				Topology:  star,
+				Workload:  &scenario.FanOut{Bytes: cfg.BytesPerConn},
+				Sched:     sched,
+				Policy:    ctl,
+				PolicyCfg: smapp.ControllerConfig{Subflows: cfg.Subflows},
+				Stop:      scenario.Stop{Horizon: cfg.Horizon},
+			})
 		}
 	}
 
-	res.section("sweep matrix")
-	res.printf("%-14s %-10s %5s %9s %9s %9s %9s %7s\n",
-		"scheduler", "controller", "done", "median", "p90", "goodput", "pkts", "drops")
-	for _, c := range cells {
-		res.printf("%-14s %-10s %3d/%-2d %8.2fs %8.2fs %6.1fMb/s %9d %7d\n",
-			c.sched, c.ctl, c.completed, cfg.Conns, c.medianS, c.p90S, c.goodputMbs, c.pkts, c.drops)
-	}
+	return &scenario.Spec{
+		Name:  "scale",
+		Title: "Scale stress — pooled data path under concurrent load",
+		Desc: fmt.Sprintf("%d conns x %d subflows, %d KB each; access %.0f Mbps, bottleneck %.0f Mbps, %v delay",
+			cfg.Conns, cfg.Subflows, cfg.BytesPerConn>>10, cfg.AccessBps/1e6, cfg.Bottleneck/1e6, cfg.Delay),
+		Runs: runs,
+		Render: func(res *stats.Result, runs []*scenario.Run) {
+			var cells []scaleCell
+			var totalPkts, totalEvents uint64
+			var totalWall time.Duration
+			for _, rt := range runs {
+				cell := scaleCellOf(cfg, rt)
+				cells = append(cells, cell)
+				totalPkts += cell.pkts
+				totalEvents += cell.events
+				totalWall += cell.wall
+				key := cell.sched + "/" + cell.ctl
+				res.Scalars[key+"_completed"] = float64(cell.completed)
+				res.Scalars[key+"_median_s"] = cell.medianS
+				res.Scalars[key+"_p90_s"] = cell.p90S
+				res.Scalars[key+"_goodput_mbps"] = cell.goodputMbs
+				res.Scalars[key+"_bottleneck_drops"] = float64(cell.drops)
+				s := res.Sample(key + " completion (s)")
+				s.Add(cell.medianS)
+			}
 
-	res.section("host throughput (wall clock)")
-	wallS := totalWall.Seconds()
-	if wallS > 0 {
-		res.Scalars["segs_per_wall_s"] = float64(totalPkts) / wallS
-		res.Scalars["events_per_wall_s"] = float64(totalEvents) / wallS
-		res.printf("delivered %d packets / processed %d events in %v: %.0f segs/s, %.0f events/s\n",
-			totalPkts, totalEvents, totalWall.Round(time.Millisecond),
-			float64(totalPkts)/wallS, float64(totalEvents)/wallS)
-	}
-	return res
+			res.Section("sweep matrix")
+			res.Printf("%-14s %-10s %5s %9s %9s %9s %9s %7s\n",
+				"scheduler", "controller", "done", "median", "p90", "goodput", "pkts", "drops")
+			for _, c := range cells {
+				res.Printf("%-14s %-10s %3d/%-2d %8.2fs %8.2fs %6.1fMb/s %9d %7d\n",
+					c.sched, c.ctl, c.completed, cfg.Conns, c.medianS, c.p90S, c.goodputMbs, c.pkts, c.drops)
+			}
+
+			wallS := totalWall.Seconds()
+			if wallS > 0 {
+				res.Scalars["segs_per_wall_s"] = float64(totalPkts) / wallS
+				res.Scalars["events_per_wall_s"] = float64(totalEvents) / wallS
+			}
+			if wall && wallS > 0 {
+				res.Section("host throughput (wall clock)")
+				res.Printf("delivered %d packets / processed %d events in %v: %.0f segs/s, %.0f events/s\n",
+					totalPkts, totalEvents, totalWall.Round(time.Millisecond),
+					float64(totalPkts)/wallS, float64(totalEvents)/wallS)
+			}
+		},
+	}, nil
 }
 
-// scaleRun executes one sweep cell on a fresh simulation.
-func scaleRun(cfg ScaleConfig, sched, ctl string) scaleCell {
-	start := time.Now()
-	s := sim.New(cfg.Seed)
-
-	server := netem.NewHost(s, "server")
-	agg := netem.NewRouter(s, "agg", uint64(cfg.Seed))
-	serverAddr := netip.AddrFrom4([4]byte{10, 255, 0, 1})
-	trunk := netem.NewDuplex(s, "bottleneck", agg, server, netem.LinkConfig{
-		RateBps: cfg.Bottleneck, Delay: 500 * time.Microsecond,
-	})
-	server.AddIface("eth0", serverAddr, trunk.BA)
-	agg.AddRoute(serverAddr, trunk.AB)
-
-	// One multihomed client host per connection, every interface on its
-	// own access link into the shared aggregation router.
-	type client struct {
-		host  *netem.Host
-		addrs []netip.Addr
-		src   *app.Source
-	}
-	clients := make([]client, cfg.Conns)
-	access := netem.LinkConfig{RateBps: cfg.AccessBps, Delay: cfg.Delay}
-	clientIdx := make(map[netip.Addr]int, cfg.Conns)
-	for i := range clients {
-		h := netem.NewHost(s, fmt.Sprintf("c%d", i))
-		cl := client{host: h}
-		for j := 0; j < cfg.Subflows; j++ {
-			addr := netip.AddrFrom4([4]byte{10, byte(1 + i/200), byte(1 + i%200), byte(1 + j)})
-			d := netem.NewDuplex(s, fmt.Sprintf("acc%d.%d", i, j), h, agg, access)
-			h.AddIface(fmt.Sprintf("if%d", j), addr, d.AB)
-			agg.AddRoute(addr, d.BA)
-			cl.addrs = append(cl.addrs, addr)
-		}
-		clientIdx[cl.addrs[0]] = i
-		cl.src = app.NewSource(s, cfg.BytesPerConn, true)
-		clients[i] = cl
-	}
-
-	// Server stack: plain endpoint; one sink per accepted connection,
-	// matched back to its client by the initial subflow's address.
-	sep := mptcp.NewEndpoint(server, mptcp.Config{Scheduler: sched}, nil)
-	completedAt := make([]sim.Time, cfg.Conns)
-	for i := range completedAt {
-		completedAt[i] = -1
-	}
-	sep.Listen(80, func(c *mptcp.Connection) {
-		idx, ok := clientIdx[c.InitialTuple().DstIP]
-		if !ok {
-			return
-		}
-		sink := app.NewSink(s, uint64(cfg.BytesPerConn), nil)
-		sink.OnComplete = func() { completedAt[idx] = s.Now() }
-		c.SetCallbacks(sink.Callbacks())
-	})
-
-	// Client stacks dial with a tiny stagger (10 µs apart) so the SYN
-	// burst is concurrent but not pathologically phase-locked.
-	dialAt := make([]sim.Time, cfg.Conns)
-	for i := range clients {
-		cl := clients[i]
-		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
-		dialAt[i] = at
-		switch ctl {
-		case KernelController:
-			ep := mptcp.NewEndpoint(cl.host, mptcp.Config{Scheduler: sched}, pm.NewFullMesh())
-			s.Schedule(at, "scale.dial", func() {
-				if _, err := ep.Connect(cl.addrs[0], serverAddr, 80, cl.src.Callbacks()); err != nil {
-					panic(err)
-				}
-			})
-		default:
-			st := smapp.New(cl.host, smapp.Config{MPTCP: mptcp.Config{Scheduler: sched}})
-			pcfg := smapp.ControllerConfig{Addrs: cl.addrs, Subflows: cfg.Subflows}
-			s.Schedule(at, "scale.dial", func() {
-				if _, err := st.Dial(cl.addrs[0], serverAddr, 80, ctl, pcfg, cl.src.Callbacks()); err != nil {
-					panic(err)
-				}
-			})
-		}
-	}
-
-	s.RunUntil(sim.Time(cfg.Horizon))
-
-	cell := scaleCell{sched: sched, ctl: ctl}
+// scaleCellOf reduces one fan-out run to its sweep-matrix row.
+func scaleCellOf(cfg ScaleConfig, rt *scenario.Run) scaleCell {
+	wl := rt.Spec.Workload.(*scenario.FanOut)
+	cell := scaleCell{sched: rt.Spec.Sched, ctl: rt.Spec.Policy}
 	delays := &sample{}
 	var lastDone sim.Time
 	var delivered uint64
-	for i, at := range completedAt {
+	for i, at := range wl.CompletedAt {
 		if at < 0 {
 			continue
 		}
 		cell.completed++
-		delays.Add(time.Duration(at - dialAt[i]).Seconds())
+		delays.Add(time.Duration(at - wl.DialAt[i]).Seconds())
 		if at > lastDone {
 			lastDone = at
 		}
@@ -240,12 +217,22 @@ func scaleRun(cfg ScaleConfig, sched, ctl string) scaleCell {
 	if lastDone > 0 {
 		cell.goodputMbs = float64(delivered*8) / lastDone.Seconds() / 1e6
 	}
-	cell.pkts = server.Stats.Delivered
-	for _, cl := range clients {
-		cell.pkts += cl.host.Stats.Delivered
+	cell.pkts = rt.Net.Server.Stats.Delivered
+	for _, cl := range rt.Net.Clients {
+		cell.pkts += cl.Host.Stats.Delivered
 	}
+	trunk := rt.Net.Link("bottleneck")
 	cell.drops = trunk.AB.Stats.DropQueue + trunk.BA.Stats.DropQueue
-	cell.events = s.Processed
-	cell.wall = time.Since(start)
+	cell.events = rt.Sim.Processed
+	cell.wall = rt.Wall
 	return cell
+}
+
+// Scale runs the stress matrix (see scaleSpec).
+func Scale(cfg ScaleConfig) *Result {
+	sp, err := scaleSpec(cfg, true)
+	if err != nil {
+		panic(err)
+	}
+	return scenario.Execute(sp, cfg.Seed)
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestEveryScenarioDeterministic runs every registered scenario twice at
+// the same seed (smoke-sized) and demands byte-identical reports and
+// scalar-identical results — the contract that makes golden tests, the
+// multi-seed runner, and CI comparisons meaningful. Wall-clock scalars
+// measure the host, not the model, and are excluded; scale's wall-clock
+// report section is disabled via its wall=false parameter.
+func TestEveryScenarioDeterministic(t *testing.T) {
+	names := scenario.Names()
+	if len(names) < 8 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			params := func() *scenario.Params {
+				p := scenario.NewParams(map[string]string{"smoke": "true"})
+				if name == "scale" {
+					p.Set("wall", "false")
+				}
+				return p
+			}
+			once := func() *Result {
+				sp, err := scenario.Build(name, params())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return scenario.Execute(sp, 5)
+			}
+			a, b := once(), once()
+			if a.Report != b.Report {
+				t.Fatalf("same-seed reports diverged\n--- first ---\n%s\n--- second ---\n%s", a.Report, b.Report)
+			}
+			if len(a.Scalars) == 0 {
+				t.Fatal("scenario produced no scalars")
+			}
+			for k, v := range a.Scalars {
+				if strings.HasSuffix(k, "_wall_s") {
+					continue // host wall-clock, not simulated
+				}
+				if b.Scalars[k] != v {
+					t.Fatalf("scalar %s diverged between same-seed runs: %v vs %v", k, v, b.Scalars[k])
+				}
+			}
+		})
+	}
+}

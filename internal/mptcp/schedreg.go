@@ -16,13 +16,20 @@ type SchedulerFactory func(rng *rand.Rand) Scheduler
 var schedRegistry = struct {
 	sync.RWMutex
 	factories map[string]SchedulerFactory
-}{factories: make(map[string]SchedulerFactory)}
+	descs     map[string]string
+}{factories: make(map[string]SchedulerFactory), descs: make(map[string]string)}
 
 // RegisterScheduler makes a scheduler available by name to endpoint
 // configuration, cmd/mpexp -sched, and the schedsweep experiment. It
 // panics on an empty name or a duplicate registration — both are
 // programming errors, caught at init time.
 func RegisterScheduler(name string, f SchedulerFactory) {
+	RegisterSchedulerDesc(name, "", f)
+}
+
+// RegisterSchedulerDesc registers a scheduler with a one-line description
+// for listings (`mpexp list`).
+func RegisterSchedulerDesc(name, desc string, f SchedulerFactory) {
 	if name == "" || f == nil {
 		panic("mptcp: RegisterScheduler with empty name or nil factory")
 	}
@@ -32,6 +39,25 @@ func RegisterScheduler(name string, f SchedulerFactory) {
 		panic(fmt.Sprintf("mptcp: scheduler %q registered twice", name))
 	}
 	schedRegistry.factories[name] = f
+	schedRegistry.descs[name] = desc
+}
+
+// SchedulerInfo describes a registered scheduler for listings.
+type SchedulerInfo struct {
+	Name string
+	Desc string
+}
+
+// Schedulers lists every registered scheduler with its description,
+// sorted by name.
+func Schedulers() []SchedulerInfo {
+	schedRegistry.RLock()
+	defer schedRegistry.RUnlock()
+	out := make([]SchedulerInfo, 0, len(schedRegistry.factories))
+	for _, n := range schedulerNamesLocked() {
+		out = append(out, SchedulerInfo{Name: n, Desc: schedRegistry.descs[n]})
+	}
+	return out
 }
 
 // LookupScheduler returns the factory registered under name. The empty
@@ -67,8 +93,16 @@ func schedulerNamesLocked() []string {
 }
 
 func init() {
-	RegisterScheduler("lowest-rtt", func(*rand.Rand) Scheduler { return LowestRTT{} })
-	RegisterScheduler("round-robin", func(*rand.Rand) Scheduler { return &RoundRobin{} })
-	RegisterScheduler("redundant", func(*rand.Rand) Scheduler { return &Redundant{} })
-	RegisterScheduler("weighted-rtt", func(rng *rand.Rand) Scheduler { return &WeightedRTT{rng: rng} })
+	RegisterSchedulerDesc("lowest-rtt",
+		"kernel default: pick the established subflow with the lowest smoothed RTT",
+		func(*rand.Rand) Scheduler { return LowestRTT{} })
+	RegisterSchedulerDesc("round-robin",
+		"classic alternative: rotate through the usable subflows",
+		func(*rand.Rand) Scheduler { return &RoundRobin{} })
+	RegisterSchedulerDesc("redundant",
+		"latency-optimal bound: duplicate every segment on every usable subflow",
+		func(*rand.Rand) Scheduler { return &Redundant{} })
+	RegisterSchedulerDesc("weighted-rtt",
+		"probabilistic middle ground: weight subflow choice by inverse RTT",
+		func(rng *rand.Rand) Scheduler { return &WeightedRTT{rng: rng} })
 }

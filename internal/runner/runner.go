@@ -15,13 +15,13 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 // Job runs one experiment for one seed and returns its result. It must be
 // self-contained: build the simulator from the seed, touch no shared
 // mutable state. Jobs run concurrently on the pool's workers.
-type Job func(seed int64) *experiments.Result
+type Job func(seed int64) *stats.Result
 
 // Config sizes a multi-seed run.
 type Config struct {
@@ -55,8 +55,8 @@ func (c Config) withDefaults() Config {
 // SeedResult is the outcome of one seed.
 type SeedResult struct {
 	Seed   int64
-	Result *experiments.Result // nil when Err != nil
-	Err    error               // non-nil when the job panicked
+	Result *stats.Result // nil when Err != nil
+	Err    error         // non-nil when the job panicked
 }
 
 // Multi collects every seed of one experiment run.

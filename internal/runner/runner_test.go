@@ -1,4 +1,4 @@
-package runner
+package runner_test
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -32,7 +33,7 @@ func syntheticJob(seed int64) *experiments.Result {
 }
 
 // scalarsBySeed flattens a run into seed → scalars for comparison.
-func scalarsBySeed(m *Multi) map[int64]map[string]float64 {
+func scalarsBySeed(m *runner.Multi) map[int64]map[string]float64 {
 	out := make(map[int64]map[string]float64)
 	for _, sr := range m.PerSeed {
 		if sr.Err != nil {
@@ -48,7 +49,7 @@ func scalarsBySeed(m *Multi) map[int64]map[string]float64 {
 // per-seed scalars — the pool changes wall-clock interleaving only, never
 // the virtual timeline.
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	for name, job := range map[string]Job{
+	for name, job := range map[string]runner.Job{
 		"synthetic": syntheticJob,
 		"fig2b": func(seed int64) *experiments.Result {
 			cfg := experiments.DefaultFig2b()
@@ -59,8 +60,8 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 		},
 	} {
 		t.Run(name, func(t *testing.T) {
-			serial := Run(name, Config{Seeds: 6, BaseSeed: 10, Parallel: 1}, job)
-			parallel := Run(name, Config{Seeds: 6, BaseSeed: 10, Parallel: 8}, job)
+			serial := runner.Run(name, runner.Config{Seeds: 6, BaseSeed: 10, Parallel: 1}, job)
+			parallel := runner.Run(name, runner.Config{Seeds: 6, BaseSeed: 10, Parallel: 8}, job)
 			if !reflect.DeepEqual(scalarsBySeed(serial), scalarsBySeed(parallel)) {
 				t.Fatalf("per-seed scalars differ between parallel 1 and 8:\n%v\nvs\n%v",
 					scalarsBySeed(serial), scalarsBySeed(parallel))
@@ -82,7 +83,7 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 // TestSeedOrdering checks results land ordered by seed regardless of the
 // completion order the pool produces.
 func TestSeedOrdering(t *testing.T) {
-	m := Run("order", Config{Seeds: 32, BaseSeed: 100, Parallel: 8}, syntheticJob)
+	m := runner.Run("order", runner.Config{Seeds: 32, BaseSeed: 100, Parallel: 8}, syntheticJob)
 	if len(m.PerSeed) != 32 {
 		t.Fatalf("got %d results", len(m.PerSeed))
 	}
@@ -99,7 +100,7 @@ func TestSeedOrdering(t *testing.T) {
 // TestPanicIsolation: one exploding seed becomes an error; the rest of
 // the sweep completes.
 func TestPanicIsolation(t *testing.T) {
-	m := Run("boom", Config{Seeds: 8, BaseSeed: 1, Parallel: 4}, func(seed int64) *experiments.Result {
+	m := runner.Run("boom", runner.Config{Seeds: 8, BaseSeed: 1, Parallel: 4}, func(seed int64) *experiments.Result {
 		if seed == 5 {
 			panic(fmt.Sprintf("seed %d exploded", seed))
 		}
@@ -126,7 +127,7 @@ func TestPanicIsolation(t *testing.T) {
 
 // TestAggregation checks the scalar summary and sample pooling math.
 func TestAggregation(t *testing.T) {
-	m := Run("agg", Config{Seeds: 4, BaseSeed: 1, Parallel: 2}, func(seed int64) *experiments.Result {
+	m := runner.Run("agg", runner.Config{Seeds: 4, BaseSeed: 1, Parallel: 2}, func(seed int64) *experiments.Result {
 		res := &experiments.Result{
 			Name:    "agg",
 			Samples: map[string]*stats.Sample{"d": {}},
@@ -155,11 +156,11 @@ func TestAggregation(t *testing.T) {
 // honoured — a multi-seed run must include the exact seed a single run
 // used, never a silently rebased one.
 func TestDefaults(t *testing.T) {
-	m := Run("def", Config{}, syntheticJob)
+	m := runner.Run("def", runner.Config{}, syntheticJob)
 	if len(m.PerSeed) != 1 || m.PerSeed[0].Seed != 0 {
 		t.Fatalf("defaults ran %+v", m.PerSeed)
 	}
-	m = Run("zero-base", Config{Seeds: 3, BaseSeed: 0}, syntheticJob)
+	m = runner.Run("zero-base", runner.Config{Seeds: 3, BaseSeed: 0}, syntheticJob)
 	for i, sr := range m.PerSeed {
 		if sr.Seed != int64(i) {
 			t.Fatalf("slot %d ran seed %d, want %d", i, sr.Seed, i)

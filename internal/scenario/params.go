@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Params carries the string key=value knobs a scenario factory reads —
+// the wire format of `mpexp run <scenario> -set key=val` and of sweep
+// axes. Typed getters record which keys were consumed and which values
+// failed to parse, so Build can reject typos ("unknown parameter") and
+// bad values with one error instead of silently ignoring them.
+//
+// Two keys are conventions shared by every scenario: "smoke" (reduced
+// durations/sizes for CI smoke runs) and "sched"/"policy" (the packet
+// scheduler and subflow controller, set by the CLI's -sched/-controller).
+type Params struct {
+	vals map[string]string
+	used map[string]bool
+	err  error
+}
+
+// NewParams wraps a key=value map (nil = empty).
+func NewParams(vals map[string]string) *Params {
+	p := &Params{vals: make(map[string]string, len(vals)), used: make(map[string]bool)}
+	for k, v := range vals {
+		p.vals[k] = v
+	}
+	return p
+}
+
+// ParseSets builds Params from "key=value" strings. A bare "key" (no
+// '=') stores the empty value, which Bool treats as true — so boolean
+// knobs can be set flag-style (`-set baseline`); a mistyped bare key is
+// still caught by the unused-key check in Build.
+func ParseSets(kvs []string) (*Params, error) {
+	p := NewParams(nil)
+	for _, kv := range kvs {
+		k, v, _ := strings.Cut(kv, "=")
+		if k == "" {
+			return nil, fmt.Errorf("scenario: malformed parameter %q (want key=value)", kv)
+		}
+		p.vals[k] = v
+	}
+	return p, nil
+}
+
+// Set stores one value.
+func (p *Params) Set(key, val string) { p.vals[key] = val }
+
+// Clone copies the values into a fresh Params with clean bookkeeping, so
+// concurrent per-seed factory calls never share state.
+func (p *Params) Clone() *Params {
+	if p == nil {
+		return NewParams(nil)
+	}
+	return NewParams(p.vals)
+}
+
+func (p *Params) lookup(key string) (string, bool) {
+	p.used[key] = true
+	v, ok := p.vals[key]
+	return v, ok
+}
+
+func (p *Params) fail(key, val string, err error) {
+	if p.err == nil {
+		p.err = fmt.Errorf("parameter %s=%q: %v", key, val, err)
+	}
+}
+
+// Str returns a string parameter.
+func (p *Params) Str(key, def string) string {
+	if v, ok := p.lookup(key); ok {
+		return v
+	}
+	return def
+}
+
+// Bool returns a boolean parameter ("true"/"false"/"1"/"0"; a bare
+// `-set smoke` style empty value counts as true).
+func (p *Params) Bool(key string, def bool) bool {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	if v == "" {
+		return true
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		p.fail(key, v, err)
+		return def
+	}
+	return b
+}
+
+// Int returns an integer parameter.
+func (p *Params) Int(key string, def int) int {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		p.fail(key, v, err)
+		return def
+	}
+	return n
+}
+
+// Float returns a float parameter.
+func (p *Params) Float(key string, def float64) float64 {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		p.fail(key, v, err)
+		return def
+	}
+	return f
+}
+
+// Duration returns a duration parameter in Go syntax ("1s", "200ms").
+func (p *Params) Duration(key string, def time.Duration) time.Duration {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		p.fail(key, v, err)
+		return def
+	}
+	return d
+}
+
+// Floats returns a comma-separated float-list parameter.
+func (p *Params) Floats(key string, def []float64) []float64 {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	if v == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(v, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			p.fail(key, v, err)
+			return def
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Strings returns a comma-separated string-list parameter.
+func (p *Params) Strings(key string, def []string) []string {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Err reports the first value that failed to parse.
+func (p *Params) Err() error { return p.err }
+
+// Unused lists keys that were set but never read by the factory — almost
+// always a typo the caller wants rejected.
+func (p *Params) Unused() []string {
+	var out []string
+	for k := range p.vals {
+		if !p.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

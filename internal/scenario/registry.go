@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mptcp"
+	"repro/internal/smapp"
+	"repro/internal/stats"
+)
+
+// Factory builds a scenario spec from parameters. It is called once per
+// seed (spec runs hold per-run workload state), so it must be cheap and
+// must not retain p.
+type Factory func(p *Params) (*Spec, error)
+
+// Info describes a registered scenario for listings.
+type Info struct {
+	Name string
+	Desc string
+}
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	descs     map[string]string
+}{factories: make(map[string]Factory), descs: make(map[string]string)}
+
+// Register makes a scenario available by name to `mpexp run`/`sweep`/
+// `list` and to Build. It panics on an empty name or a duplicate
+// registration — both are programming errors, caught at init time.
+func Register(name, desc string, f Factory) {
+	if name == "" || f == nil {
+		panic("scenario: Register with empty name or nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("scenario: %q registered twice", name))
+	}
+	registry.factories[name] = f
+	registry.descs[name] = desc
+}
+
+// Lookup resolves a scenario name. Unknown names list what is registered.
+func Lookup(name string) (Factory, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	f, ok := registry.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %s)",
+			name, strings.Join(namesLocked(), ", "))
+	}
+	return f, nil
+}
+
+// Names lists every registered scenario, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry.factories))
+	for n := range registry.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenarios lists every registered scenario with its description, sorted
+// by name.
+func Scenarios() []Info {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Info, 0, len(registry.factories))
+	for _, n := range namesLocked() {
+		out = append(out, Info{Name: n, Desc: registry.descs[n]})
+	}
+	return out
+}
+
+// Build resolves a name and instantiates its spec, rejecting parameters
+// that failed to parse or were never consumed by the factory, and
+// validating every run's scheduler and policy against their registries —
+// so typos die here, before a single simulation (or a whole sweep cell's
+// seed fan-out) runs.
+func Build(name string, p *Params) (*Spec, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		p = NewParams(nil)
+	}
+	sp, err := f(p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if err := p.Err(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if unused := p.Unused(); len(unused) > 0 {
+		return nil, fmt.Errorf("scenario %s: unknown parameter(s): %s", name, strings.Join(unused, ", "))
+	}
+	for _, rs := range sp.Runs {
+		if _, err := mptcp.LookupScheduler(rs.Sched); err != nil {
+			return nil, fmt.Errorf("scenario %s: run %s: %w", name, rs.Label, err)
+		}
+		if rs.Policy == KernelPolicy {
+			if _, owns := rs.Workload.(StackOwner); !owns {
+				return nil, fmt.Errorf("scenario %s: run %s: policy %q is a fan-out sweep cell, not a registered controller",
+					name, rs.Label, KernelPolicy)
+			}
+			continue
+		}
+		if rs.Policy != "" {
+			if _, err := smapp.LookupController(rs.Policy); err != nil {
+				return nil, fmt.Errorf("scenario %s: run %s: %w", name, rs.Label, err)
+			}
+		}
+	}
+	return sp, nil
+}
+
+// Job returns a per-seed job for the multi-seed runner: each seed builds
+// a fresh spec from a clone of p (specs hold per-run workload state) and
+// executes it. The caller should Build once up front to surface parameter
+// errors before fanning out; inside the job they panic, which the runner
+// reports as that seed's failure.
+func Job(name string, p *Params) func(seed int64) *stats.Result {
+	return func(seed int64) *stats.Result {
+		sp, err := Build(name, p.Clone())
+		if err != nil {
+			panic(err)
+		}
+		return Execute(sp, seed)
+	}
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// testSpecFactory registers a tiny parameterised scenario under a
+// test-only name.
+func testSpecFactory(p *Params) (*Spec, error) {
+	bytes := p.Int("bytes", 64<<10)
+	sched := p.Str("sched", "")
+	wl := &Bulk{Bytes: bytes}
+	return &Spec{
+		Name: "test-registry-bulk",
+		Runs: []*RunSpec{{
+			Label:    "bulk",
+			Topology: Direct{Link: netem.LinkConfig{RateBps: 50e6, Delay: 2 * time.Millisecond}},
+			Workload: wl,
+			Sched:    sched,
+			Settle:   time.Millisecond,
+			Probes:   []Probe{Scalar("bytes", func(*Run) float64 { return float64(bytes) })},
+			Stop:     Stop{Horizon: 10 * time.Second, Poll: 10 * time.Millisecond, Until: wl.Done},
+		}},
+	}, nil
+}
+
+func init() {
+	Register("test-registry-bulk", "test-only bulk scenario", testSpecFactory)
+}
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	if _, err := Lookup("test-registry-bulk"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nosuch"); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown lookup error = %v", err)
+	}
+	found := false
+	for _, in := range Scenarios() {
+		if in.Name == "test-registry-bulk" && in.Desc != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Scenarios() missing the registered entry or its description")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { Register("test-registry-bulk", "", testSpecFactory) })
+	mustPanic("empty name", func() { Register("", "", testSpecFactory) })
+	mustPanic("nil factory", func() { Register("x", "", nil) })
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build("test-registry-bulk", NewParams(map[string]string{"bogus": "1"})); err == nil ||
+		!strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("unknown param error = %v", err)
+	}
+	if _, err := Build("test-registry-bulk", NewParams(map[string]string{"bytes": "NaNa"})); err == nil {
+		t.Fatal("expected parse error for bytes=NaNa")
+	}
+	if _, err := Build("test-registry-bulk", NewParams(map[string]string{"bytes": "1024"})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobBuildsFreshSpecPerSeed(t *testing.T) {
+	job := Job("test-registry-bulk", NewParams(map[string]string{"bytes": "32768"}))
+	a := job(1)
+	b := job(2)
+	if a.Scalars["bytes"] != 32768 || b.Scalars["bytes"] != 32768 {
+		t.Fatalf("params not applied: %v / %v", a.Scalars["bytes"], b.Scalars["bytes"])
+	}
+	if a.Report != job(1).Report {
+		t.Fatal("same seed through Job diverged")
+	}
+}

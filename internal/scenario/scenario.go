@@ -1,0 +1,256 @@
+// Package scenario is the declarative experiment layer above smapp, topo,
+// and app: a scenario is data — a topology, a workload, a policy, probes,
+// and a stop condition — not 150 lines of bespoke wiring. The engine
+// (Execute) turns a Spec into a stats.Result through a fixed sequence
+// that mirrors how every paper experiment was hand-written, so specs stay
+// byte-compatible with the reports the golden tests pin:
+//
+//	build topology → client stack → server endpoint → workload.Server →
+//	settle → workload.Client → arm probes → schedule events → run to the
+//	stop condition → collect probes → render
+//
+// Specs are registered by name (Register) and parameterised by string
+// key=value Params, which is what makes `mpexp run <scenario>` and the
+// Sweep combinator possible: every scenario is runnable, listable, and
+// sweepable without scenario-specific CLI code.
+package scenario
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/sim"
+	"repro/internal/smapp"
+	"repro/internal/stats"
+)
+
+// Spec is one named scenario: a report header, one or more simulation
+// runs, and a Render hook that turns the collected samples into the
+// report's sections. Single-figure scenarios have one run; CDF figures
+// (one run per curve or trial) and sweep matrices have many.
+type Spec struct {
+	Name  string
+	Title string // report header title ("" = no header)
+	Desc  string // header description
+
+	Runs []*RunSpec
+
+	// Render appends the report sections after every run completed. It
+	// sees the shared Result plus the per-run contexts (for workload
+	// state, wall-clock timings, and controller introspection).
+	Render func(res *stats.Result, runs []*Run)
+}
+
+// RunSpec describes one simulation run declaratively.
+type RunSpec struct {
+	// Label identifies the run in reports and sweep cells.
+	Label string
+	// SeedOffset is added to the scenario seed for this run, so repeated
+	// trials within one spec draw independent randomness (Fig. 2c spaces
+	// trials 1000 apart).
+	SeedOffset int64
+
+	Topology Topology
+	Workload Workload
+
+	// Sched is the registered packet scheduler ("" = lowest-rtt).
+	Sched string
+	// Policy is the registered subflow controller bound to the dialed
+	// connection ("" = the nil policy / plain stack; KernelPolicy is
+	// special-cased by the fan-out workload).
+	Policy string
+	// PolicyCfg parameterises the controller. Empty Addrs default to the
+	// client host's interface addresses.
+	PolicyCfg smapp.ControllerConfig
+	// KernelPM, when non-nil, builds an in-kernel path manager replacing
+	// the whole userspace control plane — the baselines the paper
+	// compares against. Only the nil policy works on such a stack.
+	KernelPM func() mptcp.PathManager
+	// Stressed uses the CPU-stressed Netlink latency model of §4.5.
+	Stressed bool
+
+	// Port is the server's listen port (0 = 80).
+	Port uint16
+	// Settle runs the simulation between Listen and the first dial, so
+	// the listener exists before SYNs arrive (the paper runs use 1 ms).
+	Settle time.Duration
+
+	Events []Event
+	Probes []Probe
+	Stop   Stop
+}
+
+// Event is a scheduled network change: a loss step, an interface flap, a
+// middlebox reconfiguration.
+type Event struct {
+	At   time.Duration
+	Name string
+	Do   func(rt *Run)
+}
+
+// Stop declares when a run ends. Zero value: the workload drives the
+// simulation itself (request/response loops). Horizon alone: run straight
+// to the cutoff. With Until: poll every Poll until the condition holds or
+// the horizon passes, then run Tail longer (capped at the horizon) so
+// traces get their closing window.
+type Stop struct {
+	Horizon time.Duration
+	Poll    time.Duration
+	Until   func(rt *Run) bool
+	Tail    time.Duration
+}
+
+func (st Stop) run(rt *Run) {
+	if st.Horizon <= 0 {
+		return
+	}
+	deadline := sim.Time(st.Horizon)
+	if st.Until == nil {
+		rt.Sim.RunUntil(deadline)
+		return
+	}
+	poll := st.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for rt.Sim.Now() < deadline && !st.Until(rt) {
+		rt.Sim.RunFor(poll)
+	}
+	rt.Sim.RunUntil(min(rt.Sim.Now().Add(st.Tail), deadline))
+}
+
+// Run is the live context of one executing RunSpec, handed to workloads,
+// probes, events, stop conditions, and the final Render.
+type Run struct {
+	Spec *RunSpec
+	Seed int64 // the run's simulator seed (scenario seed + offset)
+
+	Sim      *sim.Simulator
+	Net      *Net
+	Stack    *smapp.Stack // nil when the workload owns its stacks
+	ServerEp *mptcp.Endpoint
+	Conn     *mptcp.Connection // last connection dialed through the stack
+
+	Result *stats.Result
+	Wall   time.Duration // wall-clock cost of the whole run
+}
+
+// Port returns the run's server port.
+func (rt *Run) Port() uint16 {
+	if rt.Spec.Port != 0 {
+		return rt.Spec.Port
+	}
+	return 80
+}
+
+// Dial opens a policy-bound connection from laddr to the server and
+// remembers it as rt.Conn. Dial errors panic: a scenario that cannot dial
+// is broken, and the runner converts panics into per-seed errors.
+func (rt *Run) Dial(laddr netip.Addr, cb mptcp.ConnCallbacks) *mptcp.Connection {
+	conn, err := rt.Stack.Dial(laddr, rt.Net.ServerAddr, rt.Port(),
+		rt.Spec.Policy, rt.Spec.PolicyCfg, cb)
+	if err != nil {
+		panic(err)
+	}
+	rt.Conn = conn
+	return conn
+}
+
+// DialDefault dials from the first client's first address.
+func (rt *Run) DialDefault(cb mptcp.ConnCallbacks) *mptcp.Connection {
+	return rt.Dial(rt.Net.Client().Addrs[0], cb)
+}
+
+// Execute runs every RunSpec of a scenario at the given seed and returns
+// the rendered result. It is deterministic: the same spec and seed always
+// produce the same simulated bytes (wall-clock fields excepted).
+func Execute(sp *Spec, seed int64) *stats.Result {
+	res := stats.NewResult(sp.Name)
+	if sp.Title != "" {
+		res.Report = stats.Header(sp.Title, sp.Desc)
+	}
+	runs := make([]*Run, 0, len(sp.Runs))
+	for _, rs := range sp.Runs {
+		runs = append(runs, execOne(rs, seed, res))
+	}
+	if sp.Render != nil {
+		sp.Render(res, runs)
+	}
+	return res
+}
+
+// execOne executes a single run following the fixed phase order the
+// package doc describes.
+func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
+	start := time.Now()
+	seed := baseSeed + rs.SeedOffset
+	s := sim.New(seed)
+	rt := &Run{Spec: rs, Seed: seed, Sim: s, Result: res}
+	rt.Net = rs.Topology.Build(s, seed)
+
+	if _, owns := rs.Workload.(StackOwner); !owns {
+		scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: rs.Sched}, Stressed: rs.Stressed}
+		if rs.KernelPM != nil {
+			scfg.KernelPM = rs.KernelPM()
+		}
+		rt.Stack = smapp.New(rt.Net.Client().Host, scfg)
+	}
+	rt.ServerEp = mptcp.NewEndpoint(rt.Net.Server, mptcp.Config{Scheduler: rs.Sched}, nil)
+	rs.Workload.Server(rt)
+	if rs.Settle > 0 {
+		s.RunFor(rs.Settle)
+	}
+	rs.Workload.Client(rt)
+	for _, p := range rs.Probes {
+		if p.Arm != nil {
+			p.Arm(rt)
+		}
+	}
+	for _, ev := range rs.Events {
+		ev := ev
+		s.Schedule(sim.Time(ev.At), ev.Name, func() { ev.Do(rt) })
+	}
+	rs.Stop.run(rt)
+	for _, p := range rs.Probes {
+		if p.Collect != nil {
+			p.Collect(rt)
+		}
+	}
+	rt.Wall = time.Since(start)
+	return rt
+}
+
+// SetLossAt returns the "degrade" event the loss figures use: at t, set
+// the forward (client→server) loss ratio of the named link — a netem
+// qdisc on the degraded egress, as in the paper's Mininet setups.
+func SetLossAt(at time.Duration, link string, loss float64) Event {
+	return Event{At: at, Name: "degrade", Do: func(rt *Run) {
+		rt.Net.Link(link).AB.SetLoss(loss)
+	}}
+}
+
+// LossRamp returns one degrade event per step: the named link's forward
+// loss walks through losses, starting at `start`, one step every `step`.
+func LossRamp(link string, start, step time.Duration, losses ...float64) []Event {
+	evs := make([]Event, 0, len(losses))
+	for i, l := range losses {
+		evs = append(evs, SetLossAt(start+time.Duration(i)*step, link, l))
+	}
+	return evs
+}
+
+// FlapIface takes the first client's addrIdx-th interface down at `at`
+// and back up `dur` later — the §4.1 interface outage.
+func FlapIface(at, dur time.Duration, addrIdx int) []Event {
+	set := func(up bool) func(rt *Run) {
+		return func(rt *Run) {
+			ep := rt.Net.Client()
+			ep.Host.SetIfaceUp(ep.Addrs[addrIdx], up)
+		}
+	}
+	return []Event{
+		{At: at, Name: "if.down", Do: set(false)},
+		{At: at + dur, Name: "if.up", Do: set(true)},
+	}
+}

@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/stats"
+)
+
+// bulkSpec builds a minimal one-run scenario: a bulk transfer over the
+// direct link, stopping when the sink completes.
+func bulkSpec(bytes int, events []Event) (*Spec, *Bulk) {
+	wl := &Bulk{Bytes: bytes}
+	run := &RunSpec{
+		Label:    "bulk",
+		Topology: Direct{Link: netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond}},
+		Workload: wl,
+		Settle:   time.Millisecond,
+		Events:   events,
+		Probes: []Probe{
+			Scalar("done_s", func(rt *Run) float64 { return rt.Sim.Now().Seconds() }),
+			Scalar("rcv_bytes", func(rt *Run) float64 { return float64(wl.Sink.Received) }),
+		},
+		Stop: Stop{Horizon: 30 * time.Second, Poll: 10 * time.Millisecond, Until: wl.Done},
+	}
+	return &Spec{
+		Name:  "test-bulk",
+		Title: "engine test",
+		Desc:  "bulk over a direct link",
+		Runs:  []*RunSpec{run},
+		Render: func(res *stats.Result, runs []*Run) {
+			res.Section("done")
+			res.Printf("received %d bytes\n", wl.Sink.Received)
+		},
+	}, wl
+}
+
+func TestExecuteRunsSpecEndToEnd(t *testing.T) {
+	sp, wl := bulkSpec(256<<10, nil)
+	res := Execute(sp, 1)
+	if !wl.Sink.Done {
+		t.Fatal("bulk transfer did not complete")
+	}
+	if got := res.Scalars["rcv_bytes"]; got < 256<<10 {
+		t.Fatalf("rcv_bytes = %v", got)
+	}
+	if res.Scalars["done_s"] <= 0 || res.Scalars["done_s"] > 30 {
+		t.Fatalf("done_s = %v", res.Scalars["done_s"])
+	}
+	for _, want := range []string{"engine test", "== done ==", "received"} {
+		if !strings.Contains(res.Report, want) {
+			t.Fatalf("report missing %q:\n%s", want, res.Report)
+		}
+	}
+}
+
+func TestExecuteDeterministicPerSeed(t *testing.T) {
+	runit := func() *stats.Result {
+		sp, _ := bulkSpec(128<<10, nil)
+		return Execute(sp, 3)
+	}
+	a, b := runit(), runit()
+	if a.Report != b.Report {
+		t.Fatal("same-seed runs produced different reports")
+	}
+	if a.Scalars["done_s"] != b.Scalars["done_s"] {
+		t.Fatalf("done_s diverged: %v vs %v", a.Scalars["done_s"], b.Scalars["done_s"])
+	}
+}
+
+func TestEventsFire(t *testing.T) {
+	// Black out the wire before the handshake can finish: the transfer
+	// must never complete within the horizon.
+	ev := SetLossAt(2*time.Millisecond, "wire", 1.0)
+	wl := &Bulk{Bytes: 64 << 10}
+	run := &RunSpec{
+		Label:    "blackout",
+		Topology: Direct{Link: netem.LinkConfig{RateBps: 50e6, Delay: 20 * time.Millisecond}},
+		Workload: wl,
+		Settle:   time.Millisecond,
+		Events:   []Event{ev},
+		Stop:     Stop{Horizon: 2 * time.Second, Poll: 50 * time.Millisecond, Until: wl.Done},
+	}
+	Execute(&Spec{Name: "test-blackout", Runs: []*RunSpec{run}}, 1)
+	if wl.Sink.Done {
+		t.Fatal("transfer completed through a fully lossy link")
+	}
+}
+
+func TestLossRampBuildsSteps(t *testing.T) {
+	evs := LossRamp("path0", time.Second, 500*time.Millisecond, 0.1, 0.2, 0.3)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[1].At != 1500*time.Millisecond || evs[2].At != 2*time.Second {
+		t.Fatalf("ramp times wrong: %v %v", evs[1].At, evs[2].At)
+	}
+}
+
+func TestStopTailCapsAtHorizon(t *testing.T) {
+	wl := &Bulk{Bytes: 32 << 10}
+	run := &RunSpec{
+		Label:    "tail",
+		Topology: Direct{Link: netem.LinkConfig{RateBps: 100e6, Delay: time.Millisecond}},
+		Workload: wl,
+		Settle:   time.Millisecond,
+		Stop: Stop{
+			Horizon: 5 * time.Second,
+			Poll:    10 * time.Millisecond,
+			Until:   wl.Done,
+			Tail:    time.Hour, // must clamp to the horizon
+		},
+	}
+	res := stats.NewResult("tail")
+	rt := execOne(run, 1, res)
+	if now := rt.Sim.Now().Seconds(); now > 5.0 {
+		t.Fatalf("tail ran past the horizon: now=%vs", now)
+	}
+}
+
+func TestMultiRunSeedOffsets(t *testing.T) {
+	mk := func(off int64) (*RunSpec, *Bulk) {
+		wl := &Bulk{Bytes: 32 << 10}
+		return &RunSpec{
+			Label:      "r",
+			SeedOffset: off,
+			Topology:   Direct{Link: netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond}},
+			Workload:   wl,
+			Settle:     time.Millisecond,
+			Stop:       Stop{Horizon: 10 * time.Second, Poll: 10 * time.Millisecond, Until: wl.Done},
+		}, wl
+	}
+	r0, _ := mk(0)
+	r1, _ := mk(1000)
+	sp := &Spec{Name: "test-offsets", Runs: []*RunSpec{r0, r1}}
+	var seeds []int64
+	sp.Render = func(_ *stats.Result, runs []*Run) {
+		for _, rt := range runs {
+			seeds = append(seeds, rt.Seed)
+		}
+	}
+	Execute(sp, 7)
+	if len(seeds) != 2 || seeds[0] != 7 || seeds[1] != 1007 {
+		t.Fatalf("run seeds = %v, want [7 1007]", seeds)
+	}
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Axis is one sweep dimension: a parameter key and the values it walks.
+type Axis struct {
+	Key    string
+	Values []string
+}
+
+// SweepConfig crosses a scenario over schedulers × controllers × any
+// parameter axes, running every cell across Seeds independent seeds on
+// the shared multi-seed runner.
+type SweepConfig struct {
+	Scenario string
+	// Base parameters applied to every cell (nil = none).
+	Base *Params
+	// Schedulers and Controllers are the two conventional axes, mapped
+	// onto the "sched" and "policy" parameters. Empty = the scenario's
+	// default (one cell on that dimension).
+	Schedulers  []string
+	Controllers []string
+	// Axes are additional parameter dimensions (e.g. loss=0.1,0.3).
+	Axes []Axis
+
+	Seeds    int
+	BaseSeed int64
+	Parallel int
+	// OnCell observes each finished cell (progress output).
+	OnCell func(c *Cell)
+}
+
+// Cell is one point of the cross product.
+type Cell struct {
+	Label     string
+	Overrides []string // "key=value" in axis order
+	Multi     *runner.Multi
+}
+
+// SweepResult collects every cell of one sweep.
+type SweepResult struct {
+	Scenario string
+	Config   SweepConfig
+	Cells    []*Cell
+}
+
+// Sweep executes the cross product. Cells run sequentially (each cell
+// parallelises across its seeds); the first invalid cell aborts with an
+// error before any simulation runs.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	axes := make([]Axis, 0, 2+len(cfg.Axes))
+	if len(cfg.Schedulers) > 0 {
+		axes = append(axes, Axis{Key: "sched", Values: cfg.Schedulers})
+	}
+	if len(cfg.Controllers) > 0 {
+		axes = append(axes, Axis{Key: "policy", Values: cfg.Controllers})
+	}
+	axes = append(axes, cfg.Axes...)
+	for _, ax := range axes {
+		if ax.Key == "" || len(ax.Values) == 0 {
+			return nil, fmt.Errorf("scenario: sweep axis %q has no values", ax.Key)
+		}
+	}
+
+	cells := crossProduct(axes)
+	sr := &SweepResult{Scenario: cfg.Scenario, Config: cfg}
+	// Validate every cell before simulating anything.
+	params := make([]*Params, len(cells))
+	for i, overrides := range cells {
+		p := cfg.Base.Clone()
+		for _, kv := range overrides {
+			k, v, _ := strings.Cut(kv, "=")
+			p.Set(k, v)
+		}
+		if _, err := Build(cfg.Scenario, p.Clone()); err != nil {
+			return nil, err
+		}
+		params[i] = p
+	}
+	for i, overrides := range cells {
+		label := strings.Join(overrides, " ")
+		if label == "" {
+			label = "(defaults)"
+		}
+		m := runner.Run(cfg.Scenario+" "+label, runner.Config{
+			Seeds:    cfg.Seeds,
+			BaseSeed: cfg.BaseSeed,
+			Parallel: cfg.Parallel,
+		}, Job(cfg.Scenario, params[i]))
+		cell := &Cell{Label: label, Overrides: overrides, Multi: m}
+		sr.Cells = append(sr.Cells, cell)
+		if cfg.OnCell != nil {
+			cfg.OnCell(cell)
+		}
+	}
+	return sr, nil
+}
+
+// crossProduct enumerates the cells in deterministic order: the first
+// axis varies slowest.
+func crossProduct(axes []Axis) [][]string {
+	cells := [][]string{nil}
+	for _, ax := range axes {
+		var next [][]string
+		for _, base := range cells {
+			for _, v := range ax.Values {
+				cell := append(append([]string(nil), base...), ax.Key+"="+v)
+				next = append(next, cell)
+			}
+		}
+		cells = next
+	}
+	return cells
+}
+
+// Report renders the sweep: one scalar-summary block per cell, then a
+// cross-cell comparison table over the scalars every cell shares.
+func (sr *SweepResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "===== sweep: %s × %d cells × %d seeds =====\n",
+		sr.Scenario, len(sr.Cells), sr.Config.Seeds)
+
+	// Aggregate each cell once; the scalars present in every cell feed
+	// the comparison table.
+	summaries := make([]map[string]*stats.Sample, len(sr.Cells))
+	shared := map[string]int{}
+	for i, c := range sr.Cells {
+		summaries[i] = c.Multi.ScalarSummary()
+		for k := range summaries[i] {
+			shared[k]++
+		}
+	}
+	var keys []string
+	for k, n := range shared {
+		if n == len(sr.Cells) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	for i, c := range sr.Cells {
+		fmt.Fprintf(&b, "\n-- %s --\n", c.Label)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "   %-32s mean %12.4f\n", k, summaries[i][k].Mean())
+		}
+		if failed := c.Multi.Failed(); len(failed) > 0 {
+			fmt.Fprintf(&b, "   FAILED seeds: %d (first: %v)\n", len(failed), failed[0].Err)
+		}
+	}
+
+	if len(keys) > 0 && len(sr.Cells) > 1 {
+		fmt.Fprintf(&b, "\n== cell comparison (means over %d seeds) ==\n", sr.Config.Seeds)
+		width := 0
+		for _, c := range sr.Cells {
+			if len(c.Label) > width {
+				width = len(c.Label)
+			}
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s:\n", k)
+			for i, c := range sr.Cells {
+				fmt.Fprintf(&b, "   %-*s %12.4f\n", width, c.Label, summaries[i][k].Mean())
+			}
+		}
+	}
+	return b.String()
+}

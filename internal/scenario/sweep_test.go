@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func init() {
+	// A sweepable scenario: one bulk run whose completion time depends on
+	// the link rate parameter.
+	Register("test-sweep-bulk", "test-only sweepable bulk", func(p *Params) (*Spec, error) {
+		rate := p.Float("rate_mbps", 50)
+		sched := p.Str("sched", "")
+		wl := &Bulk{Bytes: 256 << 10}
+		return &Spec{
+			Name: "test-sweep-bulk",
+			Runs: []*RunSpec{{
+				Label:    "bulk",
+				Topology: Direct{Link: netem.LinkConfig{RateBps: rate * 1e6, Delay: 2 * time.Millisecond}},
+				Workload: wl,
+				Sched:    sched,
+				Settle:   time.Millisecond,
+				Probes: []Probe{
+					Scalar("done_s", func(rt *Run) float64 { return rt.Sim.Now().Seconds() }),
+				},
+				Stop: Stop{Horizon: 30 * time.Second, Poll: 10 * time.Millisecond, Until: wl.Done},
+			}},
+		}, nil
+	})
+}
+
+func TestSweepCrossesAxes(t *testing.T) {
+	sr, err := Sweep(SweepConfig{
+		Scenario:   "test-sweep-bulk",
+		Schedulers: []string{"lowest-rtt", "round-robin"},
+		Axes:       []Axis{{Key: "rate_mbps", Values: []string{"10", "100"}}},
+		Seeds:      2,
+		BaseSeed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(sr.Cells))
+	}
+	// First axis varies slowest: lowest-rtt cells first.
+	if !strings.Contains(sr.Cells[0].Label, "sched=lowest-rtt") ||
+		!strings.Contains(sr.Cells[0].Label, "rate_mbps=10") {
+		t.Fatalf("cell order wrong: %q", sr.Cells[0].Label)
+	}
+	for _, c := range sr.Cells {
+		if failed := c.Multi.Failed(); len(failed) != 0 {
+			t.Fatalf("cell %s failed: %v", c.Label, failed[0].Err)
+		}
+		if c.Multi.ScalarSummary()["done_s"].N() != 2 {
+			t.Fatalf("cell %s did not aggregate 2 seeds", c.Label)
+		}
+	}
+	// The slow link must finish later than the fast one, per scheduler.
+	slow := sr.Cells[0].Multi.ScalarSummary()["done_s"].Mean()
+	fast := sr.Cells[1].Multi.ScalarSummary()["done_s"].Mean()
+	if slow <= fast {
+		t.Fatalf("10 Mbps (%.3fs) should be slower than 100 Mbps (%.3fs)", slow, fast)
+	}
+	rep := sr.Report()
+	for _, want := range []string{"sweep: test-sweep-bulk", "cell comparison", "done_s"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSweepRejectsInvalidCellUpFront(t *testing.T) {
+	if _, err := Sweep(SweepConfig{
+		Scenario: "test-sweep-bulk",
+		Axes:     []Axis{{Key: "rate_mbps", Values: []string{"10", "oops"}}},
+		Seeds:    1,
+	}); err == nil {
+		t.Fatal("expected the malformed cell to be rejected before running")
+	}
+	if _, err := Sweep(SweepConfig{Scenario: "nosuch", Seeds: 1}); err == nil {
+		t.Fatal("expected unknown scenario error")
+	}
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Topology builds the emulated network for one scenario run. The seed is
+// the run's simulation seed, for topologies whose shape depends on it
+// (the ECMP hash, the scale aggregation router).
+type Topology interface {
+	Build(s *sim.Simulator, seed int64) *Net
+	Describe() string
+}
+
+// Endpoint is one client host of a built topology with its interface
+// addresses in attachment order. The address list is captured at build
+// time, so Addrs stays stable even while an interface is down.
+type Endpoint struct {
+	Host  *netem.Host
+	Addrs []netip.Addr
+}
+
+// Net is the uniform view a built topology exposes to workloads, probes,
+// and events: the server, one or more client endpoints, and the named
+// links that events (loss ramps, degradations) manipulate.
+type Net struct {
+	Sim        *sim.Simulator
+	Server     *netem.Host
+	ServerAddr netip.Addr
+	Clients    []Endpoint
+	// Links holds every named duplex link. By convention the forward
+	// (client→server) direction is AB.
+	Links map[string]*netem.Duplex
+	// NAT is the stateful middlebox, when the topology has one (§4.1).
+	NAT *netem.Middlebox
+	// PathIndex reports which fabric path a subflow's 4-tuple maps to —
+	// ground truth for load-balancing analyses (ECMP only, else nil).
+	PathIndex func(srcPort, dstPort uint16) int
+}
+
+// Client returns the first (usually only) client endpoint.
+func (n *Net) Client() Endpoint {
+	if len(n.Clients) == 0 {
+		panic("scenario: topology has no client endpoint")
+	}
+	return n.Clients[0]
+}
+
+// Link returns a named link; unknown names are a scenario bug.
+func (n *Net) Link(name string) *netem.Duplex {
+	l, ok := n.Links[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: topology has no link %q", name))
+	}
+	return l
+}
+
+// TwoPath is the multihomed-client topology of §4.2/§4.3: two independent
+// client paths ("path0", "path1") joined at a router, a fat trunk
+// ("trunk") to the server.
+type TwoPath struct {
+	P0, P1 netem.LinkConfig
+}
+
+// Build implements Topology.
+func (t TwoPath) Build(s *sim.Simulator, _ int64) *Net {
+	tp := topo.NewTwoPath(s, t.P0, t.P1)
+	return &Net{
+		Sim:        s,
+		Server:     tp.Server,
+		ServerAddr: tp.ServerAddr,
+		Clients:    []Endpoint{{Host: tp.Client, Addrs: tp.ClientAddrs[:]}},
+		Links: map[string]*netem.Duplex{
+			"path0": tp.Path[0], "path1": tp.Path[1], "trunk": tp.Trunk,
+		},
+	}
+}
+
+// Describe implements Topology.
+func (t TwoPath) Describe() string { return "two-path multihomed client (§4.2/§4.3)" }
+
+// ECMP is the §4.4 fabric: N parallel paths between two routers that
+// load-balance flows by hashing the 4-tuple. A zero HashSeed derives the
+// hash from the run seed, standing in for the unpredictable per-router
+// hashing of real networks.
+type ECMP struct {
+	Paths    []netem.LinkConfig
+	HashSeed uint64
+}
+
+// Build implements Topology.
+func (t ECMP) Build(s *sim.Simulator, seed int64) *Net {
+	hs := t.HashSeed
+	if hs == 0 {
+		hs = uint64(seed)
+	}
+	tp := topo.NewECMP(s, t.Paths, hs)
+	links := make(map[string]*netem.Duplex, len(tp.Paths))
+	for i, d := range tp.Paths {
+		links[fmt.Sprintf("path%d", i)] = d
+	}
+	return &Net{
+		Sim:        s,
+		Server:     tp.Server,
+		ServerAddr: tp.ServerAddr,
+		Clients:    []Endpoint{{Host: tp.Client, Addrs: []netip.Addr{tp.ClientAddr}}},
+		Links:      links,
+		PathIndex:  tp.PathIndexOf,
+	}
+}
+
+// Describe implements Topology.
+func (t ECMP) Describe() string {
+	return fmt.Sprintf("%d-path ECMP fabric (§4.4)", len(t.Paths))
+}
+
+// Proc models per-packet host processing jitter: a fixed base cost plus
+// exponential jitter with the given mean (the dominant term of the
+// sub-millisecond delays in the §4.5 lab measurement).
+type Proc struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+func (p Proc) model(rng *rand.Rand) func() time.Duration {
+	return func() time.Duration {
+		return p.Base + time.Duration(rng.ExpFloat64()*float64(p.Jitter))
+	}
+}
+
+// Direct is the §4.5 lab setup: two hosts on one duplex link ("wire"),
+// with optional per-host processing-delay models.
+type Direct struct {
+	Link                   netem.LinkConfig
+	ClientProc, ServerProc Proc
+}
+
+// Build implements Topology.
+func (t Direct) Build(s *sim.Simulator, _ int64) *Net {
+	tp := topo.NewDirect(s, t.Link)
+	if t.ClientProc != (Proc{}) {
+		tp.Client.SetProcDelay(t.ClientProc.model(s.Rand()))
+	}
+	if t.ServerProc != (Proc{}) {
+		tp.Server.SetProcDelay(t.ServerProc.model(s.Rand()))
+	}
+	return &Net{
+		Sim:        s,
+		Server:     tp.Server,
+		ServerAddr: tp.ServerAddr,
+		Clients:    []Endpoint{{Host: tp.Client, Addrs: []netip.Addr{tp.ClientAddr}}},
+		Links:      map[string]*netem.Duplex{"wire": tp.Link},
+	}
+}
+
+// Describe implements Topology.
+func (t Direct) Describe() string { return "direct lab link (§4.5)" }
+
+// NATPath is the §4.1 topology: a multihomed client whose two paths
+// traverse a stateful middlebox with an idle timeout.
+type NATPath struct {
+	P0, P1 netem.LinkConfig
+	Idle   time.Duration
+	Expiry netem.ExpiryPolicy
+}
+
+// Build implements Topology.
+func (t NATPath) Build(s *sim.Simulator, _ int64) *Net {
+	tp := topo.NewNATPath(s, t.P0, t.P1, t.Idle, t.Expiry)
+	return &Net{
+		Sim:        s,
+		Server:     tp.Server,
+		ServerAddr: tp.ServerAddr,
+		Clients:    []Endpoint{{Host: tp.Client, Addrs: tp.ClientAddrs[:]}},
+		Links: map[string]*netem.Duplex{
+			"path0": tp.Path[0], "path1": tp.Path[1], "trunk": tp.Trunk,
+		},
+		NAT: tp.NAT,
+	}
+}
+
+// Describe implements Topology.
+func (t NATPath) Describe() string { return "NAT-traversing two-path client (§4.1)" }
+
+// Star is the scale topology: N multihomed client hosts, every interface
+// on its own access link into one aggregation router, and a shared
+// bottleneck ("bottleneck") to the server. The aggregation router hashes
+// with the run seed.
+type Star struct {
+	Clients    int
+	Ifaces     int // interfaces (→ subflows via full-mesh) per client
+	Access     netem.LinkConfig
+	Bottleneck netem.LinkConfig
+}
+
+// Build implements Topology.
+func (t Star) Build(s *sim.Simulator, seed int64) *Net {
+	server := netem.NewHost(s, "server")
+	agg := netem.NewRouter(s, "agg", uint64(seed))
+	serverAddr := netip.AddrFrom4([4]byte{10, 255, 0, 1})
+	trunk := netem.NewDuplex(s, "bottleneck", agg, server, t.Bottleneck)
+	server.AddIface("eth0", serverAddr, trunk.BA)
+	agg.AddRoute(serverAddr, trunk.AB)
+
+	n := &Net{
+		Sim:        s,
+		Server:     server,
+		ServerAddr: serverAddr,
+		Links:      map[string]*netem.Duplex{"bottleneck": trunk},
+	}
+	for i := 0; i < t.Clients; i++ {
+		h := netem.NewHost(s, fmt.Sprintf("c%d", i))
+		ep := Endpoint{Host: h}
+		for j := 0; j < t.Ifaces; j++ {
+			addr := netip.AddrFrom4([4]byte{10, byte(1 + i/200), byte(1 + i%200), byte(1 + j)})
+			d := netem.NewDuplex(s, fmt.Sprintf("acc%d.%d", i, j), h, agg, t.Access)
+			h.AddIface(fmt.Sprintf("if%d", j), addr, d.AB)
+			agg.AddRoute(addr, d.BA)
+			ep.Addrs = append(ep.Addrs, addr)
+		}
+		n.Clients = append(n.Clients, ep)
+	}
+	return n
+}
+
+// Describe implements Topology.
+func (t Star) Describe() string {
+	return fmt.Sprintf("%d clients × %d interfaces behind one bottleneck", t.Clients, t.Ifaces)
+}
+
+// Custom wraps a hand-built topology as a Topology, for shapes the
+// declarative Builder cannot express.
+type Custom struct {
+	Desc    string
+	BuildFn func(s *sim.Simulator, seed int64) *Net
+}
+
+// Build implements Topology.
+func (t Custom) Build(s *sim.Simulator, seed int64) *Net { return t.BuildFn(s, seed) }
+
+// Describe implements Topology.
+func (t Custom) Describe() string { return t.Desc }

@@ -1,0 +1,333 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/mptcp"
+	"repro/internal/pm"
+	"repro/internal/sim"
+	"repro/internal/smapp"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+)
+
+// Workload is the application pattern a scenario runs over Multipath TCP,
+// abstracting the app package's Source/Sink/BlockStreamer/ReqResp pairs
+// behind one interface. Server installs the receive side (a Listen on the
+// run's server endpoint); Client dials through the run's policy-bound
+// stack and drives the send side. A workload instance belongs to exactly
+// one run — spec factories must build a fresh one per RunSpec.
+type Workload interface {
+	Describe() string
+	Server(rt *Run)
+	Client(rt *Run)
+}
+
+// StackOwner marks workloads that build their own client stacks (the
+// fan-out workload, one stack per client host); the engine then skips the
+// shared per-run client stack.
+type StackOwner interface {
+	OwnsStacks()
+}
+
+// Bulk transfers a fixed number of bytes from the client to the server as
+// soon as the connection establishes (§4.2, §4.4).
+type Bulk struct {
+	Bytes         int
+	CloseWhenDone bool
+	// SinkExpect overrides the byte count the sink waits for (0 = Bytes).
+	// Fig. 2a sets it effectively unbounded: the run observes a window of
+	// an ongoing transfer rather than a completion.
+	SinkExpect uint64
+
+	Src  *app.Source
+	Sink *app.Sink
+}
+
+// Describe implements Workload.
+func (w *Bulk) Describe() string { return fmt.Sprintf("bulk transfer of %d bytes", w.Bytes) }
+
+// Server implements Workload.
+func (w *Bulk) Server(rt *Run) {
+	expect := w.SinkExpect
+	if expect == 0 {
+		expect = uint64(w.Bytes)
+	}
+	w.Sink = app.NewSink(rt.Sim, expect, nil)
+	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) { c.SetCallbacks(w.Sink.Callbacks()) })
+}
+
+// Client implements Workload.
+func (w *Bulk) Client(rt *Run) {
+	w.Src = app.NewSource(rt.Sim, w.Bytes, w.CloseWhenDone)
+	rt.DialDefault(w.Src.Callbacks())
+}
+
+// Done reports whether the sink saw its expected bytes (a Stop.Until
+// condition).
+func (w *Bulk) Done(*Run) bool { return w.Sink != nil && w.Sink.Done }
+
+// BlockStream is the §4.3 streaming workload: one BlockSize block per
+// Period for Blocks blocks, with per-block delivery times measured at the
+// receiver.
+type BlockStream struct {
+	Period    time.Duration
+	BlockSize int
+	Blocks    int
+
+	Streamer *app.BlockStreamer
+	Sink     *app.BlockSink
+}
+
+// Describe implements Workload.
+func (w *BlockStream) Describe() string {
+	return fmt.Sprintf("%d B block every %v, %d blocks", w.BlockSize, w.Period, w.Blocks)
+}
+
+// Server implements Workload.
+func (w *BlockStream) Server(rt *Run) {
+	w.Sink = app.NewBlockSink(rt.Sim, w.BlockSize)
+	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) { c.SetCallbacks(w.Sink.Callbacks()) })
+}
+
+// Client implements Workload.
+func (w *BlockStream) Client(rt *Run) {
+	w.Streamer = app.NewBlockStreamer(rt.Sim, w.Period, w.BlockSize, w.Blocks)
+	rt.DialDefault(w.Streamer.Callbacks())
+}
+
+// Delays returns the per-block delivery delays in seconds. Blocks never
+// delivered within the horizon count as the horizon — they are the long
+// tail the paper describes.
+func (w *BlockStream) Delays(horizon time.Duration) *stats.Sample {
+	delays := &stats.Sample{}
+	for k, at := range w.Sink.CompletedAt {
+		sent := w.Streamer.StartedAt.Add(time.Duration(k) * w.Period)
+		delays.Add(time.Duration(at - sent).Seconds())
+	}
+	for k := len(w.Sink.CompletedAt); k < w.Blocks; k++ {
+		sent := w.Streamer.StartedAt.Add(time.Duration(k) * w.Period)
+		delays.Add((sim.Time(horizon) - sent).Seconds())
+	}
+	return delays
+}
+
+// OnOff is the §4.1 chat workload: one Size-byte message every Interval,
+// Count times, over a single long-lived connection — long idle periods
+// punctuated by bursts, the keepalive battle with NAT idle timeouts. The
+// receiver records the arrival time of each message boundary.
+type OnOff struct {
+	Interval time.Duration
+	Count    int
+	Size     int
+
+	Arrivals  []sim.Time
+	SendTimes []sim.Time
+}
+
+// Describe implements Workload.
+func (w *OnOff) Describe() string {
+	return fmt.Sprintf("%d B message every %v, %d messages", w.Size, w.Interval, w.Count)
+}
+
+// Server implements Workload.
+func (w *OnOff) Server(rt *Run) {
+	msgBytes := uint64(w.Size)
+	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) {
+		c.SetCallbacks(mptcp.ConnCallbacks{
+			OnData: func(_ *mptcp.Connection, total uint64) {
+				for uint64(len(w.Arrivals)+1)*msgBytes <= total {
+					w.Arrivals = append(w.Arrivals, rt.Sim.Now())
+				}
+			},
+		})
+	})
+}
+
+// Client implements Workload.
+func (w *OnOff) Client(rt *Run) {
+	conn := rt.DialDefault(mptcp.ConnCallbacks{})
+	for i := 0; i < w.Count; i++ {
+		at := sim.Time(w.Interval) * sim.Time(i+1)
+		rt.Sim.Schedule(at, "chat.msg", func() {
+			w.SendTimes = append(w.SendTimes, rt.Sim.Now())
+			conn.Write(w.Size)
+		})
+	}
+}
+
+// ReqResp is the §4.5 workload: Requests consecutive HTTP/1.0-style
+// exchanges, one fresh connection per request (ReqSize request bytes up,
+// RespSize response bytes down, then close). It drives the simulation
+// itself — request k+1 only starts once request k finished — so runs
+// using it leave Stop zero. Per request it samples the delay between the
+// SYN carrying MP_CAPABLE and the SYN carrying MP_JOIN.
+type ReqResp struct {
+	Requests int
+	ReqSize  uint64
+	RespSize int
+
+	Srv *app.ReqRespServer
+	// Delays holds the CAPA→JOIN delay of every request, in milliseconds.
+	Delays *stats.Sample
+}
+
+// Describe implements Workload.
+func (w *ReqResp) Describe() string {
+	return fmt.Sprintf("%d consecutive %d KB GETs", w.Requests, w.RespSize>>10)
+}
+
+// Server implements Workload.
+func (w *ReqResp) Server(rt *Run) {
+	w.Srv = app.NewReqRespServer(w.ReqSize, w.RespSize)
+	rt.ServerEp.Listen(rt.Port(), w.Srv.Accept)
+}
+
+// Client implements Workload.
+func (w *ReqResp) Client(rt *Run) {
+	w.Delays = &stats.Sample{}
+	for i := 0; i < w.Requests; i++ {
+		respDone := false
+		conn := rt.DialDefault(mptcp.ConnCallbacks{
+			OnEstablished: func(c *mptcp.Connection) { c.Write(int(w.ReqSize)) },
+			OnData: func(c *mptcp.Connection, total uint64) {
+				if total >= uint64(w.RespSize) {
+					respDone = true
+				}
+			},
+			OnPeerClose: func(c *mptcp.Connection) { c.Close() },
+		})
+		// Sample the CAPA→JOIN delay as soon as the join subflow exists
+		// (the connection tears down right after the response).
+		sampled := false
+		for j := 0; j < 1000 && !sampled && !conn.Closed(); j++ {
+			rt.Sim.RunFor(100 * time.Microsecond)
+			if len(conn.Subflows()) >= 2 {
+				if d, ok := CapaJoinDelay(conn); ok {
+					w.Delays.Add(d.Seconds() * 1000) // ms
+					sampled = true
+				}
+			}
+		}
+		// Run the request to completion (HTTP/1.0: one conn per GET).
+		for !respDone && !conn.Closed() {
+			rt.Sim.RunFor(10 * time.Millisecond)
+		}
+		conn.Abort()
+		rt.Sim.RunFor(time.Millisecond)
+	}
+}
+
+// CapaJoinDelay extracts the SYN(MP_CAPABLE)→SYN(MP_JOIN) delay from a
+// connection's subflows.
+func CapaJoinDelay(c *mptcp.Connection) (time.Duration, bool) {
+	var initial, join *tcp.Subflow
+	for _, sf := range c.Subflows() {
+		if sf.Tuple() == c.InitialTuple() {
+			initial = sf
+		} else if join == nil || sf.SynSentAt() < join.SynSentAt() {
+			join = sf
+		}
+	}
+	if initial == nil || join == nil {
+		return 0, false
+	}
+	return time.Duration(join.SynSentAt() - initial.SynSentAt()), true
+}
+
+// KernelPolicy names the in-kernel baseline cell of fan-out sweeps: a
+// plain endpoint with the kernel full-mesh path manager and no userspace
+// control plane at all (not a registered smapp controller).
+const KernelPolicy = "kernel"
+
+// FanOut is the N-connections stress workload: every client endpoint of
+// the topology dials the server once and streams Bytes, with a 10 µs
+// stagger so the SYN burst is concurrent but not pathologically
+// phase-locked. It owns its stacks — one per client host — because the
+// run's policy decides their shape: KernelPolicy builds plain kernel
+// endpoints, any registered name builds a smapp stack per client with
+// that controller bound.
+type FanOut struct {
+	Bytes int
+
+	// CompletedAt[i] is when client i's transfer finished (-1 = never);
+	// DialAt[i] is when it dialed.
+	CompletedAt []sim.Time
+	DialAt      []sim.Time
+}
+
+// OwnsStacks implements StackOwner.
+func (w *FanOut) OwnsStacks() {}
+
+// Describe implements Workload.
+func (w *FanOut) Describe() string {
+	return fmt.Sprintf("connection fan-out, %d KB per client", w.Bytes>>10)
+}
+
+// Server implements Workload: one sink per accepted connection, matched
+// back to its client by the initial subflow's address.
+func (w *FanOut) Server(rt *Run) {
+	n := len(rt.Net.Clients)
+	w.CompletedAt = make([]sim.Time, n)
+	for i := range w.CompletedAt {
+		w.CompletedAt[i] = -1
+	}
+	clientIdx := make(map[netip.Addr]int, n)
+	for i, cl := range rt.Net.Clients {
+		clientIdx[cl.Addrs[0]] = i
+	}
+	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) {
+		idx, ok := clientIdx[c.InitialTuple().DstIP]
+		if !ok {
+			return
+		}
+		sink := app.NewSink(rt.Sim, uint64(w.Bytes), nil)
+		sink.OnComplete = func() { w.CompletedAt[idx] = rt.Sim.Now() }
+		c.SetCallbacks(sink.Callbacks())
+	})
+}
+
+// Client implements Workload.
+func (w *FanOut) Client(rt *Run) {
+	w.DialAt = make([]sim.Time, len(rt.Net.Clients))
+	for i := range rt.Net.Clients {
+		cl := rt.Net.Clients[i]
+		src := app.NewSource(rt.Sim, w.Bytes, true)
+		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
+		w.DialAt[i] = at
+		switch rt.Spec.Policy {
+		case KernelPolicy:
+			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched}, pm.NewFullMesh())
+			rt.Sim.Schedule(at, "scale.dial", func() {
+				if _, err := ep.Connect(cl.Addrs[0], rt.Net.ServerAddr, rt.Port(), src.Callbacks()); err != nil {
+					panic(err)
+				}
+			})
+		default:
+			st := smapp.New(cl.Host, smapp.Config{MPTCP: mptcp.Config{Scheduler: rt.Spec.Sched}})
+			pcfg := rt.Spec.PolicyCfg
+			if len(pcfg.Addrs) == 0 {
+				pcfg.Addrs = cl.Addrs
+			}
+			rt.Sim.Schedule(at, "scale.dial", func() {
+				if _, err := st.Dial(cl.Addrs[0], rt.Net.ServerAddr, rt.Port(), rt.Spec.Policy, pcfg, src.Callbacks()); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+}
+
+// Completed counts the clients whose transfer finished.
+func (w *FanOut) Completed() int {
+	n := 0
+	for _, at := range w.CompletedAt {
+		if at >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -45,13 +45,20 @@ type ControllerFactory func(cfg ControllerConfig) (controller.Controller, error)
 var ctlRegistry = struct {
 	sync.RWMutex
 	factories map[string]ControllerFactory
-}{factories: make(map[string]ControllerFactory)}
+	descs     map[string]string
+}{factories: make(map[string]ControllerFactory), descs: make(map[string]string)}
 
 // RegisterController makes a subflow-controller policy available by name
 // to Stack.Dial/Listen/SwitchPolicy, cmd/mpexp -controller, and the
 // ctlsweep experiment. It panics on an empty name or a duplicate
 // registration — both are programming errors, caught at init time.
 func RegisterController(name string, f ControllerFactory) {
+	RegisterControllerDesc(name, "", f)
+}
+
+// RegisterControllerDesc registers a controller with a one-line
+// description for listings (`mpexp list`).
+func RegisterControllerDesc(name, desc string, f ControllerFactory) {
 	if name == "" || f == nil {
 		panic("smapp: RegisterController with empty name or nil factory")
 	}
@@ -61,6 +68,25 @@ func RegisterController(name string, f ControllerFactory) {
 		panic(fmt.Sprintf("smapp: controller %q registered twice", name))
 	}
 	ctlRegistry.factories[name] = f
+	ctlRegistry.descs[name] = desc
+}
+
+// ControllerInfo describes a registered controller for listings.
+type ControllerInfo struct {
+	Name string
+	Desc string
+}
+
+// Controllers lists every registered controller with its description,
+// sorted by name.
+func Controllers() []ControllerInfo {
+	ctlRegistry.RLock()
+	defer ctlRegistry.RUnlock()
+	out := make([]ControllerInfo, 0, len(ctlRegistry.factories))
+	for _, n := range controllerNamesLocked() {
+		out = append(out, ControllerInfo{Name: n, Desc: ctlRegistry.descs[n]})
+	}
+	return out
 }
 
 // LookupController resolves a policy name. The empty name is the nil
@@ -99,60 +125,70 @@ func controllerNamesLocked() []string {
 
 // The five paper controllers self-register under their §4 names.
 func init() {
-	RegisterController("fullmesh", func(cfg ControllerConfig) (controller.Controller, error) {
-		if len(cfg.Addrs) == 0 {
-			return nil, fmt.Errorf("smapp: fullmesh needs at least one local address")
-		}
-		return controller.NewFullMesh(cfg.Addrs), nil
-	})
-	RegisterController("backup", func(cfg ControllerConfig) (controller.Controller, error) {
-		if len(cfg.Addrs) < 2 {
-			return nil, fmt.Errorf("smapp: backup needs a second (backup) local address, got %d", len(cfg.Addrs))
-		}
-		b := controller.NewBackup(cfg.Addrs[1])
-		if cfg.Threshold > 0 {
-			b.Threshold = cfg.Threshold
-		}
-		return b, nil
-	})
-	RegisterController("stream", func(cfg ControllerConfig) (controller.Controller, error) {
-		if len(cfg.Addrs) < 2 {
-			return nil, fmt.Errorf("smapp: stream needs a second local address, got %d", len(cfg.Addrs))
-		}
-		s := controller.NewStream(cfg.Addrs[1])
-		if cfg.Period > 0 {
-			s.Period = cfg.Period
-		}
-		if cfg.BlockSize > 0 {
-			s.BlockSize = uint64(cfg.BlockSize)
-			s.MinProgress = uint64(cfg.BlockSize) / 2
-		}
-		if cfg.Probe > 0 {
-			s.CheckAfter = cfg.Probe
-		}
-		if cfg.Threshold > 0 {
-			s.RTOLimit = cfg.Threshold
-		}
-		return s, nil
-	})
-	RegisterController("refresh", func(cfg ControllerConfig) (controller.Controller, error) {
-		n := cfg.Subflows
-		if n == 0 {
-			n = 5 // Fig. 2c
-		}
-		if n < 2 {
-			return nil, fmt.Errorf("smapp: refresh needs at least 2 subflows to compare, got %d", n)
-		}
-		return controller.NewRefresh(n), nil
-	})
-	RegisterController("ndiffports", func(cfg ControllerConfig) (controller.Controller, error) {
-		n := cfg.Subflows
-		if n == 0 {
-			n = 2 // Fig. 3
-		}
-		if n < 1 {
-			return nil, fmt.Errorf("smapp: ndiffports needs a positive subflow count, got %d", n)
-		}
-		return controller.NewNDiffPorts(n), nil
-	})
+	RegisterControllerDesc("fullmesh",
+		"§4.1: keep a subflow over every local interface, re-establishing with error-specific backoff",
+		func(cfg ControllerConfig) (controller.Controller, error) {
+			if len(cfg.Addrs) == 0 {
+				return nil, fmt.Errorf("smapp: fullmesh needs at least one local address")
+			}
+			return controller.NewFullMesh(cfg.Addrs), nil
+		})
+	RegisterControllerDesc("backup",
+		"§4.2: create the backup subflow only when the primary's RTO crosses the threshold",
+		func(cfg ControllerConfig) (controller.Controller, error) {
+			if len(cfg.Addrs) < 2 {
+				return nil, fmt.Errorf("smapp: backup needs a second (backup) local address, got %d", len(cfg.Addrs))
+			}
+			b := controller.NewBackup(cfg.Addrs[1])
+			if cfg.Threshold > 0 {
+				b.Threshold = cfg.Threshold
+			}
+			return b, nil
+		})
+	RegisterControllerDesc("stream",
+		"§4.3: kill and replace subflows that stall a block past the intra-block probe point",
+		func(cfg ControllerConfig) (controller.Controller, error) {
+			if len(cfg.Addrs) < 2 {
+				return nil, fmt.Errorf("smapp: stream needs a second local address, got %d", len(cfg.Addrs))
+			}
+			s := controller.NewStream(cfg.Addrs[1])
+			if cfg.Period > 0 {
+				s.Period = cfg.Period
+			}
+			if cfg.BlockSize > 0 {
+				s.BlockSize = uint64(cfg.BlockSize)
+				s.MinProgress = uint64(cfg.BlockSize) / 2
+			}
+			if cfg.Probe > 0 {
+				s.CheckAfter = cfg.Probe
+			}
+			if cfg.Threshold > 0 {
+				s.RTOLimit = cfg.Threshold
+			}
+			return s, nil
+		})
+	RegisterControllerDesc("refresh",
+		"§4.4: replace the slowest subflow until all ECMP paths carry traffic",
+		func(cfg ControllerConfig) (controller.Controller, error) {
+			n := cfg.Subflows
+			if n == 0 {
+				n = 5 // Fig. 2c
+			}
+			if n < 2 {
+				return nil, fmt.Errorf("smapp: refresh needs at least 2 subflows to compare, got %d", n)
+			}
+			return controller.NewRefresh(n), nil
+		})
+	RegisterControllerDesc("ndiffports",
+		"§4.5: open N subflows over the same address pair on distinct ports",
+		func(cfg ControllerConfig) (controller.Controller, error) {
+			n := cfg.Subflows
+			if n == 0 {
+				n = 2 // Fig. 3
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("smapp: ndiffports needs a positive subflow count, got %d", n)
+			}
+			return controller.NewNDiffPorts(n), nil
+		})
 }
