@@ -35,7 +35,9 @@ fmt:
 # Run EVERY registered scenario end to end with -smoke (reduced
 # durations/sizes/seeds); any non-zero exit fails. The list is taken from
 # the scenario registry itself, so a newly registered scenario is smoked
-# automatically — no Makefile edit needed.
+# automatically — no Makefile edit needed. The last step exercises the
+# tracing pipeline end to end: record a traced fig2a run and analyse it
+# with `mpexp report` (text, JSON, and CSV exports all must succeed).
 smoke:
 	@set -e; \
 	bin=$$(mktemp -u); \
@@ -44,7 +46,13 @@ smoke:
 	for s in $$($$bin list -names); do \
 		echo "== smoke: mpexp run $$s"; \
 		$$bin run $$s -smoke >/dev/null; \
-	done
+	done; \
+	tdir=$$(mktemp -d); \
+	echo "== smoke: mpexp run fig2a -trace && mpexp report"; \
+	$$bin run fig2a -smoke -trace $$tdir/fig2a.trace >/dev/null; \
+	$$bin report $$tdir/fig2a.trace -csv $$tdir/csv >/dev/null 2>&1; \
+	$$bin report $$tdir/fig2a.trace -json >/dev/null; \
+	rm -rf $$tdir
 
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,

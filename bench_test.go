@@ -23,8 +23,10 @@ import (
 	"repro/internal/netem"
 	"repro/internal/nlmsg"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/seg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // sweep fans b.N seeds of job across the worker pool and returns the
@@ -231,7 +233,38 @@ func BenchmarkScale(b *testing.B) {
 	report(b, m, "lowest-rtt/kernel_goodput_mbps", "goodput_mbps", 1)
 }
 
+// BenchmarkFig2aTraced reruns the Fig. 2a sweep with the event recorder
+// armed on every host and link, quantifying the full tracing overhead
+// (record volume rides along as a custom metric; compare ns/op and
+// allocs/op against BenchmarkFig2aBackup for the cost of observation).
+func BenchmarkFig2aTraced(b *testing.B) {
+	m := sweep(b, "fig2a-traced", func(seed int64) *experiments.Result {
+		p := scenario.NewParams(nil)
+		p.Set("trace", "") // record + analyse, no file
+		sp, err := scenario.Build("fig2a", p)
+		if err != nil {
+			panic(err)
+		}
+		return scenario.Execute(sp, seed)
+	})
+	b.ReportAllocs()
+	report(b, m, "switch_delay_s", "switch_delay_s", 1)
+	report(b, m, "trace_records", "trace_records", 1)
+}
+
 // --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkTraceRecord measures the recorder's hot call in isolation: a
+// store into a warm ring (wrapping included). allocs/op must stay 0.
+func BenchmarkTraceRecord(b *testing.B) {
+	tr := trace.New(1 << 12)
+	sh := tr.Shard("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Rec(sim.Time(i), trace.KSend, 1, uint64(i), 1380, uint64(i), trace.FRetrans)
+	}
+}
 
 // BenchmarkLinkDelivery measures the in-memory seg→netem→host delivery
 // path in isolation: pooled segment, pooled packet, pooled events. The

@@ -12,6 +12,14 @@
 //	mpexp list [-names]
 //	mpexp all            (every registered scenario + the paper's
 //	                      baseline variants, honouring the common flags)
+//	mpexp report <tracefile ...> [-csv DIR] [-json]
+//
+// Any run can record an event trace (-trace FILE, or the trace=FILE
+// scenario parameter): a binary log of scheduler picks, reinjections,
+// DSS reassembly, per-subflow RTT/cwnd, link-level enqueue/drop/deliver
+// and smapp policy decisions. `mpexp report` turns it into the
+// mptcptrace-style analysis (per-subflow byte split, duplicate and
+// reinjection accounting, handover gaps, link utilisation).
 //
 // The figure names also work as subcommands with their familiar flags
 // (`mpexp fig2a -baseline`, `mpexp fig2c -trials 5 -mb 25`, ...); they
@@ -31,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -42,6 +51,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/smapp"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // stringList collects a repeatable flag.
@@ -60,6 +70,7 @@ type runFlags struct {
 	parallel   *int
 	sched      *string
 	controller *string
+	trace      *string
 	cpuprofile *string
 	memprofile *string
 }
@@ -73,6 +84,8 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 			strings.Join(mptcp.SchedulerNames(), ", "))),
 		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the scenario's paper policy)",
 			strings.Join(smapp.ControllerNames(), ", "))),
+		trace: fs.String("trace", "", "record an event trace to this file (inspect with `mpexp report`; "+
+			"multi-run scenarios and sweeps write one file per run/cell; requires -seeds 1)"),
 		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file (covers the whole run)"),
 		memprofile: fs.String("memprofile", "", "write a heap profile to this file at exit"),
 	}
@@ -139,6 +152,9 @@ func (rf *runFlags) params(sets []string, smoke bool) *scenario.Params {
 	if *rf.controller != "" {
 		p.Set("policy", *rf.controller)
 	}
+	if *rf.trace != "" {
+		p.Set("trace", *rf.trace)
+	}
 	if smoke {
 		p.Set("smoke", "true")
 	}
@@ -166,6 +182,12 @@ func (rf *runFlags) validate() {
 // cannot swallow the remaining figures.
 func (rf *runFlags) runScenario(label, name string, p *scenario.Params) bool {
 	rf.validate()
+	// A trace file is written once per run by whichever seed executes,
+	// so concurrent seeds would corrupt it: tracing to a file requires
+	// -seeds 1 (bare `-set trace` — no file — is fine at any count).
+	if file := p.Clone().Str("trace", ""); file != "" && *rf.seeds > 1 {
+		die(fmt.Errorf("%s: -trace %s with -seeds %d would write the same file from every seed concurrently; use -seeds 1 (vary -seed across runs instead)", label, file, *rf.seeds))
+	}
 	if _, err := scenario.Build(name, p.Clone()); err != nil {
 		die(err)
 	}
@@ -272,6 +294,59 @@ func cmdSweep(args []string) bool {
 	return true
 }
 
+// cmdReport analyses trace files recorded with `run -trace` (or the
+// trace=FILE scenario parameter): per-connection subflow byte split,
+// reinjection and duplicate accounting, RTT/cwnd summaries, handover
+// gaps, per-link utilisation, and the policy event log.
+func cmdReport(args []string) bool {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	csvDir := fs.String("csv", "", "also write the raw series as CSV files into this directory")
+	jsonOut := fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	// Like the other subcommands, positional arguments (the trace files)
+	// come first and flags follow.
+	i := 0
+	for i < len(args) && !strings.HasPrefix(args[i], "-") {
+		i++
+	}
+	files := args[:i]
+	fs.Parse(args[i:])
+	files = append(files, fs.Args()...)
+	if len(files) == 0 {
+		die(fmt.Errorf("report: no trace file given (record one with `mpexp run <scenario> -trace FILE`)"))
+	}
+	ok := true
+	for _, path := range files {
+		d, err := trace.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpexp:", err)
+			ok = false
+			continue
+		}
+		a := trace.Analyze(d)
+		if len(files) > 1 {
+			fmt.Printf("### %s\n", path)
+		}
+		if *jsonOut {
+			if err := a.JSON(os.Stdout); err != nil {
+				die(err)
+			}
+		} else {
+			fmt.Print(a.Report())
+		}
+		if *csvDir != "" {
+			dir := *csvDir
+			if len(files) > 1 {
+				dir = filepath.Join(dir, filepath.Base(path))
+			}
+			if err := a.WriteCSVs(dir); err != nil {
+				die(err)
+			}
+			fmt.Fprintf(os.Stderr, "[raw series written to %s]\n", dir)
+		}
+	}
+	return ok
+}
+
 func cmdList(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	names := fs.Bool("names", false, "print bare scenario names only (for scripts)")
@@ -320,18 +395,27 @@ func cmdAll(args []string) bool {
 	if scaleCtl == scenario.KernelPolicy {
 		*rf.controller = ""
 	}
+	// One trace file per scenario/variant (suffixed with its label), so
+	// the sequential runs don't overwrite each other's trace.
+	suffixTrace := func(p *scenario.Params, label string) {
+		if *rf.trace != "" {
+			p.Set("trace", *rf.trace+"."+label)
+		}
+	}
 	ok := true
 	for _, name := range scenario.Names() {
 		p := rf.params(nil, *smoke)
 		if name == "scale" && scaleCtl != "" {
 			p.Set("policy", scaleCtl)
 		}
+		suffixTrace(p, name)
 		ok = rf.runScenario(name, name, p) && ok
 		for _, v := range allVariants[name] {
 			p := rf.params(nil, *smoke)
 			for k, val := range v.extra {
 				p.Set(k, val)
 			}
+			suffixTrace(p, v.label)
 			ok = rf.runScenario(v.label, name, p) && ok
 		}
 	}
@@ -419,6 +503,11 @@ func main() {
 	case "list":
 		cmdList(args)
 		return
+	case "report":
+		if !cmdReport(args) {
+			os.Exit(1)
+		}
+		return
 	case "all":
 		ok = cmdAll(args)
 	default:
@@ -432,7 +521,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <run|sweep|list|all|figure> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <run|sweep|list|all|report|figure> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
 APPlications" (CoNEXT'15) plus a scale stress workload, all expressed as
 registered scenario specs.
@@ -441,10 +530,12 @@ registered scenario specs.
   mpexp sweep <scenario> [-schedulers a,b] [-controllers x,y] [-vary k=v1,v2]
   mpexp list [-names]
   mpexp all
+  mpexp report <tracefile ...> [-csv DIR] [-json]
   mpexp fig2a|fig2b|fig2c|fig3|longlived|ctlsweep|schedsweep|scale [flags]
 
 Common flags: -seed N -seeds N -parallel N -sched NAME -controller NAME
--cpuprofile F -memprofile F. Run a subcommand with -h for its flags;
-`+"`mpexp list`"+` shows every registered scenario, scheduler, and controller.`)
+-trace F -cpuprofile F -memprofile F. Run a subcommand with -h for its
+flags; `+"`mpexp list`"+` shows every registered scenario, scheduler, and
+controller; `+"`mpexp run X -trace f && mpexp report f`"+` explains a run.`)
 	os.Exit(2)
 }

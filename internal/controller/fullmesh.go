@@ -2,6 +2,7 @@ package controller
 
 import (
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -44,14 +45,28 @@ type FullMeshStats struct {
 }
 
 type meshConn struct {
-	token   uint32
-	remotes map[netip.AddrPort]bool
+	token uint32
+	// remotes is kept as an ordered list (initial destination first,
+	// announcements in arrival order): meshing iterates it, and a map
+	// here would issue create-subflow commands in a different order each
+	// run, breaking per-seed determinism.
+	remotes []netip.AddrPort
 	// live subflows by (local addr, remote addrport); the source port is
 	// deliberately not part of the key — re-established subflows use
 	// fresh ports.
 	live    map[meshKey]seg.FourTuple
 	pending map[meshKey]func() // scheduled retries, cancellable
 	closed  bool
+}
+
+// hasRemote reports whether the remote is already part of the mesh.
+func (mc *meshConn) hasRemote(r netip.AddrPort) bool {
+	for _, have := range mc.remotes {
+		if have == r {
+			return true
+		}
+	}
+	return false
 }
 
 type meshKey struct {
@@ -95,7 +110,8 @@ func (f *FullMesh) Attach(lib core.Lib) {
 }
 
 // Detach implements Controller: cancel every scheduled retry and forget
-// all connections, so the controller never acts again.
+// all connections, so the controller never acts again. (Cancellation has
+// no observable side effects, so map order is harmless here.)
 func (f *FullMesh) Detach() {
 	for _, mc := range f.conns {
 		mc.closed = true
@@ -107,11 +123,22 @@ func (f *FullMesh) Detach() {
 	f.conns = make(map[uint32]*meshConn)
 }
 
+// tokensInOrder lists the connection tokens sorted, so event fan-outs
+// act on connections in the same order every run.
+func (f *FullMesh) tokensInOrder() []uint32 {
+	tokens := make([]uint32, 0, len(f.conns))
+	for t := range f.conns {
+		tokens = append(tokens, t)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	return tokens
+}
+
 func (f *FullMesh) onCreated(ev *nlmsg.Event) {
 	remote := netip.AddrPortFrom(ev.Tuple.DstIP, ev.Tuple.DstPort)
 	mc := &meshConn{
 		token:   ev.Token,
-		remotes: map[netip.AddrPort]bool{remote: true},
+		remotes: []netip.AddrPort{remote},
 		live:    make(map[meshKey]seg.FourTuple),
 		pending: make(map[meshKey]func()),
 	}
@@ -204,13 +231,13 @@ func (f *FullMesh) onAddAddr(ev *nlmsg.Event) {
 	}
 	port := ev.Port
 	if port == 0 {
-		// Join on the connection's original port when none was announced.
-		for r := range mc.remotes {
-			port = r.Port()
-			break
-		}
+		// Join on the connection's original port when none was announced
+		// (remotes[0] is always the initial destination).
+		port = mc.remotes[0].Port()
 	}
-	mc.remotes[netip.AddrPortFrom(ev.Addr, port)] = true
+	if r := netip.AddrPortFrom(ev.Addr, port); !mc.hasRemote(r) {
+		mc.remotes = append(mc.remotes, r)
+	}
 	f.mesh(mc)
 }
 
@@ -222,23 +249,33 @@ func (f *FullMesh) onRemAddr(ev *nlmsg.Event) {
 
 func (f *FullMesh) onLocalUp(ev *nlmsg.Event) {
 	f.local[ev.Addr] = true
-	for _, mc := range f.conns {
-		f.mesh(mc)
+	for _, token := range f.tokensInOrder() {
+		f.mesh(f.conns[token])
 	}
 }
 
 func (f *FullMesh) onLocalDown(ev *nlmsg.Event) {
 	delete(f.local, ev.Addr)
-	for _, mc := range f.conns {
-		for key, ft := range mc.live {
-			if key.local != ev.Addr {
-				continue
+	for _, token := range f.tokensInOrder() {
+		mc := f.conns[token]
+		// Dismiss the lost interface's subflows in a sorted order: the
+		// remove commands race down the Netlink transport, and map
+		// order here would reorder them across runs.
+		var keys []meshKey
+		for key := range mc.live {
+			if key.local == ev.Addr {
+				keys = append(keys, key)
 			}
+		}
+		sortMeshKeys(keys)
+		for _, key := range keys {
+			ft := mc.live[key]
 			delete(mc.live, key)
 			f.Stats.SubflowsDismissed++
 			f.lib.RemoveSubflow(mc.token, ft, nil)
 		}
-		// Cancel any retry scheduled for the lost interface.
+		// Cancel any retry scheduled for the lost interface (cancel
+		// order is unobservable; no sort needed).
 		for key, cancel := range mc.pending {
 			if key.local == ev.Addr {
 				cancel()
@@ -248,13 +285,21 @@ func (f *FullMesh) onLocalDown(ev *nlmsg.Event) {
 	}
 }
 
-// mesh creates any missing local×remote subflow.
+// mesh creates any missing local×remote subflow. Local addresses are
+// walked in sorted order and remotes in announcement order, so the
+// create commands (and the random ports they draw) are issued in the
+// same order every run.
 func (f *FullMesh) mesh(mc *meshConn) {
 	if mc == nil || mc.closed {
 		return
 	}
+	locals := make([]netip.Addr, 0, len(f.local))
 	for laddr := range f.local {
-		for remote := range mc.remotes {
+		locals = append(locals, laddr)
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i].Less(locals[j]) })
+	for _, laddr := range locals {
+		for _, remote := range mc.remotes {
 			key := meshKey{laddr, remote}
 			if _, alive := mc.live[key]; alive {
 				continue
@@ -265,4 +310,17 @@ func (f *FullMesh) mesh(mc *meshConn) {
 			f.create(mc, key)
 		}
 	}
+}
+
+// sortMeshKeys orders keys by (local, remote) address and port.
+func sortMeshKeys(keys []meshKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if c := keys[i].local.Compare(keys[j].local); c != 0 {
+			return c < 0
+		}
+		if c := keys[i].remote.Addr().Compare(keys[j].remote.Addr()); c != 0 {
+			return c < 0
+		}
+		return keys[i].remote.Port() < keys[j].remote.Port()
+	})
 }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// runTraced builds a registered scenario with tracing to a temp file,
+// executes it at seed 1, and returns the report plus the parsed trace.
+func runTraced(t *testing.T, name string, params map[string]string) (report string, data *trace.Data) {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), name+".trace")
+	p := scenario.NewParams(params)
+	p.Set("trace", file)
+	sp, err := scenario.Build(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.Execute(sp, 1)
+	d, err := trace.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Report, d
+}
+
+// TestFig2aGoldenSeed1Traced pins the observer property end to end: the
+// fig2a seed-1 report with tracing enabled must stay byte-identical to
+// the pre-trace golden — recording must not perturb the simulation —
+// and the derived `mpexp report` output is itself golden-pinned.
+func TestFig2aGoldenSeed1Traced(t *testing.T) {
+	report, d := runTraced(t, "fig2a", nil)
+	checkGolden(t, "fig2a_seed1", report)
+	checkGolden(t, "fig2a_trace_report_seed1", trace.Analyze(d).Report())
+}
+
+// TestScaleTraceReport drives the acceptance criterion on the scale
+// scenario: the analysis of a traced (smoke-sized) scale run must carry
+// per-subflow byte splits, reinjection accounting, and RTT/cwnd series,
+// and both exports must succeed.
+func TestScaleTraceReport(t *testing.T) {
+	_, d := runTraced(t, "scale", map[string]string{"smoke": "true"})
+	a := trace.Analyze(d)
+
+	carrying := 0
+	rttSeries := 0
+	for _, c := range a.Conns {
+		for _, f := range c.Flows {
+			if f.Bytes > 0 {
+				carrying++
+			}
+			if len(f.RTT) > 0 && len(f.Cwnd) > 0 {
+				rttSeries++
+			}
+		}
+	}
+	// 4 smoke clients × 2 interfaces: at least the four initial
+	// subflows must carry data and have congestion series.
+	if carrying < 4 || rttSeries < 4 {
+		t.Fatalf("scale trace analysis too thin: %d flows with bytes, %d with rtt/cwnd series", carrying, rttSeries)
+	}
+	rep := a.Report()
+	for _, want := range []string{"subflow byte split", "rtt/cwnd", "== links =="} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("scale report lacks %q:\n%s", want, rep)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := a.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"flows.csv", "links.csv", "seq.csv", "cc.csv", "handovers.csv", "policy.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing CSV export: %v", err)
+		}
+	}
+	var sb strings.Builder
+	if err := a.JSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"conns\"") {
+		t.Fatal("JSON export lacks conns")
+	}
+}
+
+// TestTraceReportRepeatable guards the report golden the same way
+// TestGoldenRunsAreRepeatable guards the figure goldens: two traced
+// runs at the same seed must produce byte-identical analysis reports.
+func TestTraceReportRepeatable(t *testing.T) {
+	_, d1 := runTraced(t, "fig2a", nil)
+	_, d2 := runTraced(t, "fig2a", nil)
+	r1, r2 := trace.Analyze(d1).Report(), trace.Analyze(d2).Report()
+	if r1 != r2 {
+		t.Fatalf("two traced fig2a runs at seed 1 disagree:\n--- first ---\n%s\n--- second ---\n%s", r1, r2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/seg"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 )
 
 // ConnCallbacks are the application-facing notifications of a connection.
@@ -89,6 +90,12 @@ type Connection struct {
 	TracePush func(sf *tcp.Subflow, rel uint64, ln int, reinjected bool)
 
 	pickBuf []*tcp.Subflow // reused scheduler-target scratch (push)
+
+	// Trace recording (nil shard = off); the connection registers one
+	// trace entity per subflow and records scheduler picks, reassembly
+	// progress, and subflow churn against them.
+	tsh *trace.Shard
+	tid uint32
 
 	stats ConnStats
 }
@@ -340,6 +347,10 @@ func (c *Connection) newSubflow(tuple seg.FourTuple, m *sfMeta) *tcp.Subflow {
 		cfg.NewCong = c.coupled.newCong
 	}
 	sf := tcp.NewSubflow(c.ep.sim, cfg, tuple, c.ep.output, c)
+	if c.tsh != nil {
+		sf.SetTrace(c.tsh, c.tsh.Tracer().Register(trace.EntFlow, c.tid,
+			c.ep.host.Name()+"/"+tuple.String()))
+	}
 	if c.coupled != nil {
 		c.coupled.bind(sf)
 	}
@@ -408,6 +419,16 @@ func (c *Connection) push() {
 			c.stats.ChunksPushed++
 			if i > 0 {
 				c.stats.BytesDuplicated += uint64(ln)
+			}
+			if c.tsh != nil {
+				var fl uint8
+				if fromRe {
+					fl |= trace.FReinject
+				}
+				if i > 0 {
+					fl |= trace.FDup
+				}
+				c.tsh.Rec(c.ep.sim.Now(), trace.KPick, sf.TraceID(), rel, uint32(ln), 0, fl)
 			}
 			if c.TracePush != nil {
 				// Redundant copies are first transmissions, not
@@ -638,6 +659,13 @@ func (c *Connection) OnEstablished(sf *tcp.Subflow) {
 			c.onAccept(c)
 		}
 	}
+	if c.tsh != nil {
+		var fl uint8
+		if sf.Backup() {
+			fl = trace.FBackup
+		}
+		c.tsh.Rec(c.ep.sim.Now(), trace.KSubAdd, sf.TraceID(), 0, 0, 0, fl)
+	}
 	c.ep.pm.SubflowEstablished(c, sf)
 	c.push()
 }
@@ -695,7 +723,15 @@ func (c *Connection) handleDSS(sf *tcp.Subflow, s *seg.Segment, d *seg.DSS, hasN
 			c.peerFinSeen = true
 			c.peerFinRel = hi - 1
 		}
-		if c.rcv.receive(lo, hi) {
+		advanced := c.rcv.receive(lo, hi)
+		if c.tsh != nil {
+			var fl uint8
+			if advanced {
+				fl = trace.FAdvance
+			}
+			c.tsh.Rec(c.ep.sim.Now(), trace.KReassm, c.tid, lo, uint32(d.MapLen), c.rcv.nxt, fl)
+		}
+		if advanced {
 			if c.cb.OnData != nil {
 				c.cb.OnData(c, c.RcvBytes())
 			}
@@ -734,6 +770,7 @@ func (c *Connection) OnTimeout(sf *tcp.Subflow, rto time.Duration, backoffs int)
 
 // OnClosed implements tcp.Owner.
 func (c *Connection) OnClosed(sf *tcp.Subflow, reason tcp.Errno) {
+	c.tsh.Rec(c.ep.sim.Now(), trace.KSubDel, sf.TraceID(), 0, 0, uint64(int64(reason)), 0)
 	c.reinjectSubflowData(sf)
 	c.removeSubflow(sf)
 	c.stats.SubflowsClosed++

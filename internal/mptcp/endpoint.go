@@ -8,6 +8,7 @@ import (
 	"repro/internal/seg"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 )
 
 // Config tunes an endpoint's Multipath TCP stack.
@@ -24,6 +25,11 @@ type Config struct {
 	// Coupled enables LIA coupled congestion control (RFC 6356) across the
 	// subflows of each connection instead of independent Reno.
 	Coupled bool
+	// Trace, when non-nil, records every connection's protocol events
+	// (scheduler picks, reinjections, DSS reassembly, subflow churn,
+	// per-subflow send/recv/RTT/cwnd) into this shard — by convention
+	// the owning host's shard of a per-run trace.Tracer.
+	Trace *trace.Shard
 }
 
 // Endpoint is the per-host Multipath TCP stack: it owns connections,
@@ -152,6 +158,11 @@ func (ep *Endpoint) newConn(isClient bool, initial seg.FourTuple, cb ConnCallbac
 	}
 	if ep.cfg.Coupled {
 		c.coupled = newCoupledGroup(c.mss, ep.cfg.TCP.InitialWindow)
+	}
+	if sh := ep.cfg.Trace; sh != nil {
+		c.tsh = sh
+		c.tid = sh.Tracer().Register(trace.EntConn, 0,
+			fmt.Sprintf("%s/conn-%08x", ep.host.Name(), token))
 	}
 	ep.tokens[token] = c
 	ep.conns[c] = struct{}{}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/seg"
 	"repro/internal/sim"
 	"repro/internal/testutil"
+	"repro/internal/trace"
 )
 
 // TestLinkDeliveryAllocFree pins the tentpole property: once pools are
@@ -57,6 +58,54 @@ func TestLinkDeliveryAllocFree(t *testing.T) {
 	}
 	if avg > 0.05 {
 		t.Fatalf("in-memory link delivery allocates %.2f allocs/op, want ~0", avg)
+	}
+}
+
+// TestLinkDeliveryAllocFreeTraced repeats the alloc-free delivery check
+// with a trace recorder attached to the link: the enqueue/deliver hooks
+// must be stores into the preallocated ring, adding zero allocations to
+// the per-packet path.
+func TestLinkDeliveryAllocFreeTraced(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts differ under -race instrumentation")
+	}
+	s := sim.New(1)
+	src := netip.MustParseAddr("10.0.0.1")
+	dstAddr := netip.MustParseAddr("10.0.0.2")
+
+	rx := NewHost(s, "rx")
+	delivered := 0
+	rx.SetHandler(func(p *Packet) {
+		delivered++
+		p.Release()
+	})
+	tx := NewHost(s, "tx")
+	wire := NewLink(s, "wire", rx, LinkConfig{RateBps: 1e9, Delay: time.Millisecond})
+	tr := trace.New(1 << 10)
+	wire.SetTrace(tr.Shard("net"), tr.Register(trace.EntLink, 0, wire.Name()))
+	tx.AddIface("eth0", src, wire)
+
+	send := func() {
+		sg := seg.Shared.Get()
+		sg.Tuple = seg.FourTuple{SrcIP: src, DstIP: dstAddr, SrcPort: 1000, DstPort: 80}
+		sg.Flags = seg.ACK | seg.PSH
+		sg.PayloadLen = 1380
+		tx.Send(NewPacket(sg))
+		s.RunFor(5 * time.Millisecond)
+	}
+	for i := 0; i < 128; i++ {
+		send()
+	}
+	before := delivered
+	avg := testing.AllocsPerRun(2000, send)
+	if delivered <= before {
+		t.Fatal("packets were not delivered")
+	}
+	if tr.Shard("net").Len() == 0 {
+		t.Fatal("nothing was recorded")
+	}
+	if avg > 0.05 {
+		t.Fatalf("traced link delivery allocates %.2f allocs/op, want ~0", avg)
 	}
 }
 

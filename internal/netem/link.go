@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // LinkStats counts traffic through one unidirectional link.
@@ -39,6 +40,11 @@ type Link struct {
 	// one name string per link keeps the per-packet path allocation-free.
 	serName, dlvName string
 	serFn, dlvFn     func(any)
+
+	// Trace recording (nil shard = off): enqueue/drop/deliver events
+	// for the per-link utilisation and drop analysis.
+	tsh *trace.Shard
+	tid uint32
 
 	Stats LinkStats
 }
@@ -78,14 +84,31 @@ func NewLink(s *sim.Simulator, name string, dst Node, cfg LinkConfig) *Link {
 		pkt := a.(*Packet)
 		if !l.up { // cut while in flight
 			l.Stats.DropDown++
+			l.trace(trace.KLinkDrop, pkt.Size, trace.DropDown)
 			pkt.Release()
 			return
 		}
 		l.Stats.Sent++
 		l.Stats.Bytes += uint64(pkt.Size)
+		l.trace(trace.KLinkDlv, pkt.Size, 0)
 		l.dst.Input(pkt)
 	}
 	return l
+}
+
+// SetTrace binds the link to a trace shard under the given entity id
+// (nil shard = tracing off).
+func (l *Link) SetTrace(sh *trace.Shard, id uint32) {
+	l.tsh = sh
+	l.tid = id
+}
+
+// trace records one link event; a nil-guarded store, no allocation.
+func (l *Link) trace(k trace.Kind, size int, flag uint8) {
+	if l.tsh == nil {
+		return
+	}
+	l.tsh.Rec(l.sim.Now(), k, l.tid, 0, uint32(size), 0, flag)
 }
 
 // Name identifies the link in traces.
@@ -115,14 +138,17 @@ func (l *Link) Up() bool { return l.up }
 func (l *Link) Send(pkt *Packet) {
 	if !l.up {
 		l.Stats.DropDown++
+		l.trace(trace.KLinkDrop, pkt.Size, trace.DropDown)
 		pkt.Release()
 		return
 	}
 	if l.queued >= l.qcap {
 		l.Stats.DropQueue++
+		l.trace(trace.KLinkDrop, pkt.Size, trace.DropQueue)
 		pkt.Release()
 		return
 	}
+	l.trace(trace.KLinkEnq, pkt.Size, 0)
 	// The loss draw happens at enqueue time; one draw per packet.
 	lost := l.loss > 0 && l.sim.Rand().Float64() < l.loss
 
@@ -141,6 +167,7 @@ func (l *Link) Send(pkt *Packet) {
 	l.sim.ScheduleArg(l.busyUntil, l.serName, l.serFn, nil)
 	if lost {
 		l.Stats.LostRand++
+		l.trace(trace.KLinkDrop, pkt.Size, trace.DropLoss)
 		pkt.Release()
 		return
 	}

@@ -13,6 +13,7 @@ package pm
 
 import (
 	"net/netip"
+	"sort"
 
 	"repro/internal/mptcp"
 )
@@ -22,24 +23,36 @@ import (
 // announces an address), it creates one subflow for every local×remote
 // address pair. Only the client creates subflows, because the server is
 // typically behind a NAT or firewall (§2).
+//
+// Connections are kept in creation order, not in a map: interface events
+// fan out to every connection, and iterating a map would open subflows
+// (and draw their random ports) in a different order each run, breaking
+// per-seed determinism.
 type FullMesh struct {
 	mptcp.NopPM
-	conns map[*mptcp.Connection]struct{}
+	conns []*mptcp.Connection
 }
 
 // NewFullMesh returns a full-mesh path manager.
 func NewFullMesh() *FullMesh {
-	return &FullMesh{conns: make(map[*mptcp.Connection]struct{})}
+	return &FullMesh{}
 }
 
 // Name implements mptcp.PathManager.
 func (*FullMesh) Name() string { return "fullmesh" }
 
 // ConnCreated implements mptcp.PathManager.
-func (f *FullMesh) ConnCreated(c *mptcp.Connection) { f.conns[c] = struct{}{} }
+func (f *FullMesh) ConnCreated(c *mptcp.Connection) { f.conns = append(f.conns, c) }
 
 // ConnClosed implements mptcp.PathManager.
-func (f *FullMesh) ConnClosed(c *mptcp.Connection) { delete(f.conns, c) }
+func (f *FullMesh) ConnClosed(c *mptcp.Connection) {
+	for i, oc := range f.conns {
+		if oc == c {
+			f.conns = append(f.conns[:i], f.conns[i+1:]...)
+			return
+		}
+	}
+}
 
 // ConnEstablished implements mptcp.PathManager.
 func (f *FullMesh) ConnEstablished(c *mptcp.Connection) { f.mesh(c) }
@@ -53,7 +66,7 @@ func (f *FullMesh) AddrAnnounced(c *mptcp.Connection, id uint8, addr netip.Addr,
 // LocalAddrUp implements mptcp.PathManager: a new local interface extends
 // the mesh of every connection.
 func (f *FullMesh) LocalAddrUp(addr netip.Addr) {
-	for c := range f.conns {
+	for _, c := range append([]*mptcp.Connection(nil), f.conns...) {
 		f.mesh(c)
 	}
 }
@@ -61,7 +74,7 @@ func (f *FullMesh) LocalAddrUp(addr netip.Addr) {
 // LocalAddrDown implements mptcp.PathManager: subflows bound to the lost
 // interface are removed immediately, like the kernel implementation.
 func (f *FullMesh) LocalAddrDown(addr netip.Addr) {
-	for c := range f.conns {
+	for _, c := range append([]*mptcp.Connection(nil), f.conns...) {
 		// Subflows returns a defensive copy, so closing while iterating
 		// cannot invalidate the range.
 		for _, sf := range c.Subflows() {
@@ -84,7 +97,16 @@ func (f *FullMesh) mesh(c *mptcp.Connection) {
 	}
 	init := c.InitialTuple()
 	remotes := []rmt{{init.DstIP, init.DstPort}}
-	for _, ap := range c.PeerAddrs() {
+	// PeerAddrs is a map; walk it by sorted address ID so subflows (and
+	// their random source ports) are opened in the same order every run.
+	peers := c.PeerAddrs()
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ap := peers[uint8(id)]
 		port := ap.Port()
 		if port == 0 {
 			port = init.DstPort

@@ -72,6 +72,15 @@ func (p *Params) fail(key, val string, err error) {
 	}
 }
 
+// Has reports whether the key was set at all (marking it consumed), for
+// knobs where a bare `-set key` and `key=value` both mean "on" but the
+// empty value is meaningful (the trace parameter: bare = record without
+// writing a file).
+func (p *Params) Has(key string) bool {
+	_, ok := p.lookup(key)
+	return ok
+}
+
 // Str returns a string parameter.
 func (p *Params) Str(key, def string) string {
 	if v, ok := p.lookup(key); ok {

@@ -101,6 +101,16 @@ func Build(name string, p *Params) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}
+	// Every registered scenario accepts the tracing knobs: `trace=FILE`
+	// writes the binary event trace for `mpexp report` (bare `trace`
+	// records and summarises without a file), `trace_cap=N` bounds each
+	// ring shard. Handled here so no factory needs trace-specific code.
+	// Both keys are consumed unconditionally so `trace_cap` alone never
+	// trips the unknown-parameter check.
+	traceFile, traceCap := p.Str("trace", ""), p.Int("trace_cap", 0)
+	if p.Has("trace") {
+		EnableTrace(sp, traceFile, traceCap)
+	}
 	if err := p.Err(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smapp"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Spec is one named scenario: a report header, one or more simulation
@@ -79,6 +80,11 @@ type RunSpec struct {
 	Events []Event
 	Probes []Probe
 	Stop   Stop
+
+	// Trace, when non-nil, records the run's protocol/fabric events
+	// into a per-run trace.Tracer (see EnableTrace; usually set by the
+	// `trace=` parameter rather than by spec factories).
+	Trace *TraceSpec
 }
 
 // Event is a scheduled network change: a loss step, an interface flap, a
@@ -131,6 +137,7 @@ type Run struct {
 	Stack    *smapp.Stack // nil when the workload owns its stacks
 	ServerEp *mptcp.Endpoint
 	Conn     *mptcp.Connection // last connection dialed through the stack
+	Tracer   *trace.Tracer     // nil unless the run is traced
 
 	Result *stats.Result
 	Wall   time.Duration // wall-clock cost of the whole run
@@ -187,16 +194,26 @@ func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 	seed := baseSeed + rs.SeedOffset
 	s := sim.New(seed)
 	rt := &Run{Spec: rs, Seed: seed, Sim: s, Result: res}
+	if rs.Trace != nil {
+		rt.Tracer = trace.New(rs.Trace.Cap)
+	}
 	rt.Net = rs.Topology.Build(s, seed)
+	rt.wireTrace()
 
 	if _, owns := rs.Workload.(StackOwner); !owns {
-		scfg := smapp.Config{MPTCP: mptcp.Config{Scheduler: rs.Sched}, Stressed: rs.Stressed}
+		csh := rt.TraceShard(rt.Net.Client().Host.Name())
+		scfg := smapp.Config{
+			MPTCP:    mptcp.Config{Scheduler: rs.Sched, Trace: csh},
+			Stressed: rs.Stressed,
+			Trace:    csh,
+		}
 		if rs.KernelPM != nil {
 			scfg.KernelPM = rs.KernelPM()
 		}
 		rt.Stack = smapp.New(rt.Net.Client().Host, scfg)
 	}
-	rt.ServerEp = mptcp.NewEndpoint(rt.Net.Server, mptcp.Config{Scheduler: rs.Sched}, nil)
+	rt.ServerEp = mptcp.NewEndpoint(rt.Net.Server,
+		mptcp.Config{Scheduler: rs.Sched, Trace: rt.TraceShard(rt.Net.Server.Name())}, nil)
 	rs.Workload.Server(rt)
 	if rs.Settle > 0 {
 		s.RunFor(rs.Settle)

@@ -71,6 +71,15 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 
 	cells := crossProduct(axes)
 	sr := &SweepResult{Scenario: cfg.Scenario, Config: cfg}
+	// A trace file in the base parameters fans out per cell (suffixed
+	// with the cell label) so sequential cells cannot overwrite each
+	// other; within a cell the seeds run concurrently, so a traced
+	// sweep must stay single-seed (bare `trace` — no file — is safe at
+	// any seed count).
+	traceFile := cfg.Base.Clone().Str("trace", "")
+	if traceFile != "" && cfg.Seeds > 1 {
+		return nil, fmt.Errorf("scenario: trace=%s with %d seeds would write one file from every seed concurrently; use one seed per traced sweep", traceFile, cfg.Seeds)
+	}
 	// Validate every cell before simulating anything.
 	params := make([]*Params, len(cells))
 	for i, overrides := range cells {
@@ -78,6 +87,9 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 		for _, kv := range overrides {
 			k, v, _ := strings.Cut(kv, "=")
 			p.Set(k, v)
+		}
+		if traceFile != "" && len(cells) > 1 {
+			p.Set("trace", traceFile+"."+sanitizeLabel(strings.Join(overrides, "_")))
 		}
 		if _, err := Build(cfg.Scenario, p.Clone()); err != nil {
 			return nil, err

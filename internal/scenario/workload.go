@@ -298,16 +298,22 @@ func (w *FanOut) Client(rt *Run) {
 		src := app.NewSource(rt.Sim, w.Bytes, true)
 		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
 		w.DialAt[i] = at
+		// Per-client hosts record into their own trace shards (nil when
+		// the run is untraced — SetTrace/Config treat nil as off).
+		csh := rt.TraceShard(cl.Host.Name())
 		switch rt.Spec.Policy {
 		case KernelPolicy:
-			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched}, pm.NewFullMesh())
+			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh}, pm.NewFullMesh())
 			rt.Sim.Schedule(at, "scale.dial", func() {
 				if _, err := ep.Connect(cl.Addrs[0], rt.Net.ServerAddr, rt.Port(), src.Callbacks()); err != nil {
 					panic(err)
 				}
 			})
 		default:
-			st := smapp.New(cl.Host, smapp.Config{MPTCP: mptcp.Config{Scheduler: rt.Spec.Sched}})
+			st := smapp.New(cl.Host, smapp.Config{
+				MPTCP: mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh},
+				Trace: csh,
+			})
 			pcfg := rt.Spec.PolicyCfg
 			if len(pcfg.Addrs) == 0 {
 				pcfg.Addrs = cl.Addrs

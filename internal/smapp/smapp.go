@@ -26,6 +26,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/nlmsg"
 	"repro/internal/seg"
+	"repro/internal/trace"
 )
 
 // Config tunes a Stack.
@@ -46,6 +47,10 @@ type Config struct {
 	Clock core.Clock
 	// Pid is the Netlink port id of the library (0 = 1).
 	Pid uint32
+	// Trace, when non-nil, records policy bindings, switches, and every
+	// controller command into this shard (the kernel-side protocol
+	// events ride on MPTCP.Trace, usually the same shard).
+	Trace *trace.Shard
 }
 
 // StackStats counts facade activity.
@@ -75,6 +80,8 @@ type Stack struct {
 	order    []uint32 // binding tokens in attach order (deterministic fan-out)
 	pending  map[uint32][]*nlmsg.Event
 
+	tsh *trace.Shard // policy-event recording (nil = off)
+
 	Stats StackStats
 }
 
@@ -83,6 +90,7 @@ type binding struct {
 	policy string
 	ctl    controller.Controller
 	host   *policyHost
+	tid    uint32 // trace entity of this binding (0 = untraced)
 }
 
 // New builds the full in-process stack for a host: simulated Netlink
@@ -94,6 +102,7 @@ func New(host *netem.Host, cfg Config) *Stack {
 		Host:     host,
 		bindings: make(map[uint32]*binding),
 		pending:  make(map[uint32][]*nlmsg.Event),
+		tsh:      cfg.Trace,
 	}
 	if cfg.KernelPM != nil {
 		st.Endpoint = mptcp.NewEndpoint(host, cfg.MPTCP, cfg.KernelPM)
@@ -305,8 +314,14 @@ func (st *Stack) fillDefaults(pcfg *ControllerConfig) {
 
 func (st *Stack) bind(token uint32, policy string, ctl controller.Controller) {
 	h := &policyHost{st: st}
+	b := &binding{policy: policy, ctl: ctl, host: h}
+	if st.tsh != nil {
+		b.tid = st.tsh.Tracer().Register(trace.EntPolicy, 0, st.Host.Name()+"/"+policy)
+		h.tid = b.tid
+		st.tsh.Rec(st.Host.Sim().Now(), trace.KPolicyAttach, b.tid, uint64(token), 0, 0, 0)
+	}
 	ctl.Attach(h)
-	st.bindings[token] = &binding{policy: policy, ctl: ctl, host: h}
+	st.bindings[token] = b
 	st.order = append(st.order, token)
 	st.Stats.PoliciesAttached++
 	for _, ev := range st.pending[token] {
@@ -317,6 +332,9 @@ func (st *Stack) bind(token uint32, policy string, ctl controller.Controller) {
 }
 
 func (st *Stack) unbind(token uint32) {
+	if b := st.bindings[token]; b != nil && b.tid != 0 {
+		st.tsh.Rec(st.Host.Sim().Now(), trace.KPolicyDetach, b.tid, uint64(token), 0, 0, 0)
+	}
 	delete(st.bindings, token)
 	for i, t := range st.order {
 		if t == token {
@@ -398,6 +416,16 @@ func (st *Stack) replay(conn *mptcp.Connection) {
 type policyHost struct {
 	st  *Stack
 	cbs core.Callbacks
+	tid uint32 // trace entity of the binding (0 = untraced)
+}
+
+// traceCmd records one controller command against the binding's policy
+// entity (a nil-guarded store; untraced stacks pay a branch).
+func (h *policyHost) traceCmd(cmd uint8, token uint32) {
+	if h.tid == 0 {
+		return
+	}
+	h.st.tsh.Rec(h.st.Host.Sim().Now(), trace.KPolicyCmd, h.tid, uint64(token), 0, 0, cmd)
 }
 
 // Register implements core.Lib.
@@ -410,21 +438,25 @@ func (h *policyHost) Register(cbs core.Callbacks, done func(errno uint32)) {
 
 // CreateSubflow implements core.Lib.
 func (h *policyHost) CreateSubflow(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32)) {
+	h.traceCmd(trace.CmdCreateSubflow, token)
 	h.st.Lib.CreateSubflow(token, ft, backup, done)
 }
 
 // RemoveSubflow implements core.Lib.
 func (h *policyHost) RemoveSubflow(token uint32, ft seg.FourTuple, done func(errno uint32)) {
+	h.traceCmd(trace.CmdRemoveSubflow, token)
 	h.st.Lib.RemoveSubflow(token, ft, done)
 }
 
 // SetBackup implements core.Lib.
 func (h *policyHost) SetBackup(token uint32, ft seg.FourTuple, backup bool, done func(errno uint32)) {
+	h.traceCmd(trace.CmdSetBackup, token)
 	h.st.Lib.SetBackup(token, ft, backup, done)
 }
 
 // AnnounceAddr implements core.Lib.
 func (h *policyHost) AnnounceAddr(token uint32, addr netip.Addr, port uint16, done func(errno uint32)) {
+	h.traceCmd(trace.CmdAnnounceAddr, token)
 	h.st.Lib.AnnounceAddr(token, addr, port, done)
 }
 

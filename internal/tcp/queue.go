@@ -57,6 +57,7 @@ func putChunks(cs []*Chunk) {
 // chunks are popped from the front.
 type sendQueue struct {
 	chunks []*Chunk
+	acked  []*Chunk // reused ackThrough result buffer
 }
 
 func (q *sendQueue) push(c *Chunk) { q.chunks = append(q.chunks, c) }
@@ -66,7 +67,11 @@ func (q *sendQueue) all() []*Chunk { return q.chunks }
 func (q *sendQueue) front() *Chunk { return q.chunks[0] }
 
 // ackThrough removes chunks fully covered by the cumulative ack and returns
-// them (for RTT sampling and data-level bookkeeping).
+// them (for RTT sampling and data-level bookkeeping). The returned slice is
+// a per-queue scratch reused by the next call: survivors are compacted to
+// the front of the same backing array instead of re-slicing past them, so
+// the push/ack steady state never erodes capacity and never reallocates —
+// the send queue's share of the 0 allocs/op data path.
 func (q *sendQueue) ackThrough(ack uint32) []*Chunk {
 	i := 0
 	for i < len(q.chunks) {
@@ -77,9 +82,16 @@ func (q *sendQueue) ackThrough(ack uint32) []*Chunk {
 			break
 		}
 	}
-	acked := q.chunks[:i]
-	q.chunks = q.chunks[i:]
-	return acked
+	if i == 0 {
+		return nil
+	}
+	q.acked = append(q.acked[:0], q.chunks[:i]...)
+	n := copy(q.chunks, q.chunks[i:])
+	for j := n; j < len(q.chunks); j++ {
+		q.chunks[j] = nil // drop references to chunks headed for the pool
+	}
+	q.chunks = q.chunks[:n]
+	return q.acked
 }
 
 // nextToSend returns the first chunk needing (re)transmission: lost chunks

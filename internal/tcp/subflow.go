@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/seg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // State is the subflow TCP state (a pragmatic subset of RFC 793).
@@ -197,6 +198,11 @@ type Subflow struct {
 	stats    Stats
 
 	sackScratch []sackRange // reused per-ACK SACK block buffer
+
+	// Trace recording (nil shard = tracing off; every hook is a
+	// nil-guarded store into a preallocated ring, never an allocation).
+	tsh *trace.Shard
+	tid uint32
 }
 
 // NewSubflow creates a subflow bound to tuple. It starts closed; call
@@ -224,6 +230,27 @@ func NewSubflow(s *sim.Simulator, cfg Config, tuple seg.FourTuple, out Output, o
 
 // Tuple reports the subflow's 4-tuple.
 func (sf *Subflow) Tuple() seg.FourTuple { return sf.tuple }
+
+// SetTrace binds the subflow to a trace shard under the given entity
+// id. The owner (the MPTCP connection) registers the entity and calls
+// this at subflow creation; a nil shard leaves tracing off.
+func (sf *Subflow) SetTrace(sh *trace.Shard, id uint32) {
+	sf.tsh = sh
+	sf.tid = id
+}
+
+// TraceID reports the subflow's trace entity id (0 = untraced).
+func (sf *Subflow) TraceID() uint32 { return sf.tid }
+
+// traceCC records the congestion state (SRTT, flight, cwnd) after an
+// update — the raw material of the analyzer's RTT/cwnd time series.
+func (sf *Subflow) traceCC() {
+	if sf.tsh == nil {
+		return
+	}
+	sf.tsh.Rec(sf.sim.Now(), trace.KCC, sf.tid,
+		uint64(sf.rtt.SRTT()), uint32(sf.sq.flight()), uint64(sf.cc.Cwnd()), 0)
+}
 
 // State reports the current TCP state.
 func (sf *Subflow) State() State { return sf.state }
@@ -505,6 +532,13 @@ func (sf *Subflow) sendChunk(c *Chunk) {
 		sf.stats.BytesSent += uint64(c.Len)
 	}
 	c.sentAt = sf.sim.Now()
+	if sf.tsh != nil {
+		var fl uint8
+		if retrans {
+			fl = trace.FRetrans
+		}
+		sf.tsh.Rec(c.sentAt, trace.KSend, sf.tid, uint64(c.SubSeq), uint32(c.Len), c.DataSeq, fl)
+	}
 	s := seg.Shared.Get()
 	s.Tuple = sf.tuple
 	s.Seq = c.SubSeq
@@ -664,6 +698,9 @@ func (sf *Subflow) die(reason Errno) {
 // by 4-tuple and calls this).
 func (sf *Subflow) HandleSegment(s *seg.Segment) {
 	sf.stats.SegsRcvd++
+	if sf.tsh != nil {
+		sf.tsh.Rec(sf.sim.Now(), trace.KRecv, sf.tid, uint64(s.Seq), uint32(s.PayloadLen), uint64(s.Ack), 0)
+	}
 	switch sf.state {
 	case StateClosed:
 		if s.Is(seg.SYN) && !s.Is(seg.ACK) {
@@ -761,6 +798,7 @@ func (sf *Subflow) becomeEstablished() {
 	sf.synRexmits = 0
 	sf.synTimer.Stop()
 	sf.pushNxt = sf.sndNxt
+	sf.traceCC() // first RTT sample (handshake) and the initial window
 	sf.owner.OnEstablished(sf)
 	sf.trySend()
 }
@@ -838,6 +876,7 @@ func (sf *Subflow) processAck(s *seg.Segment) {
 			sf.finAcked = true
 		}
 		sf.cc.OnAck(payloadAcked, flightBefore)
+		sf.traceCC()
 		sf.restartRTO()
 		sf.trySend()
 		sf.owner.OnAckAdvance(sf, acked)
@@ -887,6 +926,7 @@ func (sf *Subflow) processSACK(s *seg.Segment) {
 		// ssthresh halves the window outstanding at loss detection, NOT
 		// the post-SACK pipe (which the loss episode already shrank).
 		sf.cc.OnDupAckLoss(sf.outstanding())
+		sf.traceCC()
 	}
 	// SACKed bytes left the pipe: retransmit holes / send new data.
 	sf.trySend()
@@ -906,6 +946,7 @@ func (sf *Subflow) fastRetransmit() {
 	sf.inRecovery = true
 	sf.recoveryPoint = sf.sndNxt
 	sf.cc.OnDupAckLoss(sf.outstanding())
+	sf.traceCC()
 	front := sf.sq.front()
 	if front.sent && !front.sacked {
 		// The lost segment is retransmitted immediately, outside the
@@ -960,6 +1001,7 @@ func (sf *Subflow) onRTO() {
 	sf.backoffs++
 	sf.sq.markAllLost()
 	sf.cc.OnRTO(sf.outstanding())
+	sf.traceCC()
 	sf.dupAcks = 0
 	sf.inRecovery = false // the RTO supersedes any SACK recovery episode
 	rto := sf.CurrentRTO()

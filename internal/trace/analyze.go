@@ -1,0 +1,548 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Point is one (time, value) sample of an exported series.
+type Point struct {
+	T float64 `json:"t"`
+	Y float64 `json:"y"`
+}
+
+// Flow is the per-subflow analysis: the byte/sequence split the paper's
+// Fig. 2a plots, plus segment, retransmission, and congestion series.
+type Flow struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+
+	// Scheduler placement (sender side, from KPick records).
+	Bytes       uint64  `json:"bytes"`        // first-time scheduled payload bytes
+	ReinjBytes  uint64  `json:"reinj_bytes"`  // bytes carried as reinjections
+	DupBytes    uint64  `json:"dup_bytes"`    // redundant duplicate copies
+	FirstPushS  float64 `json:"first_push_s"` // -1 = never carried data
+	LastPushS   float64 `json:"last_push_s"`
+	SegsSent    uint64  `json:"segs_sent"`
+	SegsRetrans uint64  `json:"segs_retrans"`
+	SegsRecvd   uint64  `json:"segs_recvd"`
+	Backup      bool    `json:"backup"`
+	ClosedErrno int64   `json:"closed_errno"` // -1 = still open at trace end
+
+	// Congestion summaries (from KCC records).
+	RTTMinMs float64 `json:"rtt_min_ms"`
+	RTTAvgMs float64 `json:"rtt_avg_ms"`
+	RTTMaxMs float64 `json:"rtt_max_ms"`
+	CwndMax  uint64  `json:"cwnd_max_b"`
+
+	// Raw series (CSV export; summarised above for JSON/text).
+	SeqTrace []Point `json:"-"` // t vs end of placed range (relative bytes)
+	RTT      []Point `json:"-"` // t vs SRTT ms
+	Cwnd     []Point `json:"-"` // t vs cwnd bytes
+
+	rttSum  float64
+	buckets [splitBuckets]float64 // placed bytes per time bucket
+}
+
+// Handover is one scheduler switch between subflows: the gap is the
+// silence between the last chunk placed on the previous subflow and the
+// first chunk on the next — the paper's handover latency.
+type Handover struct {
+	AtS  float64 `json:"at_s"`
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	GapS float64 `json:"gap_s"`
+}
+
+// Conn is the per-connection analysis. Sender-side accounting (the
+// scheduler split, reinjections, handovers) appears on the connection
+// that placed the data; receiver-side accounting (in-order progress,
+// duplicate bytes discarded by reassembly) on the connection that
+// received it — each endpoint of a transfer shows one half, like the
+// two directions of an mptcptrace run.
+type Conn struct {
+	ID    uint32  `json:"id"`
+	Name  string  `json:"name"`
+	Flows []*Flow `json:"flows"`
+
+	SchedBytes    uint64 `json:"sched_bytes"`     // first-time scheduled
+	ReinjBytes    uint64 `json:"reinj_bytes"`     // scheduled again elsewhere
+	DupSchedBytes uint64 `json:"dup_sched_bytes"` // redundant copies placed
+	RecvBytes     uint64 `json:"recv_bytes"`      // in-order frontier reached
+	DupRecvBytes  uint64 `json:"dup_recv_bytes"`  // received again (discarded)
+
+	Handovers []Handover `json:"handovers"`
+	MaxGapS   float64    `json:"max_gap_s"`
+	MaxGapAtS float64    `json:"max_gap_at_s"`
+
+	flowByID   map[uint32]*Flow
+	lastPick   *Flow
+	lastPickAt sim.Time
+	covered    ivals
+}
+
+// Link is the per-link analysis: deliveries, drops by cause, and
+// utilisation over the link's active interval.
+type Link struct {
+	Name      string  `json:"name"`
+	Enqueued  uint64  `json:"enqueued"`
+	Delivered uint64  `json:"delivered"`
+	Bytes     uint64  `json:"bytes"`
+	DropQueue uint64  `json:"drop_queue"`
+	DropLoss  uint64  `json:"drop_loss"`
+	DropDown  uint64  `json:"drop_down"`
+	UtilMbps  float64 `json:"util_mbps"` // delivered bits over first→last activity
+	firstAt   sim.Time
+	lastAt    sim.Time
+	active    bool
+}
+
+// PolicyEvent is one smapp control-plane action.
+type PolicyEvent struct {
+	AtS    float64 `json:"at_s"`
+	Policy string  `json:"policy"`
+	Event  string  `json:"event"`
+	Token  uint32  `json:"token"`
+}
+
+// Analysis is the full derived view of one trace.
+type Analysis struct {
+	Records int     `json:"records"`
+	Dropped uint64  `json:"dropped"`
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+
+	Conns  []*Conn       `json:"conns"`
+	Links  []*Link       `json:"links"`
+	Policy []PolicyEvent `json:"policy"`
+
+	data *Data
+}
+
+// ivals is a minimal sorted, disjoint interval set used for the
+// receiver-side duplicate-byte accounting (analysis time, not the
+// recording hot path).
+type ivals struct{ iv [][2]uint64 }
+
+// add inserts [lo,hi) and returns how many of its bytes were already
+// covered (the duplicate count).
+func (s *ivals) add(lo, hi uint64) uint64 {
+	if hi <= lo {
+		return 0
+	}
+	var dup uint64
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i][1] >= lo })
+	nlo, nhi := lo, hi
+	j := i
+	for ; j < len(s.iv) && s.iv[j][0] <= hi; j++ {
+		olo, ohi := s.iv[j][0], s.iv[j][1]
+		a, b := max(lo, olo), min(hi, ohi)
+		if b > a {
+			dup += b - a
+		}
+		nlo, nhi = min(nlo, olo), max(nhi, ohi)
+	}
+	s.iv = append(s.iv[:i], append([][2]uint64{{nlo, nhi}}, s.iv[j:]...)...)
+	return dup
+}
+
+// Analyze derives the mptcptrace-style artifacts from a trace. All
+// tables are sorted (connections and flows by registration id, links by
+// name), so the same trace always yields the same report bytes.
+func Analyze(d *Data) *Analysis {
+	a := &Analysis{Records: len(d.Records), Dropped: d.Dropped, data: d}
+	conns := make(map[uint32]*Conn)
+	flows := make(map[uint32]*Flow)
+	flowConn := make(map[uint32]*Conn)
+	links := make(map[uint32]*Link)
+	for _, e := range d.Entities {
+		switch e.Kind {
+		case EntConn:
+			c := &Conn{ID: e.ID, Name: e.Name, flowByID: make(map[uint32]*Flow)}
+			conns[e.ID] = c
+			a.Conns = append(a.Conns, c)
+		case EntLink:
+			l := &Link{Name: e.Name}
+			links[e.ID] = l
+			a.Links = append(a.Links, l)
+		}
+	}
+	for _, e := range d.Entities {
+		if e.Kind != EntFlow {
+			continue
+		}
+		f := &Flow{ID: e.ID, Name: e.Name, FirstPushS: -1, ClosedErrno: -1}
+		flows[e.ID] = f
+		if c := conns[e.Parent]; c != nil {
+			c.Flows = append(c.Flows, f)
+			c.flowByID[e.ID] = f
+			flowConn[e.ID] = c
+		}
+	}
+
+	if len(d.Records) > 0 {
+		a.StartS = d.Records[0].At.Seconds()
+		a.EndS = d.Records[len(d.Records)-1].At.Seconds()
+	}
+
+	for i := range d.Records {
+		r := &d.Records[i]
+		switch r.Kind {
+		case KSend:
+			if f := flows[r.Ent]; f != nil {
+				f.SegsSent++
+				if r.Flag&FRetrans != 0 {
+					f.SegsRetrans++
+				}
+			}
+		case KRecv:
+			if f := flows[r.Ent]; f != nil {
+				f.SegsRecvd++
+			}
+		case KCC:
+			if f := flows[r.Ent]; f != nil {
+				ms := time.Duration(r.Seq).Seconds() * 1000
+				if len(f.RTT) == 0 || ms < f.RTTMinMs {
+					f.RTTMinMs = ms
+				}
+				if ms > f.RTTMaxMs {
+					f.RTTMaxMs = ms
+				}
+				f.rttSum += ms
+				f.RTT = append(f.RTT, Point{T: r.At.Seconds(), Y: ms})
+				if r.Aux > f.CwndMax {
+					f.CwndMax = r.Aux
+				}
+				f.Cwnd = append(f.Cwnd, Point{T: r.At.Seconds(), Y: float64(r.Aux)})
+			}
+		case KPick:
+			f := flows[r.Ent]
+			if f == nil {
+				break
+			}
+			t := r.At.Seconds()
+			if f.FirstPushS < 0 {
+				f.FirstPushS = t
+			}
+			f.LastPushS = t
+			f.SeqTrace = append(f.SeqTrace, Point{T: t, Y: float64(r.Seq + uint64(r.Len))})
+			if span := a.EndS - a.StartS; span > 0 {
+				k := int(float64(splitBuckets) * (t - a.StartS) / span)
+				if k >= splitBuckets {
+					k = splitBuckets - 1
+				}
+				if k < 0 {
+					k = 0
+				}
+				f.buckets[k] += float64(r.Len)
+			}
+			c := flowConn[r.Ent]
+			switch {
+			case r.Flag&FDup != 0:
+				f.DupBytes += uint64(r.Len)
+				if c != nil {
+					c.DupSchedBytes += uint64(r.Len)
+				}
+			case r.Flag&FReinject != 0:
+				f.ReinjBytes += uint64(r.Len)
+				if c != nil {
+					c.ReinjBytes += uint64(r.Len)
+				}
+			default:
+				f.Bytes += uint64(r.Len)
+				if c != nil {
+					c.SchedBytes += uint64(r.Len)
+				}
+			}
+			// Handover tracking: duplicate copies are deliberate
+			// parallel placement, not a switch of the active subflow.
+			if c != nil && r.Flag&FDup == 0 {
+				if c.lastPick != nil && c.lastPick != f {
+					gap := (r.At - c.lastPickAt).Seconds()
+					c.Handovers = append(c.Handovers, Handover{
+						AtS: t, From: c.lastPick.Name, To: f.Name, GapS: gap,
+					})
+					if gap > c.MaxGapS {
+						c.MaxGapS, c.MaxGapAtS = gap, t
+					}
+				}
+				c.lastPick, c.lastPickAt = f, r.At
+			}
+		case KReassm:
+			if c := conns[r.Ent]; c != nil {
+				c.DupRecvBytes += c.covered.add(r.Seq, r.Seq+uint64(r.Len))
+				if r.Aux > c.RecvBytes {
+					c.RecvBytes = r.Aux
+				}
+			}
+		case KSubAdd:
+			if f := flows[r.Ent]; f != nil {
+				f.Backup = r.Flag&FBackup != 0
+			}
+		case KSubDel:
+			if f := flows[r.Ent]; f != nil {
+				f.ClosedErrno = int64(r.Aux)
+			}
+		case KLinkEnq:
+			if l := links[r.Ent]; l != nil {
+				l.Enqueued++
+				l.touch(r.At)
+			}
+		case KLinkDrop:
+			if l := links[r.Ent]; l != nil {
+				switch r.Flag {
+				case DropQueue:
+					l.DropQueue++
+				case DropLoss:
+					l.DropLoss++
+				case DropDown:
+					l.DropDown++
+				}
+				l.touch(r.At)
+			}
+		case KLinkDlv:
+			if l := links[r.Ent]; l != nil {
+				l.Delivered++
+				l.Bytes += uint64(r.Len)
+				l.touch(r.At)
+			}
+		case KPolicyAttach, KPolicyDetach, KPolicyCmd:
+			a.Policy = append(a.Policy, PolicyEvent{
+				AtS:    r.At.Seconds(),
+				Policy: d.EntityName(r.Ent),
+				Event:  policyEventName(r),
+				Token:  uint32(r.Seq),
+			})
+		}
+	}
+
+	for _, f := range flows {
+		if n := len(f.RTT); n > 0 {
+			f.RTTAvgMs = f.rttSum / float64(n)
+		}
+	}
+	for _, l := range a.Links {
+		if span := (l.lastAt - l.firstAt).Seconds(); span > 0 {
+			l.UtilMbps = float64(l.Bytes*8) / span / 1e6
+		}
+	}
+
+	sort.Slice(a.Conns, func(i, j int) bool { return a.Conns[i].ID < a.Conns[j].ID })
+	for _, c := range a.Conns {
+		sort.Slice(c.Flows, func(i, j int) bool { return c.Flows[i].ID < c.Flows[j].ID })
+	}
+	sort.Slice(a.Links, func(i, j int) bool { return a.Links[i].Name < a.Links[j].Name })
+	return a
+}
+
+func (l *Link) touch(at sim.Time) {
+	if !l.active || at < l.firstAt {
+		l.firstAt = at
+	}
+	if !l.active || at > l.lastAt {
+		l.lastAt = at
+	}
+	l.active = true
+}
+
+func policyEventName(r *Record) string {
+	switch r.Kind {
+	case KPolicyAttach:
+		return "attach"
+	case KPolicyDetach:
+		return "detach"
+	case KPolicyCmd:
+		switch r.Flag {
+		case CmdCreateSubflow:
+			return "create-subflow"
+		case CmdRemoveSubflow:
+			return "remove-subflow"
+		case CmdSetBackup:
+			return "set-backup"
+		case CmdAnnounceAddr:
+			return "announce-addr"
+		}
+	}
+	return "?"
+}
+
+// Active reports whether the connection saw any traffic worth printing.
+func (c *Conn) Active() bool {
+	return c.SchedBytes+c.ReinjBytes+c.DupSchedBytes+c.RecvBytes+c.DupRecvBytes > 0
+}
+
+// splitBuckets is the column count of the byte-split-over-time table.
+const splitBuckets = 10
+
+// FoldInto streams the trace's headline summaries into a stats.Result:
+// scalars for the byte accounting and handover gaps, and the pooled RTT
+// sample as a distribution. It never touches the Result's Report text,
+// which is what keeps traced runs byte-identical to their goldens.
+func (a *Analysis) FoldInto(res *stats.Result, prefix string) {
+	res.Scalars[prefix+"records"] = float64(a.Records)
+	res.Scalars[prefix+"dropped"] = float64(a.Dropped)
+	var reinj, dupSched, dupRecv, handovers uint64
+	maxGap := 0.0
+	rtt := res.Sample(prefix + "rtt_ms")
+	for _, c := range a.Conns {
+		reinj += c.ReinjBytes
+		dupSched += c.DupSchedBytes
+		dupRecv += c.DupRecvBytes
+		handovers += uint64(len(c.Handovers))
+		if c.MaxGapS > maxGap {
+			maxGap = c.MaxGapS
+		}
+		for _, f := range c.Flows {
+			for _, p := range f.RTT {
+				rtt.Add(p.Y)
+			}
+		}
+	}
+	res.Scalars[prefix+"reinject_bytes"] = float64(reinj)
+	res.Scalars[prefix+"dup_sched_bytes"] = float64(dupSched)
+	res.Scalars[prefix+"dup_recv_bytes"] = float64(dupRecv)
+	res.Scalars[prefix+"handovers"] = float64(handovers)
+	res.Scalars[prefix+"max_gap_s"] = maxGap
+	var dropQ uint64
+	for _, l := range a.Links {
+		dropQ += l.DropQueue
+	}
+	res.Scalars[prefix+"link_queue_drops"] = float64(dropQ)
+}
+
+// Report renders the analysis as the text `mpexp report` prints.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== trace summary ==\n")
+	fmt.Fprintf(&b, "records=%d dropped=%d span=%.3fs..%.3fs\n", a.Records, a.Dropped, a.StartS, a.EndS)
+	for _, sh := range a.data.Shards {
+		fmt.Fprintf(&b, "  shard %-12s %8d records, %d dropped\n", sh.Name, sh.Records, sh.Dropped)
+	}
+
+	for _, c := range a.Conns {
+		if !c.Active() {
+			continue
+		}
+		fmt.Fprintf(&b, "\n== %s ==\n", c.Name)
+		if c.SchedBytes+c.ReinjBytes+c.DupSchedBytes > 0 {
+			a.connSendReport(&b, c)
+		}
+		if c.RecvBytes+c.DupRecvBytes > 0 {
+			fmt.Fprintf(&b, "receiver: %d bytes in order, %d duplicate bytes discarded by reassembly\n",
+				c.RecvBytes, c.DupRecvBytes)
+		}
+	}
+
+	if len(a.Links) > 0 {
+		fmt.Fprintf(&b, "\n== links ==\n")
+		fmt.Fprintf(&b, "%-34s %8s %8s %12s %7s %7s %7s %9s\n",
+			"link", "enq", "dlv", "bytes", "qdrop", "loss", "down", "util")
+		for _, l := range a.Links {
+			if l.Enqueued+l.Delivered+l.DropQueue+l.DropLoss+l.DropDown == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-34s %8d %8d %12d %7d %7d %7d %7.2fMb\n",
+				l.Name, l.Enqueued, l.Delivered, l.Bytes, l.DropQueue, l.DropLoss, l.DropDown, l.UtilMbps)
+		}
+	}
+
+	if len(a.Policy) > 0 {
+		fmt.Fprintf(&b, "\n== policy events ==\n")
+		for _, p := range a.Policy {
+			fmt.Fprintf(&b, "t=%8.3fs %-14s %-15s token=%08x\n", p.AtS, p.Event, p.Policy, p.Token)
+		}
+	}
+	return b.String()
+}
+
+// connSendReport renders the sender-side half: per-subflow split,
+// split-over-time buckets, reinjection accounting, handovers, and the
+// RTT/cwnd series summary.
+func (a *Analysis) connSendReport(b *strings.Builder, c *Conn) {
+	total := c.SchedBytes + c.ReinjBytes + c.DupSchedBytes
+	fmt.Fprintf(b, "subflow byte split (%d bytes placed)\n", total)
+	fmt.Fprintf(b, "  %-34s %5s %12s %6s %10s %8s %6s %9s %9s\n",
+		"subflow", "flags", "bytes", "share", "reinj", "dup", "segs", "first(s)", "last(s)")
+	for _, f := range c.Flows {
+		carried := f.Bytes + f.ReinjBytes + f.DupBytes
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(carried) / float64(total)
+		}
+		flags := "-"
+		if f.Backup {
+			flags = "B"
+		}
+		first, last := "-", "-"
+		if f.FirstPushS >= 0 {
+			first = fmt.Sprintf("%.3f", f.FirstPushS)
+			last = fmt.Sprintf("%.3f", f.LastPushS)
+		}
+		fmt.Fprintf(b, "  %-34s %5s %12d %5.1f%% %10d %8d %6d %9s %9s\n",
+			f.Name, flags, f.Bytes, share, f.ReinjBytes, f.DupBytes, f.SegsSent, first, last)
+	}
+
+	if buckets := a.splitOverTime(c); buckets != nil {
+		fmt.Fprintf(b, "split over time (%% of bytes per %.2fs bucket)\n", (a.EndS-a.StartS)/splitBuckets)
+		for i, f := range c.Flows {
+			fmt.Fprintf(b, "  %-34s", f.Name)
+			for _, cell := range buckets[i] {
+				if cell < 0 {
+					fmt.Fprintf(b, "    .")
+				} else {
+					fmt.Fprintf(b, " %3.0f%%", cell)
+				}
+			}
+			fmt.Fprintf(b, "\n")
+		}
+	}
+
+	if c.ReinjBytes > 0 || c.DupSchedBytes > 0 {
+		fmt.Fprintf(b, "reinjected %d bytes (%.2f%% of placed), duplicated %d bytes\n",
+			c.ReinjBytes, 100*float64(c.ReinjBytes)/float64(total), c.DupSchedBytes)
+	}
+	if n := len(c.Handovers); n > 0 {
+		fmt.Fprintf(b, "handovers: %d subflow switches, max gap %.3fs (at t=%.3fs)\n",
+			n, c.MaxGapS, c.MaxGapAtS)
+	}
+	for _, f := range c.Flows {
+		if len(f.RTT) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "  rtt/cwnd %-27s %4d samples, srtt %.1f/%.1f/%.1f ms (min/avg/max), cwnd max %d B\n",
+			f.Name, len(f.RTT), f.RTTMinMs, f.RTTAvgMs, f.RTTMaxMs, f.CwndMax)
+	}
+}
+
+// splitOverTime normalises the per-flow bucketed byte counts into each
+// flow's share of that bucket's bytes in percent (-1 = the bucket saw
+// no bytes at all). Returns nil when the span is degenerate.
+func (a *Analysis) splitOverTime(c *Conn) [][]float64 {
+	if a.EndS-a.StartS <= 0 || len(c.Flows) == 0 {
+		return nil
+	}
+	per := make([][]float64, len(c.Flows))
+	var totals [splitBuckets]float64
+	for i, f := range c.Flows {
+		per[i] = make([]float64, splitBuckets)
+		copy(per[i], f.buckets[:])
+		for k, v := range f.buckets {
+			totals[k] += v
+		}
+	}
+	for i := range per {
+		for k := range per[i] {
+			if totals[k] == 0 {
+				per[i][k] = -1
+			} else {
+				per[i][k] = 100 * per[i][k] / totals[k]
+			}
+		}
+	}
+	return per
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// JSON writes the analysis summary (per-connection, per-subflow, and
+// per-link accounting plus the policy event log; raw series are CSV
+// territory) as indented JSON.
+func (a *Analysis) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteCSVs writes the raw series into dir (created if missing), one
+// file per table:
+//
+//	flows.csv     per-subflow summary rows
+//	links.csv     per-link counters and utilisation
+//	seq.csv       scheduler placements: t vs relative end sequence
+//	cc.csv        congestion series: t vs srtt_ms and cwnd_b
+//	handovers.csv subflow switches with gap latency
+//	policy.csv    smapp control-plane events
+//
+// All rows follow the analyzer's sorted table order, so repeated runs
+// of the same trace produce identical files.
+func (a *Analysis) WriteCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := write("flows.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "conn,flow,backup,bytes,reinj_bytes,dup_bytes,segs_sent,segs_retrans,segs_recvd,first_push_s,last_push_s,rtt_min_ms,rtt_avg_ms,rtt_max_ms,cwnd_max_b")
+		for _, c := range a.Conns {
+			for _, f := range c.Flows {
+				fmt.Fprintf(w, "%s,%s,%t,%d,%d,%d,%d,%d,%d,%s,%s,%g,%g,%g,%d\n",
+					csvQ(c.Name), csvQ(f.Name), f.Backup, f.Bytes, f.ReinjBytes, f.DupBytes,
+					f.SegsSent, f.SegsRetrans, f.SegsRecvd,
+					csvTime(f.FirstPushS), csvTime(f.LastPushS),
+					f.RTTMinMs, f.RTTAvgMs, f.RTTMaxMs, f.CwndMax)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("links.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "link,enqueued,delivered,bytes,drop_queue,drop_loss,drop_down,util_mbps")
+		for _, l := range a.Links {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%g\n",
+				csvQ(l.Name), l.Enqueued, l.Delivered, l.Bytes, l.DropQueue, l.DropLoss, l.DropDown, l.UtilMbps)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("seq.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "t_s,conn,flow,seq_end")
+		for _, c := range a.Conns {
+			for _, f := range c.Flows {
+				for _, p := range f.SeqTrace {
+					fmt.Fprintf(w, "%g,%s,%s,%.0f\n", p.T, csvQ(c.Name), csvQ(f.Name), p.Y)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("cc.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "t_s,conn,flow,srtt_ms,cwnd_b")
+		for _, c := range a.Conns {
+			for _, f := range c.Flows {
+				for i := range f.RTT {
+					fmt.Fprintf(w, "%g,%s,%s,%g,%.0f\n",
+						f.RTT[i].T, csvQ(c.Name), csvQ(f.Name), f.RTT[i].Y, f.Cwnd[i].Y)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("handovers.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "t_s,conn,from,to,gap_s")
+		for _, c := range a.Conns {
+			for _, h := range c.Handovers {
+				fmt.Fprintf(w, "%g,%s,%s,%s,%g\n", h.AtS, csvQ(c.Name), csvQ(h.From), csvQ(h.To), h.GapS)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return write("policy.csv", func(w *os.File) error {
+		fmt.Fprintln(w, "t_s,policy,event,token")
+		for _, p := range a.Policy {
+			fmt.Fprintf(w, "%g,%s,%s,%08x\n", p.AtS, csvQ(p.Policy), p.Event, p.Token)
+		}
+		return nil
+	})
+}
+
+// csvQ quotes a field if it contains a comma or quote (entity names
+// carry 4-tuples and link names, which are comma-free today, but the
+// writer should not silently corrupt if that changes).
+func csvQ(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '"' || s[i] == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// csvTime renders a seconds value, with -1 (never) as an empty cell.
+func csvTime(s float64) string {
+	if s < 0 {
+		return ""
+	}
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+func TestRingDropsOldest(t *testing.T) {
+	tr := New(4)
+	sh := tr.Shard("h")
+	for i := 0; i < 10; i++ {
+		sh.Rec(sim.Time(i), KSend, 1, uint64(i), 1, 0, 0)
+	}
+	if got := sh.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := sh.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	d := tr.Snapshot()
+	if len(d.Records) != 4 {
+		t.Fatalf("snapshot records = %d, want 4", len(d.Records))
+	}
+	for i, r := range d.Records {
+		if want := uint64(6 + i); r.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d (oldest must be dropped first)", i, r.Seq, want)
+		}
+	}
+	if d.Dropped != 6 {
+		t.Fatalf("snapshot dropped = %d, want 6", d.Dropped)
+	}
+}
+
+func TestSnapshotMergesShardsInTimeOrder(t *testing.T) {
+	tr := New(16)
+	a, b := tr.Shard("a"), tr.Shard("b")
+	b.Rec(2, KSend, 1, 20, 0, 0, 0)
+	a.Rec(1, KSend, 1, 10, 0, 0, 0)
+	a.Rec(3, KSend, 1, 30, 0, 0, 0)
+	b.Rec(3, KSend, 1, 31, 0, 0, 0) // tie: shard a (created first) wins
+	d := tr.Snapshot()
+	var got []uint64
+	for _, r := range d.Records {
+		got = append(got, r.Seq)
+	}
+	want := []uint64{10, 20, 30, 31}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sh := tr.Shard("x")
+	if sh != nil {
+		t.Fatal("nil tracer must hand out nil shards")
+	}
+	sh.Rec(0, KSend, 1, 0, 0, 0, 0) // must not panic
+	if id := tr.Register(EntConn, 0, "c"); id != 0 {
+		t.Fatalf("nil Register = %d, want 0", id)
+	}
+	if sh.Tracer() != nil || sh.Len() != 0 || sh.Dropped() != 0 || sh.Name() != "" {
+		t.Fatal("nil shard accessors must be zero")
+	}
+}
+
+// TestRecAllocFree pins the recorder's core property: appending into a
+// warm ring performs no heap allocation, full or not.
+func TestRecAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts differ under -race instrumentation")
+	}
+	tr := New(1 << 10)
+	sh := tr.Shard("h")
+	var at sim.Time
+	avg := testing.AllocsPerRun(10000, func() {
+		at++
+		sh.Rec(at, KSend, 1, uint64(at), 1380, 7, FRetrans)
+	})
+	if avg != 0 {
+		t.Fatalf("Rec allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := New(8)
+	c := tr.Register(EntConn, 0, "host/conn-1")
+	f := tr.Register(EntFlow, c, "host/10.0.0.1:1->10.0.0.2:80")
+	l := tr.Register(EntLink, 0, "wire:a->b")
+	sh := tr.Shard("host")
+	sh.Rec(10, KPick, f, 0, 1380, 0, 0)
+	sh.Rec(20, KReassm, c, 0, 1380, 1380, FAdvance)
+	tr.Shard("net").Rec(15, KLinkDlv, l, 0, 1420, 0, 0)
+	d := tr.Snapshot()
+
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Entities, d.Entities) {
+		t.Fatalf("entities diverged:\n got %+v\nwant %+v", got.Entities, d.Entities)
+	}
+	if !reflect.DeepEqual(got.Records, d.Records) {
+		t.Fatalf("records diverged:\n got %+v\nwant %+v", got.Records, d.Records)
+	}
+	if !reflect.DeepEqual(got.Shards, d.Shards) {
+		t.Fatalf("shards diverged:\n got %+v\nwant %+v", got.Shards, d.Shards)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+}
+
+func TestIvalsDuplicateAccounting(t *testing.T) {
+	var s ivals
+	if dup := s.add(0, 100); dup != 0 {
+		t.Fatalf("first add dup = %d, want 0", dup)
+	}
+	if dup := s.add(50, 150); dup != 50 {
+		t.Fatalf("overlap dup = %d, want 50", dup)
+	}
+	if dup := s.add(200, 300); dup != 0 {
+		t.Fatalf("disjoint dup = %d, want 0", dup)
+	}
+	if dup := s.add(0, 300); dup != 250 {
+		t.Fatalf("spanning dup = %d, want 250 (150 + 100 covered)", dup)
+	}
+	if dup := s.add(10, 20); dup != 10 {
+		t.Fatalf("contained dup = %d, want 10", dup)
+	}
+}
+
+// TestAnalyzeHandoverAndSplit drives the analyzer with a hand-built
+// trace: two subflows, a switch between them, a reinjection, and a
+// receiver-side duplicate.
+func TestAnalyzeHandoverAndSplit(t *testing.T) {
+	tr := New(64)
+	conn := tr.Register(EntConn, 0, "c/conn-1")
+	f0 := tr.Register(EntFlow, conn, "c/primary")
+	f1 := tr.Register(EntFlow, conn, "c/backup")
+	rconn := tr.Register(EntConn, 0, "s/conn-2")
+	sh := tr.Shard("c")
+	ssh := tr.Shard("s")
+
+	sh.Rec(1*sim.Second, KPick, f0, 0, 1000, 0, 0)
+	sh.Rec(2*sim.Second, KPick, f0, 1000, 1000, 0, 0)
+	// 3 s of silence, then the switch: handover gap 3 s.
+	sh.Rec(5*sim.Second, KPick, f1, 1000, 1000, 0, FReinject)
+	sh.Rec(6*sim.Second, KPick, f1, 2000, 1000, 0, 0)
+	// Receiver sees the reinjected range twice.
+	ssh.Rec(5500*sim.Millisecond, KReassm, rconn, 0, 2000, 2000, FAdvance)
+	ssh.Rec(6*sim.Second, KReassm, rconn, 1000, 1000, 2000, 0)
+	ssh.Rec(7*sim.Second, KReassm, rconn, 2000, 1000, 3000, FAdvance)
+
+	a := Analyze(tr.Snapshot())
+	if len(a.Conns) != 2 {
+		t.Fatalf("conns = %d, want 2", len(a.Conns))
+	}
+	c := a.Conns[0]
+	if c.SchedBytes != 3000 || c.ReinjBytes != 1000 {
+		t.Fatalf("sched/reinj = %d/%d, want 3000/1000", c.SchedBytes, c.ReinjBytes)
+	}
+	if len(c.Handovers) != 1 || c.Handovers[0].GapS != 3 {
+		t.Fatalf("handovers = %+v, want one with 3s gap", c.Handovers)
+	}
+	if c.MaxGapS != 3 || c.MaxGapAtS != 5 {
+		t.Fatalf("max gap = %gs at %gs, want 3s at 5s", c.MaxGapS, c.MaxGapAtS)
+	}
+	if len(c.Flows) != 2 || c.Flows[0].Bytes != 2000 || c.Flows[1].Bytes != 1000 || c.Flows[1].ReinjBytes != 1000 {
+		t.Fatalf("flow split wrong: %+v %+v", c.Flows[0], c.Flows[1])
+	}
+	r := a.Conns[1]
+	if r.RecvBytes != 3000 || r.DupRecvBytes != 1000 {
+		t.Fatalf("recv/dup = %d/%d, want 3000/1000", r.RecvBytes, r.DupRecvBytes)
+	}
+
+	// FoldInto surfaces the same numbers as scalars without touching
+	// the report text.
+	res := stats.NewResult("x")
+	res.Report = "pinned"
+	a.FoldInto(res, "trace_")
+	if res.Report != "pinned" {
+		t.Fatal("FoldInto touched the report text")
+	}
+	if res.Scalars["trace_reinject_bytes"] != 1000 || res.Scalars["trace_dup_recv_bytes"] != 1000 ||
+		res.Scalars["trace_max_gap_s"] != 3 || res.Scalars["trace_handovers"] != 1 {
+		t.Fatalf("folded scalars wrong: %v", res.Scalars)
+	}
+}
+
+// TestAnalyzeDeterministic pins that two analyses of the same data
+// render byte-identical reports (sorted tables, no map iteration).
+func TestAnalyzeDeterministic(t *testing.T) {
+	tr := New(64)
+	conn := tr.Register(EntConn, 0, "c/conn-1")
+	f0 := tr.Register(EntFlow, conn, "c/f0")
+	f1 := tr.Register(EntFlow, conn, "c/f1")
+	lb := tr.Register(EntLink, 0, "b-link")
+	la := tr.Register(EntLink, 0, "a-link")
+	sh := tr.Shard("c")
+	for i := 0; i < 20; i++ {
+		f := f0
+		if i%2 == 1 {
+			f = f1
+		}
+		sh.Rec(sim.Time(i)*sim.Second, KPick, f, uint64(i)*100, 100, 0, 0)
+		sh.Rec(sim.Time(i)*sim.Second, KLinkDlv, lb, 0, 140, 0, 0)
+		sh.Rec(sim.Time(i)*sim.Second, KLinkDlv, la, 0, 140, 0, 0)
+	}
+	d := tr.Snapshot()
+	r1, r2 := Analyze(d).Report(), Analyze(d).Report()
+	if r1 != r2 {
+		t.Fatalf("two analyses of the same data diverge:\n%s\n---\n%s", r1, r2)
+	}
+	a := Analyze(d)
+	if a.Links[0].Name != "a-link" || a.Links[1].Name != "b-link" {
+		t.Fatalf("links not sorted by name: %s, %s", a.Links[0].Name, a.Links[1].Name)
+	}
+}
