@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt examples smoke
+.PHONY: build test race bench fmt examples smoke smoke-shards
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,15 @@ race:
 # artifact tracks both the figures and the zero-allocation data path.
 # Redirect-then-cat instead of tee: a pipe would report tee's exit
 # status and let a failing benchmark slip past CI.
+# On success the text output is also rendered into BENCH_6.json — the
+# machine-readable artifact (committed as the baseline, uploaded by CI)
+# that makes the custom metrics diffable across commits.
 bench:
 	@$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . > bench.txt; \
-	status=$$?; cat bench.txt; exit $$status
+	status=$$?; cat bench.txt; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) run ./cmd/benchjson -o BENCH_6.json bench.txt; \
+	fi; exit $$status
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -53,6 +59,22 @@ smoke:
 	$$bin report $$tdir/fig2a.trace -csv $$tdir/csv >/dev/null 2>&1; \
 	$$bin report $$tdir/fig2a.trace -json >/dev/null; \
 	rm -rf $$tdir
+
+# Every registered scenario once more, but with -shards 4 on a
+# race-instrumented binary: the end-to-end gate for the sharded parallel
+# core's cross-shard synchronisation. Per-seed results are bit-identical
+# at any shard count, so any divergence or data race here is a bug in
+# the lookahead windows, not the model. Tracing is single-shard only
+# (rejected with -shards > 1), so the traced run stays in `smoke`.
+smoke-shards:
+	@set -e; \
+	bin=$$(mktemp -u); \
+	$(GO) build -race -o $$bin ./cmd/mpexp; \
+	trap 'rm -f '$$bin EXIT; \
+	for s in $$($$bin list -names); do \
+		echo "== smoke (-race, -shards 4): mpexp run $$s"; \
+		$$bin run $$s -smoke -shards 4 >/dev/null; \
+	done
 
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,

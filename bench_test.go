@@ -15,7 +15,9 @@
 package main
 
 import (
+	"fmt"
 	"net/netip"
+	"strconv"
 	"testing"
 	"time"
 
@@ -231,6 +233,41 @@ func BenchmarkScale(b *testing.B) {
 	report(b, m, "segs_per_wall_s", "segs_per_wall_s", 1)
 	report(b, m, "events_per_wall_s", "events_per_wall_s", 1)
 	report(b, m, "lowest-rtt/kernel_goodput_mbps", "goodput_mbps", 1)
+}
+
+// BenchmarkScaleShards runs the same scale workload on the single-loop
+// baseline and on the sharded parallel core (4 worker event loops). The
+// star carries 4 server hosts so the topology partitions across shards
+// and the fan-out dials them round-robin; simulated results are
+// bit-identical at every shard count (TestGoldenShardInvariance), so the
+// only thing that moves between the sub-benchmarks is events/sec of
+// wall time. The ≥2x speedup target applies on multi-core runners —
+// with GOMAXPROCS=1 the shard goroutines serialise and the sharded run
+// only pays synchronisation overhead.
+func BenchmarkScaleShards(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events float64
+			for i := 0; i < b.N; i++ {
+				p := scenario.NewParams(map[string]string{
+					"conns":   "8",
+					"kb":      "512",
+					"servers": "4",
+					"sched":   "lowest-rtt",
+					"shards":  strconv.Itoa(shards),
+					"wall":    "false",
+				})
+				sp, err := scenario.Build("scale", p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := scenario.Execute(sp, 1)
+				events += res.Scalars["events_per_wall_s"]
+			}
+			b.ReportMetric(events/float64(b.N), "events_per_wall_s")
+		})
+	}
 }
 
 // BenchmarkFig2aTraced reruns the Fig. 2a sweep with the event recorder

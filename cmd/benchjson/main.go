@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact. `make bench` runs it on bench.txt to
+// produce BENCH_6.json, which is committed as the repo's performance
+// baseline and uploaded by CI on every run — so regressions in the
+// custom metrics (segs/sec, events/sec, allocs/op, figure scalars) are
+// diffable across commits without re-parsing benchmark text.
+//
+// Usage: benchjson [-o out.json] [bench.txt]
+//
+// With no input file (or "-") it reads stdin; with no -o it writes
+// stdout. Only stdlib is used, and the output is deterministic for a
+// given input: benchmarks keep file order, metric keys are sorted by
+// encoding/json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: name split from GOMAXPROCS suffix, the
+// iteration count, and every (value, unit) metric pair — the standard
+// ns/op, B/op, allocs/op plus any b.ReportMetric custom metrics.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the whole artifact: the run environment lines go test prints
+// before the results (goos, goarch, pkg, cpu) and the parsed benchmarks.
+type File struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Parse consumes `go test -bench` output. Non-benchmark lines (PASS,
+// ok, test log output) are ignored; a line that starts with Benchmark
+// but does not parse is an error, so a garbled run cannot produce a
+// silently truncated artifact.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			f.Benchmarks = append(f.Benchmarks, b)
+		default:
+			// Environment header: "goos: linux", "cpu: ...". Anything
+			// else (PASS, ok, log lines) is not key: value and is skipped.
+			for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+": "); ok {
+					f.Env[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return f, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkScale-8  1  123456 ns/op  12 B/op  3 allocs/op  9.5 goodput_mbps
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	// The suffix after the LAST dash is GOMAXPROCS; sub-benchmark names
+	// may themselves contain dashes (shards=4, lowest-rtt).
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], n
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if name := flag.Arg(0); name != "" && name != "-" {
+		fh, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		in = fh
+	}
+	f, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

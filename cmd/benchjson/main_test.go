@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkScale-8   	       1	 512345678 ns/op	      1234 B/op	      56 allocs/op	      9.50 goodput_mbps
+BenchmarkScaleShards/shards=4-8         	       1	 212345678 ns/op	    400000 events_per_wall_s
+BenchmarkTraceRecord	100000000	         2.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", got)
+	}
+	if f.Env["goos"] != "linux" || f.Env["cpu"] != "AMD EPYC 7B13" {
+		t.Errorf("env not captured: %v", f.Env)
+	}
+
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkScale" || b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("first line parsed as %+v", b)
+	}
+	if b.Metrics["allocs/op"] != 56 || b.Metrics["goodput_mbps"] != 9.5 {
+		t.Errorf("metrics parsed as %v", b.Metrics)
+	}
+
+	// Sub-benchmark names keep their path; only the trailing -procs is
+	// split off, even with dashes and '=' inside the name.
+	sh := f.Benchmarks[1]
+	if sh.Name != "BenchmarkScaleShards/shards=4" || sh.Procs != 8 {
+		t.Errorf("sub-benchmark parsed as %+v", sh)
+	}
+	if sh.Metrics["events_per_wall_s"] != 400000 {
+		t.Errorf("custom metric lost: %v", sh.Metrics)
+	}
+
+	// No -procs suffix (GOMAXPROCS=1 runs print none).
+	if f.Benchmarks[2].Name != "BenchmarkTraceRecord" || f.Benchmarks[2].Procs != 0 {
+		t.Errorf("suffixless line parsed as %+v", f.Benchmarks[2])
+	}
+}
+
+func TestParseRejectsGarbled(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 nonsense ns/op",
+		"BenchmarkX-8 1 12 ns/op trailing",
+		"", // no benchmark lines at all
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,6 +69,7 @@ type runFlags struct {
 	seed       *int64
 	seeds      *int
 	parallel   *int
+	shards     *int
 	sched      *string
 	controller *string
 	trace      *string
@@ -80,6 +82,8 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 		seed:     fs.Int64("seed", 1, "base simulation seed"),
 		seeds:    fs.Int("seeds", 1, "independent seeds to run (seed, seed+1, ...)"),
 		parallel: fs.Int("parallel", 0, "concurrent seeds (0 = GOMAXPROCS)"),
+		shards: fs.Int("shards", 0, "worker event loops per simulation (0/1 = one loop; "+
+			"results are bit-identical at any shard count)"),
 		sched: fs.String("sched", "", fmt.Sprintf("packet scheduler: %s (default lowest-rtt)",
 			strings.Join(mptcp.SchedulerNames(), ", "))),
 		controller: fs.String("controller", "", fmt.Sprintf("subflow controller: %s (default: the scenario's paper policy)",
@@ -154,6 +158,11 @@ func (rf *runFlags) params(sets []string, smoke bool) *scenario.Params {
 	}
 	if *rf.trace != "" {
 		p.Set("trace", *rf.trace)
+	}
+	if *rf.shards != 0 {
+		// Negative values pass through so scenario.Build rejects them
+		// with its usual parameter error instead of silently running.
+		p.Set("shards", strconv.Itoa(*rf.shards))
 	}
 	if smoke {
 		p.Set("smoke", "true")
@@ -533,8 +542,8 @@ registered scenario specs.
   mpexp report <tracefile ...> [-csv DIR] [-json]
   mpexp fig2a|fig2b|fig2c|fig3|longlived|ctlsweep|schedsweep|scale [flags]
 
-Common flags: -seed N -seeds N -parallel N -sched NAME -controller NAME
--trace F -cpuprofile F -memprofile F. Run a subcommand with -h for its
+Common flags: -seed N -seeds N -parallel N -shards N -sched NAME
+-controller NAME -trace F -cpuprofile F -memprofile F. Run a subcommand with -h for its
 flags; `+"`mpexp list`"+` shows every registered scenario, scheduler, and
 controller; `+"`mpexp run X -trace f && mpexp report f`"+` explains a run.`)
 	os.Exit(2)

@@ -18,8 +18,8 @@ type Clock interface {
 	After(d time.Duration, fn func()) (cancel func())
 }
 
-// SimClock adapts the discrete-event simulator to Clock.
-type SimClock struct{ S *sim.Simulator }
+// SimClock adapts a discrete-event simulation clock to Clock.
+type SimClock struct{ S sim.Clock }
 
 // Now implements Clock.
 func (c SimClock) Now() time.Duration { return time.Duration(c.S.Now()) }

@@ -22,7 +22,7 @@ import (
 // already maintains for MP_JOIN processing.
 type NetlinkPM struct {
 	mptcp.NopPM
-	sim   *sim.Simulator
+	sim   sim.Clock
 	tr    *Transport
 	conns map[uint32]*mptcp.Connection
 	mask  nlmsg.EventMask
@@ -43,8 +43,8 @@ type NetlinkPM struct {
 // created/estab events (the subscribe command and the first events race
 // through the two pipe directions; FIFO per direction keeps everything
 // ordered once delivered).
-func NewNetlinkPM(s *sim.Simulator, tr *Transport) *NetlinkPM {
-	pm := &NetlinkPM{sim: s, tr: tr, conns: make(map[uint32]*mptcp.Connection), mask: nlmsg.MaskAll}
+func NewNetlinkPM(c sim.Clock, tr *Transport) *NetlinkPM {
+	pm := &NetlinkPM{sim: c, tr: tr, conns: make(map[uint32]*mptcp.Connection), mask: nlmsg.MaskAll}
 	tr.ToKernel.SetReceiver(pm.handleCommand)
 	return pm
 }

@@ -46,7 +46,7 @@ type Transport struct {
 // SimPipe delivers messages on the virtual clock after a modelled latency,
 // preserving order (later sends never overtake earlier ones).
 type SimPipe struct {
-	sim       *sim.Simulator
+	sim       sim.Clock
 	latency   func() time.Duration
 	recv      func([]byte)
 	lastDue   sim.Time
@@ -54,8 +54,8 @@ type SimPipe struct {
 }
 
 // NewSimPipe creates a pipe whose per-message delay is drawn from latency.
-func NewSimPipe(s *sim.Simulator, latency func() time.Duration) *SimPipe {
-	return &SimPipe{sim: s, latency: latency}
+func NewSimPipe(c sim.Clock, latency func() time.Duration) *SimPipe {
+	return &SimPipe{sim: c, latency: latency}
 }
 
 // Send implements Pipe.
@@ -102,20 +102,20 @@ const (
 
 // NewSimTransport builds the standard simulated transport with the default
 // (unloaded-host) latency model.
-func NewSimTransport(s *sim.Simulator) *Transport {
-	lat := LatencyModel(s.Rand(), DefaultNetlinkBase, DefaultNetlinkJitter)
+func NewSimTransport(c sim.Clock) *Transport {
+	lat := LatencyModel(c.Rand(), DefaultNetlinkBase, DefaultNetlinkJitter)
 	return &Transport{
-		ToUser:   NewSimPipe(s, lat),
-		ToKernel: NewSimPipe(s, lat),
+		ToUser:   NewSimPipe(c, lat),
+		ToKernel: NewSimPipe(c, lat),
 	}
 }
 
 // NewStressedSimTransport models the CPU-stressed host of §4.5.
-func NewStressedSimTransport(s *sim.Simulator) *Transport {
-	lat := LatencyModel(s.Rand(), StressedNetlinkBase, StressedNetlinkJitter)
+func NewStressedSimTransport(c sim.Clock) *Transport {
+	lat := LatencyModel(c.Rand(), StressedNetlinkBase, StressedNetlinkJitter)
 	return &Transport{
-		ToUser:   NewSimPipe(s, lat),
-		ToKernel: NewSimPipe(s, lat),
+		ToUser:   NewSimPipe(c, lat),
+		ToKernel: NewSimPipe(c, lat),
 	}
 }
 

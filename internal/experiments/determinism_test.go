@@ -8,11 +8,13 @@ import (
 )
 
 // The golden files under testdata/ pin the byte-for-byte report output of
-// the cheap deterministic experiments at seed 1. fig2a and longlived were
-// generated from the pre-pool, pre-scenario code: neither the pooled
-// segment/event lifecycle nor the declarative scenario engine may change
-// a single simulated byte. fig2b and fig2c pin the post-scenario-refactor
-// output. Regenerate (only when an intentional model change occurs) with:
+// the cheap deterministic experiments at seed 1, as produced by the
+// sharded engine (sim.World with per-entity RNG streams and the
+// (when, ent, seq) event order — they were regenerated once when that
+// engine landed). Nothing else may change a single simulated byte, and
+// TestGoldenShardInvariance additionally demands the exact same bytes at
+// shard counts {1, 2, 8}. Regenerate (only when an intentional model
+// change occurs) with:
 //
 //	go test ./internal/experiments -run Golden -update
 var update = flag.Bool("update", false, "rewrite the determinism golden files")

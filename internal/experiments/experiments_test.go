@@ -53,7 +53,9 @@ func TestFig2aBaselineTakesMinutes(t *testing.T) {
 
 func TestFig2bShape(t *testing.T) {
 	cfg := DefaultFig2b()
-	cfg.Blocks = 50
+	// Full-length stream (the default 120 blocks): shorter runs sample
+	// too little of the loss tail for the 4x growth assertion to be
+	// stable across RNG layouts.
 	cfg.LossLevels = []float64{0.10, 0.40}
 	r := Fig2b(cfg)
 	smart := r.Samples["smart stream"]

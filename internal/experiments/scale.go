@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/mptcp"
@@ -19,6 +20,7 @@ type ScaleConfig struct {
 	Seed         int64
 	Conns        int           // concurrent connections, one client host each
 	Subflows     int           // interfaces per client (→ subflows via full-mesh)
+	Servers      int           // server hosts behind the aggregation, dialed round-robin (0 = 1)
 	BytesPerConn int           // payload each client streams at t≈0
 	Schedulers   []string      // swept packet schedulers; empty = lowest-rtt, round-robin
 	Controllers  []string      // swept policies; empty = [kernel]; "kernel" = in-kernel full-mesh
@@ -54,6 +56,7 @@ func init() {
 			cfg := DefaultScale()
 			cfg.Conns = p.Int("conns", cfg.Conns)
 			cfg.Subflows = p.Int("subflows", cfg.Subflows)
+			cfg.Servers = p.Int("servers", cfg.Servers)
 			cfg.BytesPerConn = p.Int("kb", cfg.BytesPerConn>>10) << 10
 			if s := p.Str("sched", ""); s != "" {
 				cfg.Schedulers = []string{s} // sweep a single scheduler
@@ -123,6 +126,7 @@ func scaleSpec(cfg ScaleConfig, wall bool) (*scenario.Spec, error) {
 	star := scenario.Star{
 		Clients: cfg.Conns,
 		Ifaces:  cfg.Subflows,
+		Servers: cfg.Servers,
 		Access:  netem.LinkConfig{RateBps: cfg.AccessBps, Delay: cfg.Delay},
 		Bottleneck: netem.LinkConfig{
 			RateBps: cfg.Bottleneck, Delay: 500 * time.Microsecond,
@@ -217,13 +221,18 @@ func scaleCellOf(cfg ScaleConfig, rt *scenario.Run) scaleCell {
 	if lastDone > 0 {
 		cell.goodputMbs = float64(delivered*8) / lastDone.Seconds() / 1e6
 	}
-	cell.pkts = rt.Net.Server.Stats.Delivered
+	for _, srv := range rt.Net.Servers {
+		cell.pkts += srv.Stats.Delivered
+	}
 	for _, cl := range rt.Net.Clients {
 		cell.pkts += cl.Host.Stats.Delivered
 	}
-	trunk := rt.Net.Link("bottleneck")
-	cell.drops = trunk.AB.Stats.DropQueue + trunk.BA.Stats.DropQueue
-	cell.events = rt.Sim.Processed
+	for name, d := range rt.Net.Links {
+		if strings.HasPrefix(name, "bottleneck") {
+			cell.drops += d.AB.Stats.DropQueue + d.BA.Stats.DropQueue
+		}
+	}
+	cell.events = rt.Sim.Processed()
 	cell.wall = rt.Wall
 	return cell
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestGoldenShardInvariance is the sharded simulator's headline
+// determinism guarantee: the byte-pinned seed-1 golden reports reproduce
+// EXACTLY at every shard count. The scenarios cover the two-path,
+// ECMP, and NAT topologies — cross-shard traffic in both directions,
+// global events (loss steps, interface flaps), timers, and per-entity
+// randomness — so any layout-dependent event ordering or RNG draw shows
+// up as a byte diff here.
+func TestGoldenShardInvariance(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		params map[string]string
+	}{
+		// Parameters reproduce exactly the configurations the golden
+		// tests in determinism_test.go pin.
+		{name: "fig2a", golden: "fig2a_seed1"},
+		{name: "fig2c", golden: "fig2c_seed1", params: map[string]string{"trials": "3", "mb": "25"}},
+		{name: "longlived", golden: "longlived_seed1"},
+	}
+	for _, tc := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden+".golden"))
+		if err != nil {
+			t.Fatalf("missing golden file: %v", err)
+		}
+		for _, shards := range []int{1, 2, 8} {
+			t.Run(tc.name+"/shards="+strconv.Itoa(shards), func(t *testing.T) {
+				vals := map[string]string{"shards": strconv.Itoa(shards)}
+				for k, v := range tc.params {
+					vals[k] = v
+				}
+				sp, err := scenario.Build(tc.name, scenario.NewParams(vals))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := scenario.Execute(sp, 1).Report
+				if got != string(want) {
+					t.Errorf("report at %d shards diverged from the golden bytes\n--- got ---\n%s\n--- want ---\n%s",
+						shards, got, want)
+				}
+			})
+		}
+	}
+}

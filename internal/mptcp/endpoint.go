@@ -36,7 +36,7 @@ type Config struct {
 // demultiplexes inbound segments to subflows (including MP_JOIN token
 // lookup), allocates ephemeral ports, and drives the attached PathManager.
 type Endpoint struct {
-	sim  *sim.Simulator
+	sim  sim.Clock
 	host *netem.Host
 	cfg  Config
 	pm   PathManager
@@ -67,7 +67,7 @@ func NewEndpoint(host *netem.Host, cfg Config, pm PathManager) *Endpoint {
 		cfg.NewScheduler = f
 	}
 	ep := &Endpoint{
-		sim:       host.Sim(),
+		sim:       host.Clock(),
 		host:      host,
 		cfg:       cfg,
 		pm:        pm,
@@ -89,8 +89,8 @@ func NewEndpoint(host *netem.Host, cfg Config, pm PathManager) *Endpoint {
 	return ep
 }
 
-// Sim exposes the simulator driving this endpoint.
-func (ep *Endpoint) Sim() *sim.Simulator { return ep.sim }
+// Clock exposes the host clock driving this endpoint.
+func (ep *Endpoint) Clock() sim.Clock { return ep.sim }
 
 // Host exposes the underlying netem host.
 func (ep *Endpoint) Host() *netem.Host { return ep.host }

@@ -37,7 +37,7 @@ type HostStats struct {
 // which is the substrate for the paper's new_local_addr / del_local_addr
 // events.
 type Host struct {
-	sim       *sim.Simulator
+	clock     sim.Clock
 	name      string
 	ifaces    []*Iface
 	handler   func(*Packet)
@@ -50,9 +50,10 @@ type Host struct {
 	Stats HostStats
 }
 
-// NewHost creates a host with no interfaces.
-func NewHost(s *sim.Simulator, name string) *Host {
-	h := &Host{sim: s, name: name}
+// NewHost creates a host with no interfaces, scheduling on c (a bare
+// *sim.Simulator or a per-shard clock issued by a sim.Fabric).
+func NewHost(c sim.Clock, name string) *Host {
+	h := &Host{clock: c, name: name}
 	h.procName = "host.proc:" + name
 	h.procFn = func(a any) {
 		pkt := a.(*Packet)
@@ -65,8 +66,10 @@ func NewHost(s *sim.Simulator, name string) *Host {
 // Name implements Node.
 func (h *Host) Name() string { return h.name }
 
-// Sim exposes the host's simulator.
-func (h *Host) Sim() *sim.Simulator { return h.sim }
+// Clock implements Node: the host's scheduling clock. Protocol stacks
+// attached to the host must schedule through it so their work stays on the
+// host's shard.
+func (h *Host) Clock() sim.Clock { return h.clock }
 
 // SetHandler installs the protocol stack receiving inbound packets.
 func (h *Host) SetHandler(fn func(*Packet)) { h.handler = fn }
@@ -155,7 +158,7 @@ func (h *Host) Input(pkt *Packet) {
 	if h.procDelay != nil {
 		d := h.procDelay()
 		if d > 0 {
-			h.sim.AfterArg(d, h.procName, h.procFn, pkt)
+			h.clock.AfterArg(d, h.procName, h.procFn, pkt)
 			return
 		}
 	}

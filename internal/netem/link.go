@@ -8,13 +8,18 @@ import (
 	"repro/internal/trace"
 )
 
-// LinkStats counts traffic through one unidirectional link.
+// LinkStats counts traffic through one unidirectional link. The fields
+// are split by which end of the link owns them: Sent/Bytes/DropCut are
+// written at delivery time (the destination's shard under a sharded
+// world), everything else at enqueue time (the source's shard), so the
+// two sides never write the same word concurrently.
 type LinkStats struct {
 	Sent      uint64 // packets delivered to the far end
 	Bytes     uint64 // bytes delivered
 	LostRand  uint64 // packets dropped by the random-loss model
 	DropQueue uint64 // packets dropped because the queue was full
-	DropDown  uint64 // packets dropped because the link was down
+	DropDown  uint64 // packets dropped at enqueue because the link was down
+	DropCut   uint64 // packets cut in flight by the link going down
 }
 
 // Link is a unidirectional link with a serialisation rate, propagation
@@ -23,14 +28,15 @@ type LinkStats struct {
 // the simulation runs (the experiments in §4.2/§4.3 raise the loss ratio
 // mid-transfer).
 type Link struct {
-	sim   *sim.Simulator
-	name  string
-	dst   Node
-	rate  float64 // bits per second; 0 means infinite
-	delay time.Duration
-	loss  float64 // probability in [0,1]
-	qcap  int     // max queued packets awaiting serialisation
-	up    bool
+	clock    sim.Clock // the source side's loop: owns the transmitter state
+	dstClock sim.Clock // the destination node's loop: owns delivery
+	name     string
+	dst      Node
+	rate     float64 // bits per second; 0 means infinite
+	delay    time.Duration
+	loss     float64 // probability in [0,1]
+	qcap     int     // max queued packets awaiting serialisation
+	up       bool    // reconfigured only at barriers (globals) or while paused
 
 	busyUntil sim.Time // when the transmitter frees up
 	queued    int      // packets scheduled but not yet serialised
@@ -61,29 +67,40 @@ type LinkConfig struct {
 // QueueCap zero. 100 packets matches Mininet's default TXQueueLen.
 const DefaultQueueCap = 100
 
-// NewLink creates a link delivering to dst.
-func NewLink(s *sim.Simulator, name string, dst Node, cfg LinkConfig) *Link {
+// NewLink creates a link delivering to dst. c is the clock of the node
+// the link transmits from: the link derives its own clock (and random
+// stream) on the same event loop. When source and destination live on
+// different shards of a sim.World, the link registers itself as a
+// cross-shard crossing whose propagation delay bounds the world's
+// conservative lookahead.
+func NewLink(c sim.Clock, name string, dst Node, cfg LinkConfig) *Link {
 	qcap := cfg.QueueCap
 	if qcap == 0 {
 		qcap = DefaultQueueCap
 	}
 	l := &Link{
-		sim:   s,
-		name:  name,
-		dst:   dst,
-		rate:  cfg.RateBps,
-		delay: cfg.Delay,
-		loss:  cfg.Loss,
-		qcap:  qcap,
-		up:    true,
+		clock:    c.Derive("link:" + name),
+		dstClock: dst.Clock(),
+		name:     name,
+		dst:      dst,
+		rate:     cfg.RateBps,
+		delay:    cfg.Delay,
+		loss:     cfg.Loss,
+		qcap:     qcap,
+		up:       true,
+	}
+	if w := sim.WorldOf(l.clock); w != nil {
+		w.Crossing(name, l.clock, l.dstClock, cfg.Delay)
 	}
 	l.serName = "link.serialized:" + name
 	l.dlvName = "link.deliver:" + name
 	l.serFn = func(any) { l.queued-- }
 	l.dlvFn = func(a any) {
+		// Runs on the destination's loop; it may only touch
+		// delivery-owned state (Sent/Bytes/DropCut, the packet, dst).
 		pkt := a.(*Packet)
 		if !l.up { // cut while in flight
-			l.Stats.DropDown++
+			l.Stats.DropCut++
 			l.trace(trace.KLinkDrop, pkt.Size, trace.DropDown)
 			pkt.Release()
 			return
@@ -104,11 +121,13 @@ func (l *Link) SetTrace(sh *trace.Shard, id uint32) {
 }
 
 // trace records one link event; a nil-guarded store, no allocation.
+// Tracing is only enabled on single-shard runs, where both link clocks
+// read the same loop time.
 func (l *Link) trace(k trace.Kind, size int, flag uint8) {
 	if l.tsh == nil {
 		return
 	}
-	l.tsh.Rec(l.sim.Now(), k, l.tid, 0, uint32(size), 0, flag)
+	l.tsh.Rec(l.clock.Now(), k, l.tid, 0, uint32(size), 0, flag)
 }
 
 // Name identifies the link in traces.
@@ -150,9 +169,9 @@ func (l *Link) Send(pkt *Packet) {
 	}
 	l.trace(trace.KLinkEnq, pkt.Size, 0)
 	// The loss draw happens at enqueue time; one draw per packet.
-	lost := l.loss > 0 && l.sim.Rand().Float64() < l.loss
+	lost := l.loss > 0 && l.clock.Rand().Float64() < l.loss
 
-	now := l.sim.Now()
+	now := l.clock.Now()
 	start := l.busyUntil
 	if start < now {
 		start = now
@@ -164,14 +183,16 @@ func (l *Link) Send(pkt *Packet) {
 	l.busyUntil = start.Add(ser)
 	l.queued++
 	deliverAt := l.busyUntil.Add(l.delay)
-	l.sim.ScheduleArg(l.busyUntil, l.serName, l.serFn, nil)
+	l.clock.ScheduleArg(l.busyUntil, l.serName, l.serFn, nil)
 	if lost {
 		l.Stats.LostRand++
 		l.trace(trace.KLinkDrop, pkt.Size, trace.DropLoss)
 		pkt.Release()
 		return
 	}
-	l.sim.ScheduleArg(deliverAt, l.dlvName, l.dlvFn, pkt)
+	// Delivery runs on the destination's loop; SendTo posts it through
+	// the cross-shard mailbox when that loop is another shard.
+	l.clock.SendTo(l.dstClock, deliverAt, l.dlvName, l.dlvFn, pkt)
 }
 
 // Duplex is a bidirectional link: two independent unidirectional halves
@@ -181,11 +202,13 @@ type Duplex struct {
 	BA *Link // b → a
 }
 
-// NewDuplex wires two nodes together with symmetric characteristics.
-func NewDuplex(s *sim.Simulator, name string, a, b Node, cfg LinkConfig) *Duplex {
+// NewDuplex wires two nodes together with symmetric characteristics. Each
+// half schedules on its transmitting node's clock, so the pair straddles a
+// shard boundary cleanly when a and b live on different shards.
+func NewDuplex(name string, a, b Node, cfg LinkConfig) *Duplex {
 	return &Duplex{
-		AB: NewLink(s, fmt.Sprintf("%s:%s->%s", name, a.Name(), b.Name()), b, cfg),
-		BA: NewLink(s, fmt.Sprintf("%s:%s->%s", name, b.Name(), a.Name()), a, cfg),
+		AB: NewLink(a.Clock(), fmt.Sprintf("%s:%s->%s", name, a.Name(), b.Name()), b, cfg),
+		BA: NewLink(b.Clock(), fmt.Sprintf("%s:%s->%s", name, b.Name(), a.Name()), a, cfg),
 	}
 }
 

@@ -34,7 +34,7 @@ type MiddleboxStats struct {
 // deployed boxes expire idle state after a few hundred seconds even though
 // the IETF recommends ≥ 2h04m.
 type Middlebox struct {
-	sim         *sim.Simulator
+	clock       sim.Clock
 	name        string
 	routes      map[netip.Addr]*Link
 	idleTimeout time.Duration
@@ -59,9 +59,9 @@ func canonicalKey(ft seg.FourTuple) flowKey {
 
 // NewMiddlebox creates a middlebox with the given idle timeout and expiry
 // policy.
-func NewMiddlebox(s *sim.Simulator, name string, idle time.Duration, policy ExpiryPolicy) *Middlebox {
+func NewMiddlebox(c sim.Clock, name string, idle time.Duration, policy ExpiryPolicy) *Middlebox {
 	return &Middlebox{
-		sim:         s,
+		clock:       c,
 		name:        name,
 		routes:      make(map[netip.Addr]*Link),
 		idleTimeout: idle,
@@ -73,6 +73,9 @@ func NewMiddlebox(s *sim.Simulator, name string, idle time.Duration, policy Expi
 // Name implements Node.
 func (m *Middlebox) Name() string { return m.name }
 
+// Clock implements Node.
+func (m *Middlebox) Clock() sim.Clock { return m.clock }
+
 // AddRoute wires the egress link for a destination address.
 func (m *Middlebox) AddRoute(dst netip.Addr, l *Link) { m.routes[dst] = l }
 
@@ -80,7 +83,7 @@ func (m *Middlebox) AddRoute(dst netip.Addr, l *Link) { m.routes[dst] = l }
 func (m *Middlebox) FlowCount() int {
 	n := 0
 	for _, last := range m.flows {
-		if m.sim.Now()-last <= sim.Time(m.idleTimeout) {
+		if m.clock.Now()-last <= sim.Time(m.idleTimeout) {
 			n++
 		}
 	}
@@ -90,7 +93,7 @@ func (m *Middlebox) FlowCount() int {
 // Input implements Node.
 func (m *Middlebox) Input(pkt *Packet) {
 	key := canonicalKey(pkt.Seg.Tuple)
-	now := m.sim.Now()
+	now := m.clock.Now()
 	last, known := m.flows[key]
 	switch {
 	case pkt.Seg.Is(seg.SYN):

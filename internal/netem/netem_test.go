@@ -29,7 +29,8 @@ func (s *sink) Input(p *Packet) {
 	s.got = append(s.got, p)
 	s.at = append(s.at, s.sim.Now())
 }
-func (s *sink) Name() string { return s.name }
+func (s *sink) Name() string     { return s.name }
+func (s *sink) Clock() sim.Clock { return s.sim }
 
 func mkpkt(src, dst netip.Addr, payload int) *Packet {
 	return NewPacket(&seg.Segment{
@@ -397,7 +398,7 @@ func TestDuplex(t *testing.T) {
 	s := sim.New(1)
 	a := &sink{name: "a", sim: s}
 	b := &sink{name: "b", sim: s}
-	d := NewDuplex(s, "d", a, b, LinkConfig{Delay: time.Millisecond})
+	d := NewDuplex("d", a, b, LinkConfig{Delay: time.Millisecond})
 	d.AB.Send(mkpkt(ipA, ipB, 10))
 	d.BA.Send(mkpkt(ipB, ipA, 10))
 	s.Run()

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/seg"
+	"repro/internal/sim"
 )
 
 // ipOverhead approximates per-packet IP+link framing bytes added on top of
@@ -67,6 +68,9 @@ type Node interface {
 	Input(pkt *Packet)
 	// Name identifies the node in traces.
 	Name() string
+	// Clock is the node's scheduling clock; under a sharded world it pins
+	// the node (and everything it owns) to one shard's event loop.
+	Clock() sim.Clock
 }
 
 // FlowHash hashes a 4-tuple for ECMP path selection. The tuple is

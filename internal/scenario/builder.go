@@ -37,9 +37,12 @@ type Builder struct {
 
 // HostSpec declares a host and its interfaces. Each interface attaches to
 // the named link; the outbound direction is inferred from the link's
-// endpoints.
+// endpoints. Group is the host's placement group for sharded worlds; a
+// spec leaving every node in group 0 cannot be partitioned and is
+// rejected when run with more than one shard.
 type HostSpec struct {
 	Name   string
+	Group  int
 	Ifaces []IfaceSpec
 }
 
@@ -52,7 +55,8 @@ type IfaceSpec struct {
 
 // RouterSpec declares a flow-hashing router.
 type RouterSpec struct {
-	Name string
+	Name  string
+	Group int
 	// HashSeed seeds the ECMP flow hash; zero derives it from the run
 	// seed.
 	HashSeed uint64
@@ -61,6 +65,7 @@ type RouterSpec struct {
 // MiddleboxSpec declares a stateful middlebox with an idle timeout.
 type MiddleboxSpec struct {
 	Name   string
+	Group  int
 	Idle   time.Duration
 	Expiry netem.ExpiryPolicy
 }
@@ -83,8 +88,8 @@ type RouteSpec struct {
 }
 
 // Build implements Topology.
-func (b Builder) Build(s *sim.Simulator, seed int64) *Net {
-	n := &Net{Sim: s, Links: make(map[string]*netem.Duplex)}
+func (b Builder) Build(f sim.Fabric, seed int64) *Net {
+	n := &Net{Links: make(map[string]*netem.Duplex)}
 
 	type node struct {
 		n    netem.Node
@@ -102,7 +107,7 @@ func (b Builder) Build(s *sim.Simulator, seed int64) *Net {
 		nodes[name] = nd
 	}
 	for _, h := range b.Hosts {
-		host := netem.NewHost(s, h.Name)
+		host := netem.NewHost(f.HostClock(h.Group, h.Name), h.Name)
 		declare(h.Name, node{n: host, host: host})
 	}
 	for _, r := range b.Routers {
@@ -110,11 +115,11 @@ func (b Builder) Build(s *sim.Simulator, seed int64) *Net {
 		if hs == 0 {
 			hs = uint64(seed)
 		}
-		rt := netem.NewRouter(s, r.Name, hs)
+		rt := netem.NewRouter(f.HostClock(r.Group, r.Name), r.Name, hs)
 		declare(r.Name, node{n: rt, add: rt.AddRoute})
 	}
 	for _, m := range b.Middleboxes {
-		mb := netem.NewMiddlebox(s, m.Name, m.Idle, m.Expiry)
+		mb := netem.NewMiddlebox(f.HostClock(m.Group, m.Name), m.Name, m.Idle, m.Expiry)
 		// A middlebox routes each destination over exactly one link.
 		add := func(dst netip.Addr, links ...*netem.Link) {
 			if len(links) != 1 {
@@ -141,7 +146,7 @@ func (b Builder) Build(s *sim.Simulator, seed int64) *Net {
 		if _, dup := n.Links[l.Name]; dup {
 			panic(fmt.Sprintf("scenario: Builder link %q declared twice", l.Name))
 		}
-		d := netem.NewDuplex(s, l.Name, get(l.A, "link").n, get(l.B, "link").n, l.Cfg)
+		d := netem.NewDuplex(l.Name, get(l.A, "link").n, get(l.B, "link").n, l.Cfg)
 		n.Links[l.Name] = d
 		sides[l.Name] = ends{a: l.A, b: l.B}
 	}

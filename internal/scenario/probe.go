@@ -63,8 +63,9 @@ func (p *PushTrace) Probe() Probe {
 		Name: "push-trace",
 		Arm: func(rt *Run) {
 			split := rt.Net.Client().Addrs[p.BackupAddrIdx]
+			cclk := rt.ClientClock(0) // TracePush fires on the client's loop
 			rt.Conn.TracePush = func(sf *tcp.Subflow, rel uint64, ln int, re bool) {
-				t := rt.Sim.Now()
+				t := cclk.Now()
 				tr := p.Primary
 				if sf.Tuple().SrcIP == split {
 					tr = p.Backup

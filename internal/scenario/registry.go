@@ -111,6 +111,21 @@ func Build(name string, p *Params) (*Spec, error) {
 	if p.Has("trace") {
 		EnableTrace(sp, traceFile, traceCap)
 	}
+	// `shards=N` shards every run of the scenario across N worker event
+	// loops (results are bit-identical at any N). Consumed here so no
+	// factory needs shard-specific code. Tracing assumes one loop, so the
+	// combination is rejected rather than silently corrupting traces.
+	if shards := p.Int("shards", 0); shards != 0 {
+		if shards < 0 {
+			return nil, fmt.Errorf("scenario %s: shards=%d: must be positive", name, shards)
+		}
+		if shards > 1 && p.Has("trace") {
+			return nil, fmt.Errorf("scenario %s: tracing is single-shard only (got shards=%d)", name, shards)
+		}
+		for _, rs := range sp.Runs {
+			rs.Shards = shards
+		}
+	}
 	if err := p.Err(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}

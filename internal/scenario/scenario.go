@@ -71,6 +71,12 @@ type RunSpec struct {
 	// Stressed uses the CPU-stressed Netlink latency model of §4.5.
 	Stressed bool
 
+	// Shards is the number of worker event loops the run's simulation is
+	// sharded across (0 or 1 = one loop). Results are bit-identical at
+	// any shard count; topologies that fold onto a single shard reject
+	// Shards > 1 at build time. Usually set by the `shards=` parameter.
+	Shards int
+
 	// Port is the server's listen port (0 = 80).
 	Port uint16
 	// Settle runs the simulation between Listen and the first dial, so
@@ -132,16 +138,31 @@ type Run struct {
 	Spec *RunSpec
 	Seed int64 // the run's simulator seed (scenario seed + offset)
 
-	Sim      *sim.Simulator
+	// Sim drives the simulation (a sim.World; one shard unless the spec
+	// asks for more). Workload and probe callbacks that fire while the
+	// simulation runs must not touch it — they read time and schedule
+	// work through the host clocks (ClientClock/ServerClock) instead.
+	Sim      sim.Runner
 	Net      *Net
 	Stack    *smapp.Stack // nil when the workload owns its stacks
 	ServerEp *mptcp.Endpoint
-	Conn     *mptcp.Connection // last connection dialed through the stack
-	Tracer   *trace.Tracer     // nil unless the run is traced
+	// ServerEps has one listening endpoint per Net.Servers entry;
+	// ServerEps[0] == ServerEp.
+	ServerEps []*mptcp.Endpoint
+	Conn      *mptcp.Connection // last connection dialed through the stack
+	Tracer    *trace.Tracer     // nil unless the run is traced
 
 	Result *stats.Result
 	Wall   time.Duration // wall-clock cost of the whole run
 }
+
+// ClientClock returns client i's host clock — the loop that owns the
+// client's entities. Workload callbacks running inside the simulation
+// read time and schedule follow-up work through it.
+func (rt *Run) ClientClock(i int) sim.Clock { return rt.Net.Clients[i].Host.Clock() }
+
+// ServerClock returns the (first) server's host clock.
+func (rt *Run) ServerClock() sim.Clock { return rt.Net.Server.Clock() }
 
 // Port returns the run's server port.
 func (rt *Run) Port() uint16 {
@@ -192,12 +213,22 @@ func Execute(sp *Spec, seed int64) *stats.Result {
 func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 	start := time.Now()
 	seed := baseSeed + rs.SeedOffset
-	s := sim.New(seed)
-	rt := &Run{Spec: rs, Seed: seed, Sim: s, Result: res}
+	nsh := rs.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	// Every run executes on a sim.World — one shard by default — so the
+	// event order and per-entity random streams are identical at any
+	// shard count: `shards=8` reproduces `shards=1` bit for bit.
+	w := sim.NewWorld(seed, nsh)
+	rt := &Run{Spec: rs, Seed: seed, Sim: w, Result: res}
 	if rs.Trace != nil {
 		rt.Tracer = trace.New(rs.Trace.Cap)
 	}
-	rt.Net = rs.Topology.Build(s, seed)
+	rt.Net = rs.Topology.Build(w, seed).normalize()
+	if err := w.Finalize(); err != nil {
+		panic(err) // the runner reports this as the seed's failure
+	}
 	rt.wireTrace()
 
 	if _, owns := rs.Workload.(StackOwner); !owns {
@@ -212,11 +243,15 @@ func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 		}
 		rt.Stack = smapp.New(rt.Net.Client().Host, scfg)
 	}
-	rt.ServerEp = mptcp.NewEndpoint(rt.Net.Server,
-		mptcp.Config{Scheduler: rs.Sched, Trace: rt.TraceShard(rt.Net.Server.Name())}, nil)
+	for _, srv := range rt.Net.Servers {
+		ep := mptcp.NewEndpoint(srv,
+			mptcp.Config{Scheduler: rs.Sched, Trace: rt.TraceShard(srv.Name())}, nil)
+		rt.ServerEps = append(rt.ServerEps, ep)
+	}
+	rt.ServerEp = rt.ServerEps[0]
 	rs.Workload.Server(rt)
 	if rs.Settle > 0 {
-		s.RunFor(rs.Settle)
+		rt.Sim.RunFor(rs.Settle)
 	}
 	rs.Workload.Client(rt)
 	for _, p := range rs.Probes {
@@ -226,7 +261,9 @@ func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 	}
 	for _, ev := range rs.Events {
 		ev := ev
-		s.Schedule(sim.Time(ev.At), ev.Name, func() { ev.Do(rt) })
+		// Interventions touch entities on arbitrary shards, so they run
+		// as global events: all shards parked at the event's timestamp.
+		rt.Sim.ScheduleGlobal(sim.Time(ev.At), ev.Name, func() { ev.Do(rt) })
 	}
 	rs.Stop.run(rt)
 	for _, p := range rs.Probes {

@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"time"
 
@@ -11,11 +10,13 @@ import (
 	"repro/internal/topo"
 )
 
-// Topology builds the emulated network for one scenario run. The seed is
-// the run's simulation seed, for topologies whose shape depends on it
-// (the ECMP hash, the scale aggregation router).
+// Topology builds the emulated network for one scenario run. The fabric
+// hands out per-entity clocks — a bare *sim.Simulator keeps everything on
+// one event loop, a sharded *sim.World spreads host groups across worker
+// loops — and the seed is the run's simulation seed, for topologies whose
+// shape depends on it (the ECMP hash, the scale aggregation router).
 type Topology interface {
-	Build(s *sim.Simulator, seed int64) *Net
+	Build(f sim.Fabric, seed int64) *Net
 	Describe() string
 }
 
@@ -28,13 +29,20 @@ type Endpoint struct {
 }
 
 // Net is the uniform view a built topology exposes to workloads, probes,
-// and events: the server, one or more client endpoints, and the named
-// links that events (loss ramps, degradations) manipulate.
+// and events: the server hosts, one or more client endpoints, and the
+// named links that events (loss ramps, degradations) manipulate.
 type Net struct {
-	Sim        *sim.Simulator
+	// Server and ServerAddr are the first (usually only) server; the
+	// engine mirrors them with Servers/ServerAddrs, so topologies fill
+	// whichever form is natural.
 	Server     *netem.Host
 	ServerAddr netip.Addr
-	Clients    []Endpoint
+	// Servers lists every server host (the multi-server scale topology);
+	// Servers[0] == Server.
+	Servers     []*netem.Host
+	ServerAddrs []netip.Addr
+
+	Clients []Endpoint
 	// Links holds every named duplex link. By convention the forward
 	// (client→server) direction is AB.
 	Links map[string]*netem.Duplex
@@ -43,6 +51,20 @@ type Net struct {
 	// PathIndex reports which fabric path a subflow's 4-tuple maps to —
 	// ground truth for load-balancing analyses (ECMP only, else nil).
 	PathIndex func(srcPort, dstPort uint16) int
+}
+
+// normalize mirrors the single-server convenience fields and the Servers
+// slice into each other, whichever the topology filled.
+func (n *Net) normalize() *Net {
+	if len(n.Servers) == 0 && n.Server != nil {
+		n.Servers = []*netem.Host{n.Server}
+		n.ServerAddrs = []netip.Addr{n.ServerAddr}
+	}
+	if n.Server == nil && len(n.Servers) > 0 {
+		n.Server = n.Servers[0]
+		n.ServerAddr = n.ServerAddrs[0]
+	}
+	return n
 }
 
 // Client returns the first (usually only) client endpoint.
@@ -70,10 +92,9 @@ type TwoPath struct {
 }
 
 // Build implements Topology.
-func (t TwoPath) Build(s *sim.Simulator, _ int64) *Net {
-	tp := topo.NewTwoPath(s, t.P0, t.P1)
+func (t TwoPath) Build(f sim.Fabric, _ int64) *Net {
+	tp := topo.NewTwoPath(f, t.P0, t.P1)
 	return &Net{
-		Sim:        s,
 		Server:     tp.Server,
 		ServerAddr: tp.ServerAddr,
 		Clients:    []Endpoint{{Host: tp.Client, Addrs: tp.ClientAddrs[:]}},
@@ -96,18 +117,17 @@ type ECMP struct {
 }
 
 // Build implements Topology.
-func (t ECMP) Build(s *sim.Simulator, seed int64) *Net {
+func (t ECMP) Build(f sim.Fabric, seed int64) *Net {
 	hs := t.HashSeed
 	if hs == 0 {
 		hs = uint64(seed)
 	}
-	tp := topo.NewECMP(s, t.Paths, hs)
+	tp := topo.NewECMP(f, t.Paths, hs)
 	links := make(map[string]*netem.Duplex, len(tp.Paths))
 	for i, d := range tp.Paths {
 		links[fmt.Sprintf("path%d", i)] = d
 	}
 	return &Net{
-		Sim:        s,
 		Server:     tp.Server,
 		ServerAddr: tp.ServerAddr,
 		Clients:    []Endpoint{{Host: tp.Client, Addrs: []netip.Addr{tp.ClientAddr}}},
@@ -129,7 +149,8 @@ type Proc struct {
 	Jitter time.Duration
 }
 
-func (p Proc) model(rng *rand.Rand) func() time.Duration {
+func (p Proc) model(c sim.Clock) func() time.Duration {
+	rng := c.Rand()
 	return func() time.Duration {
 		return p.Base + time.Duration(rng.ExpFloat64()*float64(p.Jitter))
 	}
@@ -143,16 +164,17 @@ type Direct struct {
 }
 
 // Build implements Topology.
-func (t Direct) Build(s *sim.Simulator, _ int64) *Net {
-	tp := topo.NewDirect(s, t.Link)
+func (t Direct) Build(f sim.Fabric, _ int64) *Net {
+	tp := topo.NewDirect(f, t.Link)
+	// The jitter draws come from each host's own random stream, so they
+	// are identical at any shard count.
 	if t.ClientProc != (Proc{}) {
-		tp.Client.SetProcDelay(t.ClientProc.model(s.Rand()))
+		tp.Client.SetProcDelay(t.ClientProc.model(tp.Client.Clock()))
 	}
 	if t.ServerProc != (Proc{}) {
-		tp.Server.SetProcDelay(t.ServerProc.model(s.Rand()))
+		tp.Server.SetProcDelay(t.ServerProc.model(tp.Server.Clock()))
 	}
 	return &Net{
-		Sim:        s,
 		Server:     tp.Server,
 		ServerAddr: tp.ServerAddr,
 		Clients:    []Endpoint{{Host: tp.Client, Addrs: []netip.Addr{tp.ClientAddr}}},
@@ -172,10 +194,9 @@ type NATPath struct {
 }
 
 // Build implements Topology.
-func (t NATPath) Build(s *sim.Simulator, _ int64) *Net {
-	tp := topo.NewNATPath(s, t.P0, t.P1, t.Idle, t.Expiry)
+func (t NATPath) Build(f sim.Fabric, _ int64) *Net {
+	tp := topo.NewNATPath(f, t.P0, t.P1, t.Idle, t.Expiry)
 	return &Net{
-		Sim:        s,
 		Server:     tp.Server,
 		ServerAddr: tp.ServerAddr,
 		Clients:    []Endpoint{{Host: tp.Client, Addrs: tp.ClientAddrs[:]}},
@@ -190,37 +211,52 @@ func (t NATPath) Build(s *sim.Simulator, _ int64) *Net {
 func (t NATPath) Describe() string { return "NAT-traversing two-path client (§4.1)" }
 
 // Star is the scale topology: N multihomed client hosts, every interface
-// on its own access link into one aggregation router, and a shared
-// bottleneck ("bottleneck") to the server. The aggregation router hashes
-// with the run seed.
+// on its own access link into one aggregation router, and per-server
+// bottleneck links ("bottleneck", "bottleneck1", ...) to Servers server
+// hosts. The aggregation router hashes with the run seed.
+//
+// Host groups split the star for sharded worlds: the aggregation router
+// is group 0, server k group 1+k, and client i group Servers+1+i — so a
+// 4-shard world interleaves clients round-robin over the shards while the
+// access- and bottleneck-link delays bound the lookahead.
 type Star struct {
 	Clients    int
 	Ifaces     int // interfaces (→ subflows via full-mesh) per client
+	Servers    int // server hosts sharing the aggregation router (0 = 1)
 	Access     netem.LinkConfig
 	Bottleneck netem.LinkConfig
 }
 
 // Build implements Topology.
-func (t Star) Build(s *sim.Simulator, seed int64) *Net {
-	server := netem.NewHost(s, "server")
-	agg := netem.NewRouter(s, "agg", uint64(seed))
-	serverAddr := netip.AddrFrom4([4]byte{10, 255, 0, 1})
-	trunk := netem.NewDuplex(s, "bottleneck", agg, server, t.Bottleneck)
-	server.AddIface("eth0", serverAddr, trunk.BA)
-	agg.AddRoute(serverAddr, trunk.AB)
-
-	n := &Net{
-		Sim:        s,
-		Server:     server,
-		ServerAddr: serverAddr,
-		Links:      map[string]*netem.Duplex{"bottleneck": trunk},
+func (t Star) Build(f sim.Fabric, seed int64) *Net {
+	nsrv := t.Servers
+	if nsrv < 1 {
+		nsrv = 1
+	}
+	agg := netem.NewRouter(f.HostClock(0, "agg"), "agg", uint64(seed))
+	n := &Net{Links: make(map[string]*netem.Duplex)}
+	for k := 0; k < nsrv; k++ {
+		name, lname := "server", "bottleneck"
+		if k > 0 {
+			name = fmt.Sprintf("server%d", k)
+			lname = fmt.Sprintf("bottleneck%d", k)
+		}
+		srv := netem.NewHost(f.HostClock(1+k, name), name)
+		addr := netip.AddrFrom4([4]byte{10, 255, 0, byte(1 + k)})
+		trunk := netem.NewDuplex(lname, agg, srv, t.Bottleneck)
+		srv.AddIface("eth0", addr, trunk.BA)
+		agg.AddRoute(addr, trunk.AB)
+		n.Links[lname] = trunk
+		n.Servers = append(n.Servers, srv)
+		n.ServerAddrs = append(n.ServerAddrs, addr)
 	}
 	for i := 0; i < t.Clients; i++ {
-		h := netem.NewHost(s, fmt.Sprintf("c%d", i))
+		cname := fmt.Sprintf("c%d", i)
+		h := netem.NewHost(f.HostClock(1+nsrv+i, cname), cname)
 		ep := Endpoint{Host: h}
 		for j := 0; j < t.Ifaces; j++ {
 			addr := netip.AddrFrom4([4]byte{10, byte(1 + i/200), byte(1 + i%200), byte(1 + j)})
-			d := netem.NewDuplex(s, fmt.Sprintf("acc%d.%d", i, j), h, agg, t.Access)
+			d := netem.NewDuplex(fmt.Sprintf("acc%d.%d", i, j), h, agg, t.Access)
 			h.AddIface(fmt.Sprintf("if%d", j), addr, d.AB)
 			agg.AddRoute(addr, d.BA)
 			ep.Addrs = append(ep.Addrs, addr)
@@ -239,11 +275,11 @@ func (t Star) Describe() string {
 // declarative Builder cannot express.
 type Custom struct {
 	Desc    string
-	BuildFn func(s *sim.Simulator, seed int64) *Net
+	BuildFn func(f sim.Fabric, seed int64) *Net
 }
 
 // Build implements Topology.
-func (t Custom) Build(s *sim.Simulator, seed int64) *Net { return t.BuildFn(s, seed) }
+func (t Custom) Build(f sim.Fabric, seed int64) *Net { return t.BuildFn(f, seed) }
 
 // Describe implements Topology.
 func (t Custom) Describe() string { return t.Desc }

@@ -56,13 +56,13 @@ func (w *Bulk) Server(rt *Run) {
 	if expect == 0 {
 		expect = uint64(w.Bytes)
 	}
-	w.Sink = app.NewSink(rt.Sim, expect, nil)
+	w.Sink = app.NewSink(rt.ServerClock(), expect, nil)
 	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) { c.SetCallbacks(w.Sink.Callbacks()) })
 }
 
 // Client implements Workload.
 func (w *Bulk) Client(rt *Run) {
-	w.Src = app.NewSource(rt.Sim, w.Bytes, w.CloseWhenDone)
+	w.Src = app.NewSource(rt.ClientClock(0), w.Bytes, w.CloseWhenDone)
 	rt.DialDefault(w.Src.Callbacks())
 }
 
@@ -89,13 +89,13 @@ func (w *BlockStream) Describe() string {
 
 // Server implements Workload.
 func (w *BlockStream) Server(rt *Run) {
-	w.Sink = app.NewBlockSink(rt.Sim, w.BlockSize)
+	w.Sink = app.NewBlockSink(rt.ServerClock(), w.BlockSize)
 	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) { c.SetCallbacks(w.Sink.Callbacks()) })
 }
 
 // Client implements Workload.
 func (w *BlockStream) Client(rt *Run) {
-	w.Streamer = app.NewBlockStreamer(rt.Sim, w.Period, w.BlockSize, w.Blocks)
+	w.Streamer = app.NewBlockStreamer(rt.ClientClock(0), w.Period, w.BlockSize, w.Blocks)
 	rt.DialDefault(w.Streamer.Callbacks())
 }
 
@@ -136,11 +136,12 @@ func (w *OnOff) Describe() string {
 // Server implements Workload.
 func (w *OnOff) Server(rt *Run) {
 	msgBytes := uint64(w.Size)
+	sclk := rt.ServerClock()
 	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) {
 		c.SetCallbacks(mptcp.ConnCallbacks{
 			OnData: func(_ *mptcp.Connection, total uint64) {
 				for uint64(len(w.Arrivals)+1)*msgBytes <= total {
-					w.Arrivals = append(w.Arrivals, rt.Sim.Now())
+					w.Arrivals = append(w.Arrivals, sclk.Now())
 				}
 			},
 		})
@@ -150,10 +151,11 @@ func (w *OnOff) Server(rt *Run) {
 // Client implements Workload.
 func (w *OnOff) Client(rt *Run) {
 	conn := rt.DialDefault(mptcp.ConnCallbacks{})
+	cclk := rt.ClientClock(0)
 	for i := 0; i < w.Count; i++ {
 		at := sim.Time(w.Interval) * sim.Time(i+1)
-		rt.Sim.Schedule(at, "chat.msg", func() {
-			w.SendTimes = append(w.SendTimes, rt.Sim.Now())
+		cclk.Schedule(at, "chat.msg", func() {
+			w.SendTimes = append(w.SendTimes, cclk.Now())
 			conn.Write(w.Size)
 		})
 	}
@@ -268,7 +270,10 @@ func (w *FanOut) Describe() string {
 }
 
 // Server implements Workload: one sink per accepted connection, matched
-// back to its client by the initial subflow's address.
+// back to its client by the initial subflow's address. Every server
+// endpoint listens (clients spread over them round-robin), and each sink
+// lives on its own server's clock, so completions recorded on different
+// shards never share state.
 func (w *FanOut) Server(rt *Run) {
 	n := len(rt.Net.Clients)
 	w.CompletedAt = make([]sim.Time, n)
@@ -279,23 +284,30 @@ func (w *FanOut) Server(rt *Run) {
 	for i, cl := range rt.Net.Clients {
 		clientIdx[cl.Addrs[0]] = i
 	}
-	rt.ServerEp.Listen(rt.Port(), func(c *mptcp.Connection) {
-		idx, ok := clientIdx[c.InitialTuple().DstIP]
-		if !ok {
-			return
-		}
-		sink := app.NewSink(rt.Sim, uint64(w.Bytes), nil)
-		sink.OnComplete = func() { w.CompletedAt[idx] = rt.Sim.Now() }
-		c.SetCallbacks(sink.Callbacks())
-	})
+	for si, ep := range rt.ServerEps {
+		sclk := rt.Net.Servers[si].Clock()
+		ep.Listen(rt.Port(), func(c *mptcp.Connection) {
+			idx, ok := clientIdx[c.InitialTuple().DstIP]
+			if !ok {
+				return
+			}
+			sink := app.NewSink(sclk, uint64(w.Bytes), nil)
+			sink.OnComplete = func() { w.CompletedAt[idx] = sclk.Now() }
+			c.SetCallbacks(sink.Callbacks())
+		})
+	}
 }
 
-// Client implements Workload.
+// Client implements Workload. Each client dials through its own host
+// clock (its shard), targeting the servers round-robin when the topology
+// has several.
 func (w *FanOut) Client(rt *Run) {
 	w.DialAt = make([]sim.Time, len(rt.Net.Clients))
 	for i := range rt.Net.Clients {
 		cl := rt.Net.Clients[i]
-		src := app.NewSource(rt.Sim, w.Bytes, true)
+		cclk := cl.Host.Clock()
+		src := app.NewSource(cclk, w.Bytes, true)
+		dst := rt.Net.ServerAddrs[i%len(rt.Net.ServerAddrs)]
 		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
 		w.DialAt[i] = at
 		// Per-client hosts record into their own trace shards (nil when
@@ -304,8 +316,8 @@ func (w *FanOut) Client(rt *Run) {
 		switch rt.Spec.Policy {
 		case KernelPolicy:
 			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh}, pm.NewFullMesh())
-			rt.Sim.Schedule(at, "scale.dial", func() {
-				if _, err := ep.Connect(cl.Addrs[0], rt.Net.ServerAddr, rt.Port(), src.Callbacks()); err != nil {
+			cclk.Schedule(at, "scale.dial", func() {
+				if _, err := ep.Connect(cl.Addrs[0], dst, rt.Port(), src.Callbacks()); err != nil {
 					panic(err)
 				}
 			})
@@ -318,8 +330,8 @@ func (w *FanOut) Client(rt *Run) {
 			if len(pcfg.Addrs) == 0 {
 				pcfg.Addrs = cl.Addrs
 			}
-			rt.Sim.Schedule(at, "scale.dial", func() {
-				if _, err := st.Dial(cl.Addrs[0], rt.Net.ServerAddr, rt.Port(), rt.Spec.Policy, pcfg, src.Callbacks()); err != nil {
+			cclk.Schedule(at, "scale.dial", func() {
+				if _, err := st.Dial(cl.Addrs[0], dst, rt.Port(), rt.Spec.Policy, pcfg, src.Callbacks()); err != nil {
 					panic(err)
 				}
 			})

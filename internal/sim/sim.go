@@ -54,7 +54,8 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 //     in place for the owner's whole lifetime.
 type Event struct {
 	when Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
+	ent  uint64 // owning entity ordinal (0 on a bare Simulator)
+	seq  uint64 // tie-break: FIFO among equal (when, ent)
 	fn   func()
 	idx  int // heap index, -1 once removed
 	name string
@@ -74,9 +75,18 @@ func (e *Event) Cancelled() bool { return e.idx < 0 }
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
+
+// Less orders events by the total key (when, ent, seq). On a bare
+// Simulator every event has ent 0, so the order degenerates to the classic
+// (when, seq) FIFO. Under a sharded World the entity ordinal and per-entity
+// sequence make the key independent of how entities fold onto shards,
+// which is what keeps sharded runs bit-identical at any shard count.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
+	}
+	if h[i].ent != h[j].ent {
+		return h[i].ent < h[j].ent
 	}
 	return h[i].seq < h[j].seq
 }
@@ -104,15 +114,13 @@ func (h *eventHeap) Pop() any {
 // It is not safe for concurrent use: the entire simulation is single
 // threaded by design, which is what makes it deterministic.
 type Simulator struct {
-	now     Time
-	queue   eventHeap
-	nextSeq uint64
-	rng     *rand.Rand
-	stopped bool
-	free    []*Event // recycled pooled events (ScheduleArg)
-
-	// Processed counts events executed since construction.
-	Processed uint64
+	now       Time
+	queue     eventHeap
+	nextSeq   uint64
+	rng       *rand.Rand
+	stopped   bool
+	free      []*Event // recycled pooled events (ScheduleArg)
+	processed uint64
 }
 
 // maxFreeEvents bounds the pooled-event free list; beyond this the burst
@@ -127,6 +135,9 @@ func New(seed int64) *Simulator {
 
 // Now reports the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// Processed counts events executed since construction.
+func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Rand exposes the simulation's deterministic random source. All model
 // randomness (loss draws, jitter, port selection) must come from here.
@@ -180,6 +191,26 @@ func (s *Simulator) AfterArg(d time.Duration, name string, fn func(any), arg any
 		d = 0
 	}
 	s.ScheduleArg(s.now.Add(d), name, fn, arg)
+}
+
+// scheduleArgKeyed pushes a pooled event with a caller-provided ordering
+// key. Per-entity clocks and the cross-shard mailbox route through here so
+// the (when, ent, seq) key is computed by the sender, making the total
+// order independent of which shard the event lands on.
+func (s *Simulator) scheduleArgKeyed(when Time, ent, seqn uint64, name string, fn func(any), arg any) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, when, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.when, e.ent, e.seq, e.name, e.argFn, e.arg = when, ent, seqn, name, fn, arg
+	heap.Push(&s.queue, e)
 }
 
 // rearmOwned (re)schedules a caller-owned event (sim.Timer / Ticker): if
@@ -243,7 +274,7 @@ func (s *Simulator) step() bool {
 		panic("sim: time went backwards")
 	}
 	s.now = e.when
-	s.Processed++
+	s.processed++
 	switch {
 	case e.argFn != nil:
 		fn, arg := e.argFn, e.arg
@@ -291,3 +322,49 @@ func (s *Simulator) RunUntil(deadline Time) {
 
 // RunFor advances the clock by d, executing everything due in the window.
 func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// runWindow executes queued events up to limit — strictly below it when
+// inclusive is false, through it when true — then parks the clock at
+// limit. It is the shard-side worker for World's conservative windows;
+// unlike RunUntil it ignores Stop, because only the World may end a
+// sharded run.
+func (s *Simulator) runWindow(limit Time, inclusive bool) {
+	for len(s.queue) > 0 {
+		top := s.queue[0].when
+		if top > limit || (!inclusive && top == limit) {
+			break
+		}
+		s.step()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+// The bare Simulator is also the trivial sharded world: every entity
+// shares its single event loop and random stream, SendTo degenerates to a
+// local pooled push, and global events are ordinary events. This keeps the
+// direct-simulator call sites (unit tests, examples, single-shard runs)
+// byte-for-byte identical to the pre-sharding engine.
+
+// Derive returns the simulator itself: on a single loop all entities share
+// one identity and one random stream.
+func (s *Simulator) Derive(name string) Clock { return s }
+
+// SendTo schedules a pooled event onto dst's loop; on a bare Simulator
+// src and dst always share the loop.
+func (s *Simulator) SendTo(dst Clock, when Time, name string, fn func(any), arg any) {
+	s.ScheduleArg(when, name, fn, arg)
+}
+
+// HostClock implements Fabric: every group maps to the single loop.
+func (s *Simulator) HostClock(group int, name string) Clock { return s }
+
+// ScheduleGlobal implements Runner: with one loop a global event needs no
+// barrier and is a plain Schedule.
+func (s *Simulator) ScheduleGlobal(when Time, name string, fn func()) {
+	s.Schedule(when, name, fn)
+}
+
+func (s *Simulator) loop() (*Simulator, int) { return s, 0 }
+func (s *Simulator) world() *World           { return nil }

@@ -2,7 +2,7 @@ package sim
 
 import "time"
 
-// Timer is a restartable one-shot timer bound to a Simulator, analogous to
+// Timer is a restartable one-shot timer bound to a Clock, analogous to
 // time.Timer but in virtual time. The zero value is not usable; create
 // timers with NewTimer.
 //
@@ -10,13 +10,13 @@ import "time"
 // so Reset/Stop never allocate — the retransmission and pacing timers of
 // every subflow run on this path.
 type Timer struct {
-	sim *Simulator
-	ev  Event
+	clock Clock
+	ev    Event
 }
 
 // NewTimer returns a stopped timer that runs fn when it fires.
-func NewTimer(s *Simulator, name string, fn func()) *Timer {
-	t := &Timer{sim: s}
+func NewTimer(c Clock, name string, fn func()) *Timer {
+	t := &Timer{clock: c}
 	t.ev = Event{idx: -1, name: name, fn: fn, owned: true}
 	return t
 }
@@ -26,17 +26,17 @@ func (t *Timer) Reset(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	t.sim.rearmOwned(&t.ev, t.sim.now.Add(d))
+	t.clock.rearmOwned(&t.ev, t.clock.Now().Add(d))
 }
 
 // ResetAt (re)arms the timer to fire at absolute time when.
 func (t *Timer) ResetAt(when Time) {
-	t.sim.rearmOwned(&t.ev, when)
+	t.clock.rearmOwned(&t.ev, when)
 }
 
 // Stop cancels any pending firing.
 func (t *Timer) Stop() {
-	t.sim.cancelOwned(&t.ev)
+	t.clock.cancelOwned(&t.ev)
 }
 
 // Armed reports whether the timer currently has a pending firing.
@@ -54,27 +54,27 @@ func (t *Timer) Deadline() Time {
 // stopped, analogous to time.Ticker. Like Timer, it owns and re-arms a
 // single Event, so steady-state ticking does not allocate.
 type Ticker struct {
-	sim    *Simulator
+	clock  Clock
 	period time.Duration
 	ev     Event
 }
 
 // NewTicker starts a ticker whose first tick is one period from now.
-func NewTicker(s *Simulator, period time.Duration, name string, fn func()) *Ticker {
+func NewTicker(c Clock, period time.Duration, name string, fn func()) *Ticker {
 	if period < 0 {
 		period = 0
 	}
-	t := &Ticker{sim: s, period: period}
+	t := &Ticker{clock: c, period: period}
 	t.ev = Event{idx: -1, name: name, owned: true}
 	t.ev.fn = func() {
 		// Re-arm before running fn, mirroring the pre-pool behaviour where
 		// the next tick was scheduled ahead of the callback.
-		t.sim.rearmOwned(&t.ev, t.sim.now.Add(t.period))
+		t.clock.rearmOwned(&t.ev, t.clock.Now().Add(t.period))
 		fn()
 	}
-	t.sim.rearmOwned(&t.ev, s.now.Add(period))
+	t.clock.rearmOwned(&t.ev, c.Now().Add(period))
 	return t
 }
 
 // Stop cancels future ticks.
-func (t *Ticker) Stop() { t.sim.cancelOwned(&t.ev) }
+func (t *Ticker) Stop() { t.clock.cancelOwned(&t.ev) }

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// World is the sharded simulation driver: N independent event loops
+// (shards), each owning the entities of one or more host groups, advanced
+// in lockstep windows bounded by the conservative lookahead — the smallest
+// propagation delay of any link that crosses shards.
+//
+// Within a window [t0, t1) every shard runs its own queue on its own
+// goroutine. A message sent at time t travels a cross-shard link with
+// delay >= lookahead, so it arrives at t + delay >= t0 + lookahead >= t1:
+// always in a future window, never in the one being executed. Cross-shard
+// sends are therefore posted to a per-destination mailbox and folded into
+// the destination queue at the next window barrier, with the (when, ent,
+// seq) ordering key computed on the sending side. Because that key is a
+// total order derived from build-order entity ordinals — not from shard
+// layout — a World run is bit-identical to a single-shard run of the same
+// seed, at any shard count.
+type World struct {
+	seed    int64
+	shards  []*Simulator
+	inMu    []sync.Mutex
+	inbox   [][]crossMsg
+	spare   [][]crossMsg
+	nextEnt uint64
+	used    map[int]bool // shards that own at least one entity
+
+	// lookahead is the min propagation delay over cross-shard links;
+	// 0 means no crossings (shards are independent or there is one shard).
+	lookahead Time
+
+	now      Time
+	running  bool
+	buildErr error
+
+	globals globalHeap
+	gseq    uint64
+	gdone   uint64
+}
+
+// crossMsg is a pooled event in flight between shards: the sender computes
+// the full ordering key, the receiver replays it through its free list.
+type crossMsg struct {
+	when     Time
+	ent, seq uint64
+	name     string
+	fn       func(any)
+	arg      any
+}
+
+// maxTime is the idle sentinel for nextEventTime.
+const maxTime = Time(1<<63 - 1)
+
+type globalEvent struct {
+	when Time
+	seq  uint64
+	name string
+	fn   func()
+}
+
+type globalHeap []globalEvent
+
+func (h globalHeap) Len() int { return len(h) }
+func (h globalHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h globalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *globalHeap) Push(x any)   { *h = append(*h, x.(globalEvent)) }
+func (h *globalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = globalEvent{}
+	*h = old[:n-1]
+	return e
+}
+
+// NewWorld creates a sharded world for the given seed. nshards < 1 is
+// treated as 1. Shard counts larger than the number of populated groups
+// are legal; Finalize rejects layouts where more than one shard was
+// requested but the topology folded onto a single shard.
+func NewWorld(seed int64, nshards int) *World {
+	if nshards < 1 {
+		nshards = 1
+	}
+	w := &World{
+		seed:   seed,
+		shards: make([]*Simulator, nshards),
+		inMu:   make([]sync.Mutex, nshards),
+		inbox:  make([][]crossMsg, nshards),
+		spare:  make([][]crossMsg, nshards),
+		used:   make(map[int]bool),
+	}
+	for i := range w.shards {
+		w.shards[i] = New(entitySeed(seed, uint64(i)^0xD1B54A32D192ED03))
+	}
+	return w
+}
+
+// Shards reports the number of shard event loops.
+func (w *World) Shards() int { return len(w.shards) }
+
+// Now reports the committed global horizon: every event at or before it
+// has executed on every shard.
+func (w *World) Now() Time { return w.now }
+
+// Processed counts events executed across all shards plus global events.
+func (w *World) Processed() uint64 {
+	n := w.gdone
+	for _, s := range w.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// HostClock implements Fabric: hosts in group g land on shard g mod N, so
+// distinct groups spread across shards while the assignment stays stable
+// for any N. Clocks must be created while the world is paused (topology
+// build time or between runs).
+func (w *World) HostClock(group int, name string) Clock {
+	n := len(w.shards)
+	shard := ((group % n) + n) % n
+	return w.deriveClock(shard, name)
+}
+
+func (w *World) deriveClock(shard int, name string) *entityClock {
+	if w.running {
+		panic("sim: clocks must be created while the world is paused")
+	}
+	w.nextEnt++
+	w.used[shard] = true
+	return &entityClock{
+		w:     w,
+		sh:    w.shards[shard],
+		shard: shard,
+		ent:   w.nextEnt,
+		rng:   rand.New(rand.NewSource(entitySeed(w.seed, w.nextEnt))),
+		name:  name,
+	}
+}
+
+// Crossing records a link from one clock's shard to another's, carrying
+// the link's propagation delay. netem calls it for every link at build
+// time; crossings within one shard are ignored. A zero-delay crossing has
+// no lookahead and cannot be simulated conservatively, so it poisons the
+// world and surfaces from Finalize.
+func (w *World) Crossing(name string, from, to Clock, delay time.Duration) {
+	_, fs := from.loop()
+	_, ts := to.loop()
+	if fs == ts {
+		return
+	}
+	if delay <= 0 {
+		if w.buildErr == nil {
+			w.buildErr = fmt.Errorf("sim: link %q crosses shards with zero propagation delay", name)
+		}
+		return
+	}
+	if w.lookahead == 0 || Time(delay) < w.lookahead {
+		w.lookahead = Time(delay)
+	}
+}
+
+// Finalize validates the built topology against the shard layout. It
+// returns an error when more than one shard was requested but the
+// topology cannot be partitioned (every entity landed on one shard), or
+// when a cross-shard link has zero delay. Call it after topology
+// construction and before the first Run.
+func (w *World) Finalize() error {
+	if w.buildErr != nil {
+		return w.buildErr
+	}
+	if len(w.shards) > 1 && len(w.used) < 2 {
+		return fmt.Errorf("sim: topology cannot be partitioned across %d shards (all entities share one shard)", len(w.shards))
+	}
+	return nil
+}
+
+// ScheduleGlobal schedules fn to run at when on the controller goroutine
+// with every shard parked at a barrier, after all events at or before
+// when on every shard. Global events may touch state owned by any shard;
+// scenario-level interventions (loss steps, interface flaps) run here.
+func (w *World) ScheduleGlobal(when Time, name string, fn func()) {
+	if when < w.now {
+		panic(fmt.Sprintf("sim: scheduling global %q at %v before now %v", name, when, w.now))
+	}
+	heap.Push(&w.globals, globalEvent{when: when, seq: w.gseq, name: name, fn: fn})
+	w.gseq++
+}
+
+// post enqueues a cross-shard message for the destination shard. It is the
+// only World state touched from shard goroutines, hence the mutex.
+func (w *World) post(shard int, m crossMsg) {
+	w.inMu[shard].Lock()
+	w.inbox[shard] = append(w.inbox[shard], m)
+	w.inMu[shard].Unlock()
+}
+
+// drain folds shard i's mailbox into its event queue. It runs on shard
+// i's goroutine at the start of a window, when no sender is active, but
+// takes the mailbox lock anyway to pair with post's barrier.
+func (w *World) drain(i int) {
+	w.inMu[i].Lock()
+	msgs := w.inbox[i]
+	w.inbox[i] = w.spare[i][:0]
+	w.inMu[i].Unlock()
+	sh := w.shards[i]
+	for k := range msgs {
+		m := &msgs[k]
+		if m.when < sh.now {
+			panic(fmt.Sprintf("sim: cross-shard lookahead violated: %q at %v arrived with shard at %v", m.name, m.when, sh.now))
+		}
+		sh.scheduleArgKeyed(m.when, m.ent, m.seq, m.name, m.fn, m.arg)
+		*m = crossMsg{}
+	}
+	w.spare[i] = msgs[:0]
+}
+
+// phase drains mailboxes and runs every shard up to limit (exclusive or
+// inclusive), one goroutine per shard. Panics on shard goroutines are
+// captured and re-raised on the controller.
+func (w *World) phase(limit Time, inclusive bool) {
+	if len(w.shards) == 1 {
+		w.drain(0)
+		w.shards[0].runWindow(limit, inclusive)
+		return
+	}
+	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	var pval any
+	for i := range w.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			w.drain(i)
+			w.shards[i].runWindow(limit, inclusive)
+		}(i)
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}
+
+// nextEventTime reports the earliest pending event time across every
+// shard queue and every mailbox, or maxTime when the world is idle. It
+// runs on the controller with all shards parked, so peeking the heaps is
+// safe; the mailbox locks pair with post's barrier.
+func (w *World) nextEventTime() Time {
+	next := maxTime
+	for i, sh := range w.shards {
+		if len(sh.queue) > 0 && sh.queue[0].when < next {
+			next = sh.queue[0].when
+		}
+		w.inMu[i].Lock()
+		for k := range w.inbox[i] {
+			if w.inbox[i][k].when < next {
+				next = w.inbox[i][k].when
+			}
+		}
+		w.inMu[i].Unlock()
+	}
+	return next
+}
+
+// RunUntil advances the world to deadline. The loop carves the span into
+// conservative windows; the stretch ending at a global event or at the
+// deadline itself runs in two phases — strictly below the boundary, then
+// a barrier to exchange boundary messages, then inclusively through it —
+// so that events exactly at an inclusive boundary still see every
+// cross-shard message timestamped at it.
+//
+// A window may safely extend to E + lookahead, where E is the earliest
+// pending event anywhere: no shard executes anything before E, so no
+// cross-shard message is sent before E, so none arrives before
+// E + lookahead. Window placement therefore tracks where the events are —
+// sparse stretches take one window each instead of one per lookahead,
+// and a fully idle world jumps straight to the boundary. Windowing never
+// affects results (events execute in (when, ent, seq) order regardless
+// of how the span is carved), only how often the shards synchronise.
+func (w *World) RunUntil(deadline Time) {
+	if deadline < w.now {
+		return
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for {
+		limit := deadline
+		if len(w.globals) > 0 && w.globals[0].when < limit {
+			limit = w.globals[0].when
+		}
+		idle := false
+		if len(w.shards) > 1 {
+			next := w.nextEventTime()
+			if next < w.now {
+				next = w.now
+			}
+			if w.lookahead > 0 && next < limit && limit-next > w.lookahead {
+				// Interior window: half-open [now, next+lookahead).
+				// Arrivals land at >= next+lookahead, in a later window.
+				t1 := next + w.lookahead
+				w.phase(t1, false)
+				w.now = t1
+				continue
+			}
+			idle = next > limit
+		}
+		// Boundary stretch ending at limit (a global event or the
+		// deadline): run below it, then through it inclusively. Messages
+		// posted below limit arrive at >= limit (the interior loop above
+		// guarantees limit-next <= lookahead here) and are drained before
+		// the inclusive pass; messages posted at exactly limit arrive at
+		// > limit and stay queued for the next call. When nothing is
+		// pending at or before limit, just park the shard clocks — the
+		// two phases would be empty.
+		if idle {
+			for _, sh := range w.shards {
+				if sh.now < limit {
+					sh.now = limit
+				}
+			}
+		} else {
+			w.phase(limit, false)
+			w.phase(limit, true)
+		}
+		w.now = limit
+		for len(w.globals) > 0 && w.globals[0].when <= limit {
+			g := heap.Pop(&w.globals).(globalEvent)
+			w.gdone++
+			g.fn()
+		}
+		if limit >= deadline {
+			break
+		}
+	}
+}
+
+// RunFor advances the world by d.
+func (w *World) RunFor(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.RunUntil(w.now.Add(d))
+}

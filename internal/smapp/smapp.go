@@ -108,7 +108,7 @@ func New(host *netem.Host, cfg Config) *Stack {
 		st.Endpoint = mptcp.NewEndpoint(host, cfg.MPTCP, cfg.KernelPM)
 		return st
 	}
-	s := host.Sim()
+	s := host.Clock()
 	tr := cfg.Transport
 	if tr == nil {
 		if cfg.Stressed {
@@ -156,7 +156,7 @@ func NewKernel(host *netem.Host, tr *core.Transport, cfg mptcp.Config) *Stack {
 		bindings:  make(map[uint32]*binding),
 		pending:   make(map[uint32][]*nlmsg.Event),
 	}
-	st.PM = core.NewNetlinkPM(host.Sim(), tr)
+	st.PM = core.NewNetlinkPM(host.Clock(), tr)
 	st.Endpoint = mptcp.NewEndpoint(host, cfg, st.PM)
 	return st
 }
@@ -318,7 +318,7 @@ func (st *Stack) bind(token uint32, policy string, ctl controller.Controller) {
 	if st.tsh != nil {
 		b.tid = st.tsh.Tracer().Register(trace.EntPolicy, 0, st.Host.Name()+"/"+policy)
 		h.tid = b.tid
-		st.tsh.Rec(st.Host.Sim().Now(), trace.KPolicyAttach, b.tid, uint64(token), 0, 0, 0)
+		st.tsh.Rec(st.Host.Clock().Now(), trace.KPolicyAttach, b.tid, uint64(token), 0, 0, 0)
 	}
 	ctl.Attach(h)
 	st.bindings[token] = b
@@ -333,7 +333,7 @@ func (st *Stack) bind(token uint32, policy string, ctl controller.Controller) {
 
 func (st *Stack) unbind(token uint32) {
 	if b := st.bindings[token]; b != nil && b.tid != 0 {
-		st.tsh.Rec(st.Host.Sim().Now(), trace.KPolicyDetach, b.tid, uint64(token), 0, 0, 0)
+		st.tsh.Rec(st.Host.Clock().Now(), trace.KPolicyDetach, b.tid, uint64(token), 0, 0, 0)
 	}
 	delete(st.bindings, token)
 	for i, t := range st.order {
@@ -425,7 +425,7 @@ func (h *policyHost) traceCmd(cmd uint8, token uint32) {
 	if h.tid == 0 {
 		return
 	}
-	h.st.tsh.Rec(h.st.Host.Sim().Now(), trace.KPolicyCmd, h.tid, uint64(token), 0, 0, cmd)
+	h.st.tsh.Rec(h.st.Host.Clock().Now(), trace.KPolicyCmd, h.tid, uint64(token), 0, 0, cmd)
 }
 
 // Register implements core.Lib.

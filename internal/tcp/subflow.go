@@ -151,7 +151,7 @@ type Stats struct {
 
 // Subflow is one TCP subflow of a Multipath TCP connection.
 type Subflow struct {
-	sim    *sim.Simulator
+	sim    sim.Clock
 	cfg    Config
 	out    Output
 	owner  Owner
@@ -208,10 +208,10 @@ type Subflow struct {
 // NewSubflow creates a subflow bound to tuple. It starts closed; call
 // Connect for the active side or HandleSegment with the peer's SYN for the
 // passive side.
-func NewSubflow(s *sim.Simulator, cfg Config, tuple seg.FourTuple, out Output, owner Owner) *Subflow {
+func NewSubflow(c sim.Clock, cfg Config, tuple seg.FourTuple, out Output, owner Owner) *Subflow {
 	cfg = cfg.withDefaults()
 	sf := &Subflow{
-		sim:     s,
+		sim:     c,
 		cfg:     cfg,
 		out:     out,
 		owner:   owner,
@@ -220,9 +220,9 @@ func NewSubflow(s *sim.Simulator, cfg Config, tuple seg.FourTuple, out Output, o
 		cc:      cfg.NewCong(cfg.MSS, cfg.InitialWindow),
 		peerWnd: cfg.RcvWnd,
 	}
-	sf.rtoTimer = sim.NewTimer(s, "tcp.rto:"+tuple.String(), sf.onRTO)
-	sf.synTimer = sim.NewTimer(s, "tcp.syn-rto:"+tuple.String(), sf.onSynTimeout)
-	sf.paceTimer = sim.NewTimer(s, "tcp.pace:"+tuple.String(), sf.sendLoop)
+	sf.rtoTimer = sim.NewTimer(c, "tcp.rto:"+tuple.String(), sf.onRTO)
+	sf.synTimer = sim.NewTimer(c, "tcp.syn-rto:"+tuple.String(), sf.onSynTimeout)
+	sf.paceTimer = sim.NewTimer(c, "tcp.pace:"+tuple.String(), sf.sendLoop)
 	return sf
 }
 

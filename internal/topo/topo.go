@@ -21,6 +21,15 @@ var (
 	ServerAddr  = netip.MustParseAddr("10.99.0.1")
 )
 
+// bareSim reports the fabric as a *sim.Simulator when it is one, so the
+// topology structs can keep their convenience Sim field for direct
+// single-loop construction (tests, examples). Under a sharded sim.World
+// the field is nil and callers drive the world instead.
+func bareSim(f sim.Fabric) *sim.Simulator {
+	s, _ := f.(*sim.Simulator)
+	return s
+}
+
 // TwoPath is a multihomed client reaching a server over two independent
 // paths (the smartphone WiFi+cellular scenario):
 //
@@ -42,18 +51,23 @@ type TwoPath struct {
 // NewTwoPath builds the two-path topology. p0 and p1 configure the two
 // client paths; the trunk is provisioned fat (1 Gbps, 0.1 ms) so the paths
 // are the bottleneck, like the Mininet setups in the paper.
-func NewTwoPath(s *sim.Simulator, p0, p1 netem.LinkConfig) *TwoPath {
+//
+// The client lives in host group 1 and the router/server side in group 0,
+// so a sharded world splits the topology at the access paths (whose
+// propagation delays bound the lookahead). Passing a bare *sim.Simulator
+// keeps everything on one loop, as before.
+func NewTwoPath(f sim.Fabric, p0, p1 netem.LinkConfig) *TwoPath {
 	t := &TwoPath{
-		Sim:         s,
-		Client:      netem.NewHost(s, "client"),
-		Server:      netem.NewHost(s, "server"),
+		Sim:         bareSim(f),
+		Client:      netem.NewHost(f.HostClock(1, "client"), "client"),
+		Server:      netem.NewHost(f.HostClock(0, "server"), "server"),
 		ClientAddrs: [2]netip.Addr{ClientAddr1, ClientAddr2},
 		ServerAddr:  ServerAddr,
 	}
-	t.Router = netem.NewRouter(s, "router", 1)
-	t.Path[0] = netem.NewDuplex(s, "path0", t.Client, t.Router, p0)
-	t.Path[1] = netem.NewDuplex(s, "path1", t.Client, t.Router, p1)
-	t.Trunk = netem.NewDuplex(s, "trunk", t.Router, t.Server, netem.LinkConfig{
+	t.Router = netem.NewRouter(f.HostClock(0, "router"), "router", 1)
+	t.Path[0] = netem.NewDuplex("path0", t.Client, t.Router, p0)
+	t.Path[1] = netem.NewDuplex("path1", t.Client, t.Router, p1)
+	t.Trunk = netem.NewDuplex("trunk", t.Router, t.Server, netem.LinkConfig{
 		RateBps: 1e9, Delay: 100 * time.Microsecond,
 	})
 	t.Client.AddIface("if0", ClientAddr1, t.Path[0].AB)
@@ -87,28 +101,28 @@ type ECMP struct {
 // paper uses four paths of 8 Mbps with 10/20/30/40 ms delay). hashSeed
 // varies the ECMP hash function between trials, standing in for the
 // unpredictable per-router hashing of real networks.
-func NewECMP(s *sim.Simulator, paths []netem.LinkConfig, hashSeed uint64) *ECMP {
+func NewECMP(f sim.Fabric, paths []netem.LinkConfig, hashSeed uint64) *ECMP {
 	t := &ECMP{
-		Sim:        s,
-		Client:     netem.NewHost(s, "client"),
-		Server:     netem.NewHost(s, "server"),
+		Sim:        bareSim(f),
+		Client:     netem.NewHost(f.HostClock(1, "client"), "client"),
+		Server:     netem.NewHost(f.HostClock(0, "server"), "server"),
 		ClientAddr: ClientAddr1,
 		ServerAddr: ServerAddr,
 		hashSeed:   hashSeed,
 	}
 	// Both routers share the hash seed; with the canonicalised flow hash
 	// this yields symmetric forward/return paths per subflow.
-	t.R1 = netem.NewRouter(s, "r1", hashSeed)
-	t.R2 = netem.NewRouter(s, "r2", hashSeed)
+	t.R1 = netem.NewRouter(f.HostClock(0, "r1"), "r1", hashSeed)
+	t.R2 = netem.NewRouter(f.HostClock(0, "r2"), "r2", hashSeed)
 	access := netem.LinkConfig{RateBps: 1e9, Delay: 100 * time.Microsecond}
-	accC := netem.NewDuplex(s, "accessC", t.Client, t.R1, access)
-	accS := netem.NewDuplex(s, "accessS", t.R2, t.Server, access)
+	accC := netem.NewDuplex("accessC", t.Client, t.R1, access)
+	accS := netem.NewDuplex("accessS", t.R2, t.Server, access)
 	t.Client.AddIface("eth0", t.ClientAddr, accC.AB)
 	t.Server.AddIface("eth0", t.ServerAddr, accS.BA)
 
 	var fwd, rev []*netem.Link
 	for i, cfg := range paths {
-		d := netem.NewDuplex(s, fmt.Sprintf("path%d", i), t.R1, t.R2, cfg)
+		d := netem.NewDuplex(fmt.Sprintf("path%d", i), t.R1, t.R2, cfg)
 		t.Paths = append(t.Paths, d)
 		fwd = append(fwd, d.AB)
 		rev = append(rev, d.BA)
@@ -138,16 +152,18 @@ type Direct struct {
 	ServerAddr netip.Addr
 }
 
-// NewDirect connects two hosts back to back.
-func NewDirect(s *sim.Simulator, cfg netem.LinkConfig) *Direct {
+// NewDirect connects two hosts back to back (client in group 0, server in
+// group 1 so even this minimal topology can split across two shards when
+// the wire has a propagation delay).
+func NewDirect(f sim.Fabric, cfg netem.LinkConfig) *Direct {
 	t := &Direct{
-		Sim:        s,
-		Client:     netem.NewHost(s, "client"),
-		Server:     netem.NewHost(s, "server"),
+		Sim:        bareSim(f),
+		Client:     netem.NewHost(f.HostClock(0, "client"), "client"),
+		Server:     netem.NewHost(f.HostClock(1, "server"), "server"),
 		ClientAddr: ClientAddr1,
 		ServerAddr: ServerAddr,
 	}
-	t.Link = netem.NewDuplex(s, "wire", t.Client, t.Server, cfg)
+	t.Link = netem.NewDuplex("wire", t.Client, t.Server, cfg)
 	t.Client.AddIface("eth0", t.ClientAddr, t.Link.AB)
 	t.Server.AddIface("eth0", t.ServerAddr, t.Link.BA)
 	return t
@@ -173,18 +189,18 @@ type NATPath struct {
 
 // NewNATPath builds the NAT topology with the given idle timeout and expiry
 // policy.
-func NewNATPath(s *sim.Simulator, p0, p1 netem.LinkConfig, idle time.Duration, policy netem.ExpiryPolicy) *NATPath {
+func NewNATPath(f sim.Fabric, p0, p1 netem.LinkConfig, idle time.Duration, policy netem.ExpiryPolicy) *NATPath {
 	t := &NATPath{
-		Sim:         s,
-		Client:      netem.NewHost(s, "client"),
-		Server:      netem.NewHost(s, "server"),
+		Sim:         bareSim(f),
+		Client:      netem.NewHost(f.HostClock(1, "client"), "client"),
+		Server:      netem.NewHost(f.HostClock(0, "server"), "server"),
 		ClientAddrs: [2]netip.Addr{ClientAddr1, ClientAddr2},
 		ServerAddr:  ServerAddr,
 	}
-	t.NAT = netem.NewMiddlebox(s, "nat", idle, policy)
-	t.Path[0] = netem.NewDuplex(s, "path0", t.Client, t.NAT, p0)
-	t.Path[1] = netem.NewDuplex(s, "path1", t.Client, t.NAT, p1)
-	t.Trunk = netem.NewDuplex(s, "trunk", t.NAT, t.Server, netem.LinkConfig{
+	t.NAT = netem.NewMiddlebox(f.HostClock(0, "nat"), "nat", idle, policy)
+	t.Path[0] = netem.NewDuplex("path0", t.Client, t.NAT, p0)
+	t.Path[1] = netem.NewDuplex("path1", t.Client, t.NAT, p1)
+	t.Trunk = netem.NewDuplex("trunk", t.NAT, t.Server, netem.LinkConfig{
 		RateBps: 1e9, Delay: 100 * time.Microsecond,
 	})
 	t.Client.AddIface("if0", ClientAddr1, t.Path[0].AB)
