@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt examples smoke smoke-shards
+.PHONY: build test race bench bench-gate fmt examples smoke smoke-shards
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,21 @@ bench:
 		$(GO) run ./cmd/benchjson -o BENCH_6.json bench.txt; \
 	fi; exit $$status
 
+# Regression gate over the bench artifact: stash the committed
+# BENCH_6.json as the baseline, rerun `make bench` (which overwrites it),
+# and fail if any throughput metric (*_per_wall_s) or allocs/op column
+# regressed past cmd/benchgate's thresholds — loose on purpose, since
+# -benchtime=1x on shared runners is noisy; the gate is for cliffs and
+# leaks, not single-digit noise. A benchmark that vanished also fails;
+# new benchmarks ride free until the baseline is re-committed.
+bench-gate:
+	@set -e; \
+	base=$$(mktemp); \
+	cp BENCH_6.json $$base; \
+	trap 'rm -f '$$base EXIT; \
+	$(MAKE) bench; \
+	$(GO) run ./cmd/benchgate $$base BENCH_6.json
+
 fmt:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -53,6 +68,8 @@ smoke:
 		echo "== smoke: mpexp run $$s"; \
 		$$bin run $$s -smoke >/dev/null; \
 	done; \
+	echo "== smoke: mpexp run fleet (48 devices, 2x handover rate)"; \
+	$$bin run fleet -smoke -set devices=48 -set handover_rate=2 >/dev/null; \
 	tdir=$$(mktemp -d); \
 	echo "== smoke: mpexp run fig2a -trace && mpexp report"; \
 	$$bin run fig2a -smoke -trace $$tdir/fig2a.trace >/dev/null; \
@@ -74,7 +91,9 @@ smoke-shards:
 	for s in $$($$bin list -names); do \
 		echo "== smoke (-race, -shards 4): mpexp run $$s"; \
 		$$bin run $$s -smoke -shards 4 >/dev/null; \
-	done
+	done; \
+	echo "== smoke (-race, -shards 4): mpexp run fleet (64 devices)"; \
+	$$bin run fleet -smoke -shards 4 -set devices=64 >/dev/null
 
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,

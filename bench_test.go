@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/netem"
 	"repro/internal/nlmsg"
 	"repro/internal/runner"
@@ -268,6 +269,26 @@ func BenchmarkScaleShards(b *testing.B) {
 			b.ReportMetric(events/float64(b.N), "events_per_wall_s")
 		})
 	}
+}
+
+// BenchmarkFleet exercises the fleet mobility corpus: a mid-sized
+// heterogeneous device fleet uploading while its per-device handover
+// timelines flap the radios. The custom metrics track corpus survival
+// (completions) and the fleet-level goodput median so policy-layer
+// regressions under mobility show up in the bench artifact.
+func BenchmarkFleet(b *testing.B) {
+	m := sweep(b, "fleet", func(seed int64) *experiments.Result {
+		cfg := fleet.DefaultFleet()
+		cfg.Seed = seed
+		cfg.Devices = 32
+		cfg.Bytes = 32 << 10
+		cfg.Duration = 8 * time.Second
+		return fleet.Fleet(cfg)
+	})
+	b.ReportAllocs()
+	report(b, m, "completed", "completed", 1)
+	report(b, m, "goodput_p50_mbps", "goodput_p50_mbps", 1)
+	report(b, m, "gap_p99_s", "gap_p99_s", 1)
 }
 
 // BenchmarkFig2aTraced reruns the Fig. 2a sweep with the event recorder

@@ -1,0 +1,141 @@
+// Command benchgate compares two benchjson artifacts and fails when the
+// fresh run regresses against the committed baseline. `make bench-gate`
+// runs it in CI: the committed BENCH_6.json is the baseline, the fresh
+// `make bench` output is the candidate, and the build goes red when
+//
+//   - a baseline benchmark disappears from the fresh run,
+//   - a throughput metric (any key ending in _per_wall_s, e.g. the
+//     simulator's events/sec of wall time) drops below -min-ratio of the
+//     baseline, or
+//   - allocs/op grows beyond -alloc-ratio times the baseline plus an
+//     absolute -alloc-slack (the slack keeps the zero-alloc micro
+//     benchmarks from tripping on a couple of incidental allocations).
+//
+// New benchmarks in the fresh run pass freely — that is how a PR adds a
+// benchmark without first re-baselining. The default thresholds are
+// deliberately loose because `make bench` runs at -benchtime=1x on
+// shared CI runners: the gate exists to catch order-of-magnitude
+// throughput cliffs and allocation leaks, not single-digit noise.
+//
+// Usage: benchgate [-min-ratio 0.6] [-alloc-ratio 1.3] [-alloc-slack 32] baseline.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchmark and file mirror cmd/benchjson's artifact shapes; only the
+// fields the gate reads are declared.
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type file struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+// limits are the regression thresholds (see the package comment for why
+// they default loose).
+type limits struct {
+	MinRatio   float64 // fresh _per_wall_s must be >= baseline * MinRatio
+	AllocRatio float64 // fresh allocs/op must be <= baseline * AllocRatio + AllocSlack
+	AllocSlack float64
+}
+
+// gate returns one human-readable violation per regression, empty when
+// the fresh run passes. Benchmarks only present in fresh are ignored.
+func gate(base, fresh *file, lim limits) []string {
+	freshBy := make(map[string]benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	var bad []string
+	for _, b := range base.Benchmarks {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline, missing from fresh run", b.Name))
+			continue
+		}
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := b.Metrics[k]
+			switch {
+			case strings.HasSuffix(k, "_per_wall_s") && v > 0:
+				fv, ok := f.Metrics[k]
+				if !ok {
+					bad = append(bad, fmt.Sprintf("%s: metric %s missing from fresh run", b.Name, k))
+				} else if fv < v*lim.MinRatio {
+					bad = append(bad, fmt.Sprintf("%s: %s dropped %.0f -> %.0f (%.0f%%, floor %.0f%%)",
+						b.Name, k, v, fv, 100*fv/v, 100*lim.MinRatio))
+				}
+			case k == "allocs/op":
+				ceil := v*lim.AllocRatio + lim.AllocSlack
+				if fv := f.Metrics[k]; fv > ceil {
+					bad = append(bad, fmt.Sprintf("%s: allocs/op grew %.0f -> %.0f (ceiling %.0f)",
+						b.Name, v, fv, ceil))
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func load(name string) (*file, error) {
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &file{}
+	if err := json.Unmarshal(buf, f); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in artifact", name)
+	}
+	return f, nil
+}
+
+func main() {
+	minRatio := flag.Float64("min-ratio", 0.6, "throughput floor: fresh *_per_wall_s must reach this fraction of baseline")
+	allocRatio := flag.Float64("alloc-ratio", 1.3, "allocs/op ceiling multiplier over baseline")
+	allocSlack := flag.Float64("alloc-slack", 32, "absolute allocs/op headroom added to the ceiling")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	lim := limits{MinRatio: *minRatio, AllocRatio: *allocRatio, AllocSlack: *allocSlack}
+	if bad := gate(base, fresh, lim); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(bad), flag.Arg(0))
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "  "+msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d baseline benchmarks held (throughput floor %.0f%%, alloc ceiling %.1fx+%.0f)\n",
+		len(base.Benchmarks), 100*lim.MinRatio, lim.AllocRatio, lim.AllocSlack)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var defLim = limits{MinRatio: 0.6, AllocRatio: 1.3, AllocSlack: 32}
+
+func bench(name string, metrics map[string]float64) benchmark {
+	return benchmark{Name: name, Metrics: metrics}
+}
+
+func TestGatePassesIdenticalRun(t *testing.T) {
+	f := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"events_per_wall_s": 2e6, "allocs/op": 17000}),
+		bench("BenchmarkTraceRecord", map[string]float64{"allocs/op": 0}),
+	}}
+	if bad := gate(f, f, defLim); len(bad) != 0 {
+		t.Fatalf("identical runs flagged: %v", bad)
+	}
+}
+
+func TestGateCatchesThroughputCliff(t *testing.T) {
+	base := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"events_per_wall_s": 2e6}),
+	}}
+	fresh := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"events_per_wall_s": 1e6}),
+	}}
+	bad := gate(base, fresh, defLim)
+	if len(bad) != 1 || !strings.Contains(bad[0], "events_per_wall_s") {
+		t.Fatalf("50%% events/sec drop not flagged: %v", bad)
+	}
+	// 70% of baseline clears the 60% floor: noise headroom by design.
+	fresh.Benchmarks[0].Metrics["events_per_wall_s"] = 1.4e6
+	if bad := gate(base, fresh, defLim); len(bad) != 0 {
+		t.Fatalf("30%% drop within the floor flagged: %v", bad)
+	}
+}
+
+func TestGateCatchesAllocGrowth(t *testing.T) {
+	base := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"allocs/op": 1000}),
+		bench("BenchmarkTraceRecord", map[string]float64{"allocs/op": 0}),
+	}}
+	fresh := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"allocs/op": 2000}),
+		bench("BenchmarkTraceRecord", map[string]float64{"allocs/op": 100}),
+	}}
+	bad := gate(base, fresh, defLim)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 alloc regressions, got %v", bad)
+	}
+	// Ratio + slack headroom: 1250 <= 1000*1.3+32, 30 <= 0*1.3+32.
+	fresh.Benchmarks[0].Metrics["allocs/op"] = 1250
+	fresh.Benchmarks[1].Metrics["allocs/op"] = 30
+	if bad := gate(base, fresh, defLim); len(bad) != 0 {
+		t.Fatalf("growth within ceiling flagged: %v", bad)
+	}
+}
+
+func TestGateMissingBenchmarkFailsNewBenchmarkPasses(t *testing.T) {
+	base := &file{Benchmarks: []benchmark{
+		bench("BenchmarkOld", map[string]float64{"allocs/op": 1}),
+	}}
+	fresh := &file{Benchmarks: []benchmark{
+		bench("BenchmarkNew", map[string]float64{"allocs/op": 1e9}),
+	}}
+	bad := gate(base, fresh, defLim)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing from fresh run") {
+		t.Fatalf("vanished baseline benchmark not flagged: %v", bad)
+	}
+	// The other direction is free: a PR may add benchmarks without
+	// re-baselining first.
+	if bad := gate(fresh, fresh, defLim); len(bad) != 0 {
+		t.Fatalf("fresh-only benchmark flagged: %v", bad)
+	}
+}
+
+func TestGateMissingThroughputMetricFails(t *testing.T) {
+	base := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"segs_per_wall_s": 5e5}),
+	}}
+	fresh := &file{Benchmarks: []benchmark{
+		bench("BenchmarkScale", map[string]float64{"allocs/op": 1}),
+	}}
+	bad := gate(base, fresh, defLim)
+	if len(bad) != 1 || !strings.Contains(bad[0], "segs_per_wall_s missing") {
+		t.Fatalf("dropped throughput metric not flagged: %v", bad)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := &file{
+		Env: map[string]string{"goos": "linux"},
+		Benchmarks: []benchmark{
+			bench("BenchmarkScale", map[string]float64{"events_per_wall_s": 2e6}),
+		},
+	}
+	buf, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(name, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Metrics["events_per_wall_s"] != 2e6 {
+		t.Fatalf("round trip lost metrics: %+v", got)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644)
+	if _, err := load(empty); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+	if _, err := load(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -369,6 +369,9 @@ func cmdList(args []string) {
 	fmt.Println("scenarios (mpexp run <name>):")
 	for _, in := range scenario.Scenarios() {
 		fmt.Printf("  %-12s %s\n", in.Name, in.Desc)
+		for _, d := range scenario.ParamDocs(in.Name) {
+			fmt.Printf("  %-12s   -set %-14s %s\n", "", d.Key, d.Desc)
+		}
 	}
 	fmt.Println("\npacket schedulers (-sched):")
 	for _, in := range mptcp.Schedulers() {

@@ -31,6 +31,11 @@
 package experiments
 
 import (
+	// The fleet corpus registers its "fleet"/"fleetsweep" scenarios at
+	// init; importing it here puts them on every surface that iterates
+	// the registry — mpexp run/sweep/list/all, the smoke targets, and
+	// TestEveryScenarioDeterministic.
+	_ "repro/internal/fleet"
 	"repro/internal/stats"
 )
 

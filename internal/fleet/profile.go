@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// Rangef is a [lo, hi) interval a device draws a float from.
+type Rangef [2]float64
+
+// Ranged is a [lo, hi) interval a device draws a duration from.
+type Ranged [2]time.Duration
+
+// LinkRange bounds the link quality one interface class of a profile can
+// draw: serialisation rate, one-way delay, and residual loss.
+type LinkRange struct {
+	RateBps Rangef
+	Delay   Ranged
+	Loss    Rangef
+}
+
+func (lr LinkRange) draw(s *Stream) netem.LinkConfig {
+	return netem.LinkConfig{
+		RateBps: s.Range(lr.RateBps[0], lr.RateBps[1]),
+		Delay:   s.Between(lr.Delay[0], lr.Delay[1]),
+		Loss:    s.Range(lr.Loss[0], lr.Loss[1]),
+	}
+}
+
+// Profile is one device class of the fleet: how good its two radios are
+// and how it moves. A device drawn from a profile samples every range
+// once at generation time, so the fleet is heterogeneous even within one
+// profile.
+type Profile struct {
+	Name string
+	Desc string
+
+	// WiFi and LTE bound the two access links. WiFi is the primary
+	// interface (devices dial over it); LTE is the fallback path.
+	WiFi, LTE LinkRange
+
+	// WiFiDwell is how long the device stays on WiFi before walking out
+	// of coverage; LTEDwell is how long the WiFi outage lasts.
+	WiFiDwell, LTEDwell Ranged
+
+	// Leaving coverage is a fade, not a cliff: FadeSteps loss steps of
+	// FadeStep each walk the WiFi link up to FadeLoss before the
+	// interface finally drops — the signal-strength ramp §4.2 degrades
+	// its primary path with.
+	FadeSteps int
+	FadeStep  time.Duration
+	FadeLoss  float64
+
+	// Background cross-traffic on the LTE path: every CrossEvery (drawn
+	// per burst) the LTE loss jumps into CrossLoss for CrossDur, then
+	// falls back to the drawn residual. A zero CrossEvery disables it.
+	CrossEvery Ranged
+	CrossLoss  Rangef
+	CrossDur   Ranged
+}
+
+// profiles is the built-in device-class library. Rates/delays are
+// loosely calibrated to the paper's testbed numbers (WiFi a few ms and
+// tens of Mbps, LTE tens of ms); mobility cadences span parked laptops
+// to vehicles so one mix exercises rare and constant handovers at once.
+var profiles = map[string]*Profile{
+	"commuter": {
+		Name:      "commuter",
+		Desc:      "walks between APs: regular handovers, mid WiFi, decent LTE",
+		WiFi:      LinkRange{RateBps: Rangef{20e6, 40e6}, Delay: Ranged{8 * time.Millisecond, 15 * time.Millisecond}, Loss: Rangef{0.005, 0.01}},
+		LTE:       LinkRange{RateBps: Rangef{10e6, 25e6}, Delay: Ranged{30 * time.Millisecond, 50 * time.Millisecond}, Loss: Rangef{0, 0.005}},
+		WiFiDwell: Ranged{1500 * time.Millisecond, 4 * time.Second},
+		LTEDwell:  Ranged{500 * time.Millisecond, 1500 * time.Millisecond},
+		FadeSteps: 2, FadeStep: 150 * time.Millisecond, FadeLoss: 0.20,
+		CrossEvery: Ranged{4 * time.Second, 8 * time.Second},
+		CrossLoss:  Rangef{0.03, 0.08},
+		CrossDur:   Ranged{300 * time.Millisecond, 800 * time.Millisecond},
+	},
+	"pedestrian": {
+		Name:      "pedestrian",
+		Desc:      "strolls: occasional handovers, good WiFi",
+		WiFi:      LinkRange{RateBps: Rangef{30e6, 60e6}, Delay: Ranged{5 * time.Millisecond, 10 * time.Millisecond}, Loss: Rangef{0.002, 0.008}},
+		LTE:       LinkRange{RateBps: Rangef{12e6, 28e6}, Delay: Ranged{28 * time.Millisecond, 45 * time.Millisecond}, Loss: Rangef{0, 0.004}},
+		WiFiDwell: Ranged{3 * time.Second, 8 * time.Second},
+		LTEDwell:  Ranged{400 * time.Millisecond, time.Second},
+		FadeSteps: 2, FadeStep: 200 * time.Millisecond, FadeLoss: 0.15,
+		CrossEvery: Ranged{6 * time.Second, 12 * time.Second},
+		CrossLoss:  Rangef{0.02, 0.06},
+		CrossDur:   Ranged{200 * time.Millisecond, 600 * time.Millisecond},
+	},
+	"office": {
+		Name:      "office",
+		Desc:      "parked on enterprise WiFi: handovers are rare and brief",
+		WiFi:      LinkRange{RateBps: Rangef{80e6, 150e6}, Delay: Ranged{2 * time.Millisecond, 5 * time.Millisecond}, Loss: Rangef{0, 0.002}},
+		LTE:       LinkRange{RateBps: Rangef{20e6, 40e6}, Delay: Ranged{25 * time.Millisecond, 40 * time.Millisecond}, Loss: Rangef{0, 0.003}},
+		WiFiDwell: Ranged{10 * time.Second, 30 * time.Second},
+		LTEDwell:  Ranged{300 * time.Millisecond, 800 * time.Millisecond},
+		FadeSteps: 1, FadeStep: 100 * time.Millisecond, FadeLoss: 0.10,
+	},
+	"home": {
+		Name:      "home",
+		Desc:      "residential WiFi: stable with the odd microwave-oven burst",
+		WiFi:      LinkRange{RateBps: Rangef{40e6, 80e6}, Delay: Ranged{3 * time.Millisecond, 8 * time.Millisecond}, Loss: Rangef{0.001, 0.005}},
+		LTE:       LinkRange{RateBps: Rangef{8e6, 20e6}, Delay: Ranged{32 * time.Millisecond, 55 * time.Millisecond}, Loss: Rangef{0, 0.005}},
+		WiFiDwell: Ranged{8 * time.Second, 20 * time.Second},
+		LTEDwell:  Ranged{500 * time.Millisecond, 1200 * time.Millisecond},
+		FadeSteps: 1, FadeStep: 150 * time.Millisecond, FadeLoss: 0.12,
+		CrossEvery: Ranged{10 * time.Second, 20 * time.Second},
+		CrossLoss:  Rangef{0.02, 0.05},
+		CrossDur:   Ranged{300 * time.Millisecond, 700 * time.Millisecond},
+	},
+	"vehicular": {
+		Name:      "vehicular",
+		Desc:      "drives past APs: constant handovers, long LTE stretches",
+		WiFi:      LinkRange{RateBps: Rangef{10e6, 25e6}, Delay: Ranged{10 * time.Millisecond, 20 * time.Millisecond}, Loss: Rangef{0.01, 0.03}},
+		LTE:       LinkRange{RateBps: Rangef{15e6, 30e6}, Delay: Ranged{25 * time.Millisecond, 45 * time.Millisecond}, Loss: Rangef{0.005, 0.015}},
+		WiFiDwell: Ranged{800 * time.Millisecond, 2 * time.Second},
+		LTEDwell:  Ranged{time.Second, 3 * time.Second},
+		FadeSteps: 2, FadeStep: 100 * time.Millisecond, FadeLoss: 0.30,
+		CrossEvery: Ranged{3 * time.Second, 6 * time.Second},
+		CrossLoss:  Rangef{0.05, 0.12},
+		CrossDur:   Ranged{400 * time.Millisecond, time.Second},
+	},
+}
+
+// ProfileNames lists the built-in profiles, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupProfile resolves a profile name.
+func LookupProfile(name string) (*Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown profile %q (have: %s)",
+			name, strings.Join(ProfileNames(), ", "))
+	}
+	return p, nil
+}
+
+// MixEntry is one weighted component of a profile mix.
+type MixEntry struct {
+	Profile *Profile
+	Weight  float64
+}
+
+// DefaultMix is the profile_mix every fleet scenario starts from: a city
+// block's worth of device classes, weighted toward the mobile ones so
+// the handover machinery gets exercised.
+const DefaultMix = "commuter:3,pedestrian:2,vehicular:2,office:2,home:1"
+
+// ParseMix parses "name:weight,name:weight,..." into mix entries. A bare
+// "name" weighs 1. Weights must be positive.
+func ParseMix(spec string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, ":")
+		w := 1.0
+		if hasW {
+			var err error
+			if w, err = strconv.ParseFloat(wstr, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("fleet: bad weight in mix entry %q", part)
+			}
+		}
+		p, err := LookupProfile(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, MixEntry{Profile: p, Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("fleet: empty profile mix %q", spec)
+	}
+	return mix, nil
+}
+
+// pick draws one profile from the mix, weight-proportionally.
+func pick(mix []MixEntry, s *Stream) *Profile {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	x := s.Float64() * total
+	for _, m := range mix {
+		if x -= m.Weight; x < 0 {
+			return m.Profile
+		}
+	}
+	return mix[len(mix)-1].Profile
+}

@@ -26,7 +26,9 @@ var registry = struct {
 	sync.RWMutex
 	factories map[string]Factory
 	descs     map[string]string
-}{factories: make(map[string]Factory), descs: make(map[string]string)}
+	params    map[string][]ParamDoc
+}{factories: make(map[string]Factory), descs: make(map[string]string),
+	params: make(map[string][]ParamDoc)}
 
 // Register makes a scenario available by name to `mpexp run`/`sweep`/
 // `list` and to Build. It panics on an empty name or a duplicate
@@ -42,6 +44,34 @@ func Register(name, desc string, f Factory) {
 	}
 	registry.factories[name] = f
 	registry.descs[name] = desc
+}
+
+// ParamDoc documents one typed parameter a scenario consumes, for
+// listings (`mpexp list` prints them under the scenario).
+type ParamDoc struct {
+	Key  string
+	Desc string
+}
+
+// RegisterParams attaches parameter documentation to an already
+// registered scenario. Registering docs for an unknown scenario is a
+// programming error (the same init should Register first), caught at
+// init time like a duplicate Register.
+func RegisterParams(name string, docs ...ParamDoc) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.factories[name]; !ok {
+		panic(fmt.Sprintf("scenario: RegisterParams for unregistered scenario %q", name))
+	}
+	registry.params[name] = append(registry.params[name], docs...)
+}
+
+// ParamDocs returns the documented parameters of a scenario (nil when
+// the scenario registered none).
+func ParamDocs(name string) []ParamDoc {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]ParamDoc(nil), registry.params[name]...)
 }
 
 // Lookup resolves a scenario name. Unknown names list what is registered.

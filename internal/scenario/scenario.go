@@ -297,9 +297,33 @@ func LossRamp(link string, start, step time.Duration, losses ...float64) []Event
 // FlapIface takes the first client's addrIdx-th interface down at `at`
 // and back up `dur` later — the §4.1 interface outage.
 func FlapIface(at, dur time.Duration, addrIdx int) []Event {
+	return FlapClientIface(at, dur, 0, addrIdx)
+}
+
+// FlapClientIface is FlapIface generalised to any client endpoint of the
+// topology: client `client`'s addrIdx-th interface goes down at `at` and
+// back up `dur` later. Fleet mobility schedules compile their WiFi↔LTE
+// handovers down to this primitive, one flap per device.
+func FlapClientIface(at, dur time.Duration, client, addrIdx int) []Event {
 	set := func(up bool) func(rt *Run) {
 		return func(rt *Run) {
-			ep := rt.Net.Client()
+			ep := rt.Net.ClientAt(client)
+			ep.Host.SetIfaceUp(ep.Addrs[addrIdx], up)
+		}
+	}
+	return []Event{
+		{At: at, Name: "if.down", Do: set(false)},
+		{At: at + dur, Name: "if.up", Do: set(true)},
+	}
+}
+
+// FlapHostIface flaps the addrIdx-th interface of the named client host —
+// for topologies addressed by host name (the declarative Builder) rather
+// than client order.
+func FlapHostIface(at, dur time.Duration, host string, addrIdx int) []Event {
+	set := func(up bool) func(rt *Run) {
+		return func(rt *Run) {
+			ep := rt.Net.ClientNamed(host)
 			ep.Host.SetIfaceUp(ep.Addrs[addrIdx], up)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -96,6 +97,68 @@ func TestLossRampBuildsSteps(t *testing.T) {
 	}
 	if evs[1].At != 1500*time.Millisecond || evs[2].At != 2*time.Second {
 		t.Fatalf("ramp times wrong: %v %v", evs[1].At, evs[2].At)
+	}
+}
+
+func TestFlapIfaceTargetsClientAndHost(t *testing.T) {
+	w := sim.NewWorld(1, 1)
+	net := Star{
+		Clients: 3, Ifaces: 2,
+		Access:     netem.LinkConfig{RateBps: 10e6, Delay: time.Millisecond},
+		Bottleneck: netem.LinkConfig{RateBps: 100e6, Delay: time.Millisecond},
+	}.Build(w, 1).normalize()
+	rt := &Run{Net: net}
+	up := func(client, addrIdx int) bool {
+		ep := net.Clients[client]
+		return ep.Host.Iface(ep.Addrs[addrIdx]).Up()
+	}
+
+	// The old signature still flaps the FIRST client.
+	evs := FlapIface(time.Second, time.Second, 1)
+	evs[0].Do(rt)
+	if up(0, 1) || !up(1, 1) || !up(2, 1) {
+		t.Fatal("FlapIface touched the wrong client interface")
+	}
+	evs[1].Do(rt)
+	if !up(0, 1) {
+		t.Fatal("FlapIface did not restore the interface")
+	}
+
+	// Indexed: only client 2's interface 0 goes down.
+	evs = FlapClientIface(time.Second, time.Second, 2, 0)
+	evs[0].Do(rt)
+	if up(2, 0) || !up(0, 0) || !up(1, 0) {
+		t.Fatal("FlapClientIface targeted the wrong device")
+	}
+	evs[1].Do(rt)
+	if !up(2, 0) {
+		t.Fatal("FlapClientIface did not restore the interface")
+	}
+
+	// Named: Star names its clients c0, c1, ...
+	evs = FlapHostIface(time.Second, time.Second, "c1", 1)
+	evs[0].Do(rt)
+	if up(1, 1) || !up(0, 1) {
+		t.Fatal("FlapHostIface targeted the wrong host")
+	}
+	evs[1].Do(rt)
+	if !up(1, 1) {
+		t.Fatal("FlapHostIface did not restore the interface")
+	}
+
+	// Out-of-range indices and unknown names are scenario bugs.
+	for _, fn := range []func(){
+		func() { FlapClientIface(0, 0, 9, 0)[0].Do(rt) },
+		func() { FlapHostIface(0, 0, "nope", 0)[0].Do(rt) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad flap target did not panic")
+				}
+			}()
+			fn()
+		}()
 	}
 }
 

@@ -380,8 +380,12 @@ func (c *Conn) Active() bool {
 const splitBuckets = 10
 
 // FoldInto streams the trace's headline summaries into a stats.Result:
-// scalars for the byte accounting and handover gaps, and the pooled RTT
-// sample as a distribution. It never touches the Result's Report text,
+// scalars for the byte accounting and handover gaps, and the pooled RTT,
+// handover-gap, and per-connection max-gap samples as distributions. The
+// gap samples are the per-device aggregation fleet runs report: each
+// device is one connection, so "conn_max_gap_s" is the distribution of
+// worst handover outages across the fleet and "handover_gap_s" pools
+// every individual switch. It never touches the Result's Report text,
 // which is what keeps traced runs byte-identical to their goldens.
 func (a *Analysis) FoldInto(res *stats.Result, prefix string) {
 	res.Scalars[prefix+"records"] = float64(a.Records)
@@ -389,6 +393,8 @@ func (a *Analysis) FoldInto(res *stats.Result, prefix string) {
 	var reinj, dupSched, dupRecv, handovers uint64
 	maxGap := 0.0
 	rtt := res.Sample(prefix + "rtt_ms")
+	gaps := res.Sample(prefix + "handover_gap_s")
+	connMax := res.Sample(prefix + "conn_max_gap_s")
 	for _, c := range a.Conns {
 		reinj += c.ReinjBytes
 		dupSched += c.DupSchedBytes
@@ -396,6 +402,12 @@ func (a *Analysis) FoldInto(res *stats.Result, prefix string) {
 		handovers += uint64(len(c.Handovers))
 		if c.MaxGapS > maxGap {
 			maxGap = c.MaxGapS
+		}
+		for _, h := range c.Handovers {
+			gaps.Add(h.GapS)
+		}
+		if len(c.Handovers) > 0 {
+			connMax.Add(c.MaxGapS)
 		}
 		for _, f := range c.Flows {
 			for _, p := range f.RTT {

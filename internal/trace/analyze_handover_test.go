@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestHandoverAttributionAcrossConcurrentFlows drives the analyzer with
+// a fleet-shaped trace: many connections (one per device), each with a
+// wifi and an lte subflow, their scheduler picks interleaved in time the
+// way a multi-device run merges them. Handover gaps must be computed
+// per connection — a pick on device 3 must never close or shorten a gap
+// on device 0 — and redundant duplicate copies must not count as
+// switches.
+func TestHandoverAttributionAcrossConcurrentFlows(t *testing.T) {
+	const devices = 4
+	tr := New(256)
+	type dev struct {
+		conn, wifi, lte uint32
+	}
+	devs := make([]dev, devices)
+	for k := range devs {
+		c := tr.Register(EntConn, 0, fmt.Sprintf("d%d/conn", k))
+		devs[k] = dev{
+			conn: c,
+			wifi: tr.Register(EntFlow, c, fmt.Sprintf("d%d/wifi", k)),
+			lte:  tr.Register(EntFlow, c, fmt.Sprintf("d%d/lte", k)),
+		}
+	}
+	// One extra device that never switches: no handovers at all.
+	mono := tr.Register(EntConn, 0, "mono/conn")
+	monoF := tr.Register(EntFlow, mono, "mono/wifi")
+	sh := tr.Shard("net")
+
+	// Build every device's pick times first, then append them in global
+	// time order, so records from different devices interleave exactly
+	// like a merged multi-shard snapshot.
+	type pick struct {
+		at   sim.Time
+		flow uint32
+		conn uint32
+		seq  uint64
+		flag uint8
+	}
+	var picks []pick
+	for k, d := range devs {
+		start := 1*sim.Second + sim.Time(k)*100*sim.Millisecond
+		ho1 := start + sim.Time(k+1)*sim.Second // gap (k+1)s: wifi → lte
+		ho2 := ho1 + 500*sim.Millisecond        // gap 0.5s: lte → wifi
+		picks = append(picks,
+			pick{at: start, flow: d.wifi, conn: d.conn, seq: 0},
+			pick{at: ho1, flow: d.lte, conn: d.conn, seq: 1000},
+			pick{at: ho2, flow: d.wifi, conn: d.conn, seq: 2000},
+		)
+	}
+	// A redundant duplicate on device 0's lte flow between its two real
+	// handovers: deliberate parallel placement, not a switch.
+	picks = append(picks, pick{
+		at: 1*sim.Second + 200*sim.Millisecond, flow: devs[0].lte,
+		conn: devs[0].conn, seq: 0, flag: FDup,
+	})
+	for i := 0; i < 3; i++ {
+		picks = append(picks, pick{
+			at:   1*sim.Second + sim.Time(i)*700*sim.Millisecond,
+			flow: monoF, conn: mono, seq: uint64(i) * 1000,
+		})
+	}
+	for i := 1; i < len(picks); i++ {
+		for j := i; j > 0 && picks[j].at < picks[j-1].at; j-- {
+			picks[j], picks[j-1] = picks[j-1], picks[j]
+		}
+	}
+	for _, p := range picks {
+		sh.Rec(p.at, KPick, p.flow, p.seq, 1000, 0, p.flag)
+	}
+
+	a := Analyze(tr.Snapshot())
+	if len(a.Conns) != devices+1 {
+		t.Fatalf("conns = %d, want %d", len(a.Conns), devices+1)
+	}
+	for k := 0; k < devices; k++ {
+		c := a.Conns[k]
+		if len(c.Handovers) != 2 {
+			t.Fatalf("device %d: %d handovers, want 2: %+v", k, len(c.Handovers), c.Handovers)
+		}
+		wantGap := float64(k + 1)
+		if g := c.Handovers[0].GapS; g != wantGap {
+			t.Errorf("device %d: first gap = %gs, want %gs (cross-device attribution?)", k, g, wantGap)
+		}
+		if g := c.Handovers[1].GapS; g != 0.5 {
+			t.Errorf("device %d: second gap = %gs, want 0.5s", k, g)
+		}
+		if c.Handovers[0].From != fmt.Sprintf("d%d/wifi", k) || c.Handovers[0].To != fmt.Sprintf("d%d/lte", k) {
+			t.Errorf("device %d: handover endpoints wrong: %+v", k, c.Handovers[0])
+		}
+		if c.MaxGapS != wantGap {
+			t.Errorf("device %d: max gap = %gs, want %gs", k, c.MaxGapS, wantGap)
+		}
+		if c.DupSchedBytes != 0 && k != 0 {
+			t.Errorf("device %d: stray dup bytes %d", k, c.DupSchedBytes)
+		}
+	}
+	if c := a.Conns[devices]; len(c.Handovers) != 0 {
+		t.Fatalf("single-flow device reported %d handovers", len(c.Handovers))
+	}
+
+	// FoldInto pools the per-device aggregation: every individual gap,
+	// and the per-connection max-gap distribution (the fleet's "worst
+	// outage per device" curve), excluding devices that never switched.
+	res := stats.NewResult("x")
+	a.FoldInto(res, "trace_")
+	if res.Scalars["trace_handovers"] != float64(2*devices) {
+		t.Fatalf("trace_handovers = %v, want %d", res.Scalars["trace_handovers"], 2*devices)
+	}
+	gaps := res.Samples["trace_handover_gap_s"]
+	if gaps.N() != 2*devices {
+		t.Fatalf("handover_gap_s has %d samples, want %d", gaps.N(), 2*devices)
+	}
+	connMax := res.Samples["trace_conn_max_gap_s"]
+	if connMax.N() != devices {
+		t.Fatalf("conn_max_gap_s has %d samples, want %d (mono device must be excluded)", connMax.N(), devices)
+	}
+	if connMax.Min() != 1 || connMax.Max() != float64(devices) {
+		t.Fatalf("conn_max_gap_s range = [%g, %g], want [1, %d]", connMax.Min(), connMax.Max(), devices)
+	}
+	if res.Scalars["trace_max_gap_s"] != float64(devices) {
+		t.Fatalf("trace_max_gap_s = %v, want %d", res.Scalars["trace_max_gap_s"], devices)
+	}
+}
