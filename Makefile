@@ -70,6 +70,8 @@ smoke:
 	done; \
 	echo "== smoke: mpexp run fleet (48 devices, 2x handover rate)"; \
 	$$bin run fleet -smoke -set devices=48 -set handover_rate=2 >/dev/null; \
+	echo "== smoke: mpexp run ctlstress (wide window, tight queue)"; \
+	$$bin run ctlstress -smoke -set window=1ms -set queue=16 >/dev/null; \
 	tdir=$$(mktemp -d); \
 	echo "== smoke: mpexp run fig2a -trace && mpexp report"; \
 	$$bin run fig2a -smoke -trace $$tdir/fig2a.trace >/dev/null; \
@@ -93,7 +95,9 @@ smoke-shards:
 		$$bin run $$s -smoke -shards 4 >/dev/null; \
 	done; \
 	echo "== smoke (-race, -shards 4): mpexp run fleet (64 devices)"; \
-	$$bin run fleet -smoke -shards 4 -set devices=64 >/dev/null
+	$$bin run fleet -smoke -shards 4 -set devices=64 >/dev/null; \
+	echo "== smoke (-race, -shards 4): mpexp run ctlstress (8 conns)"; \
+	$$bin run ctlstress -smoke -shards 4 -set conns=8 >/dev/null
 
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,

@@ -291,6 +291,28 @@ func BenchmarkFleet(b *testing.B) {
 	report(b, m, "gap_p99_s", "gap_p99_s", 1)
 }
 
+// BenchmarkCtlStress exercises the zero-allocation Netlink control plane
+// end to end: flap-driven subflow churn with a fullmesh controller bound
+// per connection, in both immediate and coalesced delivery modes. The
+// custom metrics put the policy-decision latency (event emitted →
+// command applied) of the coalesced cell into the bench artifact; with
+// -benchmem the allocs/op column tracks the pooled codec.
+func BenchmarkCtlStress(b *testing.B) {
+	m := sweep(b, "ctlstress", func(seed int64) *experiments.Result {
+		cfg := experiments.DefaultCtlStress()
+		cfg.Seed = seed
+		cfg.Conns = 4
+		cfg.BytesPerConn = 32 << 10
+		cfg.Horizon = time.Second
+		return experiments.CtlStress(cfg)
+	})
+	b.ReportAllocs()
+	report(b, m, "decision_p50_us", "decision_p50_us", 1)
+	report(b, m, "decision_p99_us", "decision_p99_us", 1)
+	report(b, m, "immediate_event_frames", "immediate_frames", 1)
+	report(b, m, "coalesced_event_frames", "coalesced_frames", 1)
+}
+
 // BenchmarkFig2aTraced reruns the Fig. 2a sweep with the event recorder
 // armed on every host and link, quantifying the full tracing overhead
 // (record volume rides along as a custom metric; compare ns/op and
@@ -387,28 +409,43 @@ func BenchmarkSegmentClonePooled(b *testing.B) {
 	}
 }
 
+// BenchmarkNetlinkEventMarshal measures the pooled control-plane encode:
+// append-marshal into a reused wire buffer. allocs/op must stay 0
+// (TestPooledRoundTripAllocFree pins it exactly).
 func BenchmarkNetlinkEventMarshal(b *testing.B) {
 	ev := &nlmsg.Event{
 		Kind: nlmsg.EvTimeout, Token: 0xdead, RTO: 3200 * time.Millisecond,
 		Backoffs: 4, HasTuple: true,
 		Tuple: seg.FourTuple{SrcPort: 1, DstPort: 2},
 	}
+	buf := nlmsg.Wire.Get()
+	buf = ev.AppendMarshal(buf[:0], 0, 1) // warm the buffer past -benchtime=1x
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = ev.Marshal(uint32(i), 1)
+		buf = ev.AppendMarshal(buf[:0], uint32(i), 1)
 	}
+	nlmsg.Wire.Put(buf)
 }
 
+// BenchmarkNetlinkEventParse measures the pooled decode: in-place
+// unmarshal (attr views borrow the wire buffer) plus event parse into
+// reused scratch. allocs/op must stay 0.
 func BenchmarkNetlinkEventParse(b *testing.B) {
 	ev := &nlmsg.Event{Kind: nlmsg.EvSubClosed, Token: 0xdead, Errno: 110}
 	wire := ev.Marshal(1, 1)
+	var m nlmsg.Message
+	var out nlmsg.Event
+	if _, err := nlmsg.UnmarshalInto(wire, &m); err != nil { // warm past -benchtime=1x
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, _, err := nlmsg.Unmarshal(wire)
-		if err != nil {
+		if _, err := nlmsg.UnmarshalInto(wire, &m); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := nlmsg.ParseEvent(m); err != nil {
+		if err := nlmsg.ParseEventInto(&m, &out); err != nil {
 			b.Fatal(err)
 		}
 	}

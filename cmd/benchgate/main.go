@@ -11,13 +11,21 @@
 //     absolute -alloc-slack (the slack keeps the zero-alloc micro
 //     benchmarks from tripping on a couple of incidental allocations).
 //
+// Benchmarks matching -tight get a stricter allocs/op ceiling
+// (-tight-ratio × baseline + -tight-slack): the zero-allocation hot-path
+// micro benchmarks pin their steady state with AllocsPerRun tests, so the
+// artifact gate can afford to hold them to a few allocations of headroom
+// instead of the loose default.
+//
 // New benchmarks in the fresh run pass freely — that is how a PR adds a
 // benchmark without first re-baselining. The default thresholds are
 // deliberately loose because `make bench` runs at -benchtime=1x on
 // shared CI runners: the gate exists to catch order-of-magnitude
 // throughput cliffs and allocation leaks, not single-digit noise.
 //
-// Usage: benchgate [-min-ratio 0.6] [-alloc-ratio 1.3] [-alloc-slack 32] baseline.json fresh.json
+// Usage: benchgate [-min-ratio 0.6] [-alloc-ratio 1.3] [-alloc-slack 32]
+//
+//	[-tight regex] [-tight-ratio 1.1] [-tight-slack 8] baseline.json fresh.json
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -47,6 +56,19 @@ type limits struct {
 	MinRatio   float64 // fresh _per_wall_s must be >= baseline * MinRatio
 	AllocRatio float64 // fresh allocs/op must be <= baseline * AllocRatio + AllocSlack
 	AllocSlack float64
+	// Tight selects benchmarks held to the stricter alloc ceiling
+	// (TightRatio × baseline + TightSlack); nil applies it to none.
+	Tight      *regexp.Regexp
+	TightRatio float64
+	TightSlack float64
+}
+
+// allocCeiling picks the alloc ceiling class for a benchmark name.
+func (lim limits) allocCeiling(name string, base float64) float64 {
+	if lim.Tight != nil && lim.Tight.MatchString(name) {
+		return base*lim.TightRatio + lim.TightSlack
+	}
+	return base*lim.AllocRatio + lim.AllocSlack
 }
 
 // gate returns one human-readable violation per regression, empty when
@@ -80,7 +102,7 @@ func gate(base, fresh *file, lim limits) []string {
 						b.Name, k, v, fv, 100*fv/v, 100*lim.MinRatio))
 				}
 			case k == "allocs/op":
-				ceil := v*lim.AllocRatio + lim.AllocSlack
+				ceil := lim.allocCeiling(b.Name, v)
 				if fv := f.Metrics[k]; fv > ceil {
 					bad = append(bad, fmt.Sprintf("%s: allocs/op grew %.0f -> %.0f (ceiling %.0f)",
 						b.Name, v, fv, ceil))
@@ -110,6 +132,10 @@ func main() {
 	minRatio := flag.Float64("min-ratio", 0.6, "throughput floor: fresh *_per_wall_s must reach this fraction of baseline")
 	allocRatio := flag.Float64("alloc-ratio", 1.3, "allocs/op ceiling multiplier over baseline")
 	allocSlack := flag.Float64("alloc-slack", 32, "absolute allocs/op headroom added to the ceiling")
+	tight := flag.String("tight", "^BenchmarkNetlinkEvent(Marshal|Parse)$",
+		"regexp of benchmarks held to the tight alloc ceiling (empty = none)")
+	tightRatio := flag.Float64("tight-ratio", 1.1, "allocs/op ceiling multiplier for -tight benchmarks")
+	tightSlack := flag.Float64("tight-slack", 8, "absolute allocs/op headroom for -tight benchmarks")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] baseline.json fresh.json")
@@ -123,7 +149,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lim := limits{MinRatio: *minRatio, AllocRatio: *allocRatio, AllocSlack: *allocSlack}
+	lim := limits{MinRatio: *minRatio, AllocRatio: *allocRatio, AllocSlack: *allocSlack,
+		TightRatio: *tightRatio, TightSlack: *tightSlack}
+	if *tight != "" {
+		re, err := regexp.Compile(*tight)
+		if err != nil {
+			fatal(fmt.Errorf("-tight: %v", err))
+		}
+		lim.Tight = re
+	}
 	if bad := gate(base, fresh, lim); len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(bad), flag.Arg(0))
 		for _, msg := range bad {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,31 @@ func TestGateCatchesAllocGrowth(t *testing.T) {
 	fresh.Benchmarks[1].Metrics["allocs/op"] = 30
 	if bad := gate(base, fresh, defLim); len(bad) != 0 {
 		t.Fatalf("growth within ceiling flagged: %v", bad)
+	}
+}
+
+func TestGateTightAllocCeiling(t *testing.T) {
+	lim := defLim
+	lim.Tight = regexp.MustCompile(`^BenchmarkNetlinkEvent(Marshal|Parse)$`)
+	lim.TightRatio, lim.TightSlack = 1.1, 8
+	base := &file{Benchmarks: []benchmark{
+		bench("BenchmarkNetlinkEventMarshal", map[string]float64{"allocs/op": 0}),
+		bench("BenchmarkNetlinkEventParse", map[string]float64{"allocs/op": 0}),
+		bench("BenchmarkScale", map[string]float64{"allocs/op": 1000}),
+	}}
+	// 9 allocs breaks the tight ceiling (0*1.1+8) but would pass the
+	// loose one (0*1.3+32); the non-tight benchmark keeps loose headroom.
+	fresh := &file{Benchmarks: []benchmark{
+		bench("BenchmarkNetlinkEventMarshal", map[string]float64{"allocs/op": 9}),
+		bench("BenchmarkNetlinkEventParse", map[string]float64{"allocs/op": 8}),
+		bench("BenchmarkScale", map[string]float64{"allocs/op": 1250}),
+	}}
+	bad := gate(base, fresh, lim)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkNetlinkEventMarshal") {
+		t.Fatalf("want exactly the tight marshal regression, got %v", bad)
+	}
+	if bad := gate(base, fresh, defLim); len(bad) != 0 {
+		t.Fatalf("loose limits flagged the tight-only regression: %v", bad)
 	}
 }
 

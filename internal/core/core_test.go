@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"io"
+	"net/netip"
 	"testing"
 	"time"
 
@@ -54,9 +55,10 @@ func (w *world) connect(t *testing.T) {
 	}
 }
 
-// record returns callbacks appending every event to w.events.
+// record returns callbacks appending every event to w.events. The library
+// hands out its reused decode scratch, so retained events must be copied.
 func (w *world) record() Callbacks {
-	rec := func(ev *nlmsg.Event) { w.events = append(w.events, ev) }
+	rec := func(ev *nlmsg.Event) { c := *ev; w.events = append(w.events, &c) }
 	return Callbacks{
 		Created: rec, Established: rec, Closed: rec,
 		SubEstablished: rec, SubClosed: rec,
@@ -156,7 +158,7 @@ func TestCreateSubflowCommand(t *testing.T) {
 
 func TestRemoveSubflowCommand(t *testing.T) {
 	var closed []*nlmsg.Event
-	w := newWorld(t, 4, Callbacks{SubClosed: func(e *nlmsg.Event) { closed = append(closed, e) }})
+	w := newWorld(t, 4, Callbacks{SubClosed: func(e *nlmsg.Event) { c := *e; closed = append(closed, &c) }})
 	w.net.Sim.RunFor(time.Millisecond)
 	w.connect(t)
 	w.net.Sim.Run()
@@ -235,7 +237,7 @@ func TestSetBackupCommand(t *testing.T) {
 
 func TestTimeoutEventsOverNetlink(t *testing.T) {
 	var timeouts []*nlmsg.Event
-	w := newWorld(t, 7, Callbacks{Timeout: func(e *nlmsg.Event) { timeouts = append(timeouts, e) }})
+	w := newWorld(t, 7, Callbacks{Timeout: func(e *nlmsg.Event) { c := *e; timeouts = append(timeouts, &c) }})
 	w.net.Sim.RunFor(time.Millisecond)
 	w.connect(t)
 	w.net.Sim.Run()
@@ -274,8 +276,8 @@ func TestAnnounceAddrCommand(t *testing.T) {
 func TestLocalAddrEventsOverNetlink(t *testing.T) {
 	var ups, downs []*nlmsg.Event
 	w := newWorld(t, 9, Callbacks{
-		LocalAddrUp:   func(e *nlmsg.Event) { ups = append(ups, e) },
-		LocalAddrDown: func(e *nlmsg.Event) { downs = append(downs, e) },
+		LocalAddrUp:   func(e *nlmsg.Event) { c := *e; ups = append(ups, &c) },
+		LocalAddrDown: func(e *nlmsg.Event) { c := *e; downs = append(downs, &c) },
 	})
 	w.net.Sim.RunFor(time.Millisecond)
 	w.net.Client.SetIfaceUp(w.net.ClientAddrs[1], false)
@@ -341,7 +343,9 @@ func TestSocketPipeFraming(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		ev := &nlmsg.Event{Kind: nlmsg.EvTimeout, Token: uint32(i), RTO: time.Duration(i) * time.Second}
 		b := ev.Marshal(uint32(i), 1)
-		msgs = append(msgs, b)
+		// Send transfers ownership of b (it is recycled into nlmsg.Wire),
+		// so keep an independent copy for the comparison below.
+		msgs = append(msgs, append([]byte(nil), b...))
 		p.Send(b)
 	}
 	count := 0
@@ -371,6 +375,129 @@ func TestLibraryIgnoresGarbage(t *testing.T) {
 	lib.OnMessage(nlmsg.MarshalAck(0, 999, 1))
 	if lib.Stats.RepliesOrphaned != 1 {
 		t.Fatal("orphan reply not counted")
+	}
+}
+
+// ctlWorld wires just a transport, PM and recording library — no network —
+// for driving the coalescing machinery with synthetic events.
+type ctlWorld struct {
+	s      *sim.Simulator
+	tr     *Transport
+	pm     *NetlinkPM
+	lib    *Library
+	events []nlmsg.Event
+}
+
+func newCtlWorld(t *testing.T, seed int64) *ctlWorld {
+	t.Helper()
+	w := &ctlWorld{s: sim.New(seed)}
+	w.tr = NewSimTransport(w.s)
+	w.pm = NewNetlinkPM(w.s, w.tr)
+	w.lib = NewLibrary(w.tr, SimClock{w.s}, 1)
+	rec := func(ev *nlmsg.Event) { w.events = append(w.events, *ev) }
+	w.lib.Register(Callbacks{
+		Created: rec, Established: rec, Closed: rec,
+		SubEstablished: rec, SubClosed: rec,
+		AddAddr: rec, RemAddr: rec, Timeout: rec,
+		LocalAddrUp: rec, LocalAddrDown: rec,
+	}, nil)
+	w.s.RunFor(time.Millisecond) // let the subscription land
+	return w
+}
+
+func TestCoalescedFlushBatchesFrames(t *testing.T) {
+	w := newCtlWorld(t, 20)
+	w.pm.SetCoalescing(500*time.Microsecond, 8)
+	framesBefore := w.tr.ToUser.(*SimPipe).Delivered
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: 1, RTO: time.Second})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: 2, RTO: time.Second})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: 3, RTO: time.Second})
+	w.s.Run()
+	if got := w.tr.ToUser.(*SimPipe).Delivered - framesBefore; got != 1 {
+		t.Fatalf("3 events crossed in %d frames, want 1", got)
+	}
+	if w.pm.Flushes != 1 || w.pm.EventsSent != 3 {
+		t.Fatalf("flushes=%d sent=%d, want 1/3", w.pm.Flushes, w.pm.EventsSent)
+	}
+	if len(w.events) != 3 {
+		t.Fatalf("delivered %d events, want 3", len(w.events))
+	}
+	for i, ev := range w.events {
+		if ev.Token != uint32(i+1) {
+			t.Fatalf("event order broken: %+v", w.events)
+		}
+	}
+	// A second window must re-arm the flush timer.
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: 4, RTO: time.Second})
+	w.s.Run()
+	if w.pm.Flushes != 2 || len(w.events) != 4 {
+		t.Fatalf("second window: flushes=%d events=%d", w.pm.Flushes, len(w.events))
+	}
+}
+
+func TestCoalescingCancelsSupersededPairs(t *testing.T) {
+	w := newCtlWorld(t, 21)
+	w.pm.SetCoalescing(time.Millisecond, 32)
+	ft := seg.FourTuple{SrcPort: 1, DstPort: 2}
+	// Subflow came and went inside one window: both events vanish.
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvSubEstablished, Token: 7, Tuple: ft, HasTuple: true})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvSubClosed, Token: 7, Tuple: ft, HasTuple: true, Errno: 103})
+	// Whole connection came and went: created+estab+closed all vanish.
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvCreated, Token: 8})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvEstablished, Token: 8})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvClosed, Token: 8})
+	// Addr flapped down and back inside one window: both vanish.
+	addr := netip.MustParseAddr("10.0.0.1")
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvLocalAddrDown, Addr: addr})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvLocalAddrUp, Addr: addr})
+	// A survivor, to prove unrelated events pass through untouched.
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: 9, RTO: time.Second})
+	w.s.Run()
+	if len(w.events) != 1 || w.events[0].Kind != nlmsg.EvTimeout || w.events[0].Token != 9 {
+		t.Fatalf("delivered = %+v, want just the timeout", w.events)
+	}
+	if w.pm.EventsCoalesced != 7 {
+		t.Fatalf("coalesced = %d, want 7", w.pm.EventsCoalesced)
+	}
+	if w.pm.EventsSent != 1 {
+		t.Fatalf("sent = %d, want 1", w.pm.EventsSent)
+	}
+}
+
+func TestCoalescingClosedWithoutCreatedStillDelivered(t *testing.T) {
+	// The connection existed before the window opened: closed must still
+	// reach the subscriber even though it swallows queued same-token events.
+	w := newCtlWorld(t, 22)
+	w.pm.SetCoalescing(time.Millisecond, 32)
+	ft := seg.FourTuple{SrcPort: 3, DstPort: 4}
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvSubEstablished, Token: 5, Tuple: ft, HasTuple: true})
+	w.pm.send(&nlmsg.Event{Kind: nlmsg.EvClosed, Token: 5})
+	w.s.Run()
+	if len(w.events) != 1 || w.events[0].Kind != nlmsg.EvClosed {
+		t.Fatalf("delivered = %+v, want just closed", w.events)
+	}
+	if w.pm.EventsCoalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1 (the queued sub_estab)", w.pm.EventsCoalesced)
+	}
+}
+
+func TestBackpressureDropsOldest(t *testing.T) {
+	w := newCtlWorld(t, 23)
+	w.pm.SetCoalescing(time.Millisecond, 4)
+	for i := 1; i <= 6; i++ {
+		w.pm.send(&nlmsg.Event{Kind: nlmsg.EvTimeout, Token: uint32(i), RTO: time.Second})
+	}
+	w.s.Run()
+	if w.pm.EventsDropped != 2 {
+		t.Fatalf("dropped = %d, want 2", w.pm.EventsDropped)
+	}
+	if len(w.events) != 4 {
+		t.Fatalf("delivered %d events, want 4", len(w.events))
+	}
+	for i, ev := range w.events {
+		if ev.Token != uint32(i+3) { // oldest two (1, 2) were dropped
+			t.Fatalf("survivors = %+v, want tokens 3..6", w.events)
+		}
 	}
 }
 

@@ -33,6 +33,11 @@ func (c SimClock) After(d time.Duration, fn func()) func() {
 // Callbacks holds the event handlers a subflow controller registers. Only
 // non-nil handlers cause a kernel-side subscription, so a controller pays
 // the Netlink crossing only for events it cares about.
+//
+// Ownership: the *Event a handler receives is the library's reused decode
+// scratch — valid only until the handler returns. A handler that buffers
+// the event must copy the struct (it is a plain value; `c := *ev` is a
+// deep copy, Event holds no references into the wire buffer).
 type Callbacks struct {
 	Created        func(ev *nlmsg.Event)
 	Established    func(ev *nlmsg.Event)
@@ -143,6 +148,12 @@ type Library struct {
 	nextSeq  uint32
 	pending  map[uint32]func(*nlmsg.Message)
 
+	// Scratch for in-place frame decoding: attr views alias the wire
+	// buffer and the Event is reused per message, so callbacks must copy
+	// anything they keep past their return (see Callbacks).
+	msgScratch nlmsg.Message
+	evScratch  nlmsg.Event
+
 	Stats LibStats
 }
 
@@ -245,17 +256,27 @@ func (l *Library) sendCmd(cmd *nlmsg.Command, reply func(*nlmsg.Message)) {
 		l.pending[cmd.Seq] = reply
 	}
 	l.Stats.CommandsSent++
-	l.toKernel.Send(cmd.Marshal())
+	l.toKernel.Send(cmd.AppendMarshal(nlmsg.Wire.Get()))
 }
 
-// OnMessage is the transport receiver: it decodes one message and
-// dispatches it. Exposed so socket-based owners can pump it directly.
+// OnMessage is the transport receiver: it decodes every message in the
+// delivered frame (coalesced kernels batch several per crossing) and
+// dispatches each. Exposed so socket-based owners can pump it directly.
+// The frame is only borrowed — everything is decoded in place, so neither
+// reply callbacks nor event handlers may retain what they are handed.
 func (l *Library) OnMessage(b []byte) {
-	m, _, err := nlmsg.Unmarshal(b)
-	if err != nil {
-		l.Stats.ParseErrors++
-		return
+	for off := 0; off < len(b); {
+		n, err := nlmsg.UnmarshalInto(b[off:], &l.msgScratch)
+		if err != nil {
+			l.Stats.ParseErrors++
+			return
+		}
+		off += n
+		l.dispatch(&l.msgScratch)
 	}
+}
+
+func (l *Library) dispatch(m *nlmsg.Message) {
 	switch m.Cmd {
 	case nlmsg.ReplyAck, nlmsg.ReplyInfo:
 		if fn, ok := l.pending[m.Seq]; ok {
@@ -267,11 +288,10 @@ func (l *Library) OnMessage(b []byte) {
 		}
 		return
 	}
-	ev, err := nlmsg.ParseEvent(m)
-	if err != nil {
+	if err := nlmsg.ParseEventInto(m, &l.evScratch); err != nil {
 		l.Stats.ParseErrors++
 		return
 	}
 	l.Stats.EventsReceived++
-	l.cbs.Dispatch(ev)
+	l.cbs.Dispatch(&l.evScratch)
 }

@@ -28,11 +28,32 @@ type NetlinkPM struct {
 	mask  nlmsg.EventMask
 	pid   uint32
 
+	// Coalescing state (SetCoalescing). With flushEvery 0 — the default —
+	// every event goes out immediately in its own frame; otherwise events
+	// queue per flush window and leave as one pooled multi-message frame.
+	flushEvery time.Duration
+	queueCap   int
+	queue      []nlmsg.Event
+	flushArmed bool
+	flushFn    func()
+
+	// Scratch for in-place command decoding; safe because frames are
+	// handled one at a time on the kernel host's shard.
+	msgScratch nlmsg.Message
+	cmdScratch nlmsg.Command
+
 	// Stats counters.
-	EventsSent   uint64
-	EventsMasked uint64
-	CommandsRun  uint64
+	EventsSent      uint64
+	EventsMasked    uint64
+	EventsCoalesced uint64
+	EventsDropped   uint64
+	Flushes         uint64
+	CommandsRun     uint64
 }
+
+// DefaultCtlQueue is the per-subscriber event queue bound used when
+// SetCoalescing is given a non-positive queue size.
+const DefaultCtlQueue = 128
 
 // NewNetlinkPM creates the kernel part and attaches it to the transport's
 // command pipe. Pass the returned value as the PathManager when building
@@ -52,6 +73,24 @@ func NewNetlinkPM(c sim.Clock, tr *Transport) *NetlinkPM {
 // Name implements mptcp.PathManager.
 func (pm *NetlinkPM) Name() string { return "netlink" }
 
+// SetCoalescing switches event delivery to batched mode: events emitted
+// within window of each other leave as one pooled multi-message frame (one
+// transport crossing), superseded events coalesce away, and the pending
+// queue is bounded at queueCap (≤0 means DefaultCtlQueue) with drop-oldest
+// backpressure. window 0 restores the default immediate one-frame-per-event
+// delivery — which is also what every golden experiment runs, since
+// batching changes how many latency draws the transport makes.
+func (pm *NetlinkPM) SetCoalescing(window time.Duration, queueCap int) {
+	pm.flushEvery = window
+	if queueCap <= 0 {
+		queueCap = DefaultCtlQueue
+	}
+	pm.queueCap = queueCap
+	if pm.flushFn == nil {
+		pm.flushFn = pm.flush
+	}
+}
+
 // send encodes and emits an event if the controller subscribed to it.
 func (pm *NetlinkPM) send(e *nlmsg.Event) {
 	if !pm.mask.Has(e.Kind) {
@@ -59,8 +98,118 @@ func (pm *NetlinkPM) send(e *nlmsg.Event) {
 		return
 	}
 	e.At = time.Duration(pm.sim.Now())
+	if pm.flushEvery > 0 {
+		pm.enqueue(e)
+		return
+	}
 	pm.EventsSent++
-	pm.tr.ToUser.Send(e.Marshal(0, pm.pid))
+	pm.tr.ToUser.Send(e.AppendMarshal(nlmsg.Wire.Get(), 0, pm.pid))
+}
+
+// enqueue adds an event to the pending window, cancelling pairs that a
+// subscriber delivered-in-one-batch could never observe anyway:
+//
+//   - sub_estab then sub_closed of the same subflow — the subflow came and
+//     went inside one window, invisible churn;
+//   - created (plus anything else for that token) then closed — the whole
+//     connection came and went;
+//   - local addr up/down flip-flops of the same address.
+//
+// Coalescing only ever removes strictly-older events of the same scope, so
+// per-scope ordering of what remains is preserved.
+func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
+	switch e.Kind {
+	case nlmsg.EvSubClosed:
+		if i := pm.findQueuedSub(nlmsg.EvSubEstablished, e.Token, e.Tuple); i >= 0 {
+			pm.removeQueued(i)
+			pm.EventsCoalesced += 2
+			return
+		}
+	case nlmsg.EvClosed:
+		if e.Token != 0 {
+			sawCreated := false
+			n := 0
+			for i := range pm.queue {
+				if pm.queue[i].Token == e.Token {
+					if pm.queue[i].Kind == nlmsg.EvCreated {
+						sawCreated = true
+					}
+					pm.EventsCoalesced++
+					continue
+				}
+				pm.queue[n] = pm.queue[i]
+				n++
+			}
+			pm.queue = pm.queue[:n]
+			if sawCreated {
+				pm.EventsCoalesced++
+				return
+			}
+		}
+	case nlmsg.EvLocalAddrUp:
+		if i := pm.findQueuedAddr(nlmsg.EvLocalAddrDown, e.Addr); i >= 0 {
+			pm.removeQueued(i)
+			pm.EventsCoalesced += 2
+			return
+		}
+	case nlmsg.EvLocalAddrDown:
+		if i := pm.findQueuedAddr(nlmsg.EvLocalAddrUp, e.Addr); i >= 0 {
+			pm.removeQueued(i)
+			pm.EventsCoalesced += 2
+			return
+		}
+	}
+	if len(pm.queue) >= pm.queueCap {
+		copy(pm.queue, pm.queue[1:])
+		pm.queue = pm.queue[:len(pm.queue)-1]
+		pm.EventsDropped++
+	}
+	pm.queue = append(pm.queue, *e)
+	if !pm.flushArmed {
+		pm.flushArmed = true
+		pm.sim.Schedule(pm.sim.Now().Add(pm.flushEvery), "netlink.flush", pm.flushFn)
+	}
+}
+
+func (pm *NetlinkPM) findQueuedSub(kind nlmsg.Cmd, token uint32, ft seg.FourTuple) int {
+	for i := range pm.queue {
+		if pm.queue[i].Kind == kind && pm.queue[i].Token == token && pm.queue[i].Tuple == ft {
+			return i
+		}
+	}
+	return -1
+}
+
+func (pm *NetlinkPM) findQueuedAddr(kind nlmsg.Cmd, addr netip.Addr) int {
+	for i := range pm.queue {
+		if pm.queue[i].Kind == kind && pm.queue[i].Addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (pm *NetlinkPM) removeQueued(i int) {
+	copy(pm.queue[i:], pm.queue[i+1:])
+	pm.queue = pm.queue[:len(pm.queue)-1]
+}
+
+// flush marshals the whole pending window into one pooled frame and sends
+// it as a single transport crossing. Event timestamps keep their emission
+// time (set in send), so decision-latency measurements see queueing delay.
+func (pm *NetlinkPM) flush() {
+	pm.flushArmed = false
+	if len(pm.queue) == 0 {
+		return
+	}
+	buf := nlmsg.Wire.Get()
+	for i := range pm.queue {
+		buf = pm.queue[i].AppendMarshal(buf, 0, pm.pid)
+	}
+	pm.EventsSent += uint64(len(pm.queue))
+	pm.Flushes++
+	pm.queue = pm.queue[:0]
+	pm.tr.ToUser.Send(buf)
 }
 
 // ConnCreated implements mptcp.PathManager.
@@ -126,16 +275,25 @@ const (
 	errnoEINVAL = 22 // malformed command
 )
 
+// handleCommand decodes every message in the delivered frame in place
+// (commands may be batched the same way events are) and executes each.
 func (pm *NetlinkPM) handleCommand(b []byte) {
-	m, _, err := nlmsg.Unmarshal(b)
-	if err != nil {
-		return // a real kernel would NACK; a short message has no seq to ack
+	for off := 0; off < len(b); {
+		n, err := nlmsg.UnmarshalInto(b[off:], &pm.msgScratch)
+		if err != nil {
+			return // a real kernel would NACK; a short message has no seq to ack
+		}
+		off += n
+		pm.runCommand(&pm.msgScratch)
 	}
-	cmd, err := nlmsg.ParseCommand(m)
-	if err != nil {
+}
+
+func (pm *NetlinkPM) runCommand(m *nlmsg.Message) {
+	if err := nlmsg.ParseCommandInto(m, &pm.cmdScratch); err != nil {
 		pm.ack(m.Seq, m.Pid, errnoEINVAL)
 		return
 	}
+	cmd := &pm.cmdScratch
 	pm.CommandsRun++
 	switch cmd.Kind {
 	case nlmsg.CmdSubscribe:
@@ -193,7 +351,7 @@ func (pm *NetlinkPM) handleCommand(b []byte) {
 }
 
 func (pm *NetlinkPM) ack(seq, pid uint32, errno uint32) {
-	pm.tr.ToUser.Send(nlmsg.MarshalAck(errno, seq, pid))
+	pm.tr.ToUser.Send(nlmsg.AppendAck(nlmsg.Wire.Get(), errno, seq, pid))
 }
 
 func (pm *NetlinkPM) findSubflow(token uint32, ft seg.FourTuple) (*mptcp.Connection, *tcp.Subflow) {

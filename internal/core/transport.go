@@ -25,15 +25,21 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/nlmsg"
 	"repro/internal/sim"
 )
 
 // Pipe is one direction of the Netlink channel: ordered, reliable,
-// message-oriented.
+// message-oriented (possibly several concatenated messages per send —
+// netlink frames are self-delimiting).
 type Pipe interface {
-	// Send enqueues one marshalled Netlink message toward the other side.
+	// Send enqueues one marshalled Netlink frame toward the other side.
+	// Ownership of b transfers to the pipe: the pipe recycles it into
+	// nlmsg.Wire once the receiver returns, so the sender must not touch
+	// b afterwards and the receiver must not retain it (or anything
+	// parsed in place from it) past the callback.
 	Send(b []byte)
-	// SetReceiver installs the handler invoked for each delivered message.
+	// SetReceiver installs the handler invoked for each delivered frame.
 	SetReceiver(fn func(b []byte))
 }
 
@@ -70,6 +76,7 @@ func (p *SimPipe) Send(b []byte) {
 		if p.recv != nil {
 			p.recv(b)
 		}
+		nlmsg.Wire.Put(b) // receiver returned; the frame is dead
 	})
 }
 
@@ -131,11 +138,13 @@ type SocketPipe struct {
 // NewSocketPipe wraps a writer for sending.
 func NewSocketPipe(w io.Writer) *SocketPipe { return &SocketPipe{w: w} }
 
-// Send implements Pipe (synchronous write; callers serialise).
+// Send implements Pipe (synchronous write; callers serialise). The write
+// finishes before return, so the frame is recycled immediately.
 func (p *SocketPipe) Send(b []byte) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.w.Write(b)
+	p.mu.Unlock()
+	nlmsg.Wire.Put(b)
 }
 
 // SetReceiver is a no-op on SocketPipe: reading is pull-based via
@@ -144,7 +153,9 @@ func (p *SocketPipe) SetReceiver(fn func([]byte)) {}
 
 // ReadMessages reads framed Netlink messages from r and hands each to fn
 // until read error or EOF. It returns the terminating error (io.EOF on
-// clean close).
+// clean close). Frames come from and return to nlmsg.Wire, so fn must
+// not retain the bytes (or in-place parses of them) past its return —
+// the same ownership rule every Pipe receiver already lives under.
 func ReadMessages(r io.Reader, fn func([]byte)) error {
 	var hdr [4]byte
 	for {
@@ -155,11 +166,18 @@ func ReadMessages(r io.Reader, fn func([]byte)) error {
 		if total < 20 || total > 1<<20 {
 			return io.ErrUnexpectedEOF
 		}
-		buf := make([]byte, total)
+		buf := nlmsg.Wire.Get()
+		if cap(buf) < int(total) {
+			buf = make([]byte, total)
+		} else {
+			buf = buf[:total]
+		}
 		copy(buf, hdr[:])
 		if _, err := io.ReadFull(r, buf[4:]); err != nil {
+			nlmsg.Wire.Put(buf)
 			return err
 		}
 		fn(buf)
+		nlmsg.Wire.Put(buf)
 	}
 }

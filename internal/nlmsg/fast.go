@@ -1,0 +1,199 @@
+// Append-style marshalling and in-place unmarshalling: the pooled fast
+// path of the codec. The allocating API in nlmsg.go/schema.go stays as
+// the independent reference implementation; TestAppendMarshalMatchesLegacy
+// and FuzzNlmsgRoundTrip pin the two byte-identical, so the wire format
+// is defined twice and cross-checked rather than defined once and trusted.
+package nlmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/seg"
+)
+
+// appendAttrHdr appends the 4-byte TLV header for an n-byte payload.
+func appendAttrHdr(dst []byte, t AttrType, n int) []byte {
+	return append(dst, byte(4+n), byte((4+n)>>8), byte(t), byte(t>>8))
+}
+
+func appendU8Attr(dst []byte, t AttrType, v uint8) []byte {
+	dst = appendAttrHdr(dst, t, 1)
+	return append(dst, v, 0, 0, 0) // 3 bytes pad to nlAlign
+}
+
+func appendU16Attr(dst []byte, t AttrType, v uint16) []byte {
+	dst = appendAttrHdr(dst, t, 2)
+	return append(dst, byte(v), byte(v>>8), 0, 0)
+}
+
+func appendU32Attr(dst []byte, t AttrType, v uint32) []byte {
+	dst = appendAttrHdr(dst, t, 4)
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64Attr(dst []byte, t AttrType, v uint64) []byte {
+	dst = appendAttrHdr(dst, t, 8)
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendAddrAttr writes an address payload (4 or 16 raw bytes, or empty
+// for the zero Addr — the same bytes Address's AsSlice produces) without
+// AsSlice's heap allocation.
+func appendAddrAttr(dst []byte, t AttrType, a netip.Addr) []byte {
+	switch {
+	case !a.IsValid():
+		return appendAttrHdr(dst, t, 0)
+	case a.Is4():
+		v := a.As4()
+		dst = appendAttrHdr(dst, t, 4)
+		return append(dst, v[:]...)
+	default:
+		v := a.As16()
+		dst = appendAttrHdr(dst, t, 16)
+		return append(dst, v[:]...)
+	}
+}
+
+func appendTupleAttrs(dst []byte, ft seg.FourTuple) []byte {
+	dst = appendAddrAttr(dst, AttrLocalAddr, ft.SrcIP)
+	dst = appendAddrAttr(dst, AttrRemoteAddr, ft.DstIP)
+	dst = appendU16Attr(dst, AttrLocalPort, ft.SrcPort)
+	return appendU16Attr(dst, AttrRemotePort, ft.DstPort)
+}
+
+// appendHdr reserves the nlmsghdr + genl header at the end of dst and
+// returns its offset; finishHdr patches the total-length field once the
+// attributes are in. Messages appended back to back form a valid
+// multi-message frame (netlink messages are self-delimiting).
+func appendHdr(dst []byte, cmd Cmd, seq, pid uint32) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst,
+		0, 0, 0, 0, // total length, patched by finishHdr
+		familyType&0xff, familyType>>8, 0, 0, // type, flags
+		byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24),
+		byte(pid), byte(pid>>8), byte(pid>>16), byte(pid>>24),
+		byte(cmd), version, 0, 0)
+	return dst, start
+}
+
+func finishHdr(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst
+}
+
+// AppendMarshal appends the event's wire encoding to dst and returns the
+// extended slice. The bytes are identical to Marshal(seq, pid); dst is
+// typically a Pool buffer already carrying earlier messages of a frame.
+func (e *Event) AppendMarshal(dst []byte, seq, pid uint32) []byte {
+	dst, start := appendHdr(dst, e.Kind, seq, pid)
+	dst = appendU64Attr(dst, AttrTimestamp, uint64(e.At))
+	if e.Token != 0 {
+		dst = appendU32Attr(dst, AttrToken, e.Token)
+	}
+	if e.HasTuple {
+		dst = appendTupleAttrs(dst, e.Tuple)
+	}
+	switch e.Kind {
+	case EvSubClosed:
+		dst = appendU32Attr(dst, AttrErrno, e.Errno)
+	case EvAddAddr:
+		dst = appendU8Attr(dst, AttrAddrID, e.AddrID)
+		dst = appendAddrAttr(dst, AttrAddr, e.Addr)
+		dst = appendU16Attr(dst, AttrPort, e.Port)
+	case EvRemAddr:
+		dst = appendU8Attr(dst, AttrAddrID, e.AddrID)
+	case EvTimeout:
+		dst = appendU64Attr(dst, AttrRTO, uint64(e.RTO))
+		dst = appendU32Attr(dst, AttrBackoffs, e.Backoffs)
+	case EvLocalAddrUp, EvLocalAddrDown:
+		dst = appendAddrAttr(dst, AttrAddr, e.Addr)
+	}
+	return finishHdr(dst, start)
+}
+
+// AppendMarshal appends the command's wire encoding to dst, byte-identical
+// to Marshal.
+func (c *Command) AppendMarshal(dst []byte) []byte {
+	dst, start := appendHdr(dst, c.Kind, c.Seq, c.Pid)
+	if c.Token != 0 {
+		dst = appendU32Attr(dst, AttrToken, c.Token)
+	}
+	switch c.Kind {
+	case CmdSubscribe:
+		dst = appendU32Attr(dst, AttrEventMask, uint32(c.Mask))
+	case CmdCreateSubflow:
+		dst = appendTupleAttrs(dst, c.Tuple)
+		b := uint8(0)
+		if c.Backup {
+			b = 1
+		}
+		dst = appendU8Attr(dst, AttrBackup, b)
+	case CmdRemoveSubflow:
+		dst = appendTupleAttrs(dst, c.Tuple)
+	case CmdSetBackup:
+		dst = appendTupleAttrs(dst, c.Tuple)
+		b := uint8(0)
+		if c.Backup {
+			b = 1
+		}
+		dst = appendU8Attr(dst, AttrBackup, b)
+	case CmdAnnounceAddr:
+		dst = appendAddrAttr(dst, AttrAddr, c.Addr)
+		dst = appendU16Attr(dst, AttrPort, c.Port)
+	}
+	return finishHdr(dst, start)
+}
+
+// AppendAck appends a command acknowledgement, byte-identical to
+// MarshalAck.
+func AppendAck(dst []byte, errno, seq, pid uint32) []byte {
+	dst, start := appendHdr(dst, ReplyAck, seq, pid)
+	dst = appendU32Attr(dst, AttrErrno, errno)
+	return finishHdr(dst, start)
+}
+
+// UnmarshalInto decodes one message in place and returns the bytes
+// consumed. Attr Data slices alias b directly — zero copies — so they
+// are only valid while the caller holds b; once b goes back to a Pool
+// the views are dead. Inline scratch covers every event and command
+// (≤ msgInlineAttrs attributes); larger messages (info replies) spill
+// their attr slice to the heap.
+func UnmarshalInto(b []byte, m *Message) (int, error) {
+	if len(b) < nlHdrLen+genlHdrLen {
+		return 0, errors.New("nlmsg: truncated header")
+	}
+	le := binary.LittleEndian
+	total := int(le.Uint32(b[0:]))
+	if total < nlHdrLen+genlHdrLen || total > len(b) {
+		return 0, fmt.Errorf("nlmsg: bad length %d (have %d)", total, len(b))
+	}
+	if le.Uint16(b[4:]) != familyType {
+		return 0, fmt.Errorf("nlmsg: unknown family type %#x", le.Uint16(b[4:]))
+	}
+	m.Seq = le.Uint32(b[8:])
+	m.Pid = le.Uint32(b[12:])
+	m.Cmd = Cmd(b[16])
+	m.Attrs = m.scratch[:0]
+	rest := b[nlHdrLen+genlHdrLen : total]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return 0, errors.New("nlmsg: truncated attribute")
+		}
+		alen := int(le.Uint16(rest[0:]))
+		atype := AttrType(le.Uint16(rest[2:]))
+		if alen < 4 || alen > len(rest) {
+			return 0, fmt.Errorf("nlmsg: bad attribute length %d", alen)
+		}
+		m.Attrs = append(m.Attrs, Attr{Type: atype, Data: rest[4:alen:alen]})
+		adv := align(alen)
+		if adv > len(rest) {
+			adv = len(rest)
+		}
+		rest = rest[adv:]
+	}
+	return total, nil
+}

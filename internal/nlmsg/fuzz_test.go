@@ -1,19 +1,19 @@
 package nlmsg
 
 import (
+	"bytes"
 	"net/netip"
 	"reflect"
 	"testing"
 	"time"
 )
 
-// fuzzSeeds marshals one exemplar of every message the family speaks —
-// all ten events, all six commands, the ack and the info reply — so the
-// fuzzer starts from each wire shape the facade now hides from callers.
-func fuzzSeeds() [][]byte {
+// exemplarEvents returns one exemplar of all ten events, covering every
+// attribute each kind can carry. Shared by the fuzz seeds and the pooled
+// codec equivalence/alloc tests.
+func exemplarEvents() []*Event {
 	addr := netip.MustParseAddr("192.0.2.9")
-	var seeds [][]byte
-	events := []*Event{
+	return []*Event{
 		{Kind: EvCreated, At: time.Second, Token: 1, Tuple: testTuple, HasTuple: true},
 		{Kind: EvEstablished, Token: 2, Tuple: testTuple, HasTuple: true},
 		{Kind: EvClosed, Token: 3},
@@ -25,10 +25,12 @@ func fuzzSeeds() [][]byte {
 		{Kind: EvLocalAddrUp, Addr: addr},
 		{Kind: EvLocalAddrDown, Addr: addr},
 	}
-	for _, e := range events {
-		seeds = append(seeds, e.Marshal(9, 1))
-	}
-	commands := []*Command{
+}
+
+// exemplarCommands returns one exemplar of all six commands.
+func exemplarCommands() []*Command {
+	addr := netip.MustParseAddr("192.0.2.9")
+	return []*Command{
 		{Kind: CmdSubscribe, Seq: 1, Pid: 5, Mask: MaskOf(EvTimeout, EvSubClosed)},
 		{Kind: CmdCreateSubflow, Seq: 2, Token: 99, Tuple: testTuple, Backup: true},
 		{Kind: CmdRemoveSubflow, Seq: 3, Token: 99, Tuple: testTuple},
@@ -36,7 +38,17 @@ func fuzzSeeds() [][]byte {
 		{Kind: CmdGetInfo, Seq: 5, Token: 99},
 		{Kind: CmdAnnounceAddr, Seq: 6, Token: 99, Addr: addr, Port: 80},
 	}
-	for _, c := range commands {
+}
+
+// fuzzSeeds marshals one exemplar of every message the family speaks —
+// all ten events, all six commands, the ack and the info reply — so the
+// fuzzer starts from each wire shape the facade now hides from callers.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, e := range exemplarEvents() {
+		seeds = append(seeds, e.Marshal(9, 1))
+	}
+	for _, c := range exemplarCommands() {
 		seeds = append(seeds, c.Marshal())
 	}
 	seeds = append(seeds, MarshalAck(110, 5, 2))
@@ -99,5 +111,83 @@ func FuzzNlmsgRoundTrip(f *testing.F) {
 			}
 		}
 		_, _ = ParseAck(m)
+
+		// Pooled codec cross-check: UnmarshalInto must accept exactly what
+		// Unmarshal accepts, consume the same bytes, and see the same attrs.
+		var mi Message
+		ni, err := UnmarshalInto(b, &mi)
+		if err != nil {
+			t.Fatalf("UnmarshalInto rejected input Unmarshal accepted: %v", err)
+		}
+		if ni != n {
+			t.Fatalf("UnmarshalInto consumed %d bytes, Unmarshal %d", ni, n)
+		}
+		if mi.Cmd != m.Cmd || mi.Seq != m.Seq || mi.Pid != m.Pid || len(mi.Attrs) != len(m.Attrs) {
+			t.Fatalf("UnmarshalInto header/attr-count mismatch:\n in=%+v\nout=%+v", m, &mi)
+		}
+		for i := range mi.Attrs {
+			if mi.Attrs[i].Type != m.Attrs[i].Type || !bytes.Equal(mi.Attrs[i].Data, m.Attrs[i].Data) {
+				t.Fatalf("attr %d differs: legacy %+v pooled %+v", i, m.Attrs[i], mi.Attrs[i])
+			}
+		}
+		// Typed in-place parsers must agree with the allocating ones, and
+		// the append codec must reproduce the legacy bytes.
+		if ev, err := ParseEvent(m); err == nil {
+			var e2 Event
+			if err := ParseEventInto(&mi, &e2); err != nil {
+				t.Fatalf("ParseEventInto rejected what ParseEvent accepted: %v", err)
+			}
+			if e2 != *ev {
+				t.Fatalf("event mismatch:\nlegacy %+v\npooled %+v", ev, &e2)
+			}
+			if got, want := ev.AppendMarshal(nil, m.Seq, m.Pid), ev.Marshal(m.Seq, m.Pid); !bytes.Equal(got, want) {
+				t.Fatalf("event AppendMarshal differs from Marshal:\n got %x\nwant %x", got, want)
+			}
+		}
+		if c, err := ParseCommand(m); err == nil {
+			var c2 Command
+			if err := ParseCommandInto(&mi, &c2); err != nil {
+				t.Fatalf("ParseCommandInto rejected what ParseCommand accepted: %v", err)
+			}
+			if c2 != *c {
+				t.Fatalf("command mismatch:\nlegacy %+v\npooled %+v", c, &c2)
+			}
+			if got, want := c.AppendMarshal(nil), c.Marshal(); !bytes.Equal(got, want) {
+				t.Fatalf("command AppendMarshal differs from Marshal:\n got %x\nwant %x", got, want)
+			}
+		}
+		// Aliasing: events/commands decoded from a pooled buffer must stay
+		// intact after the buffer is recycled and scribbled, because they
+		// are value types with no views into the wire bytes.
+		pb := append(Wire.Get(), b...)
+		var mp Message
+		if _, err := UnmarshalInto(pb, &mp); err == nil {
+			var e1 Event
+			var c1 Command
+			evOK := ParseEventInto(&mp, &e1) == nil
+			cmdOK := ParseCommandInto(&mp, &c1) == nil
+			Wire.Put(pb)
+			scr := Wire.Get() // most likely the buffer just recycled
+			scr = scr[:cap(scr)]
+			for i := range scr {
+				scr[i] = 0xa5
+			}
+			// m's attrs were copied out by the legacy Unmarshal above, so
+			// they are immune to the scribble: any divergence now means the
+			// in-place parse left a view into the recycled buffer.
+			if evOK {
+				if ev, err := ParseEvent(m); err == nil && e1 != *ev {
+					t.Fatalf("event aliased recycled buffer:\npooled %+v\nlegacy %+v", &e1, ev)
+				}
+			}
+			if cmdOK {
+				if c, err := ParseCommand(m); err == nil && c1 != *c {
+					t.Fatalf("command aliased recycled buffer:\npooled %+v\nlegacy %+v", &c1, c)
+				}
+			}
+			Wire.Put(scr[:0])
+		} else {
+			Wire.Put(pb)
+		}
 	})
 }

@@ -176,7 +176,15 @@ type Message struct {
 	Seq   uint32 // request/reply correlation
 	Pid   uint32 // controller port id
 	Attrs []Attr
+	// scratch is the inline attribute storage UnmarshalInto borrows, so
+	// decoding a reused Message never heap-allocates for the common case.
+	// Every event and command fits (max 8 attrs: a timeout with a tuple);
+	// only info replies spill past it.
+	scratch [msgInlineAttrs]Attr
 }
+
+// msgInlineAttrs sizes Message's inline scratch (see Message.scratch).
+const msgInlineAttrs = 8
 
 const (
 	nlHdrLen   = 16 // struct nlmsghdr

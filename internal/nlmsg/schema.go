@@ -90,18 +90,29 @@ func (e *Event) Marshal(seq, pid uint32) []byte {
 
 // ParseEvent decodes an event message.
 func ParseEvent(m *Message) (*Event, error) {
-	e := &Event{Kind: m.Cmd}
+	e := &Event{}
+	if err := ParseEventInto(m, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseEventInto decodes an event message into a caller-owned Event,
+// allocation-free. The result is fully self-contained (Event holds no
+// slices), so it stays valid after m's attr views are recycled.
+func ParseEventInto(m *Message, e *Event) error {
+	*e = Event{Kind: m.Cmd}
 	if a, ok := Get(m.Attrs, AttrTimestamp); ok {
 		v, err := a.AsU64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.At = time.Duration(v)
 	}
 	if a, ok := Get(m.Attrs, AttrToken); ok {
 		v, err := a.AsU32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.Token = v
 	}
@@ -112,46 +123,46 @@ func ParseEvent(m *Message) (*Event, error) {
 	if a, ok := Get(m.Attrs, AttrErrno); ok {
 		v, err := a.AsU32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.Errno = v
 	}
 	if a, ok := Get(m.Attrs, AttrAddrID); ok {
 		v, err := a.AsU8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.AddrID = v
 	}
 	if a, ok := Get(m.Attrs, AttrAddr); ok {
 		v, err := a.AsAddr()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.Addr = v
 	}
 	if a, ok := Get(m.Attrs, AttrPort); ok {
 		v, err := a.AsU16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.Port = v
 	}
 	if a, ok := Get(m.Attrs, AttrRTO); ok {
 		v, err := a.AsU64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.RTO = time.Duration(v)
 	}
 	if a, ok := Get(m.Attrs, AttrBackoffs); ok {
 		v, err := a.AsU32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.Backoffs = v
 	}
-	return e, nil
+	return nil
 }
 
 // Command is the decoded form of any user→kernel command.
@@ -200,11 +211,22 @@ func (c *Command) Marshal() []byte {
 
 // ParseCommand decodes a command message.
 func ParseCommand(m *Message) (*Command, error) {
-	c := &Command{Kind: m.Cmd, Seq: m.Seq, Pid: m.Pid}
+	c := &Command{}
+	if err := ParseCommandInto(m, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseCommandInto decodes a command message into a caller-owned Command,
+// allocation-free. Like ParseEventInto, the result holds no views into
+// the wire buffer.
+func ParseCommandInto(m *Message, c *Command) error {
+	*c = Command{Kind: m.Cmd, Seq: m.Seq, Pid: m.Pid}
 	if a, ok := Get(m.Attrs, AttrToken); ok {
 		v, err := a.AsU32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.Token = v
 	}
@@ -214,32 +236,32 @@ func ParseCommand(m *Message) (*Command, error) {
 	if a, ok := Get(m.Attrs, AttrBackup); ok {
 		v, err := a.AsU8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.Backup = v != 0
 	}
 	if a, ok := Get(m.Attrs, AttrEventMask); ok {
 		v, err := a.AsU32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.Mask = EventMask(v)
 	}
 	if a, ok := Get(m.Attrs, AttrAddr); ok {
 		v, err := a.AsAddr()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.Addr = v
 	}
 	if a, ok := Get(m.Attrs, AttrPort); ok {
 		v, err := a.AsU16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.Port = v
 	}
-	return c, nil
+	return nil
 }
 
 // SubflowInfo is the per-subflow slice of a ReplyInfo (a TCP_INFO subset).

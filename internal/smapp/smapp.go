@@ -47,6 +47,15 @@ type Config struct {
 	Clock core.Clock
 	// Pid is the Netlink port id of the library (0 = 1).
 	Pid uint32
+	// CtlFlush, when positive, batches kernel events per flush window into
+	// one pooled multi-message frame with coalescing of superseded events
+	// (core.NetlinkPM.SetCoalescing). Zero keeps the default immediate
+	// one-frame-per-event delivery — which every golden experiment relies
+	// on, since batching changes the transport's latency-draw sequence.
+	CtlFlush time.Duration
+	// CtlQueue bounds the pending-event queue in coalesced mode (≤0 =
+	// core.DefaultCtlQueue); overflow drops the oldest queued event.
+	CtlQueue int
 	// Trace, when non-nil, records policy bindings, switches, and every
 	// controller command into this shard (the kernel-side protocol
 	// events ride on MPTCP.Trace, usually the same shard).
@@ -127,6 +136,9 @@ func New(host *netem.Host, cfg Config) *Stack {
 	}
 	st.Transport = tr
 	st.PM = core.NewNetlinkPM(s, tr)
+	if cfg.CtlFlush > 0 {
+		st.PM.SetCoalescing(cfg.CtlFlush, cfg.CtlQueue)
+	}
 	st.Lib = core.NewLibrary(tr, clock, pid)
 	// One subscription covers every policy the stack will ever host; the
 	// mux below fans events out per connection.
@@ -267,6 +279,21 @@ type Info struct {
 	// Wire is the Netlink-schema subflow view, index-aligned with
 	// Subflows.
 	Wire []nlmsg.SubflowInfo
+	// Ctl is the stack-wide control-plane delivery picture (all zeros on a
+	// KernelPM stack, which has no Netlink path).
+	Ctl CtlStats
+}
+
+// CtlStats surfaces the kernel-side event delivery counters, so an
+// application can see whether its controller fan-out is keeping up:
+// Coalesced events were superseded inside one flush window (benign churn),
+// Dropped events fell off a full queue (the controller was outrun).
+type CtlStats struct {
+	EventsSent      uint64
+	EventsMasked    uint64
+	EventsCoalesced uint64
+	EventsDropped   uint64
+	Flushes         uint64
 }
 
 // Info snapshots a connection through the facade.
@@ -274,6 +301,15 @@ func (st *Stack) Info(conn *mptcp.Connection) Info {
 	in := Info{Info: conn.Info(), Policy: st.PolicyName(conn)}
 	if w := core.WireInfo(conn); w != nil {
 		in.Wire = w.Subflows
+	}
+	if st.PM != nil {
+		in.Ctl = CtlStats{
+			EventsSent:      st.PM.EventsSent,
+			EventsMasked:    st.PM.EventsMasked,
+			EventsCoalesced: st.PM.EventsCoalesced,
+			EventsDropped:   st.PM.EventsDropped,
+			Flushes:         st.PM.Flushes,
+		}
 	}
 	return in
 }
@@ -368,7 +404,9 @@ func (st *Stack) route(ev *nlmsg.Event) {
 			st.Stats.EventsDropped++
 			return
 		}
-		st.pending[ev.Token] = append(st.pending[ev.Token], ev)
+		// ev is the library's reused decode scratch — buffer a copy.
+		c := *ev
+		st.pending[ev.Token] = append(st.pending[ev.Token], &c)
 		st.Stats.EventsBuffered++
 		return
 	}
