@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate fmt examples smoke smoke-shards
+.PHONY: build test race bench bench-gate fmt examples smoke smoke-shards smoke-workspace
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,21 @@ race:
 # On success the text output is also rendered into BENCH_6.json — the
 # machine-readable artifact (committed as the baseline, uploaded by CI)
 # that makes the custom metrics diffable across commits.
+# The zero-allocation hot-path micros (netlink event marshal/parse,
+# segment wire append, trace record) are then re-run at -benchtime=3x
+# and appended: benchjson keeps the LAST result per benchmark, so the
+# artifact carries their steadier 3x numbers (observed allocs/op spread
+# across repeated 3x runs: exactly 0) and cmd/benchgate can hold them to
+# its tight alloc ceiling while the figure macros stay at the loose one.
+MICRO_BENCH = ^Benchmark(NetlinkEvent(Marshal|Parse)|SegmentAppendWire|TraceRecord)$$
+
 bench:
 	@$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . > bench.txt; \
-	status=$$?; cat bench.txt; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) test -bench='$(MICRO_BENCH)' -benchtime=3x -benchmem -run '^$$' . >> bench.txt || status=$$?; \
+	fi; \
+	cat bench.txt; \
 	if [ $$status -eq 0 ]; then \
 		$(GO) run ./cmd/benchjson -o BENCH_6.json bench.txt; \
 	fi; exit $$status
@@ -99,10 +111,41 @@ smoke-shards:
 	echo "== smoke (-race, -shards 4): mpexp run ctlstress (8 conns)"; \
 	$$bin run ctlstress -smoke -shards 4 -set conns=8 >/dev/null
 
+# Workspace round-trip gate: init a temp .mpexp workspace, run every
+# registered scenario twice (same seed, captured into the workspace) and
+# require `mpexp diff` to come back clean at tolerance 0 — any drift
+# between two identical runs is a determinism regression. The committed
+# example manifests (examples/manifests/) are also run twice and diffed,
+# gating the manifest loader and the sweep cell layout end to end.
+smoke-workspace:
+	@set -e; \
+	bin=$$(mktemp -u); \
+	$(GO) build -o $$bin ./cmd/mpexp; \
+	trap 'rm -f '$$bin EXIT; \
+	ws=$$(mktemp -d); \
+	( cd $$ws; $$bin init >/dev/null; \
+	  for s in $$($$bin list -names); do \
+		echo "== workspace smoke: $$s (run twice + diff)"; \
+		$$bin run $$s -smoke >/dev/null; \
+		$$bin run $$s -smoke >/dev/null; \
+		$$bin diff $$s-001 $$s-002; \
+	  done; \
+	  for m in $(CURDIR)/examples/manifests/*.json; do \
+		n=$$(basename $$m .json); \
+		echo "== workspace smoke: manifest $$n (run twice + diff)"; \
+		$$bin run $$m >/dev/null; \
+		$$bin run $$m >/dev/null; \
+		$$bin diff $$n-001 $$n-002; \
+	  done ); \
+	rm -rf $$ws
+
 # Build and RUN every example end to end; any non-zero exit fails. The
 # examples are the facade's acceptance surface, so they are executed,
-# not just compiled.
+# not just compiled. examples/manifests/ holds scenario manifests, not
+# Go programs — directories without Go files are skipped (the manifests
+# are exercised by smoke-workspace instead).
 examples:
 	@set -e; for d in examples/*/; do \
+		ls $$d*.go >/dev/null 2>&1 || continue; \
 		echo "== $$d"; $(GO) run ./$$d; \
 	done

@@ -73,6 +73,7 @@ type runFlags struct {
 	sched      *string
 	controller *string
 	trace      *string
+	ws         *string
 	cpuprofile *string
 	memprofile *string
 }
@@ -90,6 +91,8 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 			strings.Join(smapp.ControllerNames(), ", "))),
 		trace: fs.String("trace", "", "record an event trace to this file (inspect with `mpexp report`; "+
 			"multi-run scenarios and sweeps write one file per run/cell; requires -seeds 1)"),
+		ws: fs.String("ws", "", "experiment workspace: a directory holding (or being) .mpexp "+
+			"(default: auto-detect .mpexp in the current directory; \"none\" disables capture)"),
 		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file (covers the whole run)"),
 		memprofile: fs.String("memprofile", "", "write a heap profile to this file at exit"),
 	}
@@ -245,6 +248,19 @@ func cmdRun(args []string) bool {
 	fs.Var(&sets, "set", "scenario parameter key=value (repeatable)")
 	smoke := fs.Bool("smoke", false, "reduced sizes/durations (CI smoke)")
 	fs.Parse(args[1:])
+	if isManifestPath(name) {
+		m, err := scenario.LoadManifest(name)
+		if err != nil {
+			die(err)
+		}
+		applyFlagOverrides(fs, rf, m, sets, *smoke)
+		return runManifest(rf, m)
+	}
+	if resolveWorkspace(*rf.ws) != nil {
+		// A workspace is active: route the flag-driven run through the
+		// same manifest path a file would take, capturing its artifacts.
+		return runManifest(rf, rf.flagManifest(name, sets, *smoke))
+	}
 	return rf.runScenario(name, name, rf.params(sets, *smoke))
 }
 
@@ -276,6 +292,37 @@ func cmdSweep(args []string) bool {
 			return nil
 		}
 		return strings.Split(s, ",")
+	}
+	// Manifest files and workspace capture share the run path: sweep axes
+	// given as flags override (or extend) the manifest's.
+	mergeAxes := func(m *scenario.Manifest) *scenario.Manifest {
+		if m.Sweep == nil {
+			m.Sweep = &scenario.ManifestSweep{}
+		}
+		if *schedulers != "" {
+			m.Sweep.Schedulers = split(*schedulers)
+		}
+		if *controllers != "" {
+			m.Sweep.Controllers = split(*controllers)
+		}
+		if len(axes) > 0 {
+			m.Sweep.Vary = nil
+			for _, ax := range axes {
+				m.Sweep.Vary = append(m.Sweep.Vary, scenario.ManifestAxis{Key: ax.Key, Values: ax.Values})
+			}
+		}
+		return m
+	}
+	if isManifestPath(name) {
+		m, err := scenario.LoadManifest(name)
+		if err != nil {
+			die(err)
+		}
+		applyFlagOverrides(fs, rf, m, sets, *smoke)
+		return runManifest(rf, mergeAxes(m))
+	}
+	if resolveWorkspace(*rf.ws) != nil {
+		return runManifest(rf, mergeAxes(rf.flagManifest(name, sets, *smoke)))
 	}
 	startProfiles(*rf.cpuprofile, *rf.memprofile)
 	sr, err := scenario.Sweep(scenario.SweepConfig{
@@ -359,11 +406,16 @@ func cmdReport(args []string) bool {
 func cmdList(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	names := fs.Bool("names", false, "print bare scenario names only (for scripts)")
+	jsonOut := fs.Bool("json", false, "machine-readable dump: scenarios, typed parameter docs, schedulers, controllers")
 	fs.Parse(args)
 	if *names {
 		for _, n := range scenario.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *jsonOut {
+		listJSON()
 		return
 	}
 	fmt.Println("scenarios (mpexp run <name>):")
@@ -515,6 +567,14 @@ func main() {
 	case "list":
 		cmdList(args)
 		return
+	case "init":
+		cmdInit(args)
+		return
+	case "diff":
+		if !cmdDiff(args) {
+			os.Exit(1)
+		}
+		return
 	case "report":
 		if !cmdReport(args) {
 			os.Exit(1)
@@ -533,21 +593,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mpexp <run|sweep|list|all|report|figure> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mpexp <run|sweep|init|diff|list|all|report|figure> [flags]
 Reproduces the figures of "SMAPP: Towards Smart Multipath TCP-enabled
 APPlications" (CoNEXT'15) plus a scale stress workload, all expressed as
 registered scenario specs.
 
-  mpexp run <scenario> [-set key=val ...] [-smoke]
-  mpexp sweep <scenario> [-schedulers a,b] [-controllers x,y] [-vary k=v1,v2]
-  mpexp list [-names]
+  mpexp run <scenario|manifest.json> [-set key=val ...] [-smoke]
+  mpexp sweep <scenario|manifest.json> [-schedulers a,b] [-controllers x,y]
+              [-vary k=v1,v2]
+  mpexp init [dir]                 create a .mpexp experiment workspace
+  mpexp diff <runA> <runB> [-tol F] [-ws DIR]
+  mpexp list [-names|-json]
   mpexp all
   mpexp report <tracefile ...> [-csv DIR] [-json]
   mpexp fig2a|fig2b|fig2c|fig3|longlived|ctlsweep|schedsweep|scale [flags]
 
 Common flags: -seed N -seeds N -parallel N -shards N -sched NAME
--controller NAME -trace F -cpuprofile F -memprofile F. Run a subcommand with -h for its
-flags; `+"`mpexp list`"+` shows every registered scenario, scheduler, and
-controller; `+"`mpexp run X -trace f && mpexp report f`"+` explains a run.`)
+-controller NAME -trace F -ws DIR -cpuprofile F -memprofile F. Run a
+subcommand with -h for its flags; `+"`mpexp list`"+` shows every registered
+scenario, scheduler, and controller. With a .mpexp workspace in the current
+directory (create one with `+"`mpexp init`"+`), run/sweep store their results,
+reports, traces, and resolved manifests under .mpexp/runs/, and
+`+"`mpexp diff`"+` compares two stored runs scalar-by-scalar.`)
 	os.Exit(2)
 }

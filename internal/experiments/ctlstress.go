@@ -79,14 +79,14 @@ func init() {
 			return ctlStressSpec(cfg)
 		})
 	scenario.RegisterParams("ctlstress",
-		scenario.ParamDoc{Key: "conns", Desc: "concurrent connections, one client host each (default 8)"},
-		scenario.ParamDoc{Key: "subflows", Desc: "interfaces per client, >= 2; iface 1 is flapped (default 2)"},
-		scenario.ParamDoc{Key: "kb", Desc: "initial payload per connection in KB (default 64)"},
-		scenario.ParamDoc{Key: "flap_every", Desc: "per-client churn period, Go duration (default 150ms)"},
-		scenario.ParamDoc{Key: "flap_down", Desc: "outage length within each period (default 60ms)"},
-		scenario.ParamDoc{Key: "window", Desc: "coalescing flush window of the coalesced cell (default 200µs)"},
-		scenario.ParamDoc{Key: "queue", Desc: "pending-event queue bound, drop-oldest overflow (default 128)"},
-		scenario.ParamDoc{Key: "servers", Desc: "server hosts, dialed round-robin (default 1)"},
+		scenario.ParamDoc{Key: "conns", Type: "int", Default: "8", Desc: "concurrent connections, one client host each"},
+		scenario.ParamDoc{Key: "subflows", Type: "int", Default: "2", Desc: "interfaces per client, >= 2; iface 1 is flapped"},
+		scenario.ParamDoc{Key: "kb", Type: "int", Default: "64", Desc: "initial payload per connection in KB"},
+		scenario.ParamDoc{Key: "flap_every", Type: "duration", Default: "150ms", Desc: "per-client churn period"},
+		scenario.ParamDoc{Key: "flap_down", Type: "duration", Default: "60ms", Desc: "outage length within each period"},
+		scenario.ParamDoc{Key: "window", Type: "duration", Default: "200µs", Desc: "coalescing flush window of the coalesced cell"},
+		scenario.ParamDoc{Key: "queue", Type: "int", Default: "128", Desc: "pending-event queue bound, drop-oldest overflow"},
+		scenario.ParamDoc{Key: "servers", Type: "int", Default: "1", Desc: "server hosts, dialed round-robin"},
 	)
 }
 

@@ -51,6 +51,11 @@ func init() {
 			}
 			return ctlSweepSpec(cfg)
 		})
+	scenario.RegisterParams("ctlsweep",
+		scenario.ParamDoc{Key: "controllers", Type: "list", Desc: "swept subflow controllers (default: every registered one + plain)"},
+		scenario.ParamDoc{Key: "loss", Type: "float", Default: "0.30", Desc: "primary-path loss ratio"},
+		scenario.ParamDoc{Key: "blocks", Type: "int", Default: "120", Desc: "blocks per controller"},
+	)
 }
 
 // ctlSweepSpec declares the controller-space analogue of schedsweep: the

@@ -56,6 +56,13 @@ func init() {
 			}
 			return fig2aSpec(cfg), nil
 		})
+	scenario.RegisterParams("fig2a",
+		scenario.ParamDoc{Key: "baseline", Type: "bool", Default: "false", Desc: "run the in-kernel pre-established-backup baseline (implies loss=1.0)"},
+		scenario.ParamDoc{Key: "loss", Type: "float", Default: "0.30", Desc: "primary-path loss ratio after loss_at"},
+		scenario.ParamDoc{Key: "loss_at", Type: "duration", Default: "1s", Desc: "when the primary path degrades"},
+		scenario.ParamDoc{Key: "threshold", Type: "duration", Default: "1s", Desc: "RTO threshold that triggers the backup subflow"},
+		scenario.ParamDoc{Key: "duration", Type: "duration", Default: "8s", Desc: "observation window"},
+	)
 }
 
 // fig2aSpec declares the smart-backup experiment: a bulk transfer over

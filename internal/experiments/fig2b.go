@@ -60,6 +60,14 @@ func init() {
 			}
 			return fig2bSpec(cfg), nil
 		})
+	scenario.RegisterParams("fig2b",
+		scenario.ParamDoc{Key: "loss_levels", Type: "list", Default: "0.10,0.20,0.30,0.40", Desc: "loss ratios of the full-mesh baseline curves"},
+		scenario.ParamDoc{Key: "loss", Type: "float", Default: "0.30", Desc: "loss ratio of the smart-stream curve"},
+		scenario.ParamDoc{Key: "blocks", Type: "int", Default: "120", Desc: "blocks per curve"},
+		scenario.ParamDoc{Key: "period", Type: "duration", Default: "1s", Desc: "block emission period"},
+		scenario.ParamDoc{Key: "block_size", Type: "int", Default: "65536", Desc: "bytes per block"},
+		scenario.ParamDoc{Key: "probe_at", Type: "duration", Desc: "when the stream controller probes the second path (0 = immediately)"},
+	)
 }
 
 // streamRun declares one §4.3 streaming session: the two-path topology,

@@ -47,6 +47,12 @@ func init() {
 			}
 			return fig2cSpec(cfg), nil
 		})
+	scenario.RegisterParams("fig2c",
+		scenario.ParamDoc{Key: "trials", Type: "int", Default: "20", Desc: "trials per variant"},
+		scenario.ParamDoc{Key: "mb", Type: "int", Default: "100", Desc: "file size in MB"},
+		scenario.ParamDoc{Key: "subflows", Type: "int", Default: "5", Desc: "subflows per connection"},
+		scenario.ParamDoc{Key: "paths", Type: "int", Default: "4", Desc: "ECMP paths in the fabric"},
+	)
 }
 
 // fig2cRun declares one file transfer over the ECMP fabric: the refresh

@@ -42,6 +42,11 @@ func init() {
 			}
 			return fig3Spec(cfg), nil
 		})
+	scenario.RegisterParams("fig3",
+		scenario.ParamDoc{Key: "requests", Type: "int", Default: "1000", Desc: "consecutive GETs"},
+		scenario.ParamDoc{Key: "resp_kb", Type: "int", Default: "512", Desc: "response size in KB"},
+		scenario.ParamDoc{Key: "stressed", Type: "bool", Default: "false", Desc: "model the CPU-stressed client"},
+	)
 }
 
 // fig3Run declares one GET-loop variant on the direct lab link: the

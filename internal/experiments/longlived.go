@@ -62,6 +62,15 @@ func init() {
 			}
 			return longLivedSpec(cfg), nil
 		})
+	scenario.RegisterParams("longlived",
+		scenario.ParamDoc{Key: "plain", Type: "bool", Default: "false", Desc: "run the nil policy (plain-stack baseline)"},
+		scenario.ParamDoc{Key: "nat_timeout", Type: "duration", Default: "3m0s", Desc: "NAT idle-entry expiry"},
+		scenario.ParamDoc{Key: "interval", Type: "duration", Default: "10m0s", Desc: "message interval"},
+		scenario.ParamDoc{Key: "messages", Type: "int", Default: "12", Desc: "messages per direction"},
+		scenario.ParamDoc{Key: "msg_size", Type: "int", Default: "2000", Desc: "bytes per message"},
+		scenario.ParamDoc{Key: "flap_at", Type: "duration", Default: "25m0s", Desc: "when the primary interface flaps"},
+		scenario.ParamDoc{Key: "flap_for", Type: "duration", Default: "2m0s", Desc: "flap outage length"},
+	)
 }
 
 // longLivedSpec declares the §4.1 scenario: a chat-style connection

@@ -78,6 +78,15 @@ func init() {
 			}
 			return sp, nil
 		})
+	scenario.RegisterParams("scale",
+		scenario.ParamDoc{Key: "conns", Type: "int", Default: "16", Desc: "concurrent connections (one client host each)"},
+		scenario.ParamDoc{Key: "subflows", Type: "int", Default: "2", Desc: "interfaces (→ subflows) per client"},
+		scenario.ParamDoc{Key: "servers", Type: "int", Default: "1", Desc: "server hosts, dialed round-robin"},
+		scenario.ParamDoc{Key: "kb", Type: "int", Default: "1024", Desc: "payload per connection in KB"},
+		scenario.ParamDoc{Key: "schedulers", Type: "list", Desc: "swept packet schedulers (default: every registered one)"},
+		scenario.ParamDoc{Key: "controllers", Type: "list", Desc: "swept subflow controllers (default: kernel + every registered one)"},
+		scenario.ParamDoc{Key: "wall", Type: "bool", Default: "true", Desc: "include wall-clock throughput scalars"},
+	)
 }
 
 // scaleCell is the outcome of one (scheduler, controller) sweep cell.

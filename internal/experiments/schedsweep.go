@@ -53,6 +53,11 @@ func init() {
 			}
 			return schedSweepSpec(cfg)
 		})
+	scenario.RegisterParams("schedsweep",
+		scenario.ParamDoc{Key: "schedulers", Type: "list", Desc: "swept packet schedulers (default: every registered one)"},
+		scenario.ParamDoc{Key: "loss", Type: "float", Default: "0.30", Desc: "primary-path loss ratio"},
+		scenario.ParamDoc{Key: "blocks", Type: "int", Default: "120", Desc: "blocks per scheduler"},
+	)
 }
 
 // schedSweepSpec declares the sweep: the paper's streaming workload (two

@@ -60,12 +60,12 @@ func init() {
 			return fleetSpec(cfg)
 		})
 	scenario.RegisterParams("fleet",
-		scenario.ParamDoc{Key: "devices", Desc: "fleet size (default 64)"},
-		scenario.ParamDoc{Key: "profile_mix", Desc: "weighted device classes, e.g. commuter:3,office:1 (profiles: " + profileList() + ")"},
-		scenario.ParamDoc{Key: "handover_rate", Desc: "mobility multiplier: 2 hands over twice as often (default 1)"},
-		scenario.ParamDoc{Key: "duration", Desc: "corpus window, Go duration (default 20s)"},
-		scenario.ParamDoc{Key: "kb", Desc: "upload per device in KB (default 64)"},
-		scenario.ParamDoc{Key: "servers", Desc: "server hosts behind the aggregation (default 1)"},
+		scenario.ParamDoc{Key: "devices", Type: "int", Default: "64", Desc: "fleet size"},
+		scenario.ParamDoc{Key: "profile_mix", Type: "string", Default: DefaultMix, Desc: "weighted device classes, e.g. commuter:3,office:1 (profiles: " + profileList() + ")"},
+		scenario.ParamDoc{Key: "handover_rate", Type: "float", Default: "1", Desc: "mobility multiplier: 2 hands over twice as often"},
+		scenario.ParamDoc{Key: "duration", Type: "duration", Default: "20s", Desc: "corpus window"},
+		scenario.ParamDoc{Key: "kb", Type: "int", Default: "64", Desc: "upload per device in KB"},
+		scenario.ParamDoc{Key: "servers", Type: "int", Default: "1", Desc: "server hosts behind the aggregation"},
 	)
 }
 

@@ -66,13 +66,13 @@ func init() {
 			return sweepSpec(cfg)
 		})
 	scenario.RegisterParams("fleetsweep",
-		scenario.ParamDoc{Key: "devices", Desc: "fleet size per cell (default 16)"},
-		scenario.ParamDoc{Key: "controllers", Desc: "swept subflow controllers (default: every registered one)"},
-		scenario.ParamDoc{Key: "schedulers", Desc: "swept packet schedulers (default: every registered one)"},
-		scenario.ParamDoc{Key: "profile_mix", Desc: "weighted device classes shared by every cell"},
-		scenario.ParamDoc{Key: "handover_rate", Desc: "mobility multiplier shared by every cell"},
-		scenario.ParamDoc{Key: "duration", Desc: "corpus window per cell (default 10s)"},
-		scenario.ParamDoc{Key: "kb", Desc: "upload per device in KB (default 48)"},
+		scenario.ParamDoc{Key: "devices", Type: "int", Default: "16", Desc: "fleet size per cell"},
+		scenario.ParamDoc{Key: "controllers", Type: "list", Desc: "swept subflow controllers (default: every registered one)"},
+		scenario.ParamDoc{Key: "schedulers", Type: "list", Desc: "swept packet schedulers (default: every registered one)"},
+		scenario.ParamDoc{Key: "profile_mix", Type: "string", Default: DefaultMix, Desc: "weighted device classes shared by every cell"},
+		scenario.ParamDoc{Key: "handover_rate", Type: "float", Default: "1", Desc: "mobility multiplier shared by every cell"},
+		scenario.ParamDoc{Key: "duration", Type: "duration", Default: "10s", Desc: "corpus window per cell"},
+		scenario.ParamDoc{Key: "kb", Type: "int", Default: "48", Desc: "upload per device in KB"},
 	)
 }
 
@@ -158,6 +158,11 @@ func sweepSpec(cfg SweepConfig) (*scenario.Spec, error) {
 				ctl string
 				rowStat
 			}{}
+			// The survival matrix is also emitted as a structured table
+			// (one row per controller/scheduler cell), so workspace diffs
+			// compare it table-by-table instead of scraping report text.
+			tbl := res.Table("survival",
+				"completed", "gap_p50_s", "gap_p99_s", "goodput_p50_mbps", "goodput_p10_mbps")
 			for _, c := range cells {
 				o := reduce(c.devs, c.wl)
 				key := c.ctl + "/" + c.sched
@@ -166,6 +171,8 @@ func sweepSpec(cfg SweepConfig) (*scenario.Spec, error) {
 				res.Scalars[key+"_gap_p99_s"] = o.stall.Quantile(0.99)
 				res.Scalars[key+"_goodput_p50_mbps"] = o.goodput.Median()
 				res.Scalars[key+"_goodput_p10_mbps"] = o.goodput.Quantile(0.10)
+				tbl.AddRow(key, float64(o.completed), o.stall.Median(), o.stall.Quantile(0.99),
+					o.goodput.Median(), o.goodput.Quantile(0.10))
 				res.Printf("%-12s %-12s %4d/%-2d %9.3fs %9.3fs %9.2fMb/s\n",
 					c.ctl, c.sched, o.completed, cfg.Devices,
 					o.stall.Median(), o.stall.Quantile(0.99), o.goodput.Median())

@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func init() {
+	Register("test-manifest-bulk", "test-only manifest scenario", func(p *Params) (*Spec, error) {
+		b := p.Int("bytes", 64<<10)
+		rate := p.Float("rate", 50e6)
+		sched := p.Str("sched", "")
+		p.Str("policy", "")
+		p.Bool("smoke", false)
+		wl := &Bulk{Bytes: b}
+		return &Spec{
+			Name: "test-manifest-bulk",
+			Runs: []*RunSpec{{
+				Label:    "bulk",
+				Topology: Direct{Link: netem.LinkConfig{RateBps: rate, Delay: 2 * time.Millisecond}},
+				Workload: wl,
+				Sched:    sched,
+				Settle:   time.Millisecond,
+				Probes:   []Probe{Scalar("bytes", func(*Run) float64 { return float64(b) })},
+				Stop:     Stop{Horizon: 10 * time.Second, Poll: 10 * time.Millisecond, Until: wl.Done},
+			}},
+		}, nil
+	})
+}
+
+// Parameter values written as JSON numbers and booleans reach the typed
+// Params as strings with the literal spelling preserved — the exact
+// bytes `-set` would carry.
+func TestParseManifestValueForms(t *testing.T) {
+	m, err := ParseManifest([]byte(`{
+		"scenario": "test-manifest-bulk",
+		"params": {"rate": 0.30, "bytes": 1024, "smoke": true, "sched": "lowest-rtt"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"rate": "0.30", "bytes": "1024", "smoke": "true", "sched": "lowest-rtt",
+	}
+	for k, v := range want {
+		if m.Params[k] != v {
+			t.Errorf("params[%q] = %q, want %q", k, m.Params[k], v)
+		}
+	}
+}
+
+// Setting trace_file implies trace; sweep axes keep file order.
+func TestParseManifestTraceAndSweep(t *testing.T) {
+	m, err := ParseManifest([]byte(`{
+		"scenario": "test-manifest-bulk",
+		"trace_file": "/tmp/x.trace",
+		"sweep": {
+			"schedulers": ["lowest-rtt", "round-robin"],
+			"vary": [
+				{"key": "bytes", "values": [1024, 2048]},
+				{"key": "rate", "values": ["25e6"]}
+			]
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Trace || m.TraceFile != "/tmp/x.trace" {
+		t.Fatalf("trace_file did not imply Trace: %+v", m)
+	}
+	if len(m.Sweep.Vary) != 2 || m.Sweep.Vary[0].Key != "bytes" || m.Sweep.Vary[1].Key != "rate" {
+		t.Fatalf("vary axes out of order: %+v", m.Sweep.Vary)
+	}
+	if got := m.Sweep.Vary[0].Values; got[0] != "1024" || got[1] != "2048" {
+		t.Fatalf("numeric axis values = %v", got)
+	}
+}
+
+func TestParseManifestRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"unknown top-level field", `{"scenario": "x", "shard": 4}`, "shard"},
+		{"unknown sweep field", `{"scenario": "x", "sweep": {"contollers": ["a"]}}`, "contollers"},
+		{"trailing data", `{"scenario": "x"} {"scenario": "y"}`, "trailing"},
+		{"array param value", `{"scenario": "x", "params": {"bytes": [1, 2]}}`, "string, number, or boolean"},
+		{"object axis value", `{"scenario": "x", "sweep": {"vary": [{"key": "k", "values": [{}]}]}}`, "string, number, or boolean"},
+		{"not json", `scenario: x`, "manifest"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseManifest([]byte(tc.doc)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLoadManifestNameDefault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "my-exp.json")
+	if err := os.WriteFile(path, []byte(`{"scenario": "test-manifest-bulk"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "my-exp" || m.RunName() != "my-exp" {
+		t.Fatalf("Name = %q, want my-exp", m.Name)
+	}
+}
+
+// The rejection table: every way a manifest can ask for something the
+// registry (or the trace/shard rules) forbids, each dying in Validate
+// with the same error class the CLI raises.
+func TestManifestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       *Manifest
+		wantErr string
+	}{
+		{"missing scenario", &Manifest{}, "missing required field"},
+		{"unknown scenario", &Manifest{Scenario: "nosuch"}, "unknown scenario"},
+		{"reserved trace param", &Manifest{Scenario: "test-manifest-bulk",
+			Params: map[string]string{"trace": "f"}}, "reserved"},
+		{"reserved shards param", &Manifest{Scenario: "test-manifest-bulk",
+			Params: map[string]string{"shards": "4"}}, "reserved"},
+		{"reserved trace_cap param", &Manifest{Scenario: "test-manifest-bulk",
+			Params: map[string]string{"trace_cap": "9"}}, "reserved"},
+		{"negative seed", &Manifest{Scenario: "test-manifest-bulk", Seed: -1}, "non-negative"},
+		{"negative seeds", &Manifest{Scenario: "test-manifest-bulk", Seeds: -2}, "non-negative"},
+		{"trace with multiple seeds", &Manifest{Scenario: "test-manifest-bulk",
+			Trace: true, Seeds: 4}, "seeds"},
+		{"trace with shards", &Manifest{Scenario: "test-manifest-bulk",
+			Trace: true, Shards: 4}, "single-shard"},
+		{"unknown param key", &Manifest{Scenario: "test-manifest-bulk",
+			Params: map[string]string{"bites": "1"}}, "bites"},
+		{"bad param value", &Manifest{Scenario: "test-manifest-bulk",
+			Params: map[string]string{"bytes": "many"}}, "bytes"},
+		{"malformed sweep axis", &Manifest{Scenario: "test-manifest-bulk",
+			Sweep: &ManifestSweep{Vary: []ManifestAxis{{Key: "bytes"}}}}, "no values"},
+		{"bad value in one sweep cell", &Manifest{Scenario: "test-manifest-bulk",
+			Sweep: &ManifestSweep{Vary: []ManifestAxis{{Key: "bytes", Values: []string{"1024", "nope"}}}}}, "bytes"},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestManifestValidateOK(t *testing.T) {
+	m := &Manifest{
+		Scenario: "test-manifest-bulk",
+		Params:   map[string]string{"bytes": "1024", "rate": "25e6"},
+		Seeds:    3,
+		Shards:   2,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sweep := &Manifest{
+		Scenario: "test-manifest-bulk",
+		Sweep: &ManifestSweep{
+			Schedulers: []string{"lowest-rtt", "round-robin"},
+			Vary:       []ManifestAxis{{Key: "bytes", Values: []string{"1024", "2048"}}},
+		},
+	}
+	if err := sweep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellID(t *testing.T) {
+	if got := CellID(nil); got != "defaults" {
+		t.Fatalf("CellID(nil) = %q", got)
+	}
+	got := CellID([]string{"policy=fullmesh", "loss=0.3"})
+	if strings.ContainsAny(got, " /") || got == "" {
+		t.Fatalf("CellID not filesystem-safe: %q", got)
+	}
+	if got != CellID([]string{"policy=fullmesh", "loss=0.3"}) {
+		t.Fatal("CellID not deterministic")
+	}
+}
+
+// Cell ids enumerate schedulers × controllers × vary, first axis slowest
+// — the directory names a workspace sweep run will create.
+func TestManifestCellIDs(t *testing.T) {
+	m := &Manifest{
+		Scenario: "test-manifest-bulk",
+		Sweep: &ManifestSweep{
+			Controllers: []string{"a", "b"},
+			Vary:        []ManifestAxis{{Key: "bytes", Values: []string{"1", "2"}}},
+		},
+	}
+	ids := m.CellIDs()
+	want := []string{
+		CellID([]string{"policy=a", "bytes=1"}),
+		CellID([]string{"policy=a", "bytes=2"}),
+		CellID([]string{"policy=b", "bytes=1"}),
+		CellID([]string{"policy=b", "bytes=2"}),
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d cell ids, want %d", len(ids), len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, ids[i], want[i])
+		}
+	}
+	if (&Manifest{Scenario: "test-manifest-bulk"}).CellIDs() != nil {
+		t.Fatal("non-sweep manifest should have no cell ids")
+	}
+}
+
+// Snapshots resolve defaults and render deterministically, so two runs
+// of the same manifest store byte-identical manifest.json files.
+func TestManifestSnapshot(t *testing.T) {
+	m := &Manifest{Scenario: "test-manifest-bulk", Params: map[string]string{"bytes": "1024"}}
+	a, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot not deterministic")
+	}
+	s := string(a)
+	for _, want := range []string{`"seed": 1`, `"seeds": 1`, `"name": "test-manifest-bulk"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing resolved default %q:\n%s", want, s)
+		}
+	}
+}
+
+// BuildParams carries params + shards but never trace keys; TraceParams
+// arms them separately with the runner-chosen file.
+func TestManifestBuildAndTraceParams(t *testing.T) {
+	m := &Manifest{
+		Scenario: "test-manifest-bulk",
+		Params:   map[string]string{"bytes": "1024"},
+		Shards:   4,
+		Trace:    true,
+		TraceCap: 99,
+	}
+	p := m.BuildParams()
+	if p.Has("trace") || p.Has("trace_cap") {
+		t.Fatal("BuildParams must not arm tracing")
+	}
+	if got := p.Clone().Int("shards", 0); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+	m.TraceParams(p, "/tmp/t")
+	if got := p.Clone().Str("trace", ""); got != "/tmp/t" {
+		t.Fatalf("trace = %q", got)
+	}
+	if got := p.Clone().Int("trace_cap", 0); got != 99 {
+		t.Fatalf("trace_cap = %d", got)
+	}
+	// Untraced manifests leave params untouched.
+	p2 := (&Manifest{Scenario: "x"}).BuildParams()
+	(&Manifest{Scenario: "x"}).TraceParams(p2, "/tmp/t")
+	if p2.Has("trace") {
+		t.Fatal("TraceParams armed tracing on an untraced manifest")
+	}
+}

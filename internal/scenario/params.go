@@ -51,6 +51,19 @@ func ParseSets(kvs []string) (*Params, error) {
 // Set stores one value.
 func (p *Params) Set(key, val string) { p.vals[key] = val }
 
+// Map returns a copy of the stored key=value pairs — the resolved
+// parameter set a workspace records in its manifest snapshot.
+func (p *Params) Map() map[string]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]string, len(p.vals))
+	for k, v := range p.vals {
+		out[k] = v
+	}
+	return out
+}
+
 // Clone copies the values into a fresh Params with clean bookkeeping, so
 // concurrent per-seed factory calls never share state.
 func (p *Params) Clone() *Params {

@@ -47,10 +47,30 @@ func Register(name, desc string, f Factory) {
 }
 
 // ParamDoc documents one typed parameter a scenario consumes, for
-// listings (`mpexp list` prints them under the scenario).
+// listings (`mpexp list` prints them under the scenario) and for
+// authoring manifests against the live registry (`mpexp list -json`).
+// Type and Default are optional metadata: Type names the Params getter
+// that reads the key ("int", "float", "bool", "string", "duration",
+// "list"), Default is the value used when the key is absent.
 type ParamDoc struct {
-	Key  string
-	Desc string
+	Key     string `json:"key"`
+	Type    string `json:"type,omitempty"`
+	Default string `json:"default,omitempty"`
+	Desc    string `json:"doc"`
+}
+
+// CommonParamDocs documents the parameters Build consumes for every
+// registered scenario, so listings and manifest authors see the full
+// accepted key set, not just the per-scenario ones.
+func CommonParamDocs() []ParamDoc {
+	return []ParamDoc{
+		{Key: "sched", Type: "string", Desc: "registered packet scheduler (default: the scenario's)"},
+		{Key: "policy", Type: "string", Desc: "registered subflow controller (default: the scenario's)"},
+		{Key: "smoke", Type: "bool", Default: "false", Desc: "reduced sizes/durations for CI smoke runs"},
+		{Key: "trace", Type: "string", Desc: "record an event trace (bare = in-memory only, value = file path)"},
+		{Key: "trace_cap", Type: "int", Default: "0", Desc: "trace ring capacity per shard (0 = default)"},
+		{Key: "shards", Type: "int", Default: "1", Desc: "worker event loops per run (results identical at any count)"},
+	}
 }
 
 // RegisterParams attaches parameter documentation to an already

@@ -35,13 +35,31 @@ type SweepConfig struct {
 	Parallel int
 	// OnCell observes each finished cell (progress output).
 	OnCell func(c *Cell)
+	// TraceFile, when non-nil, names each cell's trace file from its
+	// CellID (an experiment workspace points it into the cell's run
+	// directory); it overrides the trace suffixing derived from a
+	// "trace" key in Base. Returning "" leaves the cell untraced.
+	TraceFile func(cellID string) string
 }
 
 // Cell is one point of the cross product.
 type Cell struct {
 	Label     string
+	ID        string   // filesystem-safe identifier (CellID of Overrides)
 	Overrides []string // "key=value" in axis order
 	Multi     *runner.Multi
+}
+
+// CellID derives the canonical filesystem-safe identifier of a sweep
+// cell from its axis overrides ("key=value" in axis order). It is THE
+// one place cell naming happens: per-cell trace-file suffixes and
+// workspace cell directories both derive from it, so the two can never
+// skew. The empty cell (a sweep with no axes) is "defaults".
+func CellID(overrides []string) string {
+	if len(overrides) == 0 {
+		return "defaults"
+	}
+	return sanitizeLabel(strings.Join(overrides, "_"))
 }
 
 // SweepResult collects every cell of one sweep.
@@ -80,6 +98,9 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if traceFile != "" && cfg.Seeds > 1 {
 		return nil, fmt.Errorf("scenario: trace=%s with %d seeds would write one file from every seed concurrently; use one seed per traced sweep", traceFile, cfg.Seeds)
 	}
+	if cfg.TraceFile != nil && cfg.Seeds > 1 {
+		return nil, fmt.Errorf("scenario: per-cell trace files with %d seeds would write one file from every seed concurrently; use one seed per traced sweep", cfg.Seeds)
+	}
 	// Validate every cell before simulating anything.
 	params := make([]*Params, len(cells))
 	for i, overrides := range cells {
@@ -88,8 +109,13 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 			k, v, _ := strings.Cut(kv, "=")
 			p.Set(k, v)
 		}
-		if traceFile != "" && len(cells) > 1 {
-			p.Set("trace", traceFile+"."+sanitizeLabel(strings.Join(overrides, "_")))
+		switch {
+		case cfg.TraceFile != nil:
+			if f := cfg.TraceFile(CellID(overrides)); f != "" {
+				p.Set("trace", f)
+			}
+		case traceFile != "" && len(cells) > 1:
+			p.Set("trace", traceFile+"."+CellID(overrides))
 		}
 		if _, err := Build(cfg.Scenario, p.Clone()); err != nil {
 			return nil, err
@@ -106,7 +132,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 			BaseSeed: cfg.BaseSeed,
 			Parallel: cfg.Parallel,
 		}, Job(cfg.Scenario, params[i]))
-		cell := &Cell{Label: label, Overrides: overrides, Multi: m}
+		cell := &Cell{Label: label, ID: CellID(overrides), Overrides: overrides, Multi: m}
 		sr.Cells = append(sr.Cells, cell)
 		if cfg.OnCell != nil {
 			cfg.OnCell(cell)

@@ -1,0 +1,336 @@
+package workspace
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file implements `mpexp diff`: comparing two run directories
+// scalar-by-scalar (and table-by-table, and per sweep cell) with a
+// configurable relative tolerance. Two same-seed runs of a deterministic
+// scenario must diff clean at tolerance 0 — that is the workspace's
+// regression gate: any drift is either a code change or a determinism
+// bug, and both deserve a nonzero exit.
+
+// DiffOptions tune the comparison.
+type DiffOptions struct {
+	// RelTol is the relative tolerance: values a and b are equal when
+	// |a-b| <= RelTol * max(|a|, |b|). Zero means exact equality — the
+	// right default for same-seed determinism checks.
+	RelTol float64
+}
+
+// wallClock reports whether a scalar key measures host wall-clock speed
+// (the *_per_wall_s throughput metrics) rather than simulation output.
+// Those legitimately differ between two identical runs, so the diff
+// skips them — cmd/benchgate owns their regression thresholds instead.
+func wallClock(key string) bool { return strings.HasSuffix(key, "_per_wall_s") }
+
+// DiffReport is the outcome of one comparison.
+type DiffReport struct {
+	// Lines describe every difference, in deterministic order.
+	Lines []string
+	// Compared counts the values examined (scalars, table cells, summary
+	// stats) across both runs.
+	Compared int
+}
+
+// Clean reports whether the two runs matched within tolerance.
+func (d *DiffReport) Clean() bool { return len(d.Lines) == 0 }
+
+func (d *DiffReport) addf(format string, args ...any) {
+	d.Lines = append(d.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report: one line per difference, or the all-clear.
+func (d *DiffReport) String() string {
+	if d.Clean() {
+		return fmt.Sprintf("identical within tolerance (%d values compared)\n", d.Compared)
+	}
+	return fmt.Sprintf("%d difference(s) over %d values:\n  %s\n",
+		len(d.Lines), d.Compared, strings.Join(d.Lines, "\n  "))
+}
+
+// DiffRuns compares two run directories (as produced by Workspace.Run):
+// their result.json or summary.json, and — for sweeps — every cell
+// directory pairwise, flagging cells present on only one side.
+func DiffRuns(dirA, dirB string, opt DiffOptions) (*DiffReport, error) {
+	for _, dir := range []string{dirA, dirB} {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("workspace: %s is not a run directory", dir)
+		}
+	}
+	d := &DiffReport{}
+	if err := diffDir(d, dirA, dirB, "", opt); err != nil {
+		return nil, err
+	}
+	cellsA, err := CellDirs(dirA)
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	cellsB, err := CellDirs(dirB)
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	for _, cell := range unionSorted(cellsA, cellsB) {
+		inA, inB := contains(cellsA, cell), contains(cellsB, cell)
+		if !inA || !inB {
+			d.addf("cell %s: only in %s", cell, pick(inA, dirA, dirB))
+			continue
+		}
+		prefix := "cell " + cell + ": "
+		if err := diffDir(d, filepath.Join(dirA, cellsDir, cell),
+			filepath.Join(dirB, cellsDir, cell), prefix, opt); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// diffDir compares one directory level: result.json against result.json,
+// summary.json against summary.json, mixed shapes are themselves a
+// difference (one run was single-seed, the other multi-seed).
+func diffDir(d *DiffReport, dirA, dirB, prefix string, opt DiffOptions) error {
+	resA, errA := loadResult(dirA)
+	resB, errB := loadResult(dirB)
+	sumA, serrA := loadSummary(dirA)
+	sumB, serrB := loadSummary(dirB)
+	for _, err := range []error{errA, errB, serrA, serrB} {
+		if err != nil {
+			return err
+		}
+	}
+	switch {
+	case resA != nil && resB != nil:
+		diffResults(d, resA, resB, prefix, opt)
+	case sumA != nil && sumB != nil:
+		diffSummaries(d, sumA, sumB, prefix, opt)
+	case resA == nil && resB == nil && sumA == nil && sumB == nil:
+		// A sweep's top level has only report.txt — nothing numeric here.
+	default:
+		d.addf("%sresult shapes differ (%s vs %s)", prefix, shape(resA, sumA), shape(resB, sumB))
+	}
+	return nil
+}
+
+func shape(res *stats.ResultData, sum *stats.SummaryData) string {
+	switch {
+	case res != nil:
+		return "result.json"
+	case sum != nil:
+		return "summary.json"
+	}
+	return "no result"
+}
+
+func loadResult(dir string) (*stats.ResultData, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ResultFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	d, err := stats.DecodeResult(buf)
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %s: %w", dir, err)
+	}
+	return d, nil
+}
+
+func loadSummary(dir string) (*stats.SummaryData, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, SummaryFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	d, err := stats.DecodeSummary(buf)
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %s: %w", dir, err)
+	}
+	return d, nil
+}
+
+// diffResults compares two single-seed results: every scalar key, every
+// table cell. Samples and series are deliberately NOT value-compared —
+// their headline statistics already surface as scalars — but a changed
+// observation count is reported, since it means the runs took different
+// paths.
+func diffResults(d *DiffReport, a, b *stats.ResultData, prefix string, opt DiffOptions) {
+	for _, k := range unionKeys(a.Scalars, b.Scalars) {
+		if wallClock(k) {
+			continue
+		}
+		va, inA := a.Scalars[k]
+		vb, inB := b.Scalars[k]
+		if !inA || !inB {
+			d.addf("%sscalar %s: only in %s", prefix, k, pick(inA, "A", "B"))
+			continue
+		}
+		d.Compared++
+		if !closeEnough(va, vb, opt.RelTol) {
+			d.addf("%sscalar %s: %v -> %v (rel %.3g)", prefix, k, va, vb, relDelta(va, vb))
+		}
+	}
+	for _, k := range unionKeys(a.Samples, b.Samples) {
+		sa, inA := a.Samples[k]
+		sb, inB := b.Samples[k]
+		if !inA || !inB {
+			d.addf("%ssample %s: only in %s", prefix, k, pick(inA, "A", "B"))
+			continue
+		}
+		d.Compared++
+		if len(sa) != len(sb) {
+			d.addf("%ssample %s: %d observations -> %d", prefix, k, len(sa), len(sb))
+		}
+	}
+	for _, name := range unionKeys(a.Tables, b.Tables) {
+		ta, inA := a.Tables[name]
+		tb, inB := b.Tables[name]
+		if !inA || !inB {
+			d.addf("%stable %s: only in %s", prefix, name, pick(inA, "A", "B"))
+			continue
+		}
+		diffTables(d, ta, tb, prefix+"table "+name+" ", opt)
+	}
+}
+
+// diffTables compares two tables row-key by row-key, column by column.
+func diffTables(d *DiffReport, a, b *stats.Table, prefix string, opt DiffOptions) {
+	if strings.Join(a.Columns, ",") != strings.Join(b.Columns, ",") {
+		d.addf("%scolumns differ: [%s] vs [%s]", prefix,
+			strings.Join(a.Columns, " "), strings.Join(b.Columns, " "))
+		return
+	}
+	for _, key := range unionSorted(a.Keys, b.Keys) {
+		ra, inA := a.Row(key)
+		rb, inB := b.Row(key)
+		if !inA || !inB {
+			d.addf("%srow %s: only in %s", prefix, key, pick(inA, "A", "B"))
+			continue
+		}
+		for ci, col := range a.Columns {
+			if wallClock(col) {
+				continue
+			}
+			d.Compared++
+			if !closeEnough(ra[ci], rb[ci], opt.RelTol) {
+				d.addf("%srow %s col %s: %v -> %v (rel %.3g)",
+					prefix, key, col, ra[ci], rb[ci], relDelta(ra[ci], rb[ci]))
+			}
+		}
+	}
+}
+
+// diffSummaries compares two multi-seed aggregates stat-by-stat.
+func diffSummaries(d *DiffReport, a, b *stats.SummaryData, prefix string, opt DiffOptions) {
+	if a.Seeds != b.Seeds {
+		d.addf("%sseeds differ: %d vs %d", prefix, a.Seeds, b.Seeds)
+	}
+	if a.Failed != b.Failed {
+		d.addf("%sfailed seeds differ: %d vs %d", prefix, a.Failed, b.Failed)
+	}
+	for _, k := range unionKeys(a.Scalars, b.Scalars) {
+		if wallClock(k) {
+			continue
+		}
+		sa, inA := a.Scalars[k]
+		sb, inB := b.Scalars[k]
+		if !inA || !inB {
+			d.addf("%sscalar %s: only in %s", prefix, k, pick(inA, "A", "B"))
+			continue
+		}
+		for _, st := range []struct {
+			name string
+			a, b float64
+		}{
+			{"mean", sa.Mean, sb.Mean},
+			{"median", sa.Median, sb.Median},
+			{"p90", sa.P90, sb.P90},
+			{"min", sa.Min, sb.Min},
+			{"max", sa.Max, sb.Max},
+		} {
+			d.Compared++
+			if !closeEnough(st.a, st.b, opt.RelTol) {
+				d.addf("%sscalar %s %s: %v -> %v (rel %.3g)",
+					prefix, k, st.name, st.a, st.b, relDelta(st.a, st.b))
+			}
+		}
+	}
+}
+
+// closeEnough implements the relative-tolerance equality: exact when
+// tol == 0, |a-b| <= tol*max(|a|,|b|) otherwise.
+func closeEnough(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if tol <= 0 {
+		return false
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func relDelta(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionSorted(a, b []string) []string {
+	seen := map[string]bool{}
+	for _, k := range a {
+		seen[k] = true
+	}
+	for _, k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func pick(inA bool, a, b string) string {
+	if inA {
+		return a
+	}
+	return b
+}

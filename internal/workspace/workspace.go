@@ -1,0 +1,520 @@
+// Package workspace is the on-disk experiment workspace behind
+// `mpexp init/run/diff`: a `.mpexp/` directory holding authored scenario
+// manifests and one directory per executed run (or per sweep cell), each
+// with the machine-readable result, the rendered report, the trace file
+// when enabled, and a snapshot of the resolved manifest — plus a
+// generated top-level index of everything that ran. Sweep outputs stop
+// vanishing into stdout: every run is a durable, diffable artifact.
+//
+// Layout:
+//
+//	.mpexp/
+//	  README.md            # generated orientation file
+//	  manifests/           # authored scenario manifests (committable)
+//	  index.json           # generated index of all runs
+//	  runs/
+//	    <name>-NNN/        # one directory per `mpexp run`/`sweep`
+//	      manifest.json    # resolved manifest snapshot (what actually ran)
+//	      report.txt       # rendered report (aggregate for multi-seed)
+//	      result.json      # stats result (single-seed runs)
+//	      summary.json     # cross-seed scalar summary (multi-seed runs)
+//	      trace            # binary event trace (when enabled)
+//	      cells/<cell>/    # sweeps: result/report/summary/trace per cell
+//
+// Run directories are append-only: a new run of the same manifest gets
+// the next ordinal (<name>-001, <name>-002, ...), so `mpexp diff` can
+// compare any two of them.
+package workspace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// DirName is the workspace directory a parent directory holds.
+const DirName = ".mpexp"
+
+// Filenames within a run (or cell) directory.
+const (
+	ManifestFile = "manifest.json"
+	ResultFile   = "result.json"
+	SummaryFile  = "summary.json"
+	ReportFile   = "report.txt"
+	TraceFile    = "trace"
+	IndexFile    = "index.json"
+	cellsDir     = "cells"
+	runsDir      = "runs"
+	manifestsDir = "manifests"
+)
+
+// Workspace is an opened .mpexp directory.
+type Workspace struct {
+	// Root is the .mpexp directory itself.
+	Root string
+}
+
+// Init creates a workspace under parent (parent/.mpexp) and seeds it
+// with the README, the manifests/ and runs/ directories, an example
+// manifest, and an empty index. Initialising where a workspace already
+// exists is an error — a workspace is data, never silently overwritten.
+func Init(parent string) (*Workspace, error) {
+	root := filepath.Join(parent, DirName)
+	if _, err := os.Stat(root); err == nil {
+		return nil, fmt.Errorf("workspace: %s already exists", root)
+	}
+	for _, dir := range []string{root, filepath.Join(root, manifestsDir), filepath.Join(root, runsDir)} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("workspace: %w", err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(root, "README.md"), []byte(readme), 0o644); err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, manifestsDir, "example-fig2a.json"),
+		[]byte(exampleManifest), 0o644); err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	ws := &Workspace{Root: root}
+	if err := ws.WriteIndex(); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// Open resolves an existing workspace from dir: dir may be the .mpexp
+// directory itself or the directory containing it.
+func Open(dir string) (*Workspace, error) {
+	root := dir
+	if filepath.Base(root) != DirName {
+		root = filepath.Join(dir, DirName)
+	}
+	fi, err := os.Stat(root)
+	if err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("workspace: no %s directory at %s (create one with `mpexp init`)", DirName, dir)
+	}
+	return &Workspace{Root: root}, nil
+}
+
+// Discover opens the workspace of the current directory if one exists;
+// it returns (nil, nil) when there is none — running outside a workspace
+// is not an error, results just stay on stdout.
+func Discover(dir string) (*Workspace, error) {
+	root := filepath.Join(dir, DirName)
+	if fi, err := os.Stat(root); err != nil || !fi.IsDir() {
+		return nil, nil
+	}
+	return &Workspace{Root: root}, nil
+}
+
+// ManifestDir returns the authored-manifests directory.
+func (ws *Workspace) ManifestDir() string { return filepath.Join(ws.Root, manifestsDir) }
+
+// RunDir resolves a run id ("fig2a-001") to its directory.
+func (ws *Workspace) RunDir(id string) string { return filepath.Join(ws.Root, runsDir, id) }
+
+// createRunDir allocates the next ordinal run directory for name.
+func (ws *Workspace) createRunDir(name string) (id, dir string, err error) {
+	name = sanitizeName(name)
+	for n := 1; n < 10000; n++ {
+		id = fmt.Sprintf("%s-%03d", name, n)
+		dir = ws.RunDir(id)
+		err = os.Mkdir(dir, 0o755)
+		if err == nil {
+			return id, dir, nil
+		}
+		if !os.IsExist(err) {
+			return "", "", fmt.Errorf("workspace: %w", err)
+		}
+	}
+	return "", "", fmt.Errorf("workspace: no free run ordinal for %q", name)
+}
+
+// sanitizeName makes a run name safe as a directory component, the same
+// character set scenario cell ids use.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "run"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, name)
+}
+
+// RunInfo describes one completed workspace run.
+type RunInfo struct {
+	ID  string // run identifier (directory base name)
+	Dir string // absolute run directory
+	// OK is false when any seed of any cell failed; artifacts are still
+	// written for the seeds that succeeded.
+	OK bool
+}
+
+// RunOptions tune execution; the zero value works.
+type RunOptions struct {
+	// Parallel bounds concurrent seeds per run/cell (0 = GOMAXPROCS).
+	Parallel int
+	// Echo, when non-nil, receives the rendered report as it would have
+	// printed without a workspace (the CLI passes os.Stdout).
+	Echo func(report string)
+	// Progress, when non-nil, receives one line per finished seed/cell.
+	Progress func(line string)
+}
+
+func (opt RunOptions) echo(report string) {
+	if opt.Echo != nil {
+		opt.Echo(report)
+	}
+}
+
+func (opt RunOptions) progress(format string, args ...any) {
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes a manifest into a fresh run directory: validates it
+// against the live scenario registry (the same Build path `-set` flags
+// take), snapshots the resolved manifest, runs the scenario (or every
+// sweep cell), and writes result.json/summary.json, report.txt, and the
+// trace file per run or cell, then regenerates the workspace index.
+func (ws *Workspace) Run(m *scenario.Manifest, opt RunOptions) (*RunInfo, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	snapshot, err := m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	id, dir, err := ws.createRunDir(m.RunName())
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), snapshot, 0o644); err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	info := &RunInfo{ID: id, Dir: dir}
+	if m.Sweep == nil {
+		info.OK, err = ws.runSingle(m, dir, opt)
+	} else {
+		info.OK, err = ws.runSweep(m, dir, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ws.WriteIndex(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// runSingle executes a non-sweep manifest into dir.
+func (ws *Workspace) runSingle(m *scenario.Manifest, dir string, opt RunOptions) (bool, error) {
+	p := m.BuildParams()
+	traceFile := m.TraceFile
+	if m.Trace && traceFile == "" {
+		traceFile = filepath.Join(dir, TraceFile)
+	}
+	m.TraceParams(p, traceFile)
+	job := scenario.Job(m.Scenario, p)
+	if m.EffectiveSeeds() == 1 {
+		res, err := runSeed(job, m.BaseSeed())
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", m.RunName(), err)
+		}
+		opt.echo(res.Report)
+		return true, writeResult(dir, res)
+	}
+	multi := runner.Run(m.RunName(), runner.Config{
+		Seeds:    m.EffectiveSeeds(),
+		BaseSeed: m.BaseSeed(),
+		Parallel: opt.Parallel,
+		OnDone: func(sr runner.SeedResult) {
+			opt.progress("[seed %d done]", sr.Seed)
+		},
+	}, job)
+	report := multi.Report()
+	opt.echo(report)
+	if err := writeReport(dir, report); err != nil {
+		return false, err
+	}
+	if err := writeSummary(dir, m.RunName(), multi); err != nil {
+		return false, err
+	}
+	return len(multi.Failed()) == 0, nil
+}
+
+// runSweep executes a sweep manifest: one cells/<cellID>/ directory per
+// cell, each holding the same artifact set as a single run, plus the
+// top-level sweep report.
+func (ws *Workspace) runSweep(m *scenario.Manifest, dir string, opt RunOptions) (bool, error) {
+	cfg := m.SweepConfig(opt.Parallel)
+	cfg.OnCell = func(c *scenario.Cell) {
+		opt.progress("[cell %s done]", c.Label)
+	}
+	var mkdirErr error
+	if m.Trace {
+		// One trace per cell, inside the cell's directory. The cell dirs
+		// are created here — during sweep validation, before anything
+		// simulates — so the trace writer finds them in place.
+		cfg.TraceFile = func(cellID string) string {
+			cdir := filepath.Join(dir, cellsDir, cellID)
+			if err := os.MkdirAll(cdir, 0o755); err != nil && mkdirErr == nil {
+				mkdirErr = err
+			}
+			return filepath.Join(cdir, TraceFile)
+		}
+	}
+	sr, err := scenario.Sweep(cfg)
+	if err != nil {
+		return false, err
+	}
+	if mkdirErr != nil {
+		return false, fmt.Errorf("workspace: %w", mkdirErr)
+	}
+	report := sr.Report()
+	opt.echo(report)
+	if err := writeReport(dir, report); err != nil {
+		return false, err
+	}
+	ok := true
+	for _, c := range sr.Cells {
+		cdir := filepath.Join(dir, cellsDir, c.ID)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			return false, fmt.Errorf("workspace: %w", err)
+		}
+		if len(c.Multi.Failed()) > 0 {
+			ok = false
+		}
+		if cfg.Seeds <= 1 {
+			sr0 := c.Multi.PerSeed[0]
+			if sr0.Err != nil {
+				// Record the failure where the result would have been.
+				if err := writeReport(cdir, fmt.Sprintf("FAILED: %v\n", sr0.Err)); err != nil {
+					return false, err
+				}
+				continue
+			}
+			if err := writeResult(cdir, sr0.Result); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if err := writeReport(cdir, c.Multi.Report()); err != nil {
+			return false, err
+		}
+		if err := writeSummary(cdir, cfg.Scenario+" "+c.Label, c.Multi); err != nil {
+			return false, err
+		}
+	}
+	return ok, nil
+}
+
+// runSeed executes one seed, converting a scenario panic into an error.
+func runSeed(job func(seed int64) *stats.Result, seed int64) (res *stats.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("seed %d panicked: %v", seed, r)
+		}
+	}()
+	return job(seed), nil
+}
+
+// writeResult stores a single-seed result: result.json + report.txt.
+func writeResult(dir string, res *stats.Result) error {
+	buf, err := res.Data().Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, ResultFile), buf, 0o644); err != nil {
+		return fmt.Errorf("workspace: %w", err)
+	}
+	return writeReport(dir, res.Report)
+}
+
+func writeReport(dir, report string) error {
+	if err := os.WriteFile(filepath.Join(dir, ReportFile), []byte(report), 0o644); err != nil {
+		return fmt.Errorf("workspace: %w", err)
+	}
+	return nil
+}
+
+// writeSummary stores a multi-seed aggregate: summary.json.
+func writeSummary(dir, name string, m *runner.Multi) error {
+	d := &stats.SummaryData{
+		Name:     name,
+		Seeds:    m.Config.Seeds,
+		BaseSeed: m.Config.BaseSeed,
+		Failed:   len(m.Failed()),
+	}
+	if sum := m.ScalarSummary(); len(sum) > 0 {
+		d.Scalars = make(map[string]stats.ScalarStats, len(sum))
+		for k, s := range sum {
+			d.Scalars[k] = stats.SummarizeScalar(s)
+		}
+	}
+	buf, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, SummaryFile), buf, 0o644); err != nil {
+		return fmt.Errorf("workspace: %w", err)
+	}
+	return nil
+}
+
+// IndexEntry is one run in the workspace index.
+type IndexEntry struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Name     string `json:"name"`
+	Kind     string `json:"kind"` // "run" or "sweep"
+	Seeds    int    `json:"seeds"`
+	Cells    int    `json:"cells,omitempty"` // sweep cell count
+	Trace    bool   `json:"trace,omitempty"`
+}
+
+// Index is the generated top-level index.json: every run directory,
+// sorted by id — the workspace's discoverable table of contents, like
+// dbharness's generated context tree.
+type Index struct {
+	Runs []IndexEntry `json:"runs"`
+}
+
+// ReadIndex loads the current index.
+func (ws *Workspace) ReadIndex() (*Index, error) {
+	buf, err := os.ReadFile(filepath.Join(ws.Root, IndexFile))
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	idx := &Index{}
+	if err := json.Unmarshal(buf, idx); err != nil {
+		return nil, fmt.Errorf("workspace: index: %w", err)
+	}
+	return idx, nil
+}
+
+// WriteIndex regenerates index.json by scanning the run directories:
+// each run's snapshot manifest supplies its scenario/seeds/kind, and the
+// cells/ directory its cell count. Runs whose manifest is unreadable are
+// indexed by id alone rather than aborting the scan.
+func (ws *Workspace) WriteIndex() error {
+	idx := &Index{Runs: []IndexEntry{}}
+	entries, err := os.ReadDir(filepath.Join(ws.Root, runsDir))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("workspace: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ie := IndexEntry{ID: e.Name(), Kind: "run", Seeds: 1}
+		dir := ws.RunDir(e.Name())
+		if m, err := scenario.LoadManifest(filepath.Join(dir, ManifestFile)); err == nil {
+			ie.Scenario = m.Scenario
+			ie.Name = m.RunName()
+			ie.Seeds = m.EffectiveSeeds()
+			ie.Trace = m.Trace
+			if m.Sweep != nil {
+				ie.Kind = "sweep"
+				ie.Cells = countDirs(filepath.Join(dir, cellsDir))
+			}
+		}
+		idx.Runs = append(idx.Runs, ie)
+	}
+	sort.Slice(idx.Runs, func(i, j int) bool { return idx.Runs[i].ID < idx.Runs[j].ID })
+	buf, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workspace: index: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(filepath.Join(ws.Root, IndexFile), buf, 0o644); err != nil {
+		return fmt.Errorf("workspace: %w", err)
+	}
+	return nil
+}
+
+func countDirs(dir string) int {
+	n := 0
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// CellDirs lists the cell directories of a sweep run directory, sorted.
+func CellDirs(runDir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(runDir, cellsDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+const readme = `# .mpexp — experiment workspace
+
+This directory is managed by the mpexp CLI.
+
+## Structure
+
+` + "```" + `
+.mpexp/
+  README.md          # this file
+  manifests/         # authored scenario manifests (commit these)
+  index.json         # generated index of all runs (do not edit)
+  runs/
+    <name>-NNN/      # one directory per run; NNN increments per name
+      manifest.json  # resolved manifest snapshot (what actually ran)
+      report.txt     # rendered report
+      result.json    # machine-readable result (single-seed runs)
+      summary.json   # cross-seed scalar summary (multi-seed runs)
+      trace          # binary event trace (when enabled)
+      cells/<cell>/  # sweeps: the same artifact set per sweep cell
+` + "```" + `
+
+## Commands
+
+- mpexp init                 — create this directory
+- mpexp run <manifest.json>  — run a manifest; artifacts land under runs/
+- mpexp run <scenario> ...   — flag-driven runs are captured here too
+- mpexp diff <runA> <runB>   — compare two runs scalar-by-scalar
+- mpexp report runs/<id>/trace — analyse a recorded trace
+
+Manifests are validated against the live scenario registry; see
+` + "`mpexp list -json`" + ` for every scenario and its typed parameters.
+`
+
+const exampleManifest = `{
+  "scenario": "fig2a",
+  "params": {
+    "smoke": true
+  },
+  "seed": 1,
+  "trace": true
+}
+`
