@@ -26,12 +26,13 @@ race:
 # machine-readable artifact (committed as the baseline, uploaded by CI)
 # that makes the custom metrics diffable across commits.
 # The zero-allocation hot-path micros (netlink event marshal/parse,
-# segment wire append, trace record) are then re-run at -benchtime=3x
+# segment wire append, trace record, metrics increment) are then re-run
+# at -benchtime=3x
 # and appended: benchjson keeps the LAST result per benchmark, so the
 # artifact carries their steadier 3x numbers (observed allocs/op spread
 # across repeated 3x runs: exactly 0) and cmd/benchgate can hold them to
 # its tight alloc ceiling while the figure macros stay at the loose one.
-MICRO_BENCH = ^Benchmark(NetlinkEvent(Marshal|Parse)|SegmentAppendWire|TraceRecord)$$
+MICRO_BENCH = ^Benchmark(NetlinkEvent(Marshal|Parse)|SegmentAppendWire|TraceRecord|MetricsInc)$$
 
 bench:
 	@$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' . > bench.txt; \
@@ -85,6 +86,9 @@ smoke:
 	echo "== smoke: mpexp run ctlstress (wide window, tight queue)"; \
 	$$bin run ctlstress -smoke -set window=1ms -set queue=16 >/dev/null; \
 	tdir=$$(mktemp -d); \
+	echo "== smoke: mpexp run fleet -metrics-out (runtime metrics export)"; \
+	$$bin run fleet -smoke -metrics-out $$tdir/fleet.metrics.json >/dev/null; \
+	test -s $$tdir/fleet.metrics.json; \
 	echo "== smoke: mpexp run fig2a -trace && mpexp report"; \
 	$$bin run fig2a -smoke -trace $$tdir/fig2a.trace >/dev/null; \
 	$$bin report $$tdir/fig2a.trace -csv $$tdir/csv >/dev/null 2>&1; \
@@ -116,7 +120,10 @@ smoke-shards:
 # require `mpexp diff` to come back clean at tolerance 0 — any drift
 # between two identical runs is a determinism regression. The committed
 # example manifests (examples/manifests/) are also run twice and diffed,
-# gating the manifest loader and the sweep cell layout end to end.
+# gating the manifest loader and the sweep cell layout end to end. The
+# final fleet pair runs with -metrics, so the diff also covers the two
+# captured metrics.json snapshots (wall-clock-tagged metrics excluded,
+# everything else compared at tolerance 0).
 smoke-workspace:
 	@set -e; \
 	bin=$$(mktemp -u); \
@@ -136,7 +143,12 @@ smoke-workspace:
 		$$bin run $$m >/dev/null; \
 		$$bin run $$m >/dev/null; \
 		$$bin diff $$n-001 $$n-002; \
-	  done ); \
+	  done; \
+	  echo "== workspace smoke: fleet -metrics (run twice + diff metrics.json)"; \
+	  $$bin run fleet -smoke -metrics >/dev/null; \
+	  $$bin run fleet -smoke -metrics >/dev/null; \
+	  test -s .mpexp/runs/fleet-003/metrics.json; \
+	  $$bin diff fleet-003 fleet-004 ); \
 	rm -rf $$ws
 
 # Build and RUN every example end to end; any non-zero exit fails. The

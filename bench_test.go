@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/nlmsg"
 	"repro/internal/runner"
@@ -343,6 +344,23 @@ func BenchmarkTraceRecord(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sh.Rec(sim.Time(i), trace.KSend, 1, uint64(i), 1380, uint64(i), trace.FRetrans)
+	}
+}
+
+// BenchmarkMetricsInc measures the metrics hot path in isolation: a
+// counter increment plus a histogram observe on a bound per-shard slot.
+// allocs/op must stay exactly 0 (internal/metrics
+// TestRecordingDoesNotAllocate and internal/mptcp
+// TestMeteredDataPathAllocFree pin it at the unit and data-path level).
+func BenchmarkMetricsInc(b *testing.B) {
+	reg := metrics.New(1)
+	c := reg.Counter("bench_counter", 0)
+	h := reg.HistogramLinear("bench_hist", 8, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(uint64(i & 7))
 	}
 }
 

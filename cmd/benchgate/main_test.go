@@ -67,17 +67,17 @@ func TestGateCatchesAllocGrowth(t *testing.T) {
 func TestGateTightAllocCeiling(t *testing.T) {
 	lim := defLim
 	lim.Tight = regexp.MustCompile(`^BenchmarkNetlinkEvent(Marshal|Parse)$`)
-	lim.TightRatio, lim.TightSlack = 1.1, 8
+	lim.TightRatio, lim.TightSlack = 1.0, 2
 	base := &file{Benchmarks: []benchmark{
 		bench("BenchmarkNetlinkEventMarshal", map[string]float64{"allocs/op": 0}),
 		bench("BenchmarkNetlinkEventParse", map[string]float64{"allocs/op": 0}),
 		bench("BenchmarkScale", map[string]float64{"allocs/op": 1000}),
 	}}
-	// 9 allocs breaks the tight ceiling (0*1.1+8) but would pass the
+	// 3 allocs breaks the tight ceiling (0*1.0+2) but would pass the
 	// loose one (0*1.3+32); the non-tight benchmark keeps loose headroom.
 	fresh := &file{Benchmarks: []benchmark{
-		bench("BenchmarkNetlinkEventMarshal", map[string]float64{"allocs/op": 9}),
-		bench("BenchmarkNetlinkEventParse", map[string]float64{"allocs/op": 8}),
+		bench("BenchmarkNetlinkEventMarshal", map[string]float64{"allocs/op": 3}),
+		bench("BenchmarkNetlinkEventParse", map[string]float64{"allocs/op": 2}),
 		bench("BenchmarkScale", map[string]float64{"allocs/op": 1250}),
 	}}
 	bad := gate(base, fresh, lim)

@@ -47,9 +47,11 @@ import (
 	"time"
 
 	_ "repro/internal/experiments" // registers the paper's scenario specs
+	"repro/internal/metrics"
 	"repro/internal/mptcp"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/smapp"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -66,16 +68,20 @@ func (s *stringList) Set(v string) error {
 
 // runFlags are the multi-seed flags shared by every subcommand.
 type runFlags struct {
-	seed       *int64
-	seeds      *int
-	parallel   *int
-	shards     *int
-	sched      *string
-	controller *string
-	trace      *string
-	ws         *string
-	cpuprofile *string
-	memprofile *string
+	seed        *int64
+	seeds       *int
+	parallel    *int
+	shards      *int
+	sched       *string
+	controller  *string
+	trace       *string
+	metrics     *bool
+	metricsOut  *string
+	metricsAddr *string
+	pprofLabels *bool
+	ws          *string
+	cpuprofile  *string
+	memprofile  *string
 }
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
@@ -91,10 +97,36 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 			strings.Join(smapp.ControllerNames(), ", "))),
 		trace: fs.String("trace", "", "record an event trace to this file (inspect with `mpexp report`; "+
 			"multi-run scenarios and sweeps write one file per run/cell; requires -seeds 1)"),
+		metrics: fs.Bool("metrics", false, "record runtime metrics into the report "+
+			"(and metrics.json in a workspace run directory; requires -seeds 1)"),
+		metricsOut: fs.String("metrics-out", "", "write the metrics.json snapshot to this file "+
+			"(implies -metrics; multi-run scenarios and sweeps write one file per run/cell)"),
+		metricsAddr: fs.String("metrics-addr", "", "serve live metrics/expvar/pprof on this "+
+			"address while the run executes (e.g. :6060; implies -metrics)"),
+		pprofLabels: fs.Bool("pprof-labels", false, "label simulator goroutines with their shard in CPU profiles"),
 		ws: fs.String("ws", "", "experiment workspace: a directory holding (or being) .mpexp "+
 			"(default: auto-detect .mpexp in the current directory; \"none\" disables capture)"),
 		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file (covers the whole run)"),
 		memprofile: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// metricsOn reports whether any metrics flag asks for recording.
+func (rf *runFlags) metricsOn() bool {
+	return *rf.metrics || *rf.metricsOut != "" || *rf.metricsAddr != ""
+}
+
+// startIntrospection arms the runtime-only observability flags: the live
+// metrics/pprof endpoint and shard-labelled profiles. Called once per
+// subcommand after flag parsing, before anything simulates.
+func (rf *runFlags) startIntrospection() {
+	sim.SetProfileLabels(*rf.pprofLabels)
+	if *rf.metricsAddr != "" {
+		addr, err := metrics.Serve(*rf.metricsAddr)
+		if err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "[live metrics on http://%s/metrics, pprof under /debug/pprof/]\n", addr)
 	}
 }
 
@@ -162,6 +194,11 @@ func (rf *runFlags) params(sets []string, smoke bool) *scenario.Params {
 	if *rf.trace != "" {
 		p.Set("trace", *rf.trace)
 	}
+	if rf.metricsOn() {
+		// Bare -metrics records and renders without a file; -metrics-out
+		// adds the metrics.json snapshot.
+		p.Set("metrics", *rf.metricsOut)
+	}
 	if *rf.shards != 0 {
 		// Negative values pass through so scenario.Build rejects them
 		// with its usual parameter error instead of silently running.
@@ -200,10 +237,16 @@ func (rf *runFlags) runScenario(label, name string, p *scenario.Params) bool {
 	if file := p.Clone().Str("trace", ""); file != "" && *rf.seeds > 1 {
 		die(fmt.Errorf("%s: -trace %s with -seeds %d would write the same file from every seed concurrently; use -seeds 1 (vary -seed across runs instead)", label, file, *rf.seeds))
 	}
+	// Metrics harvest per-run deltas of process-wide pool counters, so
+	// concurrent seeds would bleed into each other's numbers.
+	if p.Clone().Has("metrics") && *rf.seeds > 1 {
+		die(fmt.Errorf("%s: -metrics with -seeds %d would mix the process-wide pool counters across concurrent seeds; use -seeds 1 (vary -seed across runs instead)", label, *rf.seeds))
+	}
 	if _, err := scenario.Build(name, p.Clone()); err != nil {
 		die(err)
 	}
 	startProfiles(*rf.cpuprofile, *rf.memprofile)
+	rf.startIntrospection()
 	job := runner.Job(scenario.Job(name, p))
 	if *rf.seeds <= 1 {
 		res, err := runOnce(job, *rf.seed)
@@ -325,6 +368,7 @@ func cmdSweep(args []string) bool {
 		return runManifest(rf, mergeAxes(rf.flagManifest(name, sets, *smoke)))
 	}
 	startProfiles(*rf.cpuprofile, *rf.memprofile)
+	rf.startIntrospection()
 	sr, err := scenario.Sweep(scenario.SweepConfig{
 		Scenario:    name,
 		Base:        rf.params(sets, *smoke),
@@ -459,11 +503,14 @@ func cmdAll(args []string) bool {
 	if scaleCtl == scenario.KernelPolicy {
 		*rf.controller = ""
 	}
-	// One trace file per scenario/variant (suffixed with its label), so
-	// the sequential runs don't overwrite each other's trace.
+	// One trace/metrics file per scenario/variant (suffixed with its
+	// label), so the sequential runs don't overwrite each other's output.
 	suffixTrace := func(p *scenario.Params, label string) {
 		if *rf.trace != "" {
 			p.Set("trace", *rf.trace+"."+label)
+		}
+		if *rf.metricsOut != "" {
+			p.Set("metrics", *rf.metricsOut+"."+label)
 		}
 	}
 	ok := true

@@ -73,14 +73,16 @@ func (rf *runFlags) flagManifest(name string, sets []string, smoke bool) *scenar
 		p.Set("smoke", "true")
 	}
 	return &scenario.Manifest{
-		Name:      name,
-		Scenario:  name,
-		Params:    p.Map(),
-		Seed:      *rf.seed,
-		Seeds:     *rf.seeds,
-		Shards:    *rf.shards,
-		Trace:     *rf.trace != "",
-		TraceFile: *rf.trace,
+		Name:        name,
+		Scenario:    name,
+		Params:      p.Map(),
+		Seed:        *rf.seed,
+		Seeds:       *rf.seeds,
+		Shards:      *rf.shards,
+		Trace:       *rf.trace != "",
+		TraceFile:   *rf.trace,
+		Metrics:     rf.metricsOn(),
+		MetricsFile: *rf.metricsOut,
 	}
 }
 
@@ -109,6 +111,15 @@ func applyFlagOverrides(fs *flag.FlagSet, rf *runFlags, m *scenario.Manifest, se
 		case "trace":
 			m.Trace = true
 			m.TraceFile = *rf.trace
+		case "metrics":
+			m.Metrics = *rf.metrics
+		case "metrics-out":
+			m.Metrics = true
+			m.MetricsFile = *rf.metricsOut
+		case "metrics-addr":
+			// Runtime-only: the endpoint serves whatever run is live, but
+			// the registry only exists on a metered run.
+			m.Metrics = true
 		}
 	})
 	if smoke {
@@ -128,6 +139,7 @@ func runManifest(rf *runFlags, m *scenario.Manifest) bool {
 		die(err)
 	}
 	startProfiles(*rf.cpuprofile, *rf.memprofile)
+	rf.startIntrospection()
 	if ws := resolveWorkspace(*rf.ws); ws != nil {
 		info, err := ws.Run(m, workspace.RunOptions{
 			Parallel: *rf.parallel,
@@ -143,12 +155,14 @@ func runManifest(rf *runFlags, m *scenario.Manifest) bool {
 	if m.Sweep == nil {
 		p := m.BuildParams()
 		m.TraceParams(p, m.TraceFile)
+		m.MetricsParams(p, m.MetricsFile)
 		*rf.seed = m.BaseSeed()
 		*rf.seeds = m.EffectiveSeeds()
 		return rf.runScenario(m.RunName(), m.Scenario, p)
 	}
 	cfg := m.SweepConfig(*rf.parallel)
 	m.TraceParams(cfg.Base, m.TraceFile)
+	m.MetricsParams(cfg.Base, m.MetricsFile)
 	cfg.OnCell = func(c *scenario.Cell) {
 		fmt.Fprintf(os.Stderr, "[cell %s done]\n", c.Label)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mptcp"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -45,7 +46,21 @@ func (p *chanPipe) SetReceiver(fn func([]byte)) { p.recv = fn }
 func main() {
 	sock := flag.String("sock", "/tmp/smapp.sock", "unix socket to expose the Netlink PM on")
 	runFor := flag.Duration("run", 15*time.Second, "how long to run the scenario")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :6060)")
+	pprofLabels := flag.Bool("pprof-labels", false, "label simulator goroutines with their shard in CPU profiles")
 	flag.Parse()
+
+	sim.SetProfileLabels(*pprofLabels)
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.New(1)
+		metrics.SetLive(reg)
+		addr, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		log.Printf("smappd: live metrics on http://%s/metrics (pprof under /debug/pprof/)", addr)
+	}
 
 	os.Remove(*sock)
 	l, err := net.Listen("unix", *sock)
@@ -75,6 +90,17 @@ func main() {
 	// The kernel half of the facade: Netlink PM + endpoint. The library —
 	// and every policy decision — lives in the controller process.
 	k := smapp.NewKernel(n.Client, tr, mptcp.Config{})
+	if reg != nil {
+		k.PM.SetMetrics(core.CtlMetrics{
+			EventsSent:      reg.Counter("ctl_events_sent", 0),
+			EventsMasked:    reg.Counter("ctl_events_masked", 0),
+			EventsCoalesced: reg.Counter("ctl_events_coalesced", 0),
+			EventsDropped:   reg.Counter("ctl_events_dropped", 0),
+			Flushes:         reg.Counter("ctl_flushes", 0),
+			Commands:        reg.Counter("ctl_commands", 0),
+			QueueHW:         reg.Gauge("ctl_queue_hw", 0),
+		})
+	}
 	sep := mptcp.NewEndpoint(n.Server, mptcp.Config{}, nil)
 	sink := app.NewSink(world, 1<<40, nil)
 	sep.Listen(80, func(c *mptcp.Connection) { c.SetCallbacks(sink.Callbacks()) })

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mptcp"
 	"repro/internal/nlmsg"
 	"repro/internal/seg"
@@ -49,7 +50,26 @@ type NetlinkPM struct {
 	EventsDropped   uint64
 	Flushes         uint64
 	CommandsRun     uint64
+	QueueHighWater  uint64 // max pending events observed in the coalescing queue
+
+	// Live metric handles (SetMetrics); all-nil records nothing.
+	m CtlMetrics
 }
+
+// CtlMetrics bundles live metric handles for the control plane. Handles
+// must be bound to the slot of the shard the kernel host runs on.
+type CtlMetrics struct {
+	EventsSent      *metrics.Counter
+	EventsMasked    *metrics.Counter
+	EventsCoalesced *metrics.Counter
+	EventsDropped   *metrics.Counter
+	Flushes         *metrics.Counter
+	Commands        *metrics.Counter
+	QueueHW         *metrics.Gauge
+}
+
+// SetMetrics installs live metric handles mirroring the public counters.
+func (pm *NetlinkPM) SetMetrics(m CtlMetrics) { pm.m = m }
 
 // DefaultCtlQueue is the per-subscriber event queue bound used when
 // SetCoalescing is given a non-positive queue size.
@@ -95,6 +115,7 @@ func (pm *NetlinkPM) SetCoalescing(window time.Duration, queueCap int) {
 func (pm *NetlinkPM) send(e *nlmsg.Event) {
 	if !pm.mask.Has(e.Kind) {
 		pm.EventsMasked++
+		pm.m.EventsMasked.Inc()
 		return
 	}
 	e.At = time.Duration(pm.sim.Now())
@@ -103,6 +124,7 @@ func (pm *NetlinkPM) send(e *nlmsg.Event) {
 		return
 	}
 	pm.EventsSent++
+	pm.m.EventsSent.Inc()
 	pm.tr.ToUser.Send(e.AppendMarshal(nlmsg.Wire.Get(), 0, pm.pid))
 }
 
@@ -123,6 +145,7 @@ func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
 		if i := pm.findQueuedSub(nlmsg.EvSubEstablished, e.Token, e.Tuple); i >= 0 {
 			pm.removeQueued(i)
 			pm.EventsCoalesced += 2
+			pm.m.EventsCoalesced.Add(2)
 			return
 		}
 	case nlmsg.EvClosed:
@@ -135,6 +158,7 @@ func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
 						sawCreated = true
 					}
 					pm.EventsCoalesced++
+					pm.m.EventsCoalesced.Inc()
 					continue
 				}
 				pm.queue[n] = pm.queue[i]
@@ -143,6 +167,7 @@ func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
 			pm.queue = pm.queue[:n]
 			if sawCreated {
 				pm.EventsCoalesced++
+				pm.m.EventsCoalesced.Inc()
 				return
 			}
 		}
@@ -150,12 +175,14 @@ func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
 		if i := pm.findQueuedAddr(nlmsg.EvLocalAddrDown, e.Addr); i >= 0 {
 			pm.removeQueued(i)
 			pm.EventsCoalesced += 2
+			pm.m.EventsCoalesced.Add(2)
 			return
 		}
 	case nlmsg.EvLocalAddrDown:
 		if i := pm.findQueuedAddr(nlmsg.EvLocalAddrUp, e.Addr); i >= 0 {
 			pm.removeQueued(i)
 			pm.EventsCoalesced += 2
+			pm.m.EventsCoalesced.Add(2)
 			return
 		}
 	}
@@ -163,8 +190,13 @@ func (pm *NetlinkPM) enqueue(e *nlmsg.Event) {
 		copy(pm.queue, pm.queue[1:])
 		pm.queue = pm.queue[:len(pm.queue)-1]
 		pm.EventsDropped++
+		pm.m.EventsDropped.Inc()
 	}
 	pm.queue = append(pm.queue, *e)
+	if n := uint64(len(pm.queue)); n > pm.QueueHighWater {
+		pm.QueueHighWater = n
+	}
+	pm.m.QueueHW.SetMax(uint64(len(pm.queue)))
 	if !pm.flushArmed {
 		pm.flushArmed = true
 		pm.sim.Schedule(pm.sim.Now().Add(pm.flushEvery), "netlink.flush", pm.flushFn)
@@ -208,6 +240,8 @@ func (pm *NetlinkPM) flush() {
 	}
 	pm.EventsSent += uint64(len(pm.queue))
 	pm.Flushes++
+	pm.m.EventsSent.Add(uint64(len(pm.queue)))
+	pm.m.Flushes.Inc()
 	pm.queue = pm.queue[:0]
 	pm.tr.ToUser.Send(buf)
 }
@@ -295,6 +329,7 @@ func (pm *NetlinkPM) runCommand(m *nlmsg.Message) {
 	}
 	cmd := &pm.cmdScratch
 	pm.CommandsRun++
+	pm.m.Commands.Inc()
 	switch cmd.Kind {
 	case nlmsg.CmdSubscribe:
 		pm.mask = cmd.Mask

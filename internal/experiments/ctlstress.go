@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smapp"
 	"repro/internal/stats"
+	"repro/internal/tcp"
 )
 
 // CtlStressConfig parameterises the control-plane stress scenario: N
@@ -151,8 +152,8 @@ func ctlStressSpec(cfg CtlStressConfig) (*scenario.Spec, error) {
 		Runs: runs,
 		Render: func(res *stats.Result, runs []*scenario.Run) {
 			res.Section("decision latency (event emitted -> command applied)")
-			res.Printf("%-10s %6s %9s %9s %8s %9s %9s %7s %7s %7s\n",
-				"mode", "n", "p50", "p99", "frames", "events", "coalesce", "drops", "flush", "cmds")
+			res.Printf("%-10s %6s %9s %9s %8s %9s %9s %7s %7s %7s %5s\n",
+				"mode", "n", "p50", "p99", "frames", "events", "coalesce", "drops", "flush", "cmds", "qhw")
 			for _, rt := range runs {
 				wl := rt.Spec.Workload.(*ctlStressLoad)
 				lat := &sample{}
@@ -168,6 +169,11 @@ func ctlStressSpec(cfg CtlStressConfig) (*scenario.Spec, error) {
 					ctl.EventsCoalesced += st.PM.EventsCoalesced
 					ctl.EventsDropped += st.PM.EventsDropped
 					ctl.Flushes += st.PM.Flushes
+					// Queue high-water is a depth, not a count: the worst
+					// backlog any one client's queue reached.
+					if st.PM.QueueHighWater > ctl.QueueHW {
+						ctl.QueueHW = st.PM.QueueHighWater
+					}
 				}
 				var p50, p99 float64
 				if lat.N() > 0 {
@@ -183,9 +189,10 @@ func ctlStressSpec(cfg CtlStressConfig) (*scenario.Spec, error) {
 				res.Scalars[key+"_events_coalesced"] = float64(ctl.EventsCoalesced)
 				res.Scalars[key+"_events_dropped"] = float64(ctl.EventsDropped)
 				res.Scalars[key+"_flushes"] = float64(ctl.Flushes)
-				res.Printf("%-10s %6d %7.1fus %7.1fus %8d %9d %9d %7d %7d %7d\n",
+				res.Scalars[key+"_ctl_queue_hw"] = float64(ctl.QueueHW)
+				res.Printf("%-10s %6d %7.1fus %7.1fus %8d %9d %9d %7d %7d %7d %5d\n",
 					key, lat.N(), p50, p99, frames, ctl.EventsSent,
-					ctl.EventsCoalesced, ctl.EventsDropped, ctl.Flushes, commands)
+					ctl.EventsCoalesced, ctl.EventsDropped, ctl.Flushes, commands, ctl.QueueHW)
 				// The headline scalars track the coalesced cell when it
 				// exists (the last run), the immediate cell otherwise.
 				res.Scalars["decision_p50_us"] = p50
@@ -193,6 +200,7 @@ func ctlStressSpec(cfg CtlStressConfig) (*scenario.Spec, error) {
 				res.Scalars["decision_n"] = float64(lat.N())
 				res.Scalars["events_coalesced"] = float64(ctl.EventsCoalesced)
 				res.Scalars["events_dropped"] = float64(ctl.EventsDropped)
+				res.Scalars["ctl_queue_hw"] = float64(ctl.QueueHW)
 			}
 		},
 	}, nil
@@ -266,11 +274,17 @@ func (w *ctlStressLoad) Client(rt *scenario.Run) {
 		}
 		csh := rt.TraceShard(cl.Host.Name())
 		st := smapp.New(cl.Host, smapp.Config{
-			MPTCP:     mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh},
-			Transport: tr,
-			CtlFlush:  w.Window,
-			CtlQueue:  w.Queue,
-			Trace:     csh,
+			MPTCP: mptcp.Config{
+				Scheduler: rt.Spec.Sched,
+				Trace:     csh,
+				Metrics:   rt.MPTCPMetrics(cclk),
+				TCP:       tcp.Config{Metrics: rt.TCPMetrics(cclk)},
+			},
+			Transport:  tr,
+			CtlFlush:   w.Window,
+			CtlQueue:   w.Queue,
+			Trace:      csh,
+			CtlMetrics: rt.CtlMetrics(cclk),
 		})
 		w.stacks[i] = st
 		w.taps[i] = tap

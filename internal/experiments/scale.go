@@ -194,6 +194,10 @@ func scaleSpec(cfg ScaleConfig, wall bool) (*scenario.Spec, error) {
 			if wallS > 0 {
 				res.Scalars["segs_per_wall_s"] = float64(totalPkts) / wallS
 				res.Scalars["events_per_wall_s"] = float64(totalEvents) / wallS
+				// Host throughput measures the machine, not the model:
+				// tag it so `mpexp diff` skips it instead of relying on
+				// the name (benchgate owns its regression thresholds).
+				res.MarkWallClock("segs_per_wall_s", "events_per_wall_s")
 			}
 			if wall && wallS > 0 {
 				res.Section("host throughput (wall clock)")

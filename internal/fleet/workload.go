@@ -11,6 +11,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/smapp"
+	"repro/internal/tcp"
 )
 
 // Load is the fleet workload: every device uploads Bytes to the servers
@@ -129,9 +130,17 @@ func (w *Load) Client(rt *scenario.Run) {
 		at := sim.Millisecond + sim.Time(i)*10*sim.Microsecond
 		w.DialAt[i] = at
 		csh := rt.TraceShard(cl.Host.Name())
+		// Metric handles bind to the device's shard slot (zero bundles
+		// when the run records no metrics).
+		mcfg := mptcp.Config{
+			Scheduler: rt.Spec.Sched,
+			Trace:     csh,
+			Metrics:   rt.MPTCPMetrics(cclk),
+			TCP:       tcp.Config{Metrics: rt.TCPMetrics(cclk)},
+		}
 		switch rt.Spec.Policy {
 		case scenario.KernelPolicy:
-			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh}, pm.NewFullMesh())
+			ep := mptcp.NewEndpoint(cl.Host, mcfg, pm.NewFullMesh())
 			cclk.Schedule(at, "fleet.dial", func() {
 				if _, err := ep.Connect(cl.Addrs[0], dst, rt.Port(), srcCb); err != nil {
 					panic(err)
@@ -139,8 +148,9 @@ func (w *Load) Client(rt *scenario.Run) {
 			})
 		default:
 			st := smapp.New(cl.Host, smapp.Config{
-				MPTCP: mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh},
-				Trace: csh,
+				MPTCP:      mcfg,
+				Trace:      csh,
+				CtlMetrics: rt.CtlMetrics(cclk),
 			})
 			pcfg := rt.Spec.PolicyCfg
 			if len(pcfg.Addrs) == 0 {

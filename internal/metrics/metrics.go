@@ -1,0 +1,266 @@
+// Package metrics is the runtime's zero-allocation metrics registry:
+// counters, gauges, and fixed-bucket histograms with one storage slot per
+// world shard. Handles are acquired once at wiring time (get-or-create,
+// idempotent) and record with a plain single-writer increment into the
+// caller's shard slot — no atomics, no locks, no allocation — which is
+// safe because everything owned by a shard runs on that shard's event
+// loop. Reads (Snapshot) merge the slots: counters and histograms sum,
+// gauges take the max.
+//
+// Every handle is nil-safe: methods on a nil *Counter/*Gauge/*Histogram
+// (what a nil *Registry hands out) cost exactly one branch, the same
+// contract as trace.Rec. Instrumented code therefore records
+// unconditionally and never checks whether metrics are enabled.
+//
+// Metrics carry tags that drive export policy (see snapshot.go):
+//
+//   - TagWall marks host-wall-clock-valued metrics (barrier wait times,
+//     GC-dependent pool misses). They legitimately differ between two
+//     identical runs, so diffs always skip them.
+//   - TagLayout marks metrics that are deterministic at a fixed shard
+//     count but depend on how the world was sharded (lookahead windows,
+//     cross-shard sends). Same-shard-count diffs compare them exactly;
+//     the cross-shard-count invariance check drops them (Portable).
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Tags recognised by the export policy.
+const (
+	// TagWall marks a metric whose value depends on host wall-clock
+	// speed or GC timing; diffs skip it.
+	TagWall = "wall"
+	// TagLayout marks a metric that is deterministic for a fixed shard
+	// count but varies across shard counts.
+	TagLayout = "layout"
+)
+
+// Kind discriminates metric behaviour.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// slot is one shard's storage cell, padded to a cache line so two shards
+// incrementing adjacent slots never false-share.
+type slot struct {
+	v uint64
+	_ [56]byte
+}
+
+// metric is the registry-side state of one named metric.
+type metric struct {
+	name    string
+	kind    Kind
+	tags    []string
+	slots   []slot
+	hist    [][]uint64 // per-slot buckets (histograms only)
+	log2    bool       // histogram bucketing: log2 of the value vs linear
+	buckets int
+}
+
+// Registry holds a run's metrics, one storage slot per shard. A nil
+// Registry is the disabled state: every handle it returns is nil and
+// every recording costs one branch.
+type Registry struct {
+	nslots int
+
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// New creates a registry with nslots per-shard storage slots (at least 1).
+func New(nslots int) *Registry {
+	if nslots < 1 {
+		nslots = 1
+	}
+	return &Registry{nslots: nslots, metrics: make(map[string]*metric)}
+}
+
+// Slots reports the number of per-shard slots (0 on a nil registry).
+func (r *Registry) Slots() int {
+	if r == nil {
+		return 0
+	}
+	return r.nslots
+}
+
+// get returns the named metric, creating it on first use and verifying
+// the kind on later lookups. Tags and bucket shape are fixed by the
+// first caller.
+func (r *Registry) get(name string, kind Kind, buckets int, log2 bool, tags []string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{
+		name:    name,
+		kind:    kind,
+		tags:    append([]string(nil), tags...),
+		slots:   make([]slot, r.nslots),
+		log2:    log2,
+		buckets: buckets,
+	}
+	if kind == KindHistogram {
+		m.hist = make([][]uint64, r.nslots)
+		for i := range m.hist {
+			m.hist[i] = make([]uint64, buckets)
+		}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+func (r *Registry) slotCheck(slot int) int {
+	if slot < 0 || slot >= r.nslots {
+		panic(fmt.Sprintf("metrics: slot %d out of range [0,%d)", slot, r.nslots))
+	}
+	return slot
+}
+
+// Counter is a monotonically increasing count. Merge across slots: sum.
+type Counter struct{ p *uint64 }
+
+// Inc adds one. Nil-safe: a disabled counter costs one branch.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	*c.p++
+}
+
+// Add adds n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	*c.p += n
+}
+
+// Counter returns the slot-th handle of the named counter, creating the
+// metric on first use. Returns nil (the disabled handle) on a nil
+// registry.
+func (r *Registry) Counter(name string, slot int, tags ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.get(name, KindCounter, 0, false, tags)
+	return &Counter{p: &m.slots[r.slotCheck(slot)].v}
+}
+
+// Gauge is a level that merges across slots by maximum — the natural
+// semantics for high-water marks, the registry's main gauge use.
+type Gauge struct{ p *uint64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	*g.p = v
+}
+
+// SetMax raises the gauge to v if v is larger. Nil-safe.
+func (g *Gauge) SetMax(v uint64) {
+	if g == nil {
+		return
+	}
+	if v > *g.p {
+		*g.p = v
+	}
+}
+
+// Gauge returns the slot-th handle of the named gauge.
+func (r *Registry) Gauge(name string, slot int, tags ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.get(name, KindGauge, 0, false, tags)
+	return &Gauge{p: &m.slots[r.slotCheck(slot)].v}
+}
+
+// Histogram is a fixed-bucket distribution. Values at or beyond the last
+// bucket clamp into it. Merge across slots: per-bucket sum.
+type Histogram struct {
+	b    []uint64
+	log2 bool
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := int(v)
+	if h.log2 {
+		i = bits.Len64(v) // 0 → bucket 0, [2^k, 2^k+1) → bucket k+1
+	}
+	if i >= len(h.b) {
+		i = len(h.b) - 1
+	}
+	h.b[i]++
+}
+
+// HistogramLinear returns the slot-th handle of a linear histogram with
+// the given bucket count: value v lands in bucket min(v, buckets-1).
+// Right for small ordinal domains like per-subflow scheduler picks.
+func (r *Registry) HistogramLinear(name string, buckets, slot int, tags ...string) *Histogram {
+	return r.histogram(name, buckets, slot, false, tags)
+}
+
+// HistogramLog2 returns the slot-th handle of a log2 histogram: value v
+// lands in bucket min(bits.Len64(v), buckets-1), i.e. bucket k covers
+// [2^(k-1), 2^k). Right for wide ranges like nanosecond durations.
+func (r *Registry) HistogramLog2(name string, buckets, slot int, tags ...string) *Histogram {
+	return r.histogram(name, buckets, slot, true, tags)
+}
+
+func (r *Registry) histogram(name string, buckets, slot int, log2 bool, tags []string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets < 1 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	m := r.get(name, KindHistogram, buckets, log2, tags)
+	if m.buckets != buckets || m.log2 != log2 {
+		panic(fmt.Sprintf("metrics: %s bucket shape mismatch", name))
+	}
+	return &Histogram{b: m.hist[r.slotCheck(slot)], log2: log2}
+}
+
+// live is the most recently activated registry, for the process-wide
+// introspection endpoint (see serve.go): scenario runs and daemons call
+// SetLive when they build their registry, and the endpoint snapshots
+// whatever is live at scrape time.
+var live atomic.Pointer[Registry]
+
+// SetLive installs r as the process's live registry (nil clears it).
+func SetLive(r *Registry) { live.Store(r) }
+
+// Live reports the process's live registry (nil when none is active).
+func Live() *Registry { return live.Load() }

@@ -369,6 +369,17 @@ func (c *Connection) acceptJoin(tuple seg.FourTuple, syn *seg.Segment) {
 	sf.HandleSegment(syn)
 }
 
+// subflowIndex reports sf's creation-order position (0 when unknown —
+// a dying subflow may already be unlinked).
+func (c *Connection) subflowIndex(sf *tcp.Subflow) int {
+	for i, s := range c.subflows {
+		if s == sf {
+			return i
+		}
+	}
+	return 0
+}
+
 // removeSubflow forgets a dead subflow.
 func (c *Connection) removeSubflow(sf *tcp.Subflow) {
 	for i, s := range c.subflows {
@@ -417,8 +428,12 @@ func (c *Connection) push() {
 		for i, sf := range targets {
 			sf.Push(c.relToAbs(rel), ln, isFin)
 			c.stats.ChunksPushed++
+			if h := c.ep.cfg.Metrics.SchedPicks; h != nil {
+				h.Observe(uint64(c.subflowIndex(sf)))
+			}
 			if i > 0 {
 				c.stats.BytesDuplicated += uint64(ln)
+				c.ep.cfg.Metrics.DupBytes.Add(uint64(ln))
 			}
 			if c.tsh != nil {
 				var fl uint8
@@ -439,6 +454,7 @@ func (c *Connection) push() {
 		if fromRe {
 			c.reinject.remove(rel, rel+uint64(ln))
 			c.stats.BytesReinjected += uint64(ln)
+			c.ep.cfg.Metrics.ReinjectBytes.Add(uint64(ln))
 		} else if isFin {
 			c.finScheduled = true
 		} else {
@@ -724,6 +740,9 @@ func (c *Connection) handleDSS(sf *tcp.Subflow, s *seg.Segment, d *seg.DSS, hasN
 			c.peerFinRel = hi - 1
 		}
 		advanced := c.rcv.receive(lo, hi)
+		if g := c.ep.cfg.Metrics.ReassemblyOOHW; g != nil {
+			g.SetMax(c.rcv.ooo.bytes())
+		}
 		if c.tsh != nil {
 			var fl uint8
 			if advanced {

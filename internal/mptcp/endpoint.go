@@ -30,6 +30,9 @@ type Config struct {
 	// per-subflow send/recv/RTT/cwnd) into this shard — by convention
 	// the owning host's shard of a per-run trace.Tracer.
 	Trace *trace.Shard
+	// Metrics carries live connection-level metric handles; the zero
+	// value records nothing. Subflow-level handles go in TCP.Metrics.
+	Metrics Metrics
 }
 
 // Endpoint is the per-host Multipath TCP stack: it owns connections,

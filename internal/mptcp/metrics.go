@@ -1,0 +1,24 @@
+package mptcp
+
+import "repro/internal/metrics"
+
+// Metrics bundles the live metric handles the connection layer records
+// into. The zero value (all-nil handles) disables recording at the cost
+// of one branch per event — the same contract as trace.Rec. Handles must
+// be bound to the slot of the shard the owning host runs on (metrics
+// slots are single-writer; see internal/metrics). Subflow-level handles
+// ride separately in Config.TCP.Metrics.
+type Metrics struct {
+	// SchedPicks observes the creation-order index of the subflow each
+	// scheduler pick lands on (a linear histogram: bucket 0 = initial
+	// subflow, the last bucket absorbs any overflow).
+	SchedPicks *metrics.Histogram
+	// ReinjectBytes counts payload bytes queued again after a timeout or
+	// subflow death and handed to another subflow.
+	ReinjectBytes *metrics.Counter
+	// DupBytes counts redundant copies placed by MultiPicker schedulers.
+	DupBytes *metrics.Counter
+	// ReassemblyOOHW tracks the high-water mark of bytes parked in the
+	// receiver's out-of-order reassembly queue.
+	ReassemblyOOHW *metrics.Gauge
+}

@@ -10,6 +10,7 @@ import (
 	"hash/fnv"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/seg"
 	"repro/internal/sim"
@@ -32,11 +33,27 @@ type Packet struct {
 
 // packetPool recycles packet shells across all simulations (sync.Pool is
 // safe under the concurrent multi-seed runner).
-var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+var packetPool = sync.Pool{New: func() any {
+	packetPoolNews.Add(1)
+	return new(Packet)
+}}
+
+// Packet-shell pool traffic, process-wide like the pool itself. Atomics
+// keep them safe under the concurrent multi-seed runner without adding
+// allocation to the forwarding path.
+var packetPoolGets, packetPoolPuts, packetPoolNews atomic.Uint64
+
+// PacketPoolStats snapshots the packet-shell pool counters: shells
+// handed out, shells retired, and Gets that heap-allocated (News is
+// GC-dependent, so treat it as a wall-clock-class value).
+func PacketPoolStats() (gets, puts, news uint64) {
+	return packetPoolGets.Load(), packetPoolPuts.Load(), packetPoolNews.Load()
+}
 
 // NewPacket wraps a segment, computing the wire size. The shell comes
 // from a pool; ownership of s transfers to the packet.
 func NewPacket(s *seg.Segment) *Packet {
+	packetPoolGets.Add(1)
 	p := packetPool.Get().(*Packet)
 	p.Src = s.Tuple.SrcIP
 	p.Dst = s.Tuple.DstIP
@@ -59,6 +76,7 @@ func (p *Packet) Release() {
 	}
 	p.Src, p.Dst = netip.Addr{}, netip.Addr{}
 	p.Size = 0
+	packetPoolPuts.Add(1)
 	packetPool.Put(p)
 }
 

@@ -29,6 +29,29 @@ func (m *Multi) ScalarSummary() map[string]*stats.Sample {
 	return out
 }
 
+// WallKeys unions the wall-clock scalar tags of every successful seed
+// (stats.Result.MarkWallClock), sorted — what SummaryData.Wall stores.
+func (m *Multi) WallKeys() []string {
+	set := make(map[string]struct{})
+	for _, sr := range m.PerSeed {
+		if sr.Err != nil || sr.Result == nil {
+			continue
+		}
+		for _, k := range sr.Result.WallKeys() {
+			set[k] = struct{}{}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // MergedSamples pools each named raw distribution across every successful
 // seed, so a figure's CDF can be drawn over all seeds' observations
 // instead of a single run's.

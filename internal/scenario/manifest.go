@@ -30,8 +30,8 @@ type Manifest struct {
 	// Scenario is the registered scenario to run (required).
 	Scenario string `json:"scenario"`
 	// Params are the scenario's key=value knobs — exactly what `-set`
-	// carries. The reserved keys "trace", "trace_cap", and "shards" must
-	// use the dedicated manifest fields instead.
+	// carries. The reserved keys "trace", "trace_cap", "shards", and
+	// "metrics" must use the dedicated manifest fields instead.
 	Params map[string]string `json:"params,omitempty"`
 
 	// Seed is the base simulation seed (0 = 1).
@@ -52,6 +52,17 @@ type Manifest struct {
 	TraceFile string `json:"trace_file,omitempty"`
 	// TraceCap bounds each trace ring shard (0 = default).
 	TraceCap int `json:"trace_cap,omitempty"`
+
+	// Metrics records runtime metrics. In a workspace run the metrics.json
+	// lands in the run (or sweep-cell) directory; outside one, MetricsFile
+	// names it. Metrics are per-run and single-seed (the object pools are
+	// process-wide, so concurrent seeds would bleed into each other's
+	// counters), but work at any shard count.
+	Metrics bool `json:"metrics,omitempty"`
+	// MetricsFile overrides where metrics.json is written (empty = decided
+	// by the runner: the workspace cell directory, or report-only). Setting
+	// it implies Metrics.
+	MetricsFile string `json:"metrics_file,omitempty"`
 
 	// Sweep, when present, crosses the scenario over schedulers ×
 	// controllers × parameter axes; each cell runs Seeds seeds.
@@ -76,23 +87,25 @@ type ManifestAxis struct {
 // reservedParamKeys are manifest fields that must not be smuggled in as
 // scenario parameters: the dedicated fields exist so the workspace can
 // resolve them (trace file placement, shard plumbing) uniformly.
-var reservedParamKeys = []string{"trace", "trace_cap", "shards"}
+var reservedParamKeys = []string{"trace", "trace_cap", "shards", "metrics"}
 
 // manifestJSON mirrors Manifest for decoding: params and axis values
 // accept JSON strings, numbers, and booleans, normalised to the string
 // forms Params parses. Unknown top-level fields are rejected so a typo
 // ("shard" for "shards") cannot silently change what runs.
 type manifestJSON struct {
-	Name      string               `json:"name"`
-	Scenario  string               `json:"scenario"`
-	Params    map[string]flexValue `json:"params"`
-	Seed      int64                `json:"seed"`
-	Seeds     int                  `json:"seeds"`
-	Shards    int                  `json:"shards"`
-	Trace     bool                 `json:"trace"`
-	TraceFile string               `json:"trace_file"`
-	TraceCap  int                  `json:"trace_cap"`
-	Sweep     *manifestSweepJSON   `json:"sweep"`
+	Name        string               `json:"name"`
+	Scenario    string               `json:"scenario"`
+	Params      map[string]flexValue `json:"params"`
+	Seed        int64                `json:"seed"`
+	Seeds       int                  `json:"seeds"`
+	Shards      int                  `json:"shards"`
+	Trace       bool                 `json:"trace"`
+	TraceFile   string               `json:"trace_file"`
+	TraceCap    int                  `json:"trace_cap"`
+	Metrics     bool                 `json:"metrics"`
+	MetricsFile string               `json:"metrics_file"`
+	Sweep       *manifestSweepJSON   `json:"sweep"`
 }
 
 type manifestSweepJSON struct {
@@ -151,14 +164,16 @@ func ParseManifest(buf []byte) (*Manifest, error) {
 		return nil, fmt.Errorf("manifest: trailing data after the JSON document")
 	}
 	m := &Manifest{
-		Name:      mj.Name,
-		Scenario:  mj.Scenario,
-		Seed:      mj.Seed,
-		Seeds:     mj.Seeds,
-		Shards:    mj.Shards,
-		Trace:     mj.Trace || mj.TraceFile != "",
-		TraceFile: mj.TraceFile,
-		TraceCap:  mj.TraceCap,
+		Name:        mj.Name,
+		Scenario:    mj.Scenario,
+		Seed:        mj.Seed,
+		Seeds:       mj.Seeds,
+		Shards:      mj.Shards,
+		Trace:       mj.Trace || mj.TraceFile != "",
+		TraceFile:   mj.TraceFile,
+		TraceCap:    mj.TraceCap,
+		Metrics:     mj.Metrics || mj.MetricsFile != "",
+		MetricsFile: mj.MetricsFile,
 	}
 	if len(mj.Params) > 0 {
 		m.Params = make(map[string]string, len(mj.Params))
@@ -235,6 +250,15 @@ func (m *Manifest) TraceParams(p *Params, file string) {
 	}
 }
 
+// MetricsParams arms metrics recording on p per the manifest, writing
+// metrics.json to file ("" = fold into the report only).
+func (m *Manifest) MetricsParams(p *Params, file string) {
+	if !m.Metrics {
+		return
+	}
+	p.Set("metrics", file)
+}
+
 // SweepConfig converts a sweep manifest into the SweepConfig Sweep
 // executes. Parallel bounds concurrent seeds per cell (0 = GOMAXPROCS).
 // The caller owns TraceFile/OnCell wiring.
@@ -301,9 +325,13 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("manifest %s: tracing is single-shard only (got shards=%d)", m.RunName(), m.Shards)
 		}
 	}
+	if m.Metrics && m.EffectiveSeeds() > 1 {
+		return fmt.Errorf("manifest %s: metrics with %d seeds would mix the process-wide pool counters across concurrent seeds; use one seed per metered run", m.RunName(), m.EffectiveSeeds())
+	}
 	if m.Sweep == nil {
 		p := m.BuildParams()
 		m.TraceParams(p, m.TraceFile)
+		m.MetricsParams(p, m.MetricsFile)
 		_, err := Build(m.Scenario, p)
 		return err
 	}
@@ -330,6 +358,7 @@ func (m *Manifest) Validate() error {
 			p.Set(k, v)
 		}
 		m.TraceParams(p, m.TraceFile)
+		m.MetricsParams(p, m.MetricsFile)
 		if _, err := Build(m.Scenario, p); err != nil {
 			return err
 		}

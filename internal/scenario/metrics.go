@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mptcp"
+	"repro/internal/netem"
+	"repro/internal/nlmsg"
+	"repro/internal/seg"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// MetricsSpec turns on runtime metrics for one run: the engine builds a
+// shard-aware metrics.Registry, hands every stack live nil-safe handles
+// bound to its host's shard slot, and the metrics probe harvests the
+// simulator/pool/link counters at collect time. File, when non-empty, is
+// where the run's metrics.json lands.
+type MetricsSpec struct {
+	File string
+}
+
+// EnableMetrics arms metrics on every run of a spec and appends the
+// metrics probe that folds the registry snapshot into the report and
+// writes the metrics.json file. Multi-run specs write one file per run,
+// suffixed with the run's label (the same convention as EnableTrace);
+// file "" collects and renders without writing a file. Build calls this
+// for the `metrics=` parameter every registered scenario accepts.
+func EnableMetrics(sp *Spec, file string) {
+	multi := len(sp.Runs) > 1
+	for _, rs := range sp.Runs {
+		f := file
+		title := "Runtime metrics"
+		if multi && rs.Label != "" {
+			if f != "" {
+				f += "." + sanitizeLabel(rs.Label)
+			}
+			title += " — " + rs.Label
+		}
+		rs.Metrics = &MetricsSpec{File: f}
+		rs.Probes = append(rs.Probes, metricsProbe(f, title))
+	}
+}
+
+// poolBaseline snapshots the process-wide pool counters at run start, so
+// the probe can report per-run deltas. The pools are global (sync.Pool
+// and shared free lists), which is also why `metrics=` refuses to run
+// under the concurrent multi-seed runner: parallel seeds would bleed
+// into each other's deltas.
+type poolBaseline struct {
+	segGets, segPuts, segNews       uint64
+	pktGets, pktPuts, pktNews       uint64
+	chunkGets, chunkPuts, chunkNews uint64
+	wireGets, wirePuts, wireNews    uint64
+}
+
+func capturePools() poolBaseline {
+	var b poolBaseline
+	s := seg.Shared.Stats()
+	b.segGets, b.segPuts, b.segNews = s.Gets, s.Puts, s.News
+	b.pktGets, b.pktPuts, b.pktNews = netem.PacketPoolStats()
+	b.chunkGets, b.chunkPuts, b.chunkNews = tcp.ChunkPoolStats()
+	w := nlmsg.Wire.Stats()
+	b.wireGets, b.wirePuts, b.wireNews = w.Gets, w.Puts, w.News
+	return b
+}
+
+// MetricsOn reports whether the run records metrics.
+func (rt *Run) MetricsOn() bool { return rt.Registry != nil }
+
+// TCPMetrics builds the subflow-level metric bundle for a stack running
+// on clock c's shard. With metrics off it returns the zero bundle (nil
+// handles record nothing), so callers wire it unconditionally.
+func (rt *Run) TCPMetrics(c sim.Clock) tcp.Metrics {
+	r := rt.Registry
+	if r == nil {
+		return tcp.Metrics{}
+	}
+	slot := sim.ShardIndex(c)
+	return tcp.Metrics{
+		Retrans:     r.Counter("tcp_retrans_segs", slot),
+		FastRetrans: r.Counter("tcp_fast_retrans", slot),
+		RTOTimeouts: r.Counter("tcp_rto_timeouts", slot),
+	}
+}
+
+// MPTCPMetrics builds the connection-level metric bundle for clock c's
+// shard (zero bundle with metrics off).
+func (rt *Run) MPTCPMetrics(c sim.Clock) mptcp.Metrics {
+	r := rt.Registry
+	if r == nil {
+		return mptcp.Metrics{}
+	}
+	slot := sim.ShardIndex(c)
+	return mptcp.Metrics{
+		SchedPicks:     r.HistogramLinear("mptcp_sched_picks", 8, slot),
+		ReinjectBytes:  r.Counter("mptcp_reinject_bytes", slot),
+		DupBytes:       r.Counter("mptcp_dup_bytes", slot),
+		ReassemblyOOHW: r.Gauge("mptcp_reassembly_oo_hw", slot),
+	}
+}
+
+// CtlMetrics builds the control-plane metric bundle for clock c's shard
+// (zero bundle with metrics off).
+func (rt *Run) CtlMetrics(c sim.Clock) core.CtlMetrics {
+	r := rt.Registry
+	if r == nil {
+		return core.CtlMetrics{}
+	}
+	slot := sim.ShardIndex(c)
+	return core.CtlMetrics{
+		EventsSent:      r.Counter("ctl_events_sent", slot),
+		EventsMasked:    r.Counter("ctl_events_masked", slot),
+		EventsCoalesced: r.Counter("ctl_events_coalesced", slot),
+		EventsDropped:   r.Counter("ctl_events_dropped", slot),
+		Flushes:         r.Counter("ctl_flushes", slot),
+		Commands:        r.Counter("ctl_commands", slot),
+		QueueHW:         r.Gauge("ctl_queue_hw", slot),
+	}
+}
+
+// metricsProbe is the Metrics probe kind: Collect harvests the runtime
+// counters the simulation accumulated outside the registry (simulator
+// windows/barriers, pool traffic, link drops), renders the sorted text
+// snapshot into the report under title, and writes metrics.json.
+func metricsProbe(file, title string) Probe {
+	return Probe{
+		Name: "metrics",
+		Collect: func(rt *Run) {
+			r := rt.Registry
+			if r == nil {
+				return
+			}
+			rt.harvestRuntime()
+			rt.harvestPools()
+			rt.harvestLinks()
+			snap := r.Snapshot()
+			rt.Result.Section(title)
+			rt.Result.Printf("%s", snap.Text())
+			if file != "" {
+				if err := snap.WriteFile(file); err != nil {
+					panic(err) // the runner reports this as the seed's failure
+				}
+			}
+		},
+	}
+}
+
+// harvestRuntime folds the sim.World runtime counters into the registry.
+// Window carving, barrier counts and cross-shard traffic describe HOW
+// the simulation was executed, not what the model did: they are stable
+// for a fixed shard count but change with it, hence the layout tag.
+// Barrier wait/busy spans are host-speed wall time.
+func (rt *Run) harvestRuntime() {
+	w, ok := rt.Sim.(*sim.World)
+	if !ok {
+		return
+	}
+	r := rt.Registry
+	st := w.RuntimeStats()
+	for i, v := range st.ShardEvents {
+		r.Counter("sim_events", i).Add(v)
+	}
+	r.Counter("sim_globals", 0).Add(st.Globals)
+	r.Counter("sim_windows_interior", 0, metrics.TagLayout).Add(st.WindowsInterior)
+	r.Counter("sim_windows_boundary", 0, metrics.TagLayout).Add(st.WindowsBoundary)
+	r.Counter("sim_windows_idle", 0, metrics.TagLayout).Add(st.WindowsIdle)
+	r.Counter("sim_barriers", 0, metrics.TagLayout).Add(st.Barriers)
+	for i, v := range st.CrossSends {
+		r.Counter("sim_cross_sends", i, metrics.TagLayout).Add(v)
+	}
+	for i, v := range st.BarrierWaitNs {
+		r.Counter("sim_barrier_wait_ns", i, metrics.TagWall).Add(v)
+	}
+	for i, v := range st.BusyNs {
+		r.Counter("sim_window_busy_ns", i, metrics.TagWall).Add(v)
+	}
+	for i := range st.EventPoolGets {
+		r.Counter("pool_simevent_gets", i, metrics.TagLayout).Add(st.EventPoolGets[i])
+		r.Counter("pool_simevent_puts", i, metrics.TagLayout).Add(st.EventPoolPuts[i])
+		r.Counter("pool_simevent_news", i, metrics.TagLayout).Add(st.EventPoolNews[i])
+	}
+}
+
+// harvestPools folds the per-run deltas of the process-wide object pools
+// into the registry. Gets/puts are deterministic protocol behaviour;
+// news (pool misses that heap-allocated) depend on GC timing, so they
+// carry the wall tag.
+func (rt *Run) harvestPools() {
+	r := rt.Registry
+	now := capturePools()
+	b := rt.poolBase
+	r.Counter("pool_seg_gets", 0).Add(now.segGets - b.segGets)
+	r.Counter("pool_seg_puts", 0).Add(now.segPuts - b.segPuts)
+	r.Counter("pool_seg_news", 0, metrics.TagWall).Add(now.segNews - b.segNews)
+	r.Counter("pool_packet_gets", 0).Add(now.pktGets - b.pktGets)
+	r.Counter("pool_packet_puts", 0).Add(now.pktPuts - b.pktPuts)
+	r.Counter("pool_packet_news", 0, metrics.TagWall).Add(now.pktNews - b.pktNews)
+	r.Counter("pool_chunk_gets", 0).Add(now.chunkGets - b.chunkGets)
+	r.Counter("pool_chunk_puts", 0).Add(now.chunkPuts - b.chunkPuts)
+	r.Counter("pool_chunk_news", 0, metrics.TagWall).Add(now.chunkNews - b.chunkNews)
+	r.Counter("pool_wire_gets", 0).Add(now.wireGets - b.wireGets)
+	r.Counter("pool_wire_puts", 0).Add(now.wirePuts - b.wirePuts)
+	r.Counter("pool_wire_news", 0, metrics.TagWall).Add(now.wireNews - b.wireNews)
+}
+
+// harvestLinks sums every link's drop counters by cause. Totals over
+// both directions of every duplex are topology-level behaviour,
+// identical at any shard count.
+func (rt *Run) harvestLinks() {
+	r := rt.Registry
+	var rand, queue, down, cut uint64
+	for _, d := range rt.Net.Links {
+		for _, l := range []*netem.Link{d.AB, d.BA} {
+			s := l.Stats
+			rand += s.LostRand
+			queue += s.DropQueue
+			down += s.DropDown
+			cut += s.DropCut
+		}
+	}
+	r.Counter("netem_drop_rand", 0).Add(rand)
+	r.Counter("netem_drop_queue", 0).Add(queue)
+	r.Counter("netem_drop_down", 0).Add(down)
+	r.Counter("netem_drop_cut", 0).Add(cut)
+}

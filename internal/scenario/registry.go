@@ -69,6 +69,7 @@ func CommonParamDocs() []ParamDoc {
 		{Key: "smoke", Type: "bool", Default: "false", Desc: "reduced sizes/durations for CI smoke runs"},
 		{Key: "trace", Type: "string", Desc: "record an event trace (bare = in-memory only, value = file path)"},
 		{Key: "trace_cap", Type: "int", Default: "0", Desc: "trace ring capacity per shard (0 = default)"},
+		{Key: "metrics", Type: "string", Desc: "record runtime metrics (bare = report only, value = metrics.json path)"},
 		{Key: "shards", Type: "int", Default: "1", Desc: "worker event loops per run (results identical at any count)"},
 	}
 }
@@ -160,6 +161,13 @@ func Build(name string, p *Params) (*Spec, error) {
 	traceFile, traceCap := p.Str("trace", ""), p.Int("trace_cap", 0)
 	if p.Has("trace") {
 		EnableTrace(sp, traceFile, traceCap)
+	}
+	// `metrics=FILE` records runtime metrics and writes the metrics.json
+	// snapshot (bare `metrics` records and renders without a file).
+	// Handled here so no factory needs metrics-specific code.
+	metricsFile := p.Str("metrics", "")
+	if p.Has("metrics") {
+		EnableMetrics(sp, metricsFile)
 	}
 	// `shards=N` shards every run of the scenario across N worker event
 	// loops (results are bit-identical at any N). Consumed here so no

@@ -19,10 +19,12 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mptcp"
 	"repro/internal/sim"
 	"repro/internal/smapp"
 	"repro/internal/stats"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -91,6 +93,10 @@ type RunSpec struct {
 	// into a per-run trace.Tracer (see EnableTrace; usually set by the
 	// `trace=` parameter rather than by spec factories).
 	Trace *TraceSpec
+	// Metrics, when non-nil, records runtime metrics into a per-run
+	// registry (see EnableMetrics; usually set by the `metrics=`
+	// parameter rather than by spec factories).
+	Metrics *MetricsSpec
 }
 
 // Event is a scheduled network change: a loss step, an interface flap, a
@@ -151,6 +157,10 @@ type Run struct {
 	ServerEps []*mptcp.Endpoint
 	Conn      *mptcp.Connection // last connection dialed through the stack
 	Tracer    *trace.Tracer     // nil unless the run is traced
+	// Registry holds the run's metrics (nil unless the run records them;
+	// the bundle helpers in metrics.go treat nil as "record nothing").
+	Registry *metrics.Registry
+	poolBase poolBaseline // pool counters at run start (metrics runs only)
 
 	Result *stats.Result
 	Wall   time.Duration // wall-clock cost of the whole run
@@ -225,6 +235,15 @@ func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 	if rs.Trace != nil {
 		rt.Tracer = trace.New(rs.Trace.Cap)
 	}
+	if rs.Metrics != nil {
+		rt.Registry = metrics.New(nsh)
+		// The live endpoint (mpexp -metrics-addr) scrapes whichever run
+		// is current; metered runs are single-seed, so there is no race
+		// for the slot.
+		metrics.SetLive(rt.Registry)
+		w.EnableBarrierTiming(true)
+		rt.poolBase = capturePools()
+	}
 	rt.Net = rs.Topology.Build(w, seed).normalize()
 	if err := w.Finalize(); err != nil {
 		panic(err) // the runner reports this as the seed's failure
@@ -232,20 +251,34 @@ func execOne(rs *RunSpec, baseSeed int64, res *stats.Result) *Run {
 	rt.wireTrace()
 
 	if _, owns := rs.Workload.(StackOwner); !owns {
-		csh := rt.TraceShard(rt.Net.Client().Host.Name())
+		cl := rt.Net.Client().Host
+		csh := rt.TraceShard(cl.Name())
+		cclk := cl.Clock()
 		scfg := smapp.Config{
-			MPTCP:    mptcp.Config{Scheduler: rs.Sched, Trace: csh},
-			Stressed: rs.Stressed,
-			Trace:    csh,
+			MPTCP: mptcp.Config{
+				Scheduler: rs.Sched,
+				Trace:     csh,
+				Metrics:   rt.MPTCPMetrics(cclk),
+				TCP:       tcp.Config{Metrics: rt.TCPMetrics(cclk)},
+			},
+			Stressed:   rs.Stressed,
+			Trace:      csh,
+			CtlMetrics: rt.CtlMetrics(cclk),
 		}
 		if rs.KernelPM != nil {
 			scfg.KernelPM = rs.KernelPM()
 		}
-		rt.Stack = smapp.New(rt.Net.Client().Host, scfg)
+		rt.Stack = smapp.New(cl, scfg)
 	}
 	for _, srv := range rt.Net.Servers {
+		sclk := srv.Clock()
 		ep := mptcp.NewEndpoint(srv,
-			mptcp.Config{Scheduler: rs.Sched, Trace: rt.TraceShard(srv.Name())}, nil)
+			mptcp.Config{
+				Scheduler: rs.Sched,
+				Trace:     rt.TraceShard(srv.Name()),
+				Metrics:   rt.MPTCPMetrics(sclk),
+				TCP:       tcp.Config{Metrics: rt.TCPMetrics(sclk)},
+			}, nil)
 		rt.ServerEps = append(rt.ServerEps, ep)
 	}
 	rt.ServerEp = rt.ServerEps[0]

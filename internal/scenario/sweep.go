@@ -40,6 +40,10 @@ type SweepConfig struct {
 	// directory); it overrides the trace suffixing derived from a
 	// "trace" key in Base. Returning "" leaves the cell untraced.
 	TraceFile func(cellID string) string
+	// MetricsFile, when non-nil, names each cell's metrics.json the same
+	// way; it overrides the metrics suffixing derived from a "metrics"
+	// key in Base. Returning "" leaves the cell unmetered.
+	MetricsFile func(cellID string) string
 }
 
 // Cell is one point of the cross product.
@@ -101,6 +105,14 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if cfg.TraceFile != nil && cfg.Seeds > 1 {
 		return nil, fmt.Errorf("scenario: per-cell trace files with %d seeds would write one file from every seed concurrently; use one seed per traced sweep", cfg.Seeds)
 	}
+	// Metrics are per-run but the object pools are process-wide, so
+	// concurrent seeds would bleed into each other's pool deltas: a
+	// metered sweep must stay single-seed, file or not.
+	metered := cfg.Base.Clone().Has("metrics") || cfg.MetricsFile != nil
+	if metered && cfg.Seeds > 1 {
+		return nil, fmt.Errorf("scenario: metrics with %d seeds would mix the process-wide pool counters across concurrent seeds; use one seed per metered sweep", cfg.Seeds)
+	}
+	metricsFile := cfg.Base.Clone().Str("metrics", "")
 	// Validate every cell before simulating anything.
 	params := make([]*Params, len(cells))
 	for i, overrides := range cells {
@@ -116,6 +128,14 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 			}
 		case traceFile != "" && len(cells) > 1:
 			p.Set("trace", traceFile+"."+CellID(overrides))
+		}
+		switch {
+		case cfg.MetricsFile != nil:
+			if f := cfg.MetricsFile(CellID(overrides)); f != "" {
+				p.Set("metrics", f)
+			}
+		case metricsFile != "" && len(cells) > 1:
+			p.Set("metrics", metricsFile+"."+CellID(overrides))
 		}
 		if _, err := Build(cfg.Scenario, p.Clone()); err != nil {
 			return nil, err

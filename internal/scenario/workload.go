@@ -313,9 +313,17 @@ func (w *FanOut) Client(rt *Run) {
 		// Per-client hosts record into their own trace shards (nil when
 		// the run is untraced — SetTrace/Config treat nil as off).
 		csh := rt.TraceShard(cl.Host.Name())
+		// Metric handles bind to the client's shard slot (zero bundles
+		// when the run records no metrics).
+		mcfg := mptcp.Config{
+			Scheduler: rt.Spec.Sched,
+			Trace:     csh,
+			Metrics:   rt.MPTCPMetrics(cclk),
+			TCP:       tcp.Config{Metrics: rt.TCPMetrics(cclk)},
+		}
 		switch rt.Spec.Policy {
 		case KernelPolicy:
-			ep := mptcp.NewEndpoint(cl.Host, mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh}, pm.NewFullMesh())
+			ep := mptcp.NewEndpoint(cl.Host, mcfg, pm.NewFullMesh())
 			cclk.Schedule(at, "scale.dial", func() {
 				if _, err := ep.Connect(cl.Addrs[0], dst, rt.Port(), src.Callbacks()); err != nil {
 					panic(err)
@@ -323,8 +331,9 @@ func (w *FanOut) Client(rt *Run) {
 			})
 		default:
 			st := smapp.New(cl.Host, smapp.Config{
-				MPTCP: mptcp.Config{Scheduler: rt.Spec.Sched, Trace: csh},
-				Trace: csh,
+				MPTCP:      mcfg,
+				Trace:      csh,
+				CtlMetrics: rt.CtlMetrics(cclk),
 			})
 			pcfg := rt.Spec.PolicyCfg
 			if len(pcfg.Addrs) == 0 {

@@ -93,6 +93,15 @@ type Runner interface {
 // *Simulator. netem uses it to register cross-shard link crossings.
 func WorldOf(c Clock) *World { return c.world() }
 
+// ShardIndex reports which shard's event loop a clock schedules on (0 on
+// a bare *Simulator). The metrics layer uses it to hand each host's
+// stack the storage slot its shard owns, keeping every metric slot
+// single-writer.
+func ShardIndex(c Clock) int {
+	_, sh := c.loop()
+	return sh
+}
+
 // splitmix64 is the SplitMix64 mixer — cheap, full-period, and good
 // enough to decorrelate per-entity seeds derived from one run seed.
 func splitmix64(x uint64) uint64 {

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// profileLabels gates pprof shard labelling of the phase goroutines.
+// Process-wide (not per-World) so a CLI flag can arm it before any world
+// exists; the label cost is only paid while enabled.
+var profileLabels atomic.Bool
+
+// SetProfileLabels enables runtime/pprof labelling of shard goroutines:
+// while on, every barrier window executes under a shard=<i> label, so
+// CPU profiles of a sharded run attribute samples per shard. Off by
+// default (labelling allocates a label set per window).
+func SetProfileLabels(on bool) { profileLabels.Store(on) }
+
+// pprofDo runs fn under a shard=<i> profiler label.
+func pprofDo(i int, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) { fn() })
+}

@@ -121,6 +121,12 @@ type Simulator struct {
 	stopped   bool
 	free      []*Event // recycled pooled events (ScheduleArg)
 	processed uint64
+
+	// Pooled-event free-list traffic. Single-writer (the loop's own
+	// goroutine), harvested between runs via EventPoolStats.
+	evGets uint64 // pooled events drawn (free list or fresh)
+	evPuts uint64 // pooled events recycled after firing
+	evNews uint64 // draws that missed the free list
 }
 
 // maxFreeEvents bounds the pooled-event free list; beyond this the burst
@@ -138,6 +144,13 @@ func (s *Simulator) Now() Time { return s.now }
 
 // Processed counts events executed since construction.
 func (s *Simulator) Processed() uint64 { return s.processed }
+
+// EventPoolStats snapshots the pooled-event free-list counters: events
+// drawn, events recycled, and draws that had to heap-allocate. Gets-News
+// is the number of reuses.
+func (s *Simulator) EventPoolStats() (gets, puts, news uint64) {
+	return s.evGets, s.evPuts, s.evNews
+}
 
 // Rand exposes the simulation's deterministic random source. All model
 // randomness (loss draws, jitter, port selection) must come from here.
@@ -173,11 +186,13 @@ func (s *Simulator) ScheduleArg(when Time, name string, fn func(any), arg any) {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, when, s.now))
 	}
 	var e *Event
+	s.evGets++
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
+		s.evNews++
 		e = &Event{pooled: true}
 	}
 	e.when, e.seq, e.name, e.argFn, e.arg = when, s.nextSeq, name, fn, arg
@@ -202,11 +217,13 @@ func (s *Simulator) scheduleArgKeyed(when Time, ent, seqn uint64, name string, f
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, when, s.now))
 	}
 	var e *Event
+	s.evGets++
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
+		s.evNews++
 		e = &Event{pooled: true}
 	}
 	e.when, e.ent, e.seq, e.name, e.argFn, e.arg = when, ent, seqn, name, fn, arg
@@ -281,6 +298,7 @@ func (s *Simulator) step() bool {
 		e.argFn, e.arg = nil, nil
 		fn(arg)
 		if e.pooled && len(s.free) < maxFreeEvents {
+			s.evPuts++
 			s.free = append(s.free, e)
 		}
 	case e.owned:

@@ -43,6 +43,22 @@ type World struct {
 	globals globalHeap
 	gseq    uint64
 	gdone   uint64
+
+	// Execution counters (see RuntimeStats): how the span was carved into
+	// windows, how often the shards synchronised, and how much of each
+	// barrier each shard spent waiting for the slowest one. All are
+	// touched only on the controller goroutine except crossSends (under
+	// the destination mailbox lock) and busyScratch (each shard writes
+	// its own index between barriers).
+	windowsInterior uint64
+	windowsBoundary uint64
+	windowsIdle     uint64
+	barriers        uint64
+	crossSends      []uint64 // per destination shard
+	timing          bool
+	waitNs          []uint64 // per shard, cumulative barrier wait
+	busyNs          []uint64 // per shard, cumulative in-window execution
+	busyScratch     []int64
 }
 
 // crossMsg is a pooled event in flight between shards: the sender computes
@@ -94,12 +110,13 @@ func NewWorld(seed int64, nshards int) *World {
 		nshards = 1
 	}
 	w := &World{
-		seed:   seed,
-		shards: make([]*Simulator, nshards),
-		inMu:   make([]sync.Mutex, nshards),
-		inbox:  make([][]crossMsg, nshards),
-		spare:  make([][]crossMsg, nshards),
-		used:   make(map[int]bool),
+		seed:       seed,
+		shards:     make([]*Simulator, nshards),
+		inMu:       make([]sync.Mutex, nshards),
+		inbox:      make([][]crossMsg, nshards),
+		spare:      make([][]crossMsg, nshards),
+		used:       make(map[int]bool),
+		crossSends: make([]uint64, nshards),
 	}
 	for i := range w.shards {
 		w.shards[i] = New(entitySeed(seed, uint64(i)^0xD1B54A32D192ED03))
@@ -202,6 +219,7 @@ func (w *World) ScheduleGlobal(when Time, name string, fn func()) {
 // only World state touched from shard goroutines, hence the mutex.
 func (w *World) post(shard int, m crossMsg) {
 	w.inMu[shard].Lock()
+	w.crossSends[shard]++
 	w.inbox[shard] = append(w.inbox[shard], m)
 	w.inMu[shard].Unlock()
 }
@@ -235,6 +253,18 @@ func (w *World) phase(limit Time, inclusive bool) {
 		w.shards[0].runWindow(limit, inclusive)
 		return
 	}
+	w.barriers++
+	timing := w.timing
+	labels := profileLabels.Load()
+	var t0 time.Time
+	if timing {
+		if w.busyScratch == nil {
+			w.busyScratch = make([]int64, len(w.shards))
+			w.waitNs = make([]uint64, len(w.shards))
+			w.busyNs = make([]uint64, len(w.shards))
+		}
+		t0 = time.Now()
+	}
 	var wg sync.WaitGroup
 	var pmu sync.Mutex
 	var pval any
@@ -251,13 +281,37 @@ func (w *World) phase(limit Time, inclusive bool) {
 					pmu.Unlock()
 				}
 			}()
-			w.drain(i)
-			w.shards[i].runWindow(limit, inclusive)
+			run := func() {
+				var b0 time.Time
+				if timing {
+					b0 = time.Now()
+				}
+				w.drain(i)
+				w.shards[i].runWindow(limit, inclusive)
+				if timing {
+					w.busyScratch[i] = time.Since(b0).Nanoseconds()
+				}
+			}
+			if labels {
+				pprofDo(i, run)
+			} else {
+				run()
+			}
 		}(i)
 	}
 	wg.Wait()
 	if pval != nil {
 		panic(pval)
+	}
+	if timing {
+		span := time.Since(t0).Nanoseconds()
+		for i := range w.shards {
+			busy := w.busyScratch[i]
+			w.busyNs[i] += uint64(busy)
+			if d := span - busy; d > 0 {
+				w.waitNs[i] += uint64(d)
+			}
+		}
 	}
 }
 
@@ -318,6 +372,7 @@ func (w *World) RunUntil(deadline Time) {
 				// Interior window: half-open [now, next+lookahead).
 				// Arrivals land at >= next+lookahead, in a later window.
 				t1 := next + w.lookahead
+				w.windowsInterior++
 				w.phase(t1, false)
 				w.now = t1
 				continue
@@ -333,12 +388,14 @@ func (w *World) RunUntil(deadline Time) {
 		// pending at or before limit, just park the shard clocks — the
 		// two phases would be empty.
 		if idle {
+			w.windowsIdle++
 			for _, sh := range w.shards {
 				if sh.now < limit {
 					sh.now = limit
 				}
 			}
 		} else {
+			w.windowsBoundary++
 			w.phase(limit, false)
 			w.phase(limit, true)
 		}
@@ -361,3 +418,67 @@ func (w *World) RunFor(d time.Duration) {
 	}
 	w.RunUntil(w.now.Add(d))
 }
+
+// RuntimeStats snapshots the world's execution counters: window carving,
+// barrier synchronisation, per-shard event and cross-shard-send counts,
+// per-shard barrier timing (zero unless EnableBarrierTiming), and the
+// pooled-event free-list traffic of every shard loop. Call it with the
+// world parked (between RunUntil calls).
+type RuntimeStats struct {
+	// Window carving of the simulated span (how RunUntil synchronised,
+	// not what the model did): interior lookahead stretches, boundary
+	// two-phase windows, and idle jumps.
+	WindowsInterior uint64
+	WindowsBoundary uint64
+	WindowsIdle     uint64
+	// Barriers counts shard synchronisation points (phase executions on
+	// a multi-shard world).
+	Barriers uint64
+	// Globals counts executed global (all-shards-parked) events.
+	Globals uint64
+	// ShardEvents is the per-shard executed event count.
+	ShardEvents []uint64
+	// CrossSends is the count of cross-shard messages by DESTINATION
+	// shard.
+	CrossSends []uint64
+	// BarrierWaitNs and BusyNs split each shard's wall-clock time inside
+	// barriers into waiting-for-the-slowest-shard and executing-events.
+	// Populated only when EnableBarrierTiming was on.
+	BarrierWaitNs []uint64
+	BusyNs        []uint64
+	// Pooled-event free-list traffic per shard loop.
+	EventPoolGets []uint64
+	EventPoolPuts []uint64
+	EventPoolNews []uint64
+}
+
+// RuntimeStats implements the snapshot described on the type.
+func (w *World) RuntimeStats() RuntimeStats {
+	n := len(w.shards)
+	st := RuntimeStats{
+		WindowsInterior: w.windowsInterior,
+		WindowsBoundary: w.windowsBoundary,
+		WindowsIdle:     w.windowsIdle,
+		Barriers:        w.barriers,
+		Globals:         w.gdone,
+		ShardEvents:     make([]uint64, n),
+		CrossSends:      append([]uint64(nil), w.crossSends...),
+		EventPoolGets:   make([]uint64, n),
+		EventPoolPuts:   make([]uint64, n),
+		EventPoolNews:   make([]uint64, n),
+	}
+	for i, sh := range w.shards {
+		st.ShardEvents[i] = sh.processed
+		st.EventPoolGets[i], st.EventPoolPuts[i], st.EventPoolNews[i] = sh.EventPoolStats()
+	}
+	if w.waitNs != nil {
+		st.BarrierWaitNs = append([]uint64(nil), w.waitNs...)
+		st.BusyNs = append([]uint64(nil), w.busyNs...)
+	}
+	return st
+}
+
+// EnableBarrierTiming turns on per-shard wall-clock measurement of every
+// barrier (two time.Now calls per shard per window). Off by default so
+// untimed runs pay nothing; metrics-enabled runs switch it on.
+func (w *World) EnableBarrierTiming(on bool) { w.timing = on }

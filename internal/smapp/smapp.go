@@ -60,6 +60,10 @@ type Config struct {
 	// controller command into this shard (the kernel-side protocol
 	// events ride on MPTCP.Trace, usually the same shard).
 	Trace *trace.Shard
+	// CtlMetrics carries live control-plane metric handles for the
+	// kernel-side Netlink PM; the zero value records nothing. Data-plane
+	// handles ride on MPTCP.Metrics / MPTCP.TCP.Metrics.
+	CtlMetrics core.CtlMetrics
 }
 
 // StackStats counts facade activity.
@@ -136,6 +140,7 @@ func New(host *netem.Host, cfg Config) *Stack {
 	}
 	st.Transport = tr
 	st.PM = core.NewNetlinkPM(s, tr)
+	st.PM.SetMetrics(cfg.CtlMetrics)
 	if cfg.CtlFlush > 0 {
 		st.PM.SetCoalescing(cfg.CtlFlush, cfg.CtlQueue)
 	}
@@ -294,6 +299,7 @@ type CtlStats struct {
 	EventsCoalesced uint64
 	EventsDropped   uint64
 	Flushes         uint64
+	QueueHW         uint64 // coalescing-queue high-water mark
 }
 
 // Info snapshots a connection through the facade.
@@ -309,6 +315,7 @@ func (st *Stack) Info(conn *mptcp.Connection) Info {
 			EventsCoalesced: st.PM.EventsCoalesced,
 			EventsDropped:   st.PM.EventsDropped,
 			Flushes:         st.PM.Flushes,
+			QueueHW:         st.PM.QueueHighWater,
 		}
 	}
 	return in

@@ -25,6 +25,9 @@ type ResultData struct {
 	Samples map[string][]float64 `json:"samples,omitempty"`
 	Series  []SeriesData         `json:"series,omitempty"`
 	Tables  map[string]*Table    `json:"tables,omitempty"`
+	// Wall lists scalar keys tagged wall-clock-valued (MarkWallClock):
+	// host-speed-dependent numbers diff tools must not compare.
+	Wall []string `json:"wall_clock,omitempty"`
 }
 
 // SeriesData is the serializable form of one time series.
@@ -39,7 +42,7 @@ type SeriesData struct {
 // copies slices, so mutating the Result afterwards does not alias the
 // encoded data.
 func (r *Result) Data() *ResultData {
-	d := &ResultData{Name: r.Name}
+	d := &ResultData{Name: r.Name, Wall: r.WallKeys()}
 	if len(r.Scalars) > 0 {
 		d.Scalars = make(map[string]float64, len(r.Scalars))
 		for k, v := range r.Scalars {
@@ -131,6 +134,9 @@ type SummaryData struct {
 	BaseSeed int64                  `json:"base_seed"`
 	Failed   int                    `json:"failed,omitempty"`
 	Scalars  map[string]ScalarStats `json:"scalars,omitempty"`
+	// Wall lists scalar keys tagged wall-clock-valued across the seeds
+	// (union of the per-seed MarkWallClock tags).
+	Wall []string `json:"wall_clock,omitempty"`
 }
 
 // Encode renders the summary as indented JSON with a trailing newline.

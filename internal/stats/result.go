@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -17,6 +18,34 @@ type Result struct {
 	Series  []*Series          // time series (Fig. 2a)
 	Scalars map[string]float64 // headline numbers for quick checks
 	Tables  map[string]*Table  // structured matrices (fleetsweep survival)
+
+	wall map[string]struct{} // scalar keys whose values depend on host wall clock
+}
+
+// MarkWallClock tags scalar keys as wall-clock-valued: their values
+// depend on host speed, not simulated behaviour, so `mpexp diff` reports
+// them informationally instead of comparing them. The tags travel with
+// the encoded result (ResultData.Wall).
+func (r *Result) MarkWallClock(keys ...string) {
+	if r.wall == nil {
+		r.wall = make(map[string]struct{})
+	}
+	for _, k := range keys {
+		r.wall[k] = struct{}{}
+	}
+}
+
+// WallKeys lists the wall-clock-tagged scalar keys, sorted.
+func (r *Result) WallKeys() []string {
+	if len(r.wall) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.wall))
+	for k := range r.wall {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NewResult builds an empty result.

@@ -1,0 +1,15 @@
+package tcp
+
+import "repro/internal/metrics"
+
+// Metrics bundles the live metric handles a subflow records into. The
+// zero value (all-nil handles) disables recording at the cost of one
+// branch per event — the same contract as trace.Rec — so the struct can
+// ride in Config unconditionally. Each handle must be bound to the slot
+// of the shard the subflow's host runs on (metrics slots are
+// single-writer; see internal/metrics).
+type Metrics struct {
+	Retrans     *metrics.Counter // retransmitted segments, RTO- and handshake-driven
+	FastRetrans *metrics.Counter // fast-retransmit / SACK-recovery episodes
+	RTOTimeouts *metrics.Counter // retransmission-timer expirations
+}

@@ -113,6 +113,7 @@ type Config struct {
 	SynRetries    int    // SYN (or SYN+ACK) retransmissions before death (default 6)
 	NoPacing      bool   // disable sk_pacing_rate-style send pacing (ablation)
 	NewCong       func(mss, initialWindowSegs int) Cong
+	Metrics       Metrics // live metric handles; zero value records nothing
 }
 
 func (c Config) withDefaults() Config {
@@ -432,6 +433,7 @@ func (sf *Subflow) onSynTimeout() {
 		return
 	}
 	sf.stats.Retrans++
+	sf.cfg.Metrics.Retrans.Inc()
 	sf.transmitCopy(sf.lastSYN)
 	sf.armSynTimer()
 }
@@ -524,6 +526,7 @@ func (sf *Subflow) sendChunk(c *Chunk) {
 		c.lost = false
 		sf.stats.Retrans++
 		sf.stats.BytesRetrans += uint64(c.Len)
+		sf.cfg.Metrics.Retrans.Inc()
 	} else {
 		c.sent = true
 		if end := c.SubSeq + uint32(c.Len); seqLT(sf.sndNxt, end) {
@@ -767,6 +770,7 @@ func (sf *Subflow) handleSynRcvd(s *seg.Segment) {
 	if s.Is(seg.SYN) && !s.Is(seg.ACK) {
 		// Duplicate SYN: retransmit our SYN+ACK.
 		sf.stats.Retrans++
+		sf.cfg.Metrics.Retrans.Inc()
 		sf.transmitCopy(sf.lastSYN)
 		return
 	}
@@ -819,6 +823,7 @@ func (sf *Subflow) handleEstablished(s *seg.Segment) {
 		ack.Window = sf.cfg.RcvWnd
 		ack.Options = append(ack.Options, sf.owner.HandshakeOptions(sf, StageACK)...)
 		sf.stats.Retrans++
+		sf.cfg.Metrics.Retrans.Inc()
 		sf.transmit(ack)
 		return
 	}
@@ -923,6 +928,7 @@ func (sf *Subflow) processSACK(s *seg.Segment) {
 		sf.inRecovery = true
 		sf.recoveryPoint = sf.sndNxt
 		sf.stats.FastRetrans++
+		sf.cfg.Metrics.FastRetrans.Inc()
 		// ssthresh halves the window outstanding at loss detection, NOT
 		// the post-SACK pipe (which the loss episode already shrank).
 		sf.cc.OnDupAckLoss(sf.outstanding())
@@ -943,6 +949,7 @@ func (sf *Subflow) fastRetransmit() {
 		return
 	}
 	sf.stats.FastRetrans++
+	sf.cfg.Metrics.FastRetrans.Inc()
 	sf.inRecovery = true
 	sf.recoveryPoint = sf.sndNxt
 	sf.cc.OnDupAckLoss(sf.outstanding())
@@ -998,6 +1005,7 @@ func (sf *Subflow) onRTO() {
 		return
 	}
 	sf.stats.Timeouts++
+	sf.cfg.Metrics.RTOTimeouts.Inc()
 	sf.backoffs++
 	sf.sq.markAllLost()
 	sf.cc.OnRTO(sf.outstanding())
@@ -1022,6 +1030,7 @@ func (sf *Subflow) onRTO() {
 		fin.Flags = seg.FIN | seg.ACK
 		fin.Window = sf.cfg.RcvWnd
 		sf.stats.Retrans++
+		sf.cfg.Metrics.Retrans.Inc()
 		sf.transmit(fin)
 		sf.restartRTO()
 		return

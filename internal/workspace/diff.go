@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -26,11 +27,24 @@ type DiffOptions struct {
 	RelTol float64
 }
 
-// wallClock reports whether a scalar key measures host wall-clock speed
-// (the *_per_wall_s throughput metrics) rather than simulation output.
-// Those legitimately differ between two identical runs, so the diff
+// wallSet collects the scalar keys either side tagged as wall-clock
+// (stats.Result.MarkWallClock → the "wall_clock" list in result.json /
+// summary.json). Those measure host speed, not simulation output, so
+// they legitimately differ between two identical runs and the diff
 // skips them — cmd/benchgate owns their regression thresholds instead.
-func wallClock(key string) bool { return strings.HasSuffix(key, "_per_wall_s") }
+// The exclusion is tag-driven: emitters opt out explicitly rather than
+// by a naming convention.
+type wallSet map[string]bool
+
+func wallKeys(lists ...[]string) wallSet {
+	w := wallSet{}
+	for _, keys := range lists {
+		for _, k := range keys {
+			w[k] = true
+		}
+	}
+	return w
+}
 
 // DiffReport is the outcome of one comparison.
 type DiffReport struct {
@@ -116,7 +130,75 @@ func diffDir(d *DiffReport, dirA, dirB, prefix string, opt DiffOptions) error {
 	default:
 		d.addf("%sresult shapes differ (%s vs %s)", prefix, shape(resA, sumA), shape(resB, sumB))
 	}
+	return diffMetrics(d, dirA, dirB, prefix, opt)
+}
+
+// diffMetrics compares the metrics.json snapshots of two run (or cell)
+// directories metric-by-metric. Metrics tagged wall-clock at record time
+// (barrier waits, pool misses) are skipped — the tag travels in the
+// file, so the exclusion needs no name list here. Everything else must
+// match within tolerance: a deterministic scenario diffs clean at 0.
+func diffMetrics(d *DiffReport, dirA, dirB, prefix string, opt DiffOptions) error {
+	ma, err := loadMetrics(dirA)
+	if err != nil {
+		return err
+	}
+	mb, err := loadMetrics(dirB)
+	if err != nil {
+		return err
+	}
+	switch {
+	case ma == nil && mb == nil:
+		return nil
+	case ma == nil || mb == nil:
+		d.addf("%smetrics.json: only in %s", prefix, pick(ma != nil, "A", "B"))
+		return nil
+	}
+	ca, cb := ma.Canonical(), mb.Canonical()
+	for _, name := range unionMetricNames(ca, cb) {
+		a, b := ca.Get(name), cb.Get(name)
+		if a == nil || b == nil {
+			d.addf("%smetric %s: only in %s", prefix, name, pick(a != nil, "A", "B"))
+			continue
+		}
+		d.Compared++
+		if !closeEnough(float64(a.Value), float64(b.Value), opt.RelTol) {
+			d.addf("%smetric %s: %d -> %d (rel %.3g)", prefix, name,
+				a.Value, b.Value, relDelta(float64(a.Value), float64(b.Value)))
+		}
+	}
 	return nil
+}
+
+func loadMetrics(dir string) (*metrics.Snapshot, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, MetricsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %w", err)
+	}
+	s, err := metrics.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("workspace: %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+func unionMetricNames(a, b *metrics.Snapshot) []string {
+	seen := map[string]bool{}
+	for i := range a.Metrics {
+		seen[a.Metrics[i].Name] = true
+	}
+	for i := range b.Metrics {
+		seen[b.Metrics[i].Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func shape(res *stats.ResultData, sum *stats.SummaryData) string {
@@ -165,8 +247,9 @@ func loadSummary(dir string) (*stats.SummaryData, error) {
 // observation count is reported, since it means the runs took different
 // paths.
 func diffResults(d *DiffReport, a, b *stats.ResultData, prefix string, opt DiffOptions) {
+	wall := wallKeys(a.Wall, b.Wall)
 	for _, k := range unionKeys(a.Scalars, b.Scalars) {
-		if wallClock(k) {
+		if wall[k] {
 			continue
 		}
 		va, inA := a.Scalars[k]
@@ -199,12 +282,13 @@ func diffResults(d *DiffReport, a, b *stats.ResultData, prefix string, opt DiffO
 			d.addf("%stable %s: only in %s", prefix, name, pick(inA, "A", "B"))
 			continue
 		}
-		diffTables(d, ta, tb, prefix+"table "+name+" ", opt)
+		diffTables(d, ta, tb, prefix+"table "+name+" ", wall, opt)
 	}
 }
 
-// diffTables compares two tables row-key by row-key, column by column.
-func diffTables(d *DiffReport, a, b *stats.Table, prefix string, opt DiffOptions) {
+// diffTables compares two tables row-key by row-key, column by column;
+// columns named by a wall-clock-tagged key are skipped like scalars.
+func diffTables(d *DiffReport, a, b *stats.Table, prefix string, wall wallSet, opt DiffOptions) {
 	if strings.Join(a.Columns, ",") != strings.Join(b.Columns, ",") {
 		d.addf("%scolumns differ: [%s] vs [%s]", prefix,
 			strings.Join(a.Columns, " "), strings.Join(b.Columns, " "))
@@ -218,7 +302,7 @@ func diffTables(d *DiffReport, a, b *stats.Table, prefix string, opt DiffOptions
 			continue
 		}
 		for ci, col := range a.Columns {
-			if wallClock(col) {
+			if wall[col] {
 				continue
 			}
 			d.Compared++
@@ -238,8 +322,9 @@ func diffSummaries(d *DiffReport, a, b *stats.SummaryData, prefix string, opt Di
 	if a.Failed != b.Failed {
 		d.addf("%sfailed seeds differ: %d vs %d", prefix, a.Failed, b.Failed)
 	}
+	wall := wallKeys(a.Wall, b.Wall)
 	for _, k := range unionKeys(a.Scalars, b.Scalars) {
-		if wallClock(k) {
+		if wall[k] {
 			continue
 		}
 		sa, inA := a.Scalars[k]

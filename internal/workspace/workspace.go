@@ -19,6 +19,7 @@
 //	      result.json      # stats result (single-seed runs)
 //	      summary.json     # cross-seed scalar summary (multi-seed runs)
 //	      trace            # binary event trace (when enabled)
+//	      metrics.json     # runtime metrics snapshot (when enabled)
 //	      cells/<cell>/    # sweeps: result/report/summary/trace per cell
 //
 // Run directories are append-only: a new run of the same manifest gets
@@ -49,6 +50,7 @@ const (
 	SummaryFile  = "summary.json"
 	ReportFile   = "report.txt"
 	TraceFile    = "trace"
+	MetricsFile  = "metrics.json"
 	IndexFile    = "index.json"
 	cellsDir     = "cells"
 	runsDir      = "runs"
@@ -228,6 +230,11 @@ func (ws *Workspace) runSingle(m *scenario.Manifest, dir string, opt RunOptions)
 		traceFile = filepath.Join(dir, TraceFile)
 	}
 	m.TraceParams(p, traceFile)
+	metricsFile := m.MetricsFile
+	if m.Metrics && metricsFile == "" {
+		metricsFile = filepath.Join(dir, MetricsFile)
+	}
+	m.MetricsParams(p, metricsFile)
 	job := scenario.Job(m.Scenario, p)
 	if m.EffectiveSeeds() == 1 {
 		res, err := runSeed(job, m.BaseSeed())
@@ -265,17 +272,21 @@ func (ws *Workspace) runSweep(m *scenario.Manifest, dir string, opt RunOptions) 
 		opt.progress("[cell %s done]", c.Label)
 	}
 	var mkdirErr error
+	cellFile := func(cellID, base string) string {
+		cdir := filepath.Join(dir, cellsDir, cellID)
+		if err := os.MkdirAll(cdir, 0o755); err != nil && mkdirErr == nil {
+			mkdirErr = err
+		}
+		return filepath.Join(cdir, base)
+	}
 	if m.Trace {
 		// One trace per cell, inside the cell's directory. The cell dirs
 		// are created here — during sweep validation, before anything
 		// simulates — so the trace writer finds them in place.
-		cfg.TraceFile = func(cellID string) string {
-			cdir := filepath.Join(dir, cellsDir, cellID)
-			if err := os.MkdirAll(cdir, 0o755); err != nil && mkdirErr == nil {
-				mkdirErr = err
-			}
-			return filepath.Join(cdir, TraceFile)
-		}
+		cfg.TraceFile = func(cellID string) string { return cellFile(cellID, TraceFile) }
+	}
+	if m.Metrics {
+		cfg.MetricsFile = func(cellID string) string { return cellFile(cellID, MetricsFile) }
 	}
 	sr, err := scenario.Sweep(cfg)
 	if err != nil {
@@ -358,6 +369,7 @@ func writeSummary(dir, name string, m *runner.Multi) error {
 		Seeds:    m.Config.Seeds,
 		BaseSeed: m.Config.BaseSeed,
 		Failed:   len(m.Failed()),
+		Wall:     m.WallKeys(),
 	}
 	if sum := m.ScalarSummary(); len(sum) > 0 {
 		d.Scalars = make(map[string]stats.ScalarStats, len(sum))
@@ -384,6 +396,7 @@ type IndexEntry struct {
 	Seeds    int    `json:"seeds"`
 	Cells    int    `json:"cells,omitempty"` // sweep cell count
 	Trace    bool   `json:"trace,omitempty"`
+	Metrics  bool   `json:"metrics,omitempty"`
 }
 
 // Index is the generated top-level index.json: every run directory,
@@ -427,6 +440,7 @@ func (ws *Workspace) WriteIndex() error {
 			ie.Name = m.RunName()
 			ie.Seeds = m.EffectiveSeeds()
 			ie.Trace = m.Trace
+			ie.Metrics = m.Metrics
 			if m.Sweep != nil {
 				ie.Kind = "sweep"
 				ie.Cells = countDirs(filepath.Join(dir, cellsDir))
@@ -494,6 +508,7 @@ This directory is managed by the mpexp CLI.
       result.json    # machine-readable result (single-seed runs)
       summary.json   # cross-seed scalar summary (multi-seed runs)
       trace          # binary event trace (when enabled)
+      metrics.json   # runtime metrics snapshot (when enabled)
       cells/<cell>/  # sweeps: the same artifact set per sweep cell
 ` + "```" + `
 
